@@ -1,0 +1,53 @@
+use maopt_sim::analysis::ac::AcAnalysis;
+use maopt_sim::analysis::dc::DcAnalysis;
+use maopt_sim::{nmos_180nm, pmos_180nm, Circuit, MosInstance};
+
+fn mos(model: &maopt_sim::MosModel, w_um: f64, l_um: f64, m: f64) -> MosInstance {
+    MosInstance { model: model.clone(), w: w_um * 1e-6, l: l_um * 1e-6, m }
+}
+
+fn main() {
+    // The "reasonable" LDO sizing, PSRR vs frequency.
+    let nmos = nmos_180nm();
+    let pmos = pmos_180nm();
+    let mut ckt = Circuit::new();
+    let vin_n = ckt.node("vin");
+    let vref_n = ckt.node("vref");
+    let fb = ckt.node("fb");
+    let tail = ckt.node("tail");
+    let d1 = ckt.node("d1");
+    let d2 = ckt.node("d2");
+    let gate = ckt.node("gate");
+    let vout = ckt.node("vout");
+    let bias = ckt.node("bias");
+    let bp = ckt.node("bp");
+    let gnd = Circuit::GROUND;
+    ckt.vsource_ac("VIN", vin_n, gnd, 3.3, 1.0);
+    ckt.vsource("VREF", vref_n, gnd, 0.9);
+    ckt.isource("IB", vin_n, bias, 10e-6);
+    ckt.mosfet("MB", bias, bias, gnd, gnd, mos(&nmos, 2.0, 1.0, 1.0));
+    ckt.isource("IBP", bp, gnd, 10e-6);
+    ckt.mosfet("MBP", bp, bp, vin_n, vin_n, mos(&pmos, 4.0, 1.0, 1.0));
+    ckt.mosfet("M5", tail, bias, gnd, gnd, mos(&nmos, 10.0, 1.0, 2.0));
+    ckt.mosfet("M1", d1, vref_n, tail, gnd, mos(&nmos, 40.0, 1.0, 2.0));
+    ckt.mosfet("M2", d2, fb, tail, gnd, mos(&nmos, 40.0, 1.0, 2.0));
+    ckt.mosfet("M3", d1, d1, vin_n, vin_n, mos(&pmos, 30.0, 1.0, 1.0));
+    ckt.mosfet("M4", d2, d1, vin_n, vin_n, mos(&pmos, 30.0, 1.0, 1.0));
+    ckt.mosfet("M6", gate, d2, gnd, gnd, mos(&nmos, 20.0, 0.5, 2.0));
+    ckt.mosfet("MLG", gate, bp, vin_n, vin_n, mos(&pmos, 8.0, 1.0, 2.0));
+    ckt.mosfet("MP", vout, gate, vin_n, vin_n, mos(&pmos, 180.0, 0.4, 18.0));
+    ckt.capacitor("CC", gate, vout, 800e-15);
+    ckt.resistor("R1", vout, fb, 20e3);
+    ckt.resistor("R2", fb, gnd, 20e3);
+    let vesr = ckt.node("vesr");
+    ckt.resistor("RESR", vout, vesr, 0.5);
+    ckt.capacitor("COUT", vesr, gnd, 1e-6);
+    ckt.isource("ILOAD", vout, gnd, 50e-3);
+    let op = DcAnalysis::new().run(&ckt).unwrap();
+    let freqs = vec![10.0, 30.0, 100.0, 300.0, 1e3, 1e4, 1e5];
+    let ac = AcAnalysis::new(freqs.clone()).run(&ckt, &op).unwrap();
+    for (k, f) in freqs.iter().enumerate() {
+        let psrr = -20.0 * ac.voltage(k, vout).abs().max(1e-12).log10();
+        println!("PSRR @ {f:>8.0} Hz = {psrr:.1} dB");
+    }
+}

@@ -1,0 +1,28 @@
+use maopt_circuits::{LdoRegulator, ThreeStageTia, TwoStageOta};
+use maopt_core::{is_feasible, SizingProblem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn probe(p: &dyn SizingProblem, n: usize) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut feas = 0;
+    let mut per_spec = vec![0usize; p.specs().len()];
+    for _ in 0..n {
+        let x: Vec<f64> = (0..p.dim()).map(|_| rng.random_range(0.0..1.0)).collect();
+        let m = p.evaluate(&x);
+        if is_feasible(&m, p.specs()) { feas += 1; }
+        for (k, s) in p.specs().iter().enumerate() {
+            if s.is_met(m[s.metric_index]) { per_spec[k] += 1; }
+        }
+    }
+    println!("{}: {feas}/{n} random designs feasible", p.name());
+    for (k, s) in p.specs().iter().enumerate() {
+        println!("   {:22} met by {:4}/{n}", s.name, per_spec[k]);
+    }
+}
+
+fn main() {
+    probe(&TwoStageOta::new(), 400);
+    probe(&ThreeStageTia::new(), 400);
+    probe(&LdoRegulator::new(), 200);
+}

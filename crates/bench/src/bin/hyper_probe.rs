@@ -1,0 +1,24 @@
+use maopt_circuits::LdoRegulator;
+use maopt_core::runner::{make_initial_sets, run_method, Optimizer};
+use maopt_core::MaOptConfig;
+
+fn main() {
+    let p = LdoRegulator::new();
+    let runs = 4;
+    let inits = make_initial_sets(&p, runs, 100, 31);
+    let variants: Vec<(&str, MaOptConfig)> = vec![
+        ("dnn", MaOptConfig::dnn_opt(0)),
+        ("ma1", MaOptConfig::ma_opt1(0)),
+        ("ma2", MaOptConfig::ma_opt2(0)),
+        ("ma", MaOptConfig::ma_opt(0)),
+    ];
+    for (name, cfg) in variants {
+        let s = run_method(&cfg, &p, &inits, runs, 200, 5);
+        println!(
+            "{name:10} success {}  minT {:?}  log10(aFoM) {:+.2}",
+            s.success_rate(),
+            s.min_target.map(|t| (t * 1e6).round()),
+            s.log10_avg_fom
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Regenerates every table and figure of the MA-Opt paper's evaluation.
+//!
+//! ```text
+//! reproduce [--circuit ota|tia|ldo|all] [--quick] [--runs N] [--budget N]
+//!           [--init N] [--seed N] [--tables-only] [--out DIR]
+//! ```
+//!
+//! * Tables I / III / V: printed from the problem definitions.
+//! * Tables II / IV / VI: five methods × {success rate, min target,
+//!   log10 average FoM, measured and modeled runtime}.
+//! * Fig. 5 (a–c): per-method average best-FoM curves, written to
+//!   `results/fig5_<circuit>.csv` and rendered as ASCII.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use maopt_bench::report::{ascii_fom_chart, comparison_table, param_table, write_fom_curves_csv, TableRow};
+use maopt_bench::runtime_model::RuntimeModel;
+use maopt_bench::{paper_methods, Protocol};
+use maopt_circuits::{LdoRegulator, ThreeStageTia, TwoStageOta};
+use maopt_core::runner::{make_initial_sets, run_method, MethodStats};
+use maopt_core::SizingProblem;
+
+struct Args {
+    circuit: String,
+    protocol: Protocol,
+    tables_only: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        circuit: "all".into(),
+        protocol: Protocol::paper(),
+        tables_only: false,
+        out: PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--circuit" => args.circuit = it.next().expect("--circuit needs a value"),
+            "--quick" => args.protocol = Protocol::quick(),
+            "--runs" => {
+                args.protocol.runs = it.next().expect("--runs needs a value").parse().expect("runs")
+            }
+            "--budget" => {
+                args.protocol.budget =
+                    it.next().expect("--budget needs a value").parse().expect("budget")
+            }
+            "--init" => {
+                args.protocol.init_size =
+                    it.next().expect("--init needs a value").parse().expect("init")
+            }
+            "--seed" => {
+                args.protocol.seed = it.next().expect("--seed needs a value").parse().expect("seed")
+            }
+            "--tables-only" => args.tables_only = true,
+            "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: reproduce [--circuit ota|tia|ldo|all] [--quick] [--runs N] \
+                     [--budget N] [--init N] [--seed N] [--tables-only] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Target-metric display scaling per circuit (paper reports mW / mA).
+fn target_scale(circuit: &str) -> (f64, &'static str) {
+    match circuit {
+        "ldo" => (1e3, "min Q.C. (mA)"),
+        _ => (1e3, "min power (mW)"),
+    }
+}
+
+fn run_circuit(
+    key: &str,
+    table_no: &str,
+    fig_panel: &str,
+    problem: &dyn SizingProblem,
+    args: &Args,
+) {
+    let p = &args.protocol;
+    println!("\n==== {} — Table {} / Fig. 5{} ====", problem.name(), table_no, fig_panel);
+    println!("{}", param_table(problem));
+    if args.tables_only {
+        return;
+    }
+
+    println!(
+        "protocol: {} runs x ({} init + {} optimization sims), seed {}",
+        p.runs, p.init_size, p.budget, p.seed
+    );
+    let t0 = Instant::now();
+    let inits = make_initial_sets(problem, p.runs, p.init_size, p.seed);
+    println!("initial sets simulated in {:?}", t0.elapsed());
+
+    let model = RuntimeModel::default();
+    let (scale, target_label) = target_scale(key);
+    let mut rows = Vec::new();
+    let mut all_stats: Vec<MethodStats> = Vec::new();
+    for method in paper_methods(p.seed) {
+        let t0 = Instant::now();
+        let stats = run_method(method.as_ref(), problem, &inits, p.runs, p.budget, p.seed + 7);
+        let elapsed = t0.elapsed();
+        let n_actors = match method.name().as_str() {
+            "BO" | "DNN-Opt" => 1,
+            _ => 3,
+        };
+        let modeled: f64 = stats
+            .results
+            .iter()
+            .map(|r| model.run_hours(r, n_actors))
+            .sum::<f64>()
+            / stats.runs.max(1) as f64;
+        println!(
+            "  {:>8}: success {}  log10(aFoM) {:+.2}  wall {:?}",
+            stats.name,
+            stats.success_rate(),
+            stats.log10_avg_fom,
+            elapsed
+        );
+        rows.push(TableRow {
+            method: stats.name.clone(),
+            success: stats.success_rate(),
+            min_target: stats.min_target.map(|t| t * scale),
+            log10_avg_fom: stats.log10_avg_fom,
+            measured_s: elapsed.as_secs_f64(),
+            modeled_h: modeled,
+        });
+        all_stats.push(stats);
+    }
+
+    println!();
+    println!(
+        "{}",
+        comparison_table(&format!("Table {table_no} — {}", problem.name()), target_label, &rows)
+    );
+
+    let csv_path = args.out.join(format!("fig5_{key}.csv"));
+    match write_fom_curves_csv(&csv_path, &all_stats, p.budget) {
+        Ok(()) => println!("Fig. 5{fig_panel} series written to {}", csv_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", csv_path.display()),
+    }
+
+    // Machine-readable table for `check_claims`.
+    let mut table_csv = String::from(
+        "method,successes,runs,min_target,log10_avg_fom,measured_s,modeled_h\n",
+    );
+    for (row, stats) in rows.iter().zip(&all_stats) {
+        table_csv.push_str(&format!(
+            "{},{},{},{},{:.4},{:.2},{:.3}\n",
+            row.method,
+            stats.successes,
+            stats.runs,
+            row.min_target.map(|t| format!("{t:.5}")).unwrap_or_default(),
+            row.log10_avg_fom,
+            row.measured_s,
+            row.modeled_h
+        ));
+    }
+    let table_path = args.out.join(format!("table_{key}.csv"));
+    if let Err(e) = std::fs::write(&table_path, table_csv) {
+        eprintln!("could not write {}: {e}", table_path.display());
+    }
+    println!("{}", ascii_fom_chart(&all_stats, p.budget, 72, 16));
+}
+
+fn main() {
+    let args = parse_args();
+    let t0 = Instant::now();
+    if matches!(args.circuit.as_str(), "ota" | "all") {
+        run_circuit("ota", "II", "(a)", &TwoStageOta::new(), &args);
+    }
+    if matches!(args.circuit.as_str(), "tia" | "all") {
+        run_circuit("tia", "IV", "(b)", &ThreeStageTia::new(), &args);
+    }
+    if matches!(args.circuit.as_str(), "ldo" | "all") {
+        run_circuit("ldo", "VI", "(c)", &LdoRegulator::new(), &args);
+    }
+    println!("\ntotal reproduction time: {:?}", t0.elapsed());
+}

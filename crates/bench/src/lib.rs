@@ -1,0 +1,81 @@
+//! Benchmark harness for the MA-Opt reproduction.
+//!
+//! The [`reproduce`](../reproduce/index.html) binary regenerates every table
+//! and figure of the paper's evaluation:
+//!
+//! * Tables I / III / V — parameter ranges (printed from the problem
+//!   definitions, the single source of truth),
+//! * Tables II / IV / VI — the five-method comparison on the OTA, TIA and
+//!   LDO (success rate, minimum target metric, `log10` average FoM,
+//!   runtime),
+//! * Fig. 5 — average best-FoM versus simulation count, written as CSV and
+//!   rendered as an ASCII chart.
+//!
+//! This library holds the shared pieces: method registry, table formatting,
+//! CSV/ASCII output and the runtime model (see [`runtime_model`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runtime_model;
+
+use maopt_bo::BoOptimizer;
+use maopt_core::runner::Optimizer;
+use maopt_core::MaOptConfig;
+
+/// The five methods of the paper's comparison, in table order.
+pub fn paper_methods(seed: u64) -> Vec<Box<dyn Optimizer>> {
+    vec![
+        Box::new(BoOptimizer::new()),
+        Box::new(MaOptConfig::dnn_opt(seed)),
+        Box::new(MaOptConfig::ma_opt1(seed)),
+        Box::new(MaOptConfig::ma_opt2(seed)),
+        Box::new(MaOptConfig::ma_opt(seed)),
+    ]
+}
+
+/// Experiment protocol constants from §III-A of the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct Protocol {
+    /// Independent repetitions per method (paper: 10).
+    pub runs: usize,
+    /// Optimization simulation budget (paper: 200).
+    pub budget: usize,
+    /// Initial random sample count (paper: 100).
+    pub init_size: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Protocol {
+    /// The paper's full protocol.
+    pub fn paper() -> Self {
+        Protocol { runs: 10, budget: 200, init_size: 100, seed: 2023 }
+    }
+
+    /// A reduced smoke-test protocol (`--quick`).
+    pub fn quick() -> Self {
+        Protocol { runs: 2, budget: 40, init_size: 30, seed: 2023 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_registry_matches_table_order() {
+        let methods = paper_methods(0);
+        let names: Vec<String> = methods.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["BO", "DNN-Opt", "MA-Opt1", "MA-Opt2", "MA-Opt"]);
+    }
+
+    #[test]
+    fn protocols() {
+        let p = Protocol::paper();
+        assert_eq!((p.runs, p.budget, p.init_size), (10, 200, 100));
+        let q = Protocol::quick();
+        assert!(q.budget < p.budget);
+    }
+}

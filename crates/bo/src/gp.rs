@@ -1,0 +1,191 @@
+use maopt_linalg::{Cholesky, Mat};
+
+/// Gaussian-process regression with an isotropic RBF kernel.
+///
+/// The length-scale is chosen by a small grid search on the log marginal
+/// likelihood; outputs are standardized internally. Fitting is `O(N³)`
+/// (one Cholesky per grid point) — the cost profile the paper attributes
+/// to BO.
+///
+/// # Example
+///
+/// ```
+/// use maopt_bo::GaussianProcess;
+///
+/// let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x[0]).sin()).collect();
+/// let gp = GaussianProcess::fit(xs, ys);
+/// let (mean, var) = gp.predict(&[0.52]);
+/// assert!((mean - (6.0f64 * 0.52).sin()).abs() < 0.1);
+/// assert!(var >= 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    x_train: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    lengthscale: f64,
+    y_mean: f64,
+    y_std: f64,
+}
+
+/// Relative noise added to the kernel diagonal for numerical stability.
+const NOISE: f64 = 1e-6;
+
+fn rbf(a: &[f64], b: &[f64], lengthscale: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (-0.5 * d2 / (lengthscale * lengthscale)).exp()
+}
+
+fn kernel_matrix(xs: &[Vec<f64>], lengthscale: f64) -> Mat {
+    let n = xs.len();
+    let mut k = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let v = rbf(&xs[i], &xs[j], lengthscale);
+            k[(i, j)] = v;
+            k[(j, i)] = v;
+        }
+        k[(i, i)] += NOISE;
+    }
+    k
+}
+
+impl GaussianProcess {
+    /// Fits the GP to standardized targets, selecting the RBF length-scale
+    /// from a small grid by log marginal likelihood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or lengths disagree.
+    pub fn fit(xs: Vec<Vec<f64>>, ys: Vec<f64>) -> Self {
+        assert!(!xs.is_empty(), "GP needs at least one training point");
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+
+        let y_mean = maopt_linalg::stats::mean(&ys);
+        let mut y_std = maopt_linalg::stats::std_dev(&ys);
+        if !y_std.is_finite() || y_std < 1e-12 {
+            y_std = 1.0;
+        }
+        let y_norm: Vec<f64> = ys.iter().map(|y| (y - y_mean) / y_std).collect();
+
+        let n = xs.len() as f64;
+        let mut best: Option<(f64, f64, Cholesky, Vec<f64>)> = None;
+        for &ls in &[0.1, 0.2, 0.4, 0.8] {
+            let k = kernel_matrix(&xs, ls);
+            let Ok(chol) = Cholesky::new(&k) else { continue };
+            let Ok(alpha) = chol.solve(&y_norm) else { continue };
+            // log p(y|X) = −½ yᵀα − ½ log|K| − (n/2) log 2π
+            let fit_term: f64 = y_norm.iter().zip(&alpha).map(|(y, a)| y * a).sum();
+            let lml = -0.5 * fit_term
+                - 0.5 * chol.log_det()
+                - 0.5 * n * (2.0 * std::f64::consts::PI).ln();
+            match &best {
+                Some((blml, ..)) if *blml >= lml => {}
+                _ => best = Some((lml, ls, chol, alpha)),
+            }
+        }
+        let (_, lengthscale, chol, alpha) =
+            best.expect("at least one length-scale must factor (kernel is PD)");
+        GaussianProcess { x_train: xs, alpha, chol, lengthscale, y_mean, y_std }
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.x_train.len()
+    }
+
+    /// `true` when the GP has no training data (cannot occur after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.x_train.is_empty()
+    }
+
+    /// The selected RBF length-scale.
+    pub fn lengthscale(&self) -> f64 {
+        self.lengthscale
+    }
+
+    /// Posterior mean and variance at a query point (in original units).
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let k_star: Vec<f64> = self
+            .x_train
+            .iter()
+            .map(|xt| rbf(x, xt, self.lengthscale))
+            .collect();
+        let mean_norm: f64 = k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+        let v = self.chol.solve(&k_star).expect("factored GP solves");
+        let var_norm: f64 = 1.0 + NOISE - k_star.iter().zip(&v).map(|(k, vi)| k * vi).sum::<f64>();
+        (
+            mean_norm * self.y_std + self.y_mean,
+            (var_norm.max(0.0)) * self.y_std * self.y_std,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let xs = grid_1d(10);
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] + 1.0).collect();
+        let gp = GaussianProcess::fit(xs.clone(), ys.clone());
+        for (x, y) in xs.iter().zip(&ys) {
+            let (mean, var) = gp.predict(x);
+            assert!((mean - y).abs() < 1e-2, "at {x:?}: {mean} vs {y}");
+            assert!(var < 1e-2, "training-point variance should be tiny: {var}");
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let xs = grid_1d(8);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let gp = GaussianProcess::fit(xs, ys);
+        let (_, v_near) = gp.predict(&[0.5]);
+        let (_, v_far) = gp.predict(&[3.0]);
+        assert!(v_far > v_near * 10.0, "far {v_far} vs near {v_near}");
+    }
+
+    #[test]
+    fn fits_smooth_nonlinearity() {
+        let xs = grid_1d(25);
+        let ys: Vec<f64> = xs.iter().map(|x| (4.0 * x[0]).cos()).collect();
+        let gp = GaussianProcess::fit(xs, ys);
+        let (mean, _) = gp.predict(&[0.33]);
+        assert!((mean - (4.0f64 * 0.33).cos()).abs() < 0.05);
+    }
+
+    #[test]
+    fn constant_targets_do_not_blow_up() {
+        let xs = grid_1d(5);
+        let ys = vec![2.5; 5];
+        let gp = GaussianProcess::fit(xs, ys);
+        let (mean, var) = gp.predict(&[0.5]);
+        assert!((mean - 2.5).abs() < 1e-6);
+        assert!(var.is_finite());
+    }
+
+    #[test]
+    fn lengthscale_selected_from_grid() {
+        let xs = grid_1d(20);
+        // Rapidly varying target prefers a short length-scale.
+        let wiggly: Vec<f64> = xs.iter().map(|x| (40.0 * x[0]).sin()).collect();
+        let gp_w = GaussianProcess::fit(xs.clone(), wiggly);
+        // Slowly varying target prefers a long one.
+        let smooth: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let gp_s = GaussianProcess::fit(xs, smooth);
+        assert!(gp_w.lengthscale() <= gp_s.lengthscale());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one training point")]
+    fn empty_fit_panics() {
+        let _ = GaussianProcess::fit(vec![], vec![]);
+    }
+}

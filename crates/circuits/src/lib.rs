@@ -1,0 +1,52 @@
+//! The three sized analog testbenches of the MA-Opt paper, built on the
+//! [`maopt_sim`] MNA simulator and exposing [`maopt_core::SizingProblem`]:
+//!
+//! * [`TwoStageOta`] — Miller-compensated two-stage OTA, 16 parameters
+//!   (paper Table I), specs of Eq. 7 (gain, CMRR, PSRR, phase margin,
+//!   settling, UGF, swing, noise), target = power.
+//! * [`ThreeStageTia`] — three-stage feedback transimpedance amplifier,
+//!   15 parameters (Table III), specs of Eq. 8 (transimpedance gain,
+//!   bandwidth, input-referred noise), target = power.
+//! * [`LdoRegulator`] — 3.3 V → 1.8 V low-dropout regulator, 16 parameters
+//!   (Table V), specs of Eq. 9 (output voltage window, load/line
+//!   regulation, four transient settling times, PSRR), target = quiescent
+//!   current.
+//!
+//! A fourth testbench, [`FoldedCascodeOta`], is **not** part of the paper's
+//! evaluation; it demonstrates how new circuits drop into the same
+//! [`maopt_core::SizingProblem`] interface.
+//!
+//! The exact schematics of the paper's commercial-PDK circuits are not
+//! reproducible; these are canonical textbook versions of the same
+//! topologies with the same parameter counts, ranges and constraint sets
+//! (see `DESIGN.md` for the substitution argument).
+//!
+//! A failed simulation (non-convergent corner) yields each problem's
+//! documented `failure_metrics()` — a finite, maximally-spec-violating
+//! metric vector — so optimizers see a total ordering.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use maopt_circuits::TwoStageOta;
+//! use maopt_core::SizingProblem;
+//!
+//! let ota = TwoStageOta::new();
+//! assert_eq!(ota.dim(), 16);
+//! let metrics = ota.evaluate(&vec![0.5; 16]);
+//! println!("power = {:.3} mW, gain = {:.1} dB", metrics[0] * 1e3, metrics[1]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod folded_cascode;
+mod ldo;
+mod ota;
+mod tia;
+pub(crate) mod util;
+
+pub use folded_cascode::FoldedCascodeOta;
+pub use ldo::LdoRegulator;
+pub use ota::TwoStageOta;
+pub use tia::ThreeStageTia;

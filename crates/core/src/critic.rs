@@ -1,0 +1,418 @@
+//! The critic network (Eq. 4): a regression surrogate of the circuit
+//! simulator.
+//!
+//! Input is the concatenated `(x, Δx) ∈ R^{2d}`; output is the scaled metric
+//! vector of the destination design `x + Δx`. Targets are min–max scaled per
+//! metric column over the current population so that volts, hertz and amps
+//! contribute comparably to the MSE loss; predictions are de-scaled back to
+//! raw units for FoM evaluation.
+
+use maopt_linalg::Mat;
+use maopt_nn::{mse_loss_grad, Activation, Adam, MinMaxScaler, Mlp};
+use rand::rngs::StdRng;
+
+use crate::population::{pseudo_batch, Population};
+
+/// Anything that predicts raw metric vectors from `(x, Δx)` inputs — the
+/// single [`Critic`] and the [`CriticEnsemble`] both qualify, so the
+/// near-sampling method and proposal ranking work with either.
+pub trait Surrogate {
+    /// Design-space dimensionality `d`.
+    fn dim(&self) -> usize;
+    /// Output metric count `m + 1`.
+    fn num_metrics(&self) -> usize;
+    /// Batch prediction: `inputs` is `[n × 2d]`, result is raw metrics.
+    fn predict_batch_raw(&self, inputs: &Mat) -> Mat;
+    /// Single prediction of the raw metric vector of `x + Δx`.
+    fn predict_raw(&self, x: &[f64], dx: &[f64]) -> Vec<f64> {
+        let mut input = Vec::with_capacity(2 * self.dim());
+        input.extend_from_slice(x);
+        input.extend_from_slice(dx);
+        let out = self.predict_batch_raw(&Mat::from_rows(&[&input]));
+        out.into_vec()
+    }
+}
+
+/// The critic: an MLP surrogate of the SPICE simulator.
+#[derive(Debug, Clone)]
+pub struct Critic {
+    mlp: Mlp,
+    adam: Adam,
+    scaler: Option<MinMaxScaler>,
+    dim: usize,
+    num_metrics: usize,
+}
+
+impl Critic {
+    /// Creates a critic for `dim` design variables and `num_metrics`
+    /// outputs, with the given hidden widths (the paper uses `[100, 100]`).
+    pub fn new(dim: usize, num_metrics: usize, hidden: &[usize], lr: f64, seed: u64) -> Self {
+        let mut widths = Vec::with_capacity(hidden.len() + 2);
+        widths.push(2 * dim);
+        widths.extend_from_slice(hidden);
+        widths.push(num_metrics);
+        let mlp = Mlp::new(&widths, Activation::Relu, seed);
+        let adam = Adam::new(&mlp, lr);
+        Critic { mlp, adam, scaler: None, dim, num_metrics }
+    }
+
+    /// Design-space dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Output metric count `m + 1`.
+    pub fn num_metrics(&self) -> usize {
+        self.num_metrics
+    }
+
+    /// The fitted output scaler.
+    ///
+    /// # Panics
+    ///
+    /// Panics before the first [`Critic::refit_scaler`].
+    pub fn scaler(&self) -> &MinMaxScaler {
+        self.scaler.as_ref().expect("critic scaler not fitted yet")
+    }
+
+    /// Refits the output scaler to the population's metric ranges. Call once
+    /// per optimization iteration before training.
+    pub fn refit_scaler(&mut self, pop: &Population) {
+        self.scaler = Some(MinMaxScaler::fit(&pop.metric_matrix()));
+    }
+
+    /// Trains on `steps` random pseudo-sample batches of size `batch`
+    /// (Eq. 3 + Eq. 4); returns the final batch MSE (in scaled units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaler has not been fitted or the population is empty.
+    pub fn train(&mut self, pop: &Population, steps: usize, batch: usize, rng: &mut StdRng) -> f64 {
+        let scaler = self.scaler.as_ref().expect("fit the scaler before training").clone();
+        let mut last = f64::NAN;
+        for _ in 0..steps {
+            let (inputs, targets_raw) = pseudo_batch(pop, batch, rng);
+            let targets = scaler.transform(&targets_raw);
+            let pred = self.mlp.forward(&inputs);
+            let (loss, grad) = mse_loss_grad(&pred, &targets);
+            self.mlp.zero_grad();
+            self.mlp.backward(&grad);
+            self.adam.step(&mut self.mlp);
+            last = loss;
+        }
+        last
+    }
+
+    /// Predicts the raw (de-scaled) metric vector of `x + Δx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaler has not been fitted or input lengths are wrong.
+    pub fn predict_raw(&self, x: &[f64], dx: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim, "state length mismatch");
+        assert_eq!(dx.len(), self.dim, "action length mismatch");
+        let mut input = Vec::with_capacity(2 * self.dim);
+        input.extend_from_slice(x);
+        input.extend_from_slice(dx);
+        let scaled = self.mlp.predict(&input);
+        self.scaler().inverse_row(&scaled)
+    }
+
+    /// Batch prediction: `inputs` is `[n × 2d]`, the result is raw metrics
+    /// `[n × (m+1)]`.
+    pub fn predict_batch_raw(&self, inputs: &Mat) -> Mat {
+        assert_eq!(inputs.cols(), 2 * self.dim, "batch input width mismatch");
+        let scaled = self.mlp.forward_inference(inputs);
+        self.scaler().inverse_transform(&scaled)
+    }
+
+    /// Forward pass in scaled space with caches retained, enabling a
+    /// subsequent [`Critic::input_gradient`] — used to train actors through
+    /// the (frozen) critic.
+    pub fn forward_scaled(&mut self, inputs: &Mat) -> Mat {
+        self.mlp.forward(inputs)
+    }
+
+    /// Gradient of a scalar loss with respect to the critic *inputs*, given
+    /// the loss gradient at the critic's scaled outputs. Critic parameters
+    /// are left untouched (frozen).
+    pub fn input_gradient(&mut self, grad_out_scaled: &Mat) -> Mat {
+        self.mlp.backward_input_only(grad_out_scaled)
+    }
+}
+
+impl Surrogate for Critic {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_metrics(&self) -> usize {
+        self.num_metrics
+    }
+
+    fn predict_batch_raw(&self, inputs: &Mat) -> Mat {
+        Critic::predict_batch_raw(self, inputs)
+    }
+}
+
+/// An ensemble of independently initialized and independently batched
+/// critics whose raw predictions are averaged.
+///
+/// §II of the paper remarks that "using multiple regression models for
+/// circuit simulation does improve optimization, but consumes more memory
+/// resources than using one critic network" — this type implements that
+/// evaluated-but-not-adopted variant so the trade-off can be measured
+/// (see the `ablation_multi_critic` bench). With `n = 1` it degenerates to
+/// the paper's single critic at zero overhead.
+#[derive(Debug, Clone)]
+pub struct CriticEnsemble {
+    members: Vec<Critic>,
+}
+
+impl CriticEnsemble {
+    /// Creates `n` critics with distinct initializations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, dim: usize, num_metrics: usize, hidden: &[usize], lr: f64, seed: u64) -> Self {
+        assert!(n > 0, "ensemble needs at least one critic");
+        let members = (0..n)
+            .map(|i| Critic::new(dim, num_metrics, hidden, lr, seed ^ ((i as u64 + 1) << 32)))
+            .collect();
+        CriticEnsemble { members }
+    }
+
+    /// Number of member critics.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` is impossible after construction; provided for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Immutable access to a member.
+    pub fn member(&self, i: usize) -> &Critic {
+        &self.members[i % self.members.len()]
+    }
+
+    /// Mutable access to a member (actors train through one member each).
+    pub fn member_mut(&mut self, i: usize) -> &mut Critic {
+        let n = self.members.len();
+        &mut self.members[i % n]
+    }
+
+    /// Total trainable parameter count — the memory cost the paper cites.
+    pub fn param_count(&self) -> usize {
+        self.members.iter().map(|c| c.mlp.param_count()).sum()
+    }
+
+    /// Refits every member's output scaler.
+    pub fn refit_scaler(&mut self, pop: &Population) {
+        for m in &mut self.members {
+            m.refit_scaler(pop);
+        }
+    }
+
+    /// Trains every member for `steps` batches each; the shared RNG hands
+    /// different pseudo-sample batches to each member, decorrelating them.
+    /// Returns the mean of the members' final losses.
+    pub fn train(&mut self, pop: &Population, steps: usize, batch: usize, rng: &mut StdRng) -> f64 {
+        let mut total = 0.0;
+        for m in &mut self.members {
+            total += m.train(pop, steps, batch, rng);
+        }
+        total / self.members.len() as f64
+    }
+}
+
+impl Surrogate for CriticEnsemble {
+    fn dim(&self) -> usize {
+        self.members[0].dim()
+    }
+
+    fn num_metrics(&self) -> usize {
+        self.members[0].num_metrics()
+    }
+
+    fn predict_batch_raw(&self, inputs: &Mat) -> Mat {
+        let mut acc = self.members[0].predict_batch_raw(inputs);
+        for m in &self.members[1..] {
+            acc.axpy_mut(1.0, &m.predict_batch_raw(inputs));
+        }
+        acc.scale_mut(1.0 / self.members.len() as f64);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fom::FomConfig;
+    use crate::problem::Spec;
+    use rand::SeedableRng;
+
+    /// A tiny analytic "simulator": metrics = [Σx², 10·x₀].
+    fn make_population(n: usize) -> Population {
+        let specs = vec![Spec::at_least("m", 1, 1.0)];
+        let cfg = FomConfig::default();
+        let mut pop = Population::new();
+        let mut seed = 0x12345u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 1000) as f64 / 1000.0
+        };
+        for _ in 0..n {
+            let x = vec![next(), next()];
+            let metrics = vec![x[0] * x[0] + x[1] * x[1], 10.0 * x[0]];
+            pop.push(x, metrics, &specs, cfg);
+        }
+        pop
+    }
+
+    #[test]
+    fn shapes_and_accessors() {
+        let c = Critic::new(3, 4, &[16, 16], 1e-3, 0);
+        assert_eq!(c.dim(), 3);
+        assert_eq!(c.num_metrics(), 4);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let pop = make_population(60);
+        let mut c = Critic::new(2, 2, &[32, 32], 3e-3, 1);
+        c.refit_scaler(&pop);
+        let mut rng = StdRng::seed_from_u64(2);
+        let first = c.train(&pop, 1, 32, &mut rng);
+        let last = c.train(&pop, 400, 32, &mut rng);
+        assert!(last < first, "loss should fall: {first} -> {last}");
+        assert!(last < 0.01, "final loss {last}");
+    }
+
+    #[test]
+    fn predictions_approximate_simulator() {
+        let pop = make_population(80);
+        let mut c = Critic::new(2, 2, &[32, 32], 3e-3, 3);
+        c.refit_scaler(&pop);
+        let mut rng = StdRng::seed_from_u64(4);
+        c.train(&pop, 600, 32, &mut rng);
+        // Predict the metrics of a known destination via (x, Δx).
+        let x = [0.2, 0.3];
+        let dst = [0.5, 0.4];
+        let dx = [dst[0] - x[0], dst[1] - x[1]];
+        let pred = c.predict_raw(&x, &dx);
+        let truth = [dst[0] * dst[0] + dst[1] * dst[1], 10.0 * dst[0]];
+        assert!((pred[0] - truth[0]).abs() < 0.15, "m0 {} vs {}", pred[0], truth[0]);
+        assert!((pred[1] - truth[1]).abs() < 1.5, "m1 {} vs {}", pred[1], truth[1]);
+    }
+
+    #[test]
+    fn batch_prediction_matches_single() {
+        let pop = make_population(40);
+        let mut c = Critic::new(2, 2, &[16], 1e-3, 5);
+        c.refit_scaler(&pop);
+        let mut rng = StdRng::seed_from_u64(6);
+        c.train(&pop, 50, 16, &mut rng);
+        let x = [0.1, 0.9];
+        let dx = [0.3, -0.2];
+        let single = c.predict_raw(&x, &dx);
+        let batch = Mat::from_rows(&[&[0.1, 0.9, 0.3, -0.2]]);
+        let out = c.predict_batch_raw(&batch);
+        assert!((single[0] - out[(0, 0)]).abs() < 1e-12);
+        assert!((single[1] - out[(0, 1)]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "scaler not fitted")]
+    fn predict_before_fit_panics() {
+        let c = Critic::new(2, 2, &[8], 1e-3, 0);
+        let _ = c.predict_raw(&[0.0, 0.0], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn ensemble_of_one_matches_single_critic() {
+        let pop = make_population(40);
+        let mut single = Critic::new(2, 2, &[16], 1e-3, 7 ^ (1u64 << 32));
+        let mut ens = CriticEnsemble::new(1, 2, 2, &[16], 1e-3, 7);
+        single.refit_scaler(&pop);
+        ens.refit_scaler(&pop);
+        let mut r1 = StdRng::seed_from_u64(8);
+        let mut r2 = StdRng::seed_from_u64(8);
+        single.train(&pop, 40, 16, &mut r1);
+        ens.train(&pop, 40, 16, &mut r2);
+        let x = [0.3, 0.4];
+        let dx = [0.1, -0.1];
+        assert_eq!(single.predict_raw(&x, &dx), Surrogate::predict_raw(&ens, &x, &dx));
+    }
+
+    #[test]
+    fn ensemble_prediction_is_member_mean() {
+        let pop = make_population(40);
+        let mut ens = CriticEnsemble::new(3, 2, 2, &[16], 1e-3, 9);
+        ens.refit_scaler(&pop);
+        let mut rng = StdRng::seed_from_u64(10);
+        ens.train(&pop, 30, 16, &mut rng);
+        let input = Mat::from_rows(&[&[0.2, 0.6, 0.05, 0.1]]);
+        let mean = ens.predict_batch_raw(&input);
+        let mut acc = vec![0.0; 2];
+        for i in 0..3 {
+            let p = ens.member(i).predict_batch_raw(&input);
+            acc[0] += p[(0, 0)];
+            acc[1] += p[(0, 1)];
+        }
+        assert!((mean[(0, 0)] - acc[0] / 3.0).abs() < 1e-12);
+        assert!((mean[(0, 1)] - acc[1] / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ensemble_members_are_decorrelated() {
+        let ens = CriticEnsemble::new(3, 2, 2, &[16], 1e-3, 11);
+        let input = Mat::from_rows(&[&[0.2, 0.6, 0.05, 0.1]]);
+        let a = ens.member(0).mlp.forward_inference(&input);
+        let b = ens.member(1).mlp.forward_inference(&input);
+        assert_ne!(a, b, "members must be independently initialized");
+        assert_eq!(ens.param_count(), 3 * ens.member(0).mlp.param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one critic")]
+    fn empty_ensemble_rejected() {
+        let _ = CriticEnsemble::new(0, 2, 2, &[8], 1e-3, 0);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let pop = make_population(30);
+        let mut c = Critic::new(2, 2, &[16], 1e-3, 9);
+        c.refit_scaler(&pop);
+        let mut rng = StdRng::seed_from_u64(10);
+        c.train(&pop, 30, 16, &mut rng);
+
+        // Scalar loss L = sum of scaled outputs; dL/dout = 1.
+        let input = Mat::from_rows(&[&[0.4, 0.6, 0.1, -0.1]]);
+        let out = c.forward_scaled(&input);
+        let ones = Mat::filled(out.rows(), out.cols(), 1.0);
+        let gi = c.input_gradient(&ones);
+
+        let loss = |c: &Critic, inp: &Mat| -> f64 {
+            c.mlp.forward_inference(inp).as_slice().iter().sum()
+        };
+        let h = 1e-6;
+        for j in 0..4 {
+            let mut ip = input.clone();
+            ip[(0, j)] += h;
+            let mut im = input.clone();
+            im[(0, j)] -= h;
+            let fd = (loss(&c, &ip) - loss(&c, &im)) / (2.0 * h);
+            assert!(
+                (fd - gi[(0, j)]).abs() < 1e-5 * (1.0 + fd.abs()),
+                "input grad {j}: fd {fd} vs {}",
+                gi[(0, j)]
+            );
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The elite solution set (Fig. 2 of the paper): the `N_es` best designs by
+//! FoM, whose bounding box restricts actor actions via Eq. 6.
+
+use crate::population::Population;
+
+/// The elite solution set `X^ES` (or shared `X^SES`).
+///
+/// Rebuilt each iteration from the designs *visible* to its owner: the whole
+/// total design set for the shared variant, or the initial set plus one
+/// actor's own simulations for the individual variant.
+#[derive(Debug, Clone)]
+pub struct EliteSet {
+    capacity: usize,
+    designs: Vec<Vec<f64>>,
+    foms: Vec<f64>,
+}
+
+impl EliteSet {
+    /// Creates an empty elite set holding at most `capacity` designs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "elite set capacity must be positive");
+        EliteSet { capacity, designs: Vec::new(), foms: Vec::new() }
+    }
+
+    /// Maximum number of designs retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of designs currently held.
+    pub fn len(&self) -> usize {
+        self.designs.len()
+    }
+
+    /// `true` before the first rebuild.
+    pub fn is_empty(&self) -> bool {
+        self.designs.is_empty()
+    }
+
+    /// Rebuilds the set from a population. When `visible` is provided, only
+    /// those population indices are eligible (individual elite sets);
+    /// otherwise the whole population is used (shared elite set).
+    pub fn rebuild(&mut self, pop: &Population, visible: Option<&[usize]>) {
+        self.designs.clear();
+        self.foms.clear();
+        match visible {
+            None => {
+                for i in pop.elite_indices(self.capacity) {
+                    self.designs.push(pop.design(i).to_vec());
+                    self.foms.push(pop.fom(i));
+                }
+            }
+            Some(idx) => {
+                let mut sorted: Vec<usize> = idx.to_vec();
+                sorted.sort_by(|&a, &b| {
+                    pop.fom(a).partial_cmp(&pop.fom(b)).expect("finite FoM")
+                });
+                for &i in sorted.iter().take(self.capacity) {
+                    self.designs.push(pop.design(i).to_vec());
+                    self.foms.push(pop.fom(i));
+                }
+            }
+        }
+    }
+
+    /// The elite designs, best first.
+    pub fn designs(&self) -> &[Vec<f64>] {
+        &self.designs
+    }
+
+    /// FoM values aligned with [`EliteSet::designs`].
+    pub fn foms(&self) -> &[f64] {
+        &self.foms
+    }
+
+    /// The best design and its FoM.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty set.
+    pub fn best(&self) -> (&[f64], f64) {
+        (&self.designs[0], self.foms[0])
+    }
+
+    /// Per-coordinate bounding box `(lb_rest, ub_rest)` of the elite designs
+    /// (Eq. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty set.
+    pub fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        assert!(!self.is_empty(), "elite bounds need at least one design");
+        let d = self.designs[0].len();
+        let mut lb = vec![f64::INFINITY; d];
+        let mut ub = vec![f64::NEG_INFINITY; d];
+        for x in &self.designs {
+            for (t, &v) in x.iter().enumerate() {
+                lb[t] = lb[t].min(v);
+                ub[t] = ub[t].max(v);
+            }
+        }
+        (lb, ub)
+    }
+}
+
+/// Boundary violation of a candidate `y = x + Δx` against elite bounds
+/// (Eq. 6): per-coordinate distance outside `[lb, ub]`.
+pub(crate) fn boundary_violation(y: &[f64], lb: &[f64], ub: &[f64]) -> Vec<f64> {
+    y.iter()
+        .zip(lb.iter().zip(ub))
+        .map(|(&yi, (&l, &u))| (l - yi).max(0.0) + (yi - u).max(0.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fom::FomConfig;
+    use crate::problem::Spec;
+
+    fn pop() -> Population {
+        let specs = vec![Spec::at_least("m", 1, 1.0)];
+        let cfg = FomConfig::default();
+        let mut pop = Population::new();
+        pop.push(vec![0.9, 0.9], vec![9.0, 2.0], &specs, cfg); // fom 9
+        pop.push(vec![0.1, 0.5], vec![1.0, 2.0], &specs, cfg); // fom 1
+        pop.push(vec![0.5, 0.1], vec![3.0, 2.0], &specs, cfg); // fom 3
+        pop.push(vec![0.3, 0.3], vec![2.0, 2.0], &specs, cfg); // fom 2
+        pop
+    }
+
+    #[test]
+    fn rebuild_keeps_best_by_fom() {
+        let mut es = EliteSet::new(2);
+        es.rebuild(&pop(), None);
+        assert_eq!(es.len(), 2);
+        assert_eq!(es.best().1, 1.0);
+        assert_eq!(es.designs()[1], vec![0.3, 0.3]);
+    }
+
+    #[test]
+    fn visible_filter_restricts_eligibility() {
+        let mut es = EliteSet::new(2);
+        es.rebuild(&pop(), Some(&[0, 2]));
+        assert_eq!(es.best().1, 3.0); // index 1 (fom 1) is not visible
+        assert_eq!(es.len(), 2);
+    }
+
+    #[test]
+    fn bounds_cover_elite_box() {
+        let mut es = EliteSet::new(3);
+        es.rebuild(&pop(), None);
+        let (lb, ub) = es.bounds();
+        assert_eq!(lb, vec![0.1, 0.1]);
+        assert_eq!(ub, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn boundary_violation_measures_outside_distance() {
+        let lb = vec![0.2, 0.2];
+        let ub = vec![0.8, 0.8];
+        assert_eq!(boundary_violation(&[0.5, 0.5], &lb, &ub), vec![0.0, 0.0]);
+        let v = boundary_violation(&[0.1, 0.9], &lb, &ub);
+        assert!((v[0] - 0.1).abs() < 1e-12);
+        assert!((v[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_larger_than_population_is_fine() {
+        let mut es = EliteSet::new(50);
+        es.rebuild(&pop(), None);
+        assert_eq!(es.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = EliteSet::new(0);
+    }
+}

@@ -1,0 +1,121 @@
+//! The figure-of-merit function `g[f(x)]` (Eq. 2 of the paper).
+//!
+//! ```text
+//! g[f(x)] = w₀·f₀(x) + Σᵢ min(1, max(0, wᵢ·|fᵢ(x) − cᵢ| / cᵢ))
+//! ```
+//!
+//! As written in the paper the absolute value would also penalize metrics
+//! that *over-satisfy* their constraint; consistent with DNN-Opt (which
+//! MA-Opt extends) and with the paper's own success-rate semantics, the
+//! penalty term is taken to be the **violation** only — zero when the spec
+//! is met. This is the interpretation implemented here and documented in
+//! `DESIGN.md`.
+
+use crate::problem::Spec;
+
+/// Weights for the FoM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FomConfig {
+    /// Weight `w₀` applied to the target metric (the paper uses metric
+    /// values in SI units with `w₀ = 1`).
+    pub w0: f64,
+}
+
+impl Default for FomConfig {
+    fn default() -> Self {
+        FomConfig { w0: 1.0 }
+    }
+}
+
+/// Per-spec clipped penalty terms `min(1, wᵢ·violationᵢ)`.
+pub fn spec_violations(metrics: &[f64], specs: &[Spec]) -> Vec<f64> {
+    specs
+        .iter()
+        .map(|s| (s.weight * s.violation(metrics[s.metric_index])).min(1.0))
+        .collect()
+}
+
+/// Evaluates the FoM (Eq. 2). Lower is better; a fully feasible design's
+/// FoM equals `w₀ · f₀`.
+///
+/// A non-finite target metric (failed simulation) is replaced by a large
+/// finite penalty so FoM ordering stays total.
+pub fn fom(metrics: &[f64], specs: &[Spec], config: FomConfig) -> f64 {
+    let target = if metrics[0].is_finite() { metrics[0] } else { 1e3 };
+    let penalty: f64 = spec_violations(metrics, specs).iter().sum();
+    config.w0 * target + penalty
+}
+
+/// `true` when every spec is satisfied.
+pub fn is_feasible(metrics: &[f64], specs: &[Spec]) -> bool {
+    specs.iter().all(|s| s.is_met(metrics[s.metric_index]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Spec;
+
+    fn specs() -> Vec<Spec> {
+        vec![Spec::at_least("gain", 1, 60.0), Spec::at_most("noise", 2, 30e-3)]
+    }
+
+    #[test]
+    fn feasible_design_fom_is_target() {
+        let metrics = [0.7e-3, 75.0, 10e-3];
+        let specs = specs();
+        assert!(is_feasible(&metrics, &specs));
+        assert!((fom(&metrics, &specs, FomConfig::default()) - 0.7e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn violations_add_penalties() {
+        let metrics = [0.7e-3, 30.0, 60e-3]; // gain 50% low, noise 100% high
+        let specs = specs();
+        assert!(!is_feasible(&metrics, &specs));
+        let g = fom(&metrics, &specs, FomConfig::default());
+        assert!((g - (0.7e-3 + 0.5 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn penalties_clip_at_one() {
+        let metrics = [0.0, -1e9, 1e9]; // absurdly violated
+        let specs = specs();
+        let g = fom(&metrics, &specs, FomConfig::default());
+        assert!((g - 2.0).abs() < 1e-12, "each penalty clips at 1: {g}");
+    }
+
+    #[test]
+    fn w0_scales_target_only() {
+        let metrics = [2.0, 30.0, 10e-3];
+        let specs = specs();
+        let g1 = fom(&metrics, &specs, FomConfig { w0: 1.0 });
+        let g2 = fom(&metrics, &specs, FomConfig { w0: 10.0 });
+        assert!((g2 - g1 - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_sim_is_heavily_penalized() {
+        let metrics = [f64::NAN, f64::NAN, f64::NAN];
+        let specs = specs();
+        let g = fom(&metrics, &specs, FomConfig::default());
+        assert!(g >= 1e3, "failed sim FoM {g}");
+        assert!(g.is_finite());
+    }
+
+    #[test]
+    fn over_satisfaction_is_not_penalized() {
+        // This encodes the documented Eq. 2 interpretation.
+        let metrics = [1.0, 1000.0, 1e-9];
+        let specs = specs();
+        assert_eq!(spec_violations(&metrics, &specs), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn fom_orders_by_violation_size() {
+        let specs = specs();
+        let bad = fom(&[0.5e-3, 40.0, 10e-3], &specs, FomConfig::default());
+        let worse = fom(&[0.5e-3, 20.0, 10e-3], &specs, FomConfig::default());
+        assert!(worse > bad);
+    }
+}

@@ -1,0 +1,551 @@
+//! The overall MA-Opt framework (Algorithms 1 and 3 of the paper), covering
+//! all four experimental variants:
+//!
+//! | Variant  | Actors | Elite set  | Near-sampling |
+//! |----------|--------|------------|---------------|
+//! | DNN-Opt  | 1      | own        | no            |
+//! | MA-Opt¹  | 3      | individual | no            |
+//! | MA-Opt²  | 3      | shared     | no            |
+//! | MA-Opt   | 3      | shared     | yes           |
+//!
+//! Actor training and proposal simulations run in parallel threads
+//! (the paper uses multiprocessing over `N_act` CPU cores).
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::actor::Actor;
+use crate::critic::CriticEnsemble;
+use crate::elite::EliteSet;
+use crate::fom::FomConfig;
+use crate::near_sampling::NearSampler;
+use crate::population::Population;
+use crate::problem::SizingProblem;
+use crate::trace::{SimKind, Trace};
+
+/// Full configuration of a MA-Opt run.
+#[derive(Debug, Clone)]
+pub struct MaOptConfig {
+    /// Display label, e.g. `"MA-Opt"`.
+    pub label: String,
+    /// Number of actors `N_act`.
+    pub n_actors: usize,
+    /// Shared (`true`) vs individual (`false`) elite solution sets.
+    pub shared_elite: bool,
+    /// Whether the near-sampling method is enabled.
+    pub near_sampling: bool,
+    /// Elite set capacity `N_es`.
+    pub n_es: usize,
+    /// Pseudo-sample batch size `N_b`.
+    pub batch_size: usize,
+    /// Critic training steps per iteration.
+    pub critic_steps: usize,
+    /// Actor training steps per iteration.
+    pub actor_steps: usize,
+    /// Hidden layer widths (paper: two layers of 100).
+    pub hidden: Vec<usize>,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Actor learning rate.
+    pub actor_lr: f64,
+    /// Maximum |Δx| per coordinate (tanh output scaling), normalized units.
+    pub action_scale: f64,
+    /// Near-sampling period `T_NS`.
+    pub t_ns: usize,
+    /// Near-sampling candidate count `N_samples`.
+    pub n_samples: usize,
+    /// Near-sampling radius `δ`, normalized units.
+    pub delta: f64,
+    /// Boundary-violation weight `λ` (Eq. 5).
+    pub lambda: f64,
+    /// Number of critics in the surrogate ensemble. The paper adopts 1
+    /// (§II: multiple critics "improve optimization, but consume more
+    /// memory"); values > 1 enable the evaluated-but-rejected variant.
+    pub n_critics: usize,
+    /// FoM weights.
+    pub fom: FomConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MaOptConfig {
+    fn base(label: &str, seed: u64) -> Self {
+        MaOptConfig {
+            label: label.into(),
+            n_actors: 3,
+            shared_elite: true,
+            near_sampling: true,
+            n_es: 10,
+            batch_size: 32,
+            critic_steps: 50,
+            actor_steps: 30,
+            hidden: vec![100, 100],
+            critic_lr: 3e-3,
+            actor_lr: 3e-3,
+            action_scale: 0.3,
+            t_ns: 5,
+            n_samples: 2000,
+            delta: 0.05,
+            lambda: 10.0,
+            n_critics: 1,
+            fom: FomConfig::default(),
+            seed,
+        }
+    }
+
+    /// The multi-critic variant the paper evaluated and rejected on memory
+    /// grounds: MA-Opt with an `n`-member critic ensemble.
+    pub fn ma_opt_multi_critic(seed: u64, n_critics: usize) -> Self {
+        MaOptConfig {
+            label: format!("MA-Opt(c{n_critics})"),
+            n_critics,
+            ..Self::base("MA-Opt", seed)
+        }
+    }
+
+    /// The DNN-Opt baseline: one actor, own elite set, no near-sampling.
+    pub fn dnn_opt(seed: u64) -> Self {
+        MaOptConfig {
+            n_actors: 1,
+            shared_elite: false,
+            near_sampling: false,
+            ..Self::base("DNN-Opt", seed)
+        }
+    }
+
+    /// MA-Opt¹: three actors with individual elite sets, no near-sampling.
+    pub fn ma_opt1(seed: u64) -> Self {
+        MaOptConfig {
+            shared_elite: false,
+            near_sampling: false,
+            ..Self::base("MA-Opt1", seed)
+        }
+    }
+
+    /// MA-Opt²: three actors with a shared elite set, no near-sampling.
+    pub fn ma_opt2(seed: u64) -> Self {
+        MaOptConfig { near_sampling: false, ..Self::base("MA-Opt2", seed) }
+    }
+
+    /// Full MA-Opt: three actors, shared elite set, near-sampling.
+    pub fn ma_opt(seed: u64) -> Self {
+        Self::base("MA-Opt", seed)
+    }
+}
+
+/// Timing breakdown of a run, used by the runtime comparisons (§III-C).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunTimings {
+    /// Wall-clock total.
+    pub total: Duration,
+    /// Time spent training networks.
+    pub training: Duration,
+    /// Time spent in circuit simulations.
+    pub simulation: Duration,
+    /// Time spent in near-sampling proposal generation.
+    pub near_sampling: Duration,
+}
+
+/// Outcome of one optimization run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Method label.
+    pub label: String,
+    /// Per-simulation trace.
+    pub trace: Trace,
+    /// Every simulated design (init + optimization).
+    pub population: Population,
+    /// Timing breakdown.
+    pub timings: RunTimings,
+}
+
+impl RunResult {
+    /// Best FoM over the whole run.
+    pub fn best_fom(&self) -> f64 {
+        self.trace.best_fom()
+    }
+
+    /// Whether any simulated design met every spec.
+    pub fn success(&self) -> bool {
+        self.population.best_feasible().is_some()
+    }
+
+    /// Target metric of the best feasible design, if any.
+    pub fn best_feasible_target(&self) -> Option<f64> {
+        self.population.best_feasible().map(|i| self.population.metrics(i)[0])
+    }
+
+    /// Normalized design vector of the best feasible design, if any.
+    pub fn best_feasible_design(&self) -> Option<&[f64]> {
+        self.population.best_feasible().map(|i| self.population.design(i))
+    }
+}
+
+/// The optimizer (Algorithms 1 & 3).
+#[derive(Debug, Clone)]
+pub struct MaOpt {
+    config: MaOptConfig,
+}
+
+impl MaOpt {
+    /// Creates an optimizer from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero actor count or elite capacity.
+    pub fn new(config: MaOptConfig) -> Self {
+        assert!(config.n_actors > 0, "need at least one actor");
+        assert!(config.n_es > 0, "elite capacity must be positive");
+        assert!(config.n_critics > 0, "need at least one critic");
+        MaOpt { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MaOptConfig {
+        &self.config
+    }
+
+    /// Runs the optimization: `init` is the pre-simulated initial set
+    /// `(x, f(x))` (shared across methods in the paper's protocol), `budget`
+    /// the number of additional simulations allowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` is empty.
+    pub fn run(
+        &self,
+        problem: &dyn SizingProblem,
+        init: Vec<(Vec<f64>, Vec<f64>)>,
+        budget: usize,
+    ) -> RunResult {
+        assert!(!init.is_empty(), "MA-Opt needs a non-empty initial sample set");
+        let cfg = &self.config;
+        let t_start = Instant::now();
+        let mut timings = RunTimings::default();
+        let specs = problem.specs().to_vec();
+        let d = problem.dim();
+        let m1 = problem.num_metrics();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let mut pop = Population::new();
+        let mut trace = Trace::new();
+        for (x, metrics) in init {
+            let idx = pop.push(x, metrics, &specs, cfg.fom);
+            trace.record_init(pop.fom(idx), pop.feasible(idx), pop.metrics(idx)[0]);
+        }
+        let init_len = pop.len();
+
+        // Networks.
+        let mut critic =
+            CriticEnsemble::new(cfg.n_critics, d, m1, &cfg.hidden, cfg.critic_lr, cfg.seed ^ 0xC717);
+        let mut actors: Vec<Actor> = (0..cfg.n_actors)
+            .map(|i| {
+                Actor::new(d, &cfg.hidden, cfg.action_scale, cfg.actor_lr, cfg.seed ^ (i as u64 + 1))
+            })
+            .collect();
+
+        // Individual-elite bookkeeping: which population indices each actor
+        // has "seen" (init set + its own simulations).
+        let mut visible: Vec<Vec<usize>> =
+            vec![(0..init_len).collect(); if cfg.shared_elite { 0 } else { cfg.n_actors }];
+
+        let mut sims_used = 0usize;
+        let mut t = 0usize;
+        let mut critic_ready = false;
+
+        while sims_used < budget {
+            t += 1;
+            let specs_met = pop.best_feasible().is_some();
+            let do_ns = cfg.near_sampling && specs_met && critic_ready && t % cfg.t_ns == 0;
+
+            if do_ns {
+                // ---- Algorithm 2: near-sampling round (1 simulation). ----
+                let ns = NearSampler::new(cfg.n_samples, cfg.delta);
+                let best_idx = pop.best().expect("non-empty population");
+                let x_opt = pop.design(best_idx).to_vec();
+                let t0 = Instant::now();
+                let cand = ns.propose(&critic, &x_opt, &specs, cfg.fom, &mut rng);
+                timings.near_sampling += t0.elapsed();
+
+                let t0 = Instant::now();
+                let metrics = problem.evaluate(&cand);
+                timings.simulation += t0.elapsed();
+
+                let idx = pop.push(cand, metrics, &specs, cfg.fom);
+                trace.record(
+                    SimKind::NearSample,
+                    pop.fom(idx),
+                    pop.feasible(idx),
+                    pop.metrics(idx)[0],
+                );
+                sims_used += 1;
+            } else {
+                // ---- Algorithm 1: actor-critic round (N_act simulations). ----
+                let t0 = Instant::now();
+                critic.refit_scaler(&pop);
+                critic.train(&pop, cfg.critic_steps, cfg.batch_size, &mut rng);
+                critic_ready = true;
+
+                // Elite sets (shared: one; individual: per actor).
+                let shared_elite = if cfg.shared_elite {
+                    let mut es = EliteSet::new(cfg.n_es);
+                    es.rebuild(&pop, None);
+                    Some(es)
+                } else {
+                    None
+                };
+                let individual_elites: Vec<EliteSet> = if cfg.shared_elite {
+                    Vec::new()
+                } else {
+                    visible
+                        .iter()
+                        .map(|vis| {
+                            let mut es = EliteSet::new(cfg.n_es);
+                            es.rebuild(&pop, Some(vis));
+                            es
+                        })
+                        .collect()
+                };
+
+                let n_props = cfg.n_actors.min(budget - sims_used);
+                let iter_seed: u64 = rng.random();
+
+                // Train actors and generate proposals in parallel.
+                let pop_ref = &pop;
+                let specs_ref = &specs;
+                let critic_ref = &critic;
+                let candidates: Vec<Vec<f64>> = std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(actors.len());
+                    for (i, actor) in actors.iter_mut().enumerate() {
+                        let elite = if cfg.shared_elite {
+                            shared_elite.as_ref().expect("shared elite built")
+                        } else {
+                            &individual_elites[i]
+                        };
+                        let fom_cfg = cfg.fom;
+                        let (lambda, steps, batch) =
+                            (cfg.lambda, cfg.actor_steps, cfg.batch_size);
+                        handles.push(scope.spawn(move || {
+                            // Each actor trains through one ensemble member
+                            // (round-robin); with one critic this is the
+                            // paper's configuration.
+                            let mut local_critic = critic_ref.member(i).clone();
+                            let mut local_rng =
+                                StdRng::seed_from_u64(iter_seed ^ (i as u64) << 17);
+                            let (lb, ub) = elite.bounds();
+                            actor.train(
+                                &mut local_critic,
+                                pop_ref,
+                                specs_ref,
+                                fom_cfg,
+                                (&lb, &ub),
+                                lambda,
+                                steps,
+                                batch,
+                                &mut local_rng,
+                            );
+                            // Line 8 of Algorithm 1: among elite states, pick
+                            // the one whose actor-proposed successor has the
+                            // best predicted FoM; simulate that successor.
+                            let mut best: Option<(f64, Vec<f64>)> = None;
+                            for x in elite.designs() {
+                                let a = actor.act(x);
+                                let pred = local_critic.predict_raw(x, &a);
+                                let g = crate::fom::fom(&pred, specs_ref, fom_cfg);
+                                let cand: Vec<f64> = x
+                                    .iter()
+                                    .zip(&a)
+                                    .map(|(xi, ai)| (xi + ai).clamp(0.0, 1.0))
+                                    .collect();
+                                match &best {
+                                    Some((bg, _)) if *bg <= g => {}
+                                    _ => best = Some((g, cand)),
+                                }
+                            }
+                            best.expect("elite set is non-empty").1
+                        }));
+                    }
+                    handles.into_iter().map(|h| h.join().expect("actor thread")).collect()
+                });
+                timings.training += t0.elapsed();
+
+                // Simulate the first `n_props` proposals in parallel.
+                let t0 = Instant::now();
+                let to_run = &candidates[..n_props];
+                let results: Vec<Vec<f64>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = to_run
+                        .iter()
+                        .map(|cand| scope.spawn(move || problem.evaluate(cand)))
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("sim thread")).collect()
+                });
+                timings.simulation += t0.elapsed();
+
+                for (i, (cand, metrics)) in to_run.iter().zip(results).enumerate() {
+                    let idx = pop.push(cand.clone(), metrics, &specs, cfg.fom);
+                    trace.record(
+                        SimKind::Actor,
+                        pop.fom(idx),
+                        pop.feasible(idx),
+                        pop.metrics(idx)[0],
+                    );
+                    if !cfg.shared_elite {
+                        visible[i].push(idx);
+                    }
+                    sims_used += 1;
+                }
+            }
+        }
+
+        timings.total = t_start.elapsed();
+        RunResult { label: cfg.label.clone(), trace, population: pop, timings }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{ConstrainedToy, Sphere};
+    use crate::runner::sample_initial_set;
+
+    fn small(cfg: MaOptConfig) -> MaOptConfig {
+        MaOptConfig {
+            hidden: vec![32, 32],
+            critic_steps: 30,
+            actor_steps: 15,
+            n_samples: 200,
+            ..cfg
+        }
+    }
+
+    #[test]
+    fn config_variants_match_paper_table() {
+        let dnn = MaOptConfig::dnn_opt(0);
+        assert_eq!(dnn.n_actors, 1);
+        assert!(!dnn.near_sampling);
+        let m1 = MaOptConfig::ma_opt1(0);
+        assert_eq!(m1.n_actors, 3);
+        assert!(!m1.shared_elite);
+        assert!(!m1.near_sampling);
+        let m2 = MaOptConfig::ma_opt2(0);
+        assert!(m2.shared_elite);
+        assert!(!m2.near_sampling);
+        let ma = MaOptConfig::ma_opt(0);
+        assert!(ma.shared_elite);
+        assert!(ma.near_sampling);
+        assert_eq!(ma.hidden, vec![100, 100]);
+        assert_eq!(ma.t_ns, 5);
+        assert_eq!(ma.n_samples, 2000);
+    }
+
+    #[test]
+    fn sphere_improves_over_initial_set() {
+        let problem = Sphere::new(4);
+        let init = sample_initial_set(&problem, 20, 42);
+        let result = MaOpt::new(small(MaOptConfig::ma_opt(42))).run(&problem, init, 24);
+        assert_eq!(result.trace.num_sims(), 24);
+        assert!(
+            result.best_fom() < result.trace.init_best_fom(),
+            "optimization must beat random init: {} vs {}",
+            result.best_fom(),
+            result.trace.init_best_fom()
+        );
+    }
+
+    #[test]
+    fn dnn_opt_uses_one_sim_per_iteration() {
+        let problem = Sphere::new(3);
+        let init = sample_initial_set(&problem, 10, 7);
+        let result = MaOpt::new(small(MaOptConfig::dnn_opt(7))).run(&problem, init, 5);
+        assert_eq!(result.trace.num_sims(), 5);
+        assert_eq!(result.trace.near_sample_count(), 0);
+    }
+
+    #[test]
+    fn budget_is_respected_exactly_with_multiple_actors() {
+        let problem = Sphere::new(3);
+        let init = sample_initial_set(&problem, 10, 8);
+        // 3 actors, budget 7: 3 + 3 + 1 — must not overshoot.
+        let result = MaOpt::new(small(MaOptConfig::ma_opt2(8))).run(&problem, init, 7);
+        assert_eq!(result.trace.num_sims(), 7);
+    }
+
+    #[test]
+    fn near_sampling_rounds_appear_once_feasible() {
+        let problem = ConstrainedToy::new(3);
+        let init = sample_initial_set(&problem, 30, 3);
+        let result = MaOpt::new(small(MaOptConfig::ma_opt(3))).run(&problem, init, 40);
+        // The toy problem is easy enough that specs get met and NS kicks in.
+        assert!(result.success(), "toy problem should reach feasibility");
+        assert!(
+            result.trace.near_sample_count() > 0,
+            "near-sampling rounds expected after feasibility"
+        );
+    }
+
+    #[test]
+    fn ma_opt2_never_near_samples() {
+        let problem = ConstrainedToy::new(3);
+        let init = sample_initial_set(&problem, 30, 4);
+        let result = MaOpt::new(small(MaOptConfig::ma_opt2(4))).run(&problem, init, 20);
+        assert_eq!(result.trace.near_sample_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let problem = Sphere::new(3);
+        let init = sample_initial_set(&problem, 10, 11);
+        let a = MaOpt::new(small(MaOptConfig::ma_opt2(11))).run(&problem, init.clone(), 6);
+        let b = MaOpt::new(small(MaOptConfig::ma_opt2(11))).run(&problem, init, 6);
+        assert_eq!(a.best_fom(), b.best_fom());
+        let sa = a.trace.best_fom_series(6);
+        let sb = b.trace.best_fom_series(6);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn result_reports_feasible_design() {
+        let problem = ConstrainedToy::new(2);
+        let init = sample_initial_set(&problem, 30, 5);
+        let result = MaOpt::new(small(MaOptConfig::ma_opt(5))).run(&problem, init, 20);
+        if result.success() {
+            let x = result.best_feasible_design().unwrap();
+            assert_eq!(x.len(), 2);
+            assert!(result.best_feasible_target().unwrap().is_finite());
+        }
+    }
+
+    #[test]
+    fn multi_critic_variant_runs_and_improves() {
+        let problem = Sphere::new(3);
+        let init = sample_initial_set(&problem, 15, 13);
+        let cfg = small(MaOptConfig::ma_opt_multi_critic(13, 3));
+        assert_eq!(cfg.n_critics, 3);
+        let result = MaOpt::new(cfg).run(&problem, init, 12);
+        assert_eq!(result.trace.num_sims(), 12);
+        assert!(result.best_fom() <= result.trace.init_best_fom());
+        assert!(result.label.contains("c3"));
+    }
+
+    #[test]
+    fn single_critic_ensemble_matches_paper_configuration() {
+        // n_critics = 1 must reproduce exactly the plain MA-Opt² run.
+        let problem = Sphere::new(3);
+        let init = sample_initial_set(&problem, 12, 14);
+        let a = MaOpt::new(small(MaOptConfig::ma_opt2(14))).run(&problem, init.clone(), 6);
+        let b = MaOpt::new(small(MaOptConfig { n_critics: 1, ..MaOptConfig::ma_opt2(14) }))
+            .run(&problem, init, 6);
+        assert_eq!(a.trace.best_fom_series(6), b.trace.best_fom_series(6));
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let problem = Sphere::new(2);
+        let init = sample_initial_set(&problem, 10, 6);
+        let result = MaOpt::new(small(MaOptConfig::ma_opt2(6))).run(&problem, init, 4);
+        assert!(result.timings.total > Duration::ZERO);
+        assert!(result.timings.training > Duration::ZERO);
+    }
+}

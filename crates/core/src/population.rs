@@ -1,0 +1,229 @@
+//! The total design set `X_tot` and pseudo-sample generation (Eq. 3).
+
+use maopt_linalg::Mat;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::fom::{fom, is_feasible, FomConfig};
+use crate::problem::Spec;
+
+/// The total design set: every simulated design with its metric vector and
+/// cached FoM.
+#[derive(Debug, Clone, Default)]
+pub struct Population {
+    xs: Vec<Vec<f64>>,
+    metrics: Vec<Vec<f64>>,
+    foms: Vec<f64>,
+    feasible: Vec<bool>,
+}
+
+impl Population {
+    /// Creates an empty population.
+    pub fn new() -> Self {
+        Population::default()
+    }
+
+    /// Number of designs.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// `true` when no designs have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Records a simulated design; returns its index.
+    pub fn push(&mut self, x: Vec<f64>, metrics: Vec<f64>, specs: &[Spec], config: FomConfig) -> usize {
+        debug_assert!(!x.is_empty());
+        self.foms.push(fom(&metrics, specs, config));
+        self.feasible.push(is_feasible(&metrics, specs));
+        self.xs.push(x);
+        self.metrics.push(metrics);
+        self.xs.len() - 1
+    }
+
+    /// Design vector at `i`.
+    pub fn design(&self, i: usize) -> &[f64] {
+        &self.xs[i]
+    }
+
+    /// Metric vector at `i`.
+    pub fn metrics(&self, i: usize) -> &[f64] {
+        &self.metrics[i]
+    }
+
+    /// FoM at `i`.
+    pub fn fom(&self, i: usize) -> f64 {
+        self.foms[i]
+    }
+
+    /// Whether design `i` met all specs.
+    pub fn feasible(&self, i: usize) -> bool {
+        self.feasible[i]
+    }
+
+    /// All FoM values.
+    pub fn foms(&self) -> &[f64] {
+        &self.foms
+    }
+
+    /// Index of the best (lowest-FoM) design.
+    pub fn best(&self) -> Option<usize> {
+        maopt_linalg::stats::argmin(&self.foms)
+    }
+
+    /// Index of the best *feasible* design, if any.
+    pub fn best_feasible(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.len() {
+            if !self.feasible[i] {
+                continue;
+            }
+            match best {
+                Some((_, bf)) if bf <= self.foms[i] => {}
+                _ => best = Some((i, self.foms[i])),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Indices of the `n` lowest-FoM designs (fewer if the population is
+    /// smaller), best first.
+    pub fn elite_indices(&self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.sort_by(|&a, &b| self.foms[a].partial_cmp(&self.foms[b]).expect("finite FoM"));
+        idx.truncate(n);
+        idx
+    }
+
+    /// Builds the metric matrix over all designs (rows = designs), used to
+    /// fit the critic's output scaler.
+    pub fn metric_matrix(&self) -> Mat {
+        let rows = self.len();
+        let cols = self.metrics.first().map_or(0, Vec::len);
+        Mat::from_fn(rows, cols, |i, j| {
+            let v = self.metrics[i][j];
+            if v.is_finite() {
+                v
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+/// Draws a batch of `n` pseudo-samples (Eq. 3) from the population.
+///
+/// Each pseudo-sample pairs two simulated designs `(xᵢ, xⱼ)`:
+/// the critic input is `(xᵢ, xⱼ − xᵢ)` and the target is `f(xⱼ)`.
+/// Returns `(inputs [n × 2d], raw targets [n × (m+1)])`.
+///
+/// # Panics
+///
+/// Panics if the population is empty or `n == 0`.
+pub fn pseudo_batch(pop: &Population, n: usize, rng: &mut StdRng) -> (Mat, Mat) {
+    assert!(!pop.is_empty(), "cannot draw pseudo-samples from an empty population");
+    assert!(n > 0, "batch size must be positive");
+    let d = pop.design(0).len();
+    let m1 = pop.metrics(0).len();
+    let mut inputs = Mat::zeros(n, 2 * d);
+    let mut targets = Mat::zeros(n, m1);
+    for k in 0..n {
+        let i = rng.random_range(0..pop.len());
+        let j = rng.random_range(0..pop.len());
+        let xi = pop.design(i);
+        let xj = pop.design(j);
+        for t in 0..d {
+            inputs[(k, t)] = xi[t];
+            inputs[(k, d + t)] = xj[t] - xi[t];
+        }
+        for (t, &v) in pop.metrics(j).iter().enumerate() {
+            targets[(k, t)] = if v.is_finite() { v } else { 0.0 };
+        }
+    }
+    (inputs, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Spec;
+    use rand::SeedableRng;
+
+    fn spec() -> Vec<Spec> {
+        vec![Spec::at_least("m1", 1, 1.0)]
+    }
+
+    fn pop3() -> Population {
+        let mut pop = Population::new();
+        let specs = spec();
+        let cfg = FomConfig::default();
+        pop.push(vec![0.1, 0.2], vec![5.0, 2.0], &specs, cfg); // feasible, fom 5
+        pop.push(vec![0.3, 0.4], vec![1.0, 0.5], &specs, cfg); // infeasible, fom 1.5
+        pop.push(vec![0.5, 0.6], vec![2.0, 3.0], &specs, cfg); // feasible, fom 2
+        pop
+    }
+
+    #[test]
+    fn push_computes_fom_and_feasibility() {
+        let pop = pop3();
+        assert_eq!(pop.len(), 3);
+        assert!(pop.feasible(0));
+        assert!(!pop.feasible(1));
+        assert!((pop.fom(1) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_vs_best_feasible() {
+        let pop = pop3();
+        assert_eq!(pop.best(), Some(1)); // lowest FoM overall
+        assert_eq!(pop.best_feasible(), Some(2)); // lowest feasible FoM
+    }
+
+    #[test]
+    fn elite_indices_sorted_by_fom() {
+        let pop = pop3();
+        assert_eq!(pop.elite_indices(2), vec![1, 2]);
+        assert_eq!(pop.elite_indices(10).len(), 3);
+    }
+
+    #[test]
+    fn pseudo_batch_shapes_and_identity_pairs() {
+        let pop = pop3();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (x, y) = pseudo_batch(&pop, 32, &mut rng);
+        assert_eq!(x.rows(), 32);
+        assert_eq!(x.cols(), 4); // 2d
+        assert_eq!(y.cols(), 2); // m+1
+        // Invariant: x_i + Δx must be one of the population designs, and the
+        // target must be that design's metrics.
+        for k in 0..32 {
+            let xi = [x[(k, 0)], x[(k, 1)]];
+            let dst = [xi[0] + x[(k, 2)], xi[1] + x[(k, 3)]];
+            let found = (0..pop.len()).find(|&i| {
+                (pop.design(i)[0] - dst[0]).abs() < 1e-12
+                    && (pop.design(i)[1] - dst[1]).abs() < 1e-12
+            });
+            let j = found.expect("destination must be a population design");
+            assert_eq!(y.row(k), pop.metrics(j));
+        }
+    }
+
+    #[test]
+    fn metric_matrix_replaces_non_finite() {
+        let mut pop = Population::new();
+        let specs = spec();
+        pop.push(vec![0.0], vec![f64::NAN, 1.0], &specs, FomConfig::default());
+        let m = pop.metric_matrix();
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn empty_population_best_is_none() {
+        let pop = Population::new();
+        assert_eq!(pop.best(), None);
+        assert_eq!(pop.best_feasible(), None);
+    }
+}

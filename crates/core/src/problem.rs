@@ -1,0 +1,266 @@
+//! The constrained circuit-sizing problem abstraction (Eq. 1 of the paper).
+//!
+//! A [`SizingProblem`] maps a normalized design vector `x ∈ [0,1]^d` to a
+//! metric vector `f(x) ∈ R^{m+1}` whose first entry is the target metric to
+//! minimize and whose remaining entries are checked against [`Spec`]s.
+//! Optimizers work exclusively in the normalized space; [`ParamSpec`]
+//! handles the mapping to physical units (linear, logarithmic, or integer).
+
+/// How a parameter maps from the normalized unit interval to physical units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamScale {
+    /// Straight-line interpolation between `lo` and `hi`.
+    Linear,
+    /// Log-uniform interpolation — appropriate for values spanning decades
+    /// (resistors, capacitors).
+    Log,
+    /// Linear interpolation rounded to the nearest integer (device
+    /// multipliers).
+    Integer,
+}
+
+/// One sizable parameter: name, physical range and scaling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    /// Human-readable name, e.g. `"W1"`.
+    pub name: String,
+    /// Unit label for reports, e.g. `"um"`.
+    pub unit: &'static str,
+    /// Lower physical bound.
+    pub lo: f64,
+    /// Upper physical bound.
+    pub hi: f64,
+    /// Normalized → physical mapping.
+    pub scale: ParamScale,
+}
+
+impl ParamSpec {
+    /// Creates a linear parameter.
+    pub fn linear(name: &str, unit: &'static str, lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "parameter {name} needs lo < hi");
+        ParamSpec { name: name.into(), unit, lo, hi, scale: ParamScale::Linear }
+    }
+
+    /// Creates a log-scaled parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi`.
+    pub fn log(name: &str, unit: &'static str, lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && lo < hi, "log parameter {name} needs 0 < lo < hi");
+        ParamSpec { name: name.into(), unit, lo, hi, scale: ParamScale::Log }
+    }
+
+    /// Creates an integer parameter.
+    pub fn integer(name: &str, lo: usize, hi: usize) -> Self {
+        assert!(lo < hi, "integer parameter {name} needs lo < hi");
+        ParamSpec {
+            name: name.into(),
+            unit: "",
+            lo: lo as f64,
+            hi: hi as f64,
+            scale: ParamScale::Integer,
+        }
+    }
+
+    /// Maps a normalized value `u ∈ [0,1]` to physical units (clamping `u`).
+    pub fn denormalize(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        match self.scale {
+            ParamScale::Linear => self.lo + u * (self.hi - self.lo),
+            ParamScale::Log => (self.lo.ln() + u * (self.hi.ln() - self.lo.ln())).exp(),
+            ParamScale::Integer => (self.lo + u * (self.hi - self.lo)).round(),
+        }
+    }
+
+    /// Maps a physical value back into the normalized interval.
+    pub fn normalize(&self, x: f64) -> f64 {
+        let u = match self.scale {
+            ParamScale::Linear | ParamScale::Integer => (x - self.lo) / (self.hi - self.lo),
+            ParamScale::Log => (x.ln() - self.lo.ln()) / (self.hi.ln() - self.lo.ln()),
+        };
+        u.clamp(0.0, 1.0)
+    }
+}
+
+/// Direction of a specification bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecKind {
+    /// The metric must be at least the bound (e.g. DC gain > 60 dB).
+    AtLeast,
+    /// The metric must be at most the bound (e.g. settling time < 100 ns).
+    AtMost,
+}
+
+/// One performance constraint, referencing an entry of the metric vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec {
+    /// Display name, e.g. `"DC gain"`.
+    pub name: String,
+    /// Index into the metric vector returned by
+    /// [`SizingProblem::evaluate`] (0 is the target metric; constraints
+    /// normally reference indices ≥ 1).
+    pub metric_index: usize,
+    /// Bound direction.
+    pub kind: SpecKind,
+    /// Bound value, in the metric's units.
+    pub bound: f64,
+    /// Weight `w_i` in the FoM (Eq. 2); the paper uses 1.
+    pub weight: f64,
+}
+
+impl Spec {
+    /// An `AtLeast` constraint with unit weight.
+    pub fn at_least(name: &str, metric_index: usize, bound: f64) -> Self {
+        Spec { name: name.into(), metric_index, kind: SpecKind::AtLeast, bound, weight: 1.0 }
+    }
+
+    /// An `AtMost` constraint with unit weight.
+    pub fn at_most(name: &str, metric_index: usize, bound: f64) -> Self {
+        Spec { name: name.into(), metric_index, kind: SpecKind::AtMost, bound, weight: 1.0 }
+    }
+
+    /// Relative violation of this spec by a metric value: 0 when satisfied,
+    /// `|f − c| / |c|` when violated.
+    pub fn violation(&self, value: f64) -> f64 {
+        if !value.is_finite() {
+            return 1.0; // a failed simulation violates everything maximally
+        }
+        let denom = self.bound.abs().max(1e-30);
+        match self.kind {
+            SpecKind::AtLeast => ((self.bound - value) / denom).max(0.0),
+            SpecKind::AtMost => ((value - self.bound) / denom).max(0.0),
+        }
+    }
+
+    /// Whether a metric value satisfies this spec.
+    pub fn is_met(&self, value: f64) -> bool {
+        self.violation(value) == 0.0
+    }
+
+    /// Derivative of [`Spec::violation`] with respect to the metric value
+    /// (sub-gradient: 0 when the spec is satisfied).
+    pub fn violation_grad(&self, value: f64) -> f64 {
+        if !value.is_finite() || self.is_met(value) {
+            return 0.0;
+        }
+        let denom = self.bound.abs().max(1e-30);
+        match self.kind {
+            SpecKind::AtLeast => -1.0 / denom,
+            SpecKind::AtMost => 1.0 / denom,
+        }
+    }
+}
+
+/// A constrained sizing problem (Eq. 1): minimize metric 0 subject to specs.
+///
+/// Implementations must be thread-safe: MA-Opt evaluates proposals from
+/// multiple actors in parallel.
+pub trait SizingProblem: Send + Sync {
+    /// Short identifier, e.g. `"two_stage_ota"`.
+    fn name(&self) -> &str;
+
+    /// Number of design variables `d`.
+    fn dim(&self) -> usize {
+        self.params().len()
+    }
+
+    /// Parameter definitions, length `d`.
+    fn params(&self) -> &[ParamSpec];
+
+    /// Names of the metric vector entries (index 0 is the target metric).
+    fn metric_names(&self) -> Vec<String>;
+
+    /// Number of metrics `m + 1` returned by [`SizingProblem::evaluate`].
+    fn num_metrics(&self) -> usize {
+        self.metric_names().len()
+    }
+
+    /// The performance constraints.
+    fn specs(&self) -> &[Spec];
+
+    /// Evaluates the design `x ∈ [0,1]^d` (normalized), returning the metric
+    /// vector. A simulation failure is reported as a well-defined
+    /// "everything terrible" vector rather than an error, mirroring how
+    /// sizing flows treat non-convergent corners.
+    fn evaluate(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Converts a normalized design to physical units (for reports).
+    fn denormalize(&self, x: &[f64]) -> Vec<f64> {
+        self.params()
+            .iter()
+            .zip(x)
+            .map(|(p, &u)| p.denormalize(u))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_param_roundtrip() {
+        let p = ParamSpec::linear("W1", "um", 0.22, 150.0);
+        assert_eq!(p.denormalize(0.0), 0.22);
+        assert_eq!(p.denormalize(1.0), 150.0);
+        let mid = p.denormalize(0.5);
+        assert!((p.normalize(mid) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_param_is_decade_uniform() {
+        let p = ParamSpec::log("R", "kohm", 0.1, 100.0);
+        // Three decades: halfway is sqrt(0.1·100) ≈ 3.162.
+        assert!((p.denormalize(0.5) - 10f64.powf(0.5)).abs() < 1e-9);
+        assert!((p.normalize(p.denormalize(0.3)) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integer_param_rounds() {
+        let p = ParamSpec::integer("N1", 1, 20);
+        assert_eq!(p.denormalize(0.0), 1.0);
+        assert_eq!(p.denormalize(1.0), 20.0);
+        let v = p.denormalize(0.5);
+        assert_eq!(v, v.round());
+    }
+
+    #[test]
+    fn denormalize_clamps_out_of_box() {
+        let p = ParamSpec::linear("L", "um", 0.18, 2.0);
+        assert_eq!(p.denormalize(-0.5), 0.18);
+        assert_eq!(p.denormalize(1.5), 2.0);
+    }
+
+    #[test]
+    fn at_least_violation() {
+        let s = Spec::at_least("gain", 1, 60.0);
+        assert_eq!(s.violation(70.0), 0.0);
+        assert!(s.is_met(60.0));
+        assert!((s.violation(30.0) - 0.5).abs() < 1e-12);
+        assert!(s.violation_grad(30.0) < 0.0);
+        assert_eq!(s.violation_grad(70.0), 0.0);
+    }
+
+    #[test]
+    fn at_most_violation() {
+        let s = Spec::at_most("settling", 2, 100e-9);
+        assert_eq!(s.violation(50e-9), 0.0);
+        assert!((s.violation(200e-9) - 1.0).abs() < 1e-9);
+        assert!(s.violation_grad(200e-9) > 0.0);
+    }
+
+    #[test]
+    fn non_finite_metric_is_max_violation() {
+        let s = Spec::at_least("gain", 1, 60.0);
+        assert_eq!(s.violation(f64::NAN), 1.0);
+        assert_eq!(s.violation(f64::NEG_INFINITY), 1.0);
+        assert_eq!(s.violation_grad(f64::NAN), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn bad_range_rejected() {
+        let _ = ParamSpec::linear("X", "", 2.0, 1.0);
+    }
+}

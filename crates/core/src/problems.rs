@@ -1,0 +1,218 @@
+//! Fast synthetic sizing problems for tests, examples and ablation benches.
+//!
+//! These stand in for the circuit testbenches when the full simulator would
+//! be overkill: they exercise the identical optimizer code paths at
+//! microsecond evaluation cost.
+
+use crate::problem::{ParamSpec, SizingProblem, Spec};
+
+/// Unconstrained sphere: minimize `Σ (xᵢ − 0.7)²` with one always-satisfied
+/// constraint (so the FoM machinery still has a spec to check).
+#[derive(Debug, Clone)]
+pub struct Sphere {
+    params: Vec<ParamSpec>,
+    specs: Vec<Spec>,
+}
+
+impl Sphere {
+    /// Creates a `dim`-dimensional sphere problem.
+    pub fn new(dim: usize) -> Self {
+        let params = (0..dim)
+            .map(|i| ParamSpec::linear(&format!("x{i}"), "", 0.0, 1.0))
+            .collect();
+        // Metric 1 is the constant 1.0 with bound ≥ 0.5: always feasible.
+        let specs = vec![Spec::at_least("always_ok", 1, 0.5)];
+        Sphere { params, specs }
+    }
+}
+
+impl SizingProblem for Sphere {
+    fn name(&self) -> &str {
+        "sphere"
+    }
+
+    fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    fn metric_names(&self) -> Vec<String> {
+        vec!["objective".into(), "constant".into()]
+    }
+
+    fn specs(&self) -> &[Spec] {
+        &self.specs
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        let obj: f64 = x.iter().map(|&v| (v - 0.7) * (v - 0.7)).sum();
+        vec![obj, 1.0]
+    }
+}
+
+/// A constrained toy with analog-sizing structure: minimize a "power"-like
+/// objective subject to a "gain"-like floor and a "bandwidth"-like floor
+/// that pull in opposite directions.
+///
+/// * power  = `Σ xᵢ²` (want small → x small)
+/// * gain   = `20·mean(x)` must be ≥ 8 (wants x large)
+/// * bw     = `30·x₀·(1 − x₁/2)` must be ≥ 6
+///
+/// The feasible region is a band; the optimum sits on the gain constraint.
+#[derive(Debug, Clone)]
+pub struct ConstrainedToy {
+    params: Vec<ParamSpec>,
+    specs: Vec<Spec>,
+}
+
+impl ConstrainedToy {
+    /// Creates a `dim`-dimensional toy (`dim ≥ 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim < 2`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 2, "ConstrainedToy needs at least two dimensions");
+        let params = (0..dim)
+            .map(|i| ParamSpec::linear(&format!("x{i}"), "", 0.0, 1.0))
+            .collect();
+        let specs = vec![
+            Spec::at_least("gain", 1, 8.0),
+            Spec::at_least("bandwidth", 2, 6.0),
+        ];
+        ConstrainedToy { params, specs }
+    }
+}
+
+impl SizingProblem for ConstrainedToy {
+    fn name(&self) -> &str {
+        "constrained_toy"
+    }
+
+    fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    fn metric_names(&self) -> Vec<String> {
+        vec!["power".into(), "gain".into(), "bandwidth".into()]
+    }
+
+    fn specs(&self) -> &[Spec] {
+        &self.specs
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        let power: f64 = x.iter().map(|&v| v * v).sum();
+        let gain = 20.0 * x.iter().sum::<f64>() / x.len() as f64;
+        let bw = 30.0 * x[0] * (1.0 - x[1] / 2.0);
+        vec![power, gain, bw]
+    }
+}
+
+/// The classic constrained Rosenbrock valley, rescaled into the unit box —
+/// a harder landscape used by ablation benchmarks.
+///
+/// Decision variables map to `z = 4x − 2 ∈ [−2, 2]`; the objective is the
+/// Rosenbrock function and the constraint keeps `Σ z² ≤ dim` (a disk).
+#[derive(Debug, Clone)]
+pub struct RosenbrockDisk {
+    params: Vec<ParamSpec>,
+    specs: Vec<Spec>,
+}
+
+impl RosenbrockDisk {
+    /// Creates a `dim`-dimensional problem (`dim ≥ 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim < 2`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 2, "Rosenbrock needs at least two dimensions");
+        let params = (0..dim)
+            .map(|i| ParamSpec::linear(&format!("x{i}"), "", 0.0, 1.0))
+            .collect();
+        let specs = vec![Spec::at_most("disk", 1, dim as f64)];
+        RosenbrockDisk { params, specs }
+    }
+}
+
+impl SizingProblem for RosenbrockDisk {
+    fn name(&self) -> &str {
+        "rosenbrock_disk"
+    }
+
+    fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    fn metric_names(&self) -> Vec<String> {
+        vec!["rosenbrock".into(), "radius_sq".into()]
+    }
+
+    fn specs(&self) -> &[Spec] {
+        &self.specs
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        let z: Vec<f64> = x.iter().map(|&v| 4.0 * v - 2.0).collect();
+        let mut obj = 0.0;
+        for w in z.windows(2) {
+            obj += 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2);
+        }
+        let radius: f64 = z.iter().map(|v| v * v).sum();
+        vec![obj, radius]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fom::{fom, is_feasible, FomConfig};
+
+    #[test]
+    fn sphere_optimum_at_point_seven() {
+        let p = Sphere::new(3);
+        let at_opt = p.evaluate(&[0.7, 0.7, 0.7]);
+        assert!(at_opt[0] < 1e-12);
+        assert!(is_feasible(&at_opt, p.specs()));
+        let off = p.evaluate(&[0.0, 0.0, 0.0]);
+        assert!(off[0] > 1.0);
+    }
+
+    #[test]
+    fn toy_constraints_conflict_with_objective() {
+        let p = ConstrainedToy::new(2);
+        // All-zero has minimal power but violates both constraints.
+        let zero = p.evaluate(&[0.0, 0.0]);
+        assert!(!is_feasible(&zero, p.specs()));
+        // A reasonable point is feasible.
+        let good = p.evaluate(&[0.6, 0.4]);
+        assert!(is_feasible(&good, p.specs()), "metrics {good:?}");
+        // FoM of the infeasible point is dominated by penalties.
+        let g_zero = fom(&zero, p.specs(), FomConfig::default());
+        let g_good = fom(&good, p.specs(), FomConfig::default());
+        assert!(g_zero > g_good);
+    }
+
+    #[test]
+    fn rosenbrock_global_minimum_inside_disk() {
+        let p = RosenbrockDisk::new(2);
+        // z = (1, 1) → x = (0.75, 0.75)
+        let at_opt = p.evaluate(&[0.75, 0.75]);
+        assert!(at_opt[0] < 1e-12);
+        assert!(is_feasible(&at_opt, p.specs()));
+    }
+
+    #[test]
+    fn names_and_dims_consistent() {
+        for (p, d) in [
+            (&Sphere::new(5) as &dyn SizingProblem, 5),
+            (&ConstrainedToy::new(4), 4),
+            (&RosenbrockDisk::new(3), 3),
+        ] {
+            assert_eq!(p.dim(), d);
+            assert_eq!(p.params().len(), d);
+            assert_eq!(p.evaluate(&vec![0.5; d]).len(), p.num_metrics());
+            assert!(!p.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Experiment runner: the paper's protocol of 10 independent runs per
+//! method with a shared initial sample set per run, producing the
+//! statistics reported in Tables II/IV/VI and the FoM-vs-simulations curves
+//! of Fig. 5.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::maopt::{MaOpt, MaOptConfig, RunResult};
+use crate::problem::SizingProblem;
+
+/// Anything that can run the paper's optimization protocol — MA-Opt and its
+/// ablations implement this here; the BO baseline implements it in
+/// `maopt-bo`.
+pub trait Optimizer: Send + Sync {
+    /// Display name for reports.
+    fn name(&self) -> String;
+
+    /// Runs one optimization with the given pre-simulated initial set,
+    /// simulation budget and RNG seed.
+    fn optimize(
+        &self,
+        problem: &dyn SizingProblem,
+        init: &[(Vec<f64>, Vec<f64>)],
+        budget: usize,
+        seed: u64,
+    ) -> RunResult;
+}
+
+impl Optimizer for MaOptConfig {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn optimize(
+        &self,
+        problem: &dyn SizingProblem,
+        init: &[(Vec<f64>, Vec<f64>)],
+        budget: usize,
+        seed: u64,
+    ) -> RunResult {
+        let config = MaOptConfig { seed, ..self.clone() };
+        MaOpt::new(config).run(problem, init.to_vec(), budget)
+    }
+}
+
+/// Samples and simulates `n` uniform random designs — the paper's `X_init`.
+pub fn sample_initial_set(
+    problem: &dyn SizingProblem,
+    n: usize,
+    seed: u64,
+) -> Vec<(Vec<f64>, Vec<f64>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = problem.dim();
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.random_range(0.0..1.0)).collect())
+        .collect();
+    // Evaluate in parallel — initial sets are 100 circuit simulations.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = xs
+            .iter()
+            .map(|x| scope.spawn(move || problem.evaluate(x)))
+            .collect();
+        xs.iter()
+            .zip(handles)
+            .map(|(x, h)| (x.clone(), h.join().expect("init sim thread")))
+            .collect()
+    })
+}
+
+/// Aggregate statistics of one method over repeated runs — one row of the
+/// paper's comparison tables.
+#[derive(Debug, Clone)]
+pub struct MethodStats {
+    /// Method label.
+    pub name: String,
+    /// Runs that found a fully feasible design.
+    pub successes: usize,
+    /// Total runs.
+    pub runs: usize,
+    /// Best (minimum) target metric among feasible designs over all runs.
+    pub min_target: Option<f64>,
+    /// Mean of each run's final best FoM.
+    pub avg_fom: f64,
+    /// `log10` of the average FoM (the paper's reporting scale).
+    pub log10_avg_fom: f64,
+    /// Summed wall-clock runtime across runs.
+    pub total_runtime: Duration,
+    /// Mean best-FoM-so-far at each simulation count (Fig. 5 series).
+    pub fom_curve: Vec<f64>,
+    /// The per-run results, for deeper inspection.
+    pub results: Vec<RunResult>,
+}
+
+impl MethodStats {
+    /// Success rate as a `"s/r"` string (paper notation).
+    pub fn success_rate(&self) -> String {
+        format!("{}/{}", self.successes, self.runs)
+    }
+}
+
+/// Runs `runs` independent repetitions of one optimizer on a problem.
+///
+/// Run `r` uses the initial set `inits[r]` and seed `base_seed + r`, so that
+/// different methods given the same `inits` see identical starting data —
+/// the paper's protocol.
+///
+/// # Panics
+///
+/// Panics if `inits.len() < runs`.
+pub fn run_method(
+    optimizer: &dyn Optimizer,
+    problem: &dyn SizingProblem,
+    inits: &[Vec<(Vec<f64>, Vec<f64>)>],
+    runs: usize,
+    budget: usize,
+    base_seed: u64,
+) -> MethodStats {
+    assert!(inits.len() >= runs, "need one initial set per run");
+    let mut results = Vec::with_capacity(runs);
+    for r in 0..runs {
+        let result = optimizer.optimize(problem, &inits[r], budget, base_seed + r as u64);
+        results.push(result);
+    }
+    summarize(optimizer.name(), results, budget)
+}
+
+/// Builds the aggregate statistics from raw run results.
+pub fn summarize(name: String, results: Vec<RunResult>, budget: usize) -> MethodStats {
+    let runs = results.len();
+    let successes = results.iter().filter(|r| r.success()).count();
+    let min_target = results
+        .iter()
+        .filter_map(RunResult::best_feasible_target)
+        .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.min(t))));
+    let final_foms: Vec<f64> = results.iter().map(RunResult::best_fom).collect();
+    let avg_fom = maopt_linalg::stats::mean(&final_foms);
+    let total_runtime = results.iter().map(|r| r.timings.total).sum();
+
+    let mut fom_curve = vec![0.0; budget];
+    for r in &results {
+        let series = r.trace.best_fom_series(budget);
+        for (acc, v) in fom_curve.iter_mut().zip(series) {
+            *acc += v;
+        }
+    }
+    for v in &mut fom_curve {
+        *v /= runs.max(1) as f64;
+    }
+
+    MethodStats {
+        name,
+        successes,
+        runs,
+        min_target,
+        avg_fom,
+        log10_avg_fom: avg_fom.log10(),
+        total_runtime,
+        fom_curve,
+        results,
+    }
+}
+
+/// Pre-simulates one initial set per run (shared across methods).
+pub fn make_initial_sets(
+    problem: &dyn SizingProblem,
+    runs: usize,
+    init_size: usize,
+    base_seed: u64,
+) -> Vec<Vec<(Vec<f64>, Vec<f64>)>> {
+    (0..runs)
+        .map(|r| sample_initial_set(problem, init_size, base_seed.wrapping_add(1000 * r as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{ConstrainedToy, Sphere};
+
+    fn tiny(cfg: MaOptConfig) -> MaOptConfig {
+        MaOptConfig {
+            hidden: vec![16, 16],
+            critic_steps: 15,
+            actor_steps: 8,
+            n_samples: 100,
+            ..cfg
+        }
+    }
+
+    #[test]
+    fn initial_set_shapes_and_determinism() {
+        let p = Sphere::new(3);
+        let a = sample_initial_set(&p, 12, 5);
+        let b = sample_initial_set(&p, 12, 5);
+        assert_eq!(a.len(), 12);
+        assert_eq!(a[0].0.len(), 3);
+        assert_eq!(a[0].1.len(), 2);
+        assert_eq!(a[3].0, b[3].0, "same seed, same designs");
+        let c = sample_initial_set(&p, 12, 6);
+        assert_ne!(a[0].0, c[0].0, "different seed, different designs");
+    }
+
+    #[test]
+    fn run_method_aggregates_over_runs() {
+        let p = ConstrainedToy::new(2);
+        let inits = make_initial_sets(&p, 3, 15, 1);
+        let stats = run_method(&tiny(MaOptConfig::ma_opt2(0)), &p, &inits, 3, 8, 100);
+        assert_eq!(stats.runs, 3);
+        assert_eq!(stats.results.len(), 3);
+        assert_eq!(stats.fom_curve.len(), 8);
+        assert!(stats.avg_fom.is_finite());
+        assert!(stats.success_rate().ends_with("/3"));
+        // Best-so-far curves are monotone non-increasing.
+        for w in stats.fom_curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_target_only_counts_feasible_runs() {
+        let p = ConstrainedToy::new(2);
+        let inits = make_initial_sets(&p, 2, 25, 2);
+        let stats = run_method(&tiny(MaOptConfig::ma_opt(1)), &p, &inits, 2, 16, 50);
+        if stats.successes > 0 {
+            let t = stats.min_target.unwrap();
+            assert!(t.is_finite() && t > 0.0);
+        } else {
+            assert!(stats.min_target.is_none());
+        }
+    }
+
+    #[test]
+    fn optimizer_trait_respects_seed_override() {
+        let p = Sphere::new(2);
+        let init = sample_initial_set(&p, 10, 9);
+        let cfg = tiny(MaOptConfig::ma_opt2(999));
+        let a = cfg.optimize(&p, &init, 4, 1);
+        let b = cfg.optimize(&p, &init, 4, 1);
+        let c = cfg.optimize(&p, &init, 4, 2);
+        assert_eq!(a.best_fom(), b.best_fom());
+        // Different seeds usually explore differently; allow rare collision
+        // by checking trace-level difference instead of strict inequality.
+        let same = a.trace.best_fom_series(4) == c.trace.best_fom_series(4);
+        assert!(!same || a.best_fom() == c.best_fom());
+    }
+}

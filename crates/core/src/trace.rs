@@ -1,0 +1,170 @@
+//! Per-simulation optimization traces — the raw material for the paper's
+//! Fig. 5 (average best FoM versus simulation count).
+
+/// What produced a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimKind {
+    /// Part of the initial random sample set.
+    Init,
+    /// Proposed by an actor (Algorithm 1).
+    Actor,
+    /// Proposed by the near-sampling method (Algorithm 2).
+    NearSample,
+    /// Proposed by a baseline optimizer (e.g. BO acquisition).
+    Baseline,
+}
+
+/// One simulated design's bookkeeping.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// 1-based index among *optimization* simulations (0 for init samples).
+    pub sim: usize,
+    /// FoM of this design.
+    pub fom: f64,
+    /// Best FoM seen so far (including init samples).
+    pub best_fom: f64,
+    /// Whether this design met every spec.
+    pub feasible: bool,
+    /// Target metric value of this design.
+    pub target: f64,
+    /// Provenance.
+    pub kind: SimKind,
+}
+
+/// A whole run's trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    best_so_far: f64,
+    init_best: f64,
+    sims: usize,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace { entries: Vec::new(), best_so_far: f64::INFINITY, init_best: f64::INFINITY, sims: 0 }
+    }
+
+    /// Records an initial sample (not counted against the simulation budget).
+    pub fn record_init(&mut self, fom: f64, feasible: bool, target: f64) {
+        self.best_so_far = self.best_so_far.min(fom);
+        self.init_best = self.best_so_far;
+        self.entries.push(TraceEntry {
+            sim: 0,
+            fom,
+            best_fom: self.best_so_far,
+            feasible,
+            target,
+            kind: SimKind::Init,
+        });
+    }
+
+    /// Records an optimization simulation.
+    pub fn record(&mut self, kind: SimKind, fom: f64, feasible: bool, target: f64) {
+        self.sims += 1;
+        self.best_so_far = self.best_so_far.min(fom);
+        self.entries.push(TraceEntry {
+            sim: self.sims,
+            fom,
+            best_fom: self.best_so_far,
+            feasible,
+            target,
+            kind,
+        });
+    }
+
+    /// All entries in simulation order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of optimization simulations recorded.
+    pub fn num_sims(&self) -> usize {
+        self.sims
+    }
+
+    /// Best FoM over everything recorded.
+    pub fn best_fom(&self) -> f64 {
+        self.best_so_far
+    }
+
+    /// Best FoM among the initial samples only.
+    pub fn init_best_fom(&self) -> f64 {
+        self.init_best
+    }
+
+    /// Best-so-far FoM at each optimization-simulation count `1..=budget`
+    /// (Fig. 5's y-values for one run). Counts beyond the recorded sims hold
+    /// the final value; an empty run repeats the init best.
+    pub fn best_fom_series(&self, budget: usize) -> Vec<f64> {
+        let mut series = Vec::with_capacity(budget);
+        let mut current = self.init_best;
+        let mut iter = self.entries.iter().filter(|e| e.kind != SimKind::Init);
+        let mut next = iter.next();
+        for sim in 1..=budget {
+            while let Some(e) = next {
+                if e.sim <= sim {
+                    current = e.best_fom;
+                    next = iter.next();
+                } else {
+                    break;
+                }
+            }
+            series.push(current);
+        }
+        series
+    }
+
+    /// Count of near-sampling simulations (used by runtime ablations).
+    pub fn near_sample_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.kind == SimKind::NearSample).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_fom_tracks_minimum() {
+        let mut t = Trace::new();
+        t.record_init(5.0, false, 1.0);
+        t.record_init(3.0, false, 1.0);
+        t.record(SimKind::Actor, 4.0, false, 1.0);
+        t.record(SimKind::Actor, 2.0, true, 0.5);
+        t.record(SimKind::NearSample, 2.5, true, 0.6);
+        assert_eq!(t.best_fom(), 2.0);
+        assert_eq!(t.init_best_fom(), 3.0);
+        assert_eq!(t.num_sims(), 3);
+        assert_eq!(t.near_sample_count(), 1);
+    }
+
+    #[test]
+    fn series_holds_values_between_updates() {
+        let mut t = Trace::new();
+        t.record_init(10.0, false, 1.0);
+        t.record(SimKind::Actor, 8.0, false, 1.0);
+        t.record(SimKind::Actor, 9.0, false, 1.0);
+        t.record(SimKind::Actor, 4.0, false, 1.0);
+        let s = t.best_fom_series(5);
+        assert_eq!(s, vec![8.0, 8.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_run_series_repeats_init_best() {
+        let mut t = Trace::new();
+        t.record_init(7.0, false, 1.0);
+        assert_eq!(t.best_fom_series(3), vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn entries_keep_kind() {
+        let mut t = Trace::new();
+        t.record_init(1.0, true, 1.0);
+        t.record(SimKind::Baseline, 0.5, true, 0.5);
+        assert_eq!(t.entries()[0].kind, SimKind::Init);
+        assert_eq!(t.entries()[1].kind, SimKind::Baseline);
+        assert_eq!(t.entries()[1].sim, 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the optimizer core's invariants.
+
+use maopt_core::{
+    fom, is_feasible, pseudo_batch, spec_violations, EliteSet, FomConfig, ParamSpec, Population,
+    Spec,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn specs2() -> Vec<Spec> {
+    vec![Spec::at_least("a", 1, 10.0), Spec::at_most("b", 2, 1.0)]
+}
+
+fn metric_vec() -> impl Strategy<Value = Vec<f64>> {
+    (0.0f64..10.0, -100.0f64..100.0, -10.0f64..10.0).prop_map(|(t, a, b)| vec![t, a, b])
+}
+
+fn population(n: usize) -> impl Strategy<Value = Population> {
+    prop::collection::vec((prop::collection::vec(0.0f64..1.0, 3), metric_vec()), n..n + 1)
+        .prop_map(|entries| {
+            let specs = specs2();
+            let mut pop = Population::new();
+            for (x, m) in entries {
+                pop.push(x, m, &specs, FomConfig::default());
+            }
+            pop
+        })
+}
+
+proptest! {
+    /// Eq. 2 invariants: FoM ≥ w₀·f₀ always, with equality iff feasible;
+    /// the penalty sum never exceeds the spec count (clipping).
+    #[test]
+    fn fom_bounds(m in metric_vec()) {
+        let specs = specs2();
+        let g = fom(&m, &specs, FomConfig::default());
+        prop_assert!(g >= m[0] - 1e-12);
+        prop_assert!(g <= m[0] + specs.len() as f64 + 1e-12);
+        if is_feasible(&m, &specs) {
+            prop_assert!((g - m[0]).abs() < 1e-12);
+        } else {
+            prop_assert!(g > m[0]);
+        }
+    }
+
+    /// Worsening a violated metric never decreases the FoM (monotonicity of
+    /// the penalty in the violation direction).
+    #[test]
+    fn fom_monotone_in_violation(m in metric_vec(), delta in 0.0f64..50.0) {
+        let specs = specs2();
+        let mut worse = m.clone();
+        worse[1] -= delta; // metric 1 is AtLeast: lower is worse
+        let g0 = fom(&m, &specs, FomConfig::default());
+        let g1 = fom(&worse, &specs, FomConfig::default());
+        prop_assert!(g1 + 1e-12 >= g0, "worse metrics must not improve FoM");
+    }
+
+    /// Violations are clipped into [0, 1] per spec.
+    #[test]
+    fn violations_clipped(m in metric_vec()) {
+        for v in spec_violations(&m, &specs2()) {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    /// The elite set is exactly the `N_es` smallest-FoM designs and its
+    /// bounding box contains every elite design.
+    #[test]
+    fn elite_set_invariants(pop in population(12), cap in 1usize..8) {
+        let mut es = EliteSet::new(cap);
+        es.rebuild(&pop, None);
+        prop_assert_eq!(es.len(), cap.min(pop.len()));
+        // FoMs sorted ascending and no worse than any non-elite FoM.
+        let worst_elite = *es.foms().last().unwrap();
+        for w in es.foms().windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let better_count = pop.foms().iter().filter(|&&f| f < worst_elite).count();
+        prop_assert!(better_count <= es.len());
+        // Bounds contain all elite designs.
+        let (lb, ub) = es.bounds();
+        for x in es.designs() {
+            for (t, &v) in x.iter().enumerate() {
+                prop_assert!(lb[t] <= v && v <= ub[t]);
+            }
+        }
+    }
+
+    /// Pseudo-samples (Eq. 3) always target an existing population design
+    /// and carry its metric vector.
+    #[test]
+    fn pseudo_batch_destination_invariant(pop in population(8), seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inputs, targets) = pseudo_batch(&pop, 16, &mut rng);
+        let d = 3;
+        for k in 0..16 {
+            let dst: Vec<f64> = (0..d)
+                .map(|t| inputs[(k, t)] + inputs[(k, d + t)])
+                .collect();
+            let j = (0..pop.len()).find(|&i| {
+                pop.design(i)
+                    .iter()
+                    .zip(&dst)
+                    .all(|(a, b)| (a - b).abs() < 1e-9)
+            });
+            prop_assert!(j.is_some(), "pseudo-sample must land on a real design");
+            let j = j.unwrap();
+            for (t, &v) in pop.metrics(j).iter().enumerate() {
+                let expected = if v.is_finite() { v } else { 0.0 };
+                prop_assert!((targets[(k, t)] - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Parameter mappings are monotone and land inside the physical range.
+    #[test]
+    fn param_mapping_monotone(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+        for p in [
+            ParamSpec::linear("w", "um", 0.22, 150.0),
+            ParamSpec::log("r", "kohm", 0.1, 100.0),
+        ] {
+            let (a, b) = (p.denormalize(u1.min(u2)), p.denormalize(u1.max(u2)));
+            prop_assert!(a <= b + 1e-12, "{}: not monotone", p.name);
+            prop_assert!(a >= p.lo - 1e-12 && b <= p.hi + 1e-9);
+            // Roundtrip within tolerance.
+            prop_assert!((p.normalize(a) - u1.min(u2)).abs() < 1e-9);
+        }
+    }
+
+    /// Integer parameters always produce integral physical values.
+    #[test]
+    fn integer_params_integral(u in 0.0f64..1.0) {
+        let p = ParamSpec::integer("n", 1, 20);
+        let v = p.denormalize(u);
+        prop_assert_eq!(v, v.round());
+        prop_assert!((1.0..=20.0).contains(&v));
+    }
+
+    /// Population best-feasible is never better than the unconstrained best
+    /// and always satisfies the specs.
+    #[test]
+    fn best_feasible_consistency(pop in population(10)) {
+        let specs = specs2();
+        if let Some(bf) = pop.best_feasible() {
+            prop_assert!(is_feasible(pop.metrics(bf), &specs));
+            let best = pop.best().unwrap();
+            prop_assert!(pop.fom(best) <= pop.fom(bf) + 1e-12);
+        } else {
+            for i in 0..pop.len() {
+                prop_assert!(!is_feasible(pop.metrics(i), &specs));
+            }
+        }
+    }
+}

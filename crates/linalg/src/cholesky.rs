@@ -1,0 +1,175 @@
+use crate::{LinalgError, Mat};
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
+///
+/// Used by the Gaussian-process regression baseline ([`maopt-bo`]) to factor
+/// kernel matrices: solving with the factor is `O(n²)` per right-hand side and
+/// the log-determinant falls out of the diagonal.
+///
+/// [`maopt-bo`]: ../maopt_bo/index.html
+///
+/// # Example
+///
+/// ```
+/// use maopt_linalg::{Cholesky, Mat};
+///
+/// # fn main() -> Result<(), maopt_linalg::LinalgError> {
+/// let a = Mat::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let ch = Cholesky::new(&a)?;
+/// let x = ch.solve(&[2.0, 1.0])?;
+/// // Verify A x = b
+/// assert!((4.0 * x[0] + 2.0 * x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor (entries above the diagonal are zero).
+    l: Mat,
+}
+
+impl Cholesky {
+    /// Factors the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry is assumed, not
+    /// verified.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] if a diagonal pivot is
+    /// non-positive, and [`LinalgError::DimensionMismatch`] for a non-square
+    /// input.
+    pub fn new(a: &Mat) -> Result<Self, LinalgError> {
+        let n = a.require_square()?;
+        let mut l = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { index: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Solves `A·x = b` via two triangular solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("rhs of length {n}"),
+                found: format!("length {}", b.len()),
+            });
+        }
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.l[(i, j)] * y[j];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.l[(j, i)] * x[j];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of the original matrix: `2·Σ log L[i,i]`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Mat {
+        // A = Bᵀ B + I is SPD for any B.
+        let b = Mat::from_rows(&[&[1.0, 2.0, 0.0], &[0.5, -1.0, 2.0], &[3.0, 0.0, 1.0]]);
+        let mut a = b.transpose().matmul(&b);
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.factor();
+        let recon = l.matmul(&l.transpose());
+        assert!((&recon - &a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = spd3();
+        let b = [1.0, -2.0, 0.5];
+        let x_ch = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        let x_lu = crate::Lu::new(a).unwrap().solve(&b).unwrap();
+        for (c, l) in x_ch.iter().zip(&x_lu) {
+            assert!((c - l).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(Cholesky::new(&Mat::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn log_det_matches_lu_det() {
+        let a = spd3();
+        let ld = Cholesky::new(&a).unwrap().log_det();
+        let det = crate::Lu::new(a).unwrap().det();
+        assert!((ld - det.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_checks_rhs_length() {
+        let ch = Cholesky::new(&Mat::identity(3)).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+use std::ops::{Index, IndexMut};
+
+use crate::{Complex, LinalgError};
+
+/// A dense, row-major complex matrix, used for AC small-signal MNA systems.
+///
+/// # Example
+///
+/// ```
+/// use maopt_linalg::{CMat, CLu, Complex};
+///
+/// # fn main() -> Result<(), maopt_linalg::LinalgError> {
+/// // Solve (1+j)·x = 2
+/// let mut a = CMat::zeros(1, 1);
+/// a[(0, 0)] = Complex::new(1.0, 1.0);
+/// let x = CLu::new(a)?.solve(&[Complex::from_real(2.0)])?;
+/// assert!((x[0] - Complex::new(1.0, -1.0)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMat {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat { rows, cols, data: vec![Complex::ZERO; rows * cols] }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Fills the matrix with zeros, keeping its shape.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(Complex::ZERO);
+    }
+
+    /// Matrix × vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[Complex]) -> Vec<Complex> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let mut acc = Complex::ZERO;
+                for j in 0..self.cols {
+                    acc += self[(i, j)] * x[j];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn require_square(&self) -> Result<usize, LinalgError> {
+        if self.rows == self.cols {
+            Ok(self.rows)
+        } else {
+            Err(LinalgError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", self.rows, self.cols),
+            })
+        }
+    }
+}
+
+impl Index<(usize, usize)> for CMat {
+    type Output = Complex;
+
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Complex LU decomposition with partial pivoting (by magnitude).
+///
+/// The AC analysis factors `G + jωC` once per frequency point and solves for
+/// one or more excitation vectors.
+#[derive(Debug, Clone)]
+pub struct CLu {
+    lu: CMat,
+    perm: Vec<usize>,
+}
+
+const PIVOT_EPS: f64 = 1e-300;
+
+impl CLu {
+    /// Factors `a` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if a pivot magnitude underflows and
+    /// [`LinalgError::DimensionMismatch`] for a non-square input.
+    pub fn new(mut a: CMat) -> Result<Self, LinalgError> {
+        let n = a.require_square()?;
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            let mut p = k;
+            let mut max = a[(k, k)].norm_sqr();
+            for i in (k + 1)..n {
+                let v = a[(i, k)].norm_sqr();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < PIVOT_EPS * PIVOT_EPS || !max.is_finite() {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(p, j)];
+                    a[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+            }
+            let pivot_inv = a[(k, k)].recip();
+            for i in (k + 1)..n {
+                let factor = a[(i, k)] * pivot_inv;
+                a[(i, k)] = factor;
+                if factor != Complex::ZERO {
+                    for j in (k + 1)..n {
+                        let akj = a[(k, j)];
+                        a[(i, j)] -= factor * akj;
+                    }
+                }
+            }
+        }
+        Ok(CLu { lu: a, perm })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("rhs of length {n}"),
+                found: format!("length {}", b.len()),
+            });
+        }
+        let mut x: Vec<Complex> = self.perm.iter().map(|&pi| b[pi]).collect();
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum;
+        }
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum * self.lu[(i, i)].recip();
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_real_system_matches_real_lu() {
+        let entries = [[4.0, 1.0, 0.0], [1.0, 3.0, -1.0], [0.0, -1.0, 2.0]];
+        let mut a = CMat::zeros(3, 3);
+        let mut ar = crate::Mat::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                a[(i, j)] = Complex::from_real(entries[i][j]);
+                ar[(i, j)] = entries[i][j];
+            }
+        }
+        let b = [1.0, 2.0, 3.0];
+        let bc: Vec<Complex> = b.iter().map(|&v| Complex::from_real(v)).collect();
+        let xc = CLu::new(a).unwrap().solve(&bc).unwrap();
+        let xr = crate::Lu::new(ar).unwrap().solve(&b).unwrap();
+        for (c, r) in xc.iter().zip(&xr) {
+            assert!((c.re - r).abs() < 1e-12);
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_complex_rc_divider() {
+        // Series R with shunt C at ω where |Zc| = R: |H| = 1/√2.
+        // Single-node MNA: (1/R + jωC) v = 1/R · vin
+        let r = 1e3;
+        let c = 1e-9;
+        let omega = 1.0 / (r * c);
+        let mut a = CMat::zeros(1, 1);
+        a[(0, 0)] = Complex::new(1.0 / r, omega * c);
+        let rhs = [Complex::from_real(1.0 / r)];
+        let v = CLu::new(a).unwrap().solve(&rhs).unwrap();
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+        assert!((v[0].arg_deg() + 45.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut a = CMat::zeros(2, 2);
+        a[(0, 1)] = Complex::ONE;
+        a[(1, 0)] = Complex::ONE;
+        let x = CLu::new(a)
+            .unwrap()
+            .solve(&[Complex::from_real(5.0), Complex::from_real(7.0)])
+            .unwrap();
+        assert!((x[0].re - 7.0).abs() < 1e-14);
+        assert!((x[1].re - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_rejected() {
+        let a = CMat::zeros(2, 2);
+        assert!(matches!(CLu::new(a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn matvec_residual_is_small() {
+        let mut a = CMat::zeros(2, 2);
+        a[(0, 0)] = Complex::new(1.0, 2.0);
+        a[(0, 1)] = Complex::new(0.0, -1.0);
+        a[(1, 0)] = Complex::new(3.0, 0.0);
+        a[(1, 1)] = Complex::new(1.0, 1.0);
+        let b = [Complex::new(1.0, 0.0), Complex::new(0.0, 1.0)];
+        let x = CLu::new(a.clone()).unwrap().solve(&b).unwrap();
+        let ax = a.matvec(&x);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((*axi - *bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let mut a = CMat::zeros(2, 2);
+        a[(0, 0)] = Complex::ONE;
+        a[(1, 1)] = Complex::ONE;
+        let lu = CLu::new(a).unwrap();
+        assert!(lu.solve(&[Complex::ONE]).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Small vector helpers shared across the workspace.
+//!
+//! These operate on plain `&[f64]` slices so that callers are not forced to
+//! wrap their data in a dedicated vector type.
+
+/// Dot product of two slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Euclidean distance between two points.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Element-wise `a + s·b`, returning a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(a: &[f64], s: f64, b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "axpy length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + s * y).collect()
+}
+
+/// Element-wise subtraction `a - b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    axpy(a, -1.0, b)
+}
+
+/// Element-wise addition `a + b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    axpy(a, 1.0, b)
+}
+
+/// Clamps every element into `[lo[i], hi[i]]`.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn clamp_box(x: &[f64], lo: &[f64], hi: &[f64]) -> Vec<f64> {
+    assert!(x.len() == lo.len() && x.len() == hi.len(), "clamp_box length mismatch");
+    x.iter()
+        .zip(lo.iter().zip(hi))
+        .map(|(&v, (&l, &h))| v.clamp(l, h))
+        .collect()
+}
+
+/// Maximum absolute difference between two slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Linear interpolation between `a` and `b` with parameter `t ∈ [0, 1]`.
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn distance_symmetric() {
+        let a = [1.0, 2.0];
+        let b = [4.0, 6.0];
+        assert_eq!(distance(&a, &b), 5.0);
+        assert_eq!(distance(&b, &a), 5.0);
+        assert_eq!(distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn axpy_add_sub() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 20.0];
+        assert_eq!(axpy(&a, 0.5, &b), vec![6.0, 12.0]);
+        assert_eq!(add(&a, &b), vec![11.0, 22.0]);
+        assert_eq!(sub(&b, &a), vec![9.0, 18.0]);
+    }
+
+    #[test]
+    fn clamp_box_clamps_each_coordinate() {
+        let x = [-1.0, 0.5, 2.0];
+        let lo = [0.0, 0.0, 0.0];
+        let hi = [1.0, 1.0, 1.0];
+        assert_eq!(clamp_box(&x, &lo, &hi), vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_extreme() {
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[1.5, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(lerp(2.0, 4.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 4.0, 1.0), 4.0);
+        assert_eq!(lerp(2.0, 4.0, 0.5), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the linear-algebra foundation.
+
+use maopt_linalg::{CLu, CMat, Cholesky, Complex, Lu, Mat};
+use proptest::prelude::*;
+
+/// Strategy: an n×n matrix with entries in [-1, 1] and a boosted diagonal so
+/// the system is well conditioned.
+fn well_conditioned(n: usize) -> impl Strategy<Value = Mat> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let mut m = Mat::from_vec(n, n, data);
+        for i in 0..n {
+            m[(i, i)] += n as f64 + 2.0;
+        }
+        m
+    })
+}
+
+fn rhs(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, n)
+}
+
+proptest! {
+    #[test]
+    fn lu_solution_satisfies_system(a in well_conditioned(6), b in rhs(6)) {
+        let lu = Lu::new(a.clone()).expect("well-conditioned matrix must factor");
+        let x = lu.solve(&b).unwrap();
+        let ax = a.matvec(&x);
+        for (axi, bi) in ax.iter().zip(&b) {
+            prop_assert!((axi - bi).abs() < 1e-8, "residual too large: {axi} vs {bi}");
+        }
+    }
+
+    #[test]
+    fn lu_inverse_roundtrip(a in well_conditioned(5)) {
+        let inv = Lu::new(a.clone()).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv);
+        let err = (&prod - &Mat::identity(5)).max_abs();
+        prop_assert!(err < 1e-8, "A·A⁻¹ deviates from I by {err}");
+    }
+
+    #[test]
+    fn det_of_product_is_product_of_dets(
+        a in well_conditioned(4),
+        b in well_conditioned(4),
+    ) {
+        let dab = Lu::new(a.matmul(&b)).unwrap().det();
+        let da = Lu::new(a).unwrap().det();
+        let db = Lu::new(b).unwrap().det();
+        let rel = (dab - da * db).abs() / (da * db).abs().max(1.0);
+        prop_assert!(rel < 1e-8, "det(AB) != det(A)det(B): {dab} vs {}", da * db);
+    }
+
+    #[test]
+    fn cholesky_agrees_with_lu_on_spd(base in well_conditioned(5), b in rhs(5)) {
+        // BᵀB + I is SPD.
+        let mut a = base.transpose().matmul(&base);
+        for i in 0..5 {
+            a[(i, i)] += 1.0;
+        }
+        let x_ch = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        let x_lu = Lu::new(a).unwrap().solve(&b).unwrap();
+        for (c, l) in x_ch.iter().zip(&x_lu) {
+            prop_assert!((c - l).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(data in prop::collection::vec(-5.0f64..5.0, 12)) {
+        let m = Mat::from_vec(3, 4, data);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        a in well_conditioned(3),
+        b in well_conditioned(3),
+        c in well_conditioned(3),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!((&left - &right).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_lu_solves_shifted_systems(
+        a in well_conditioned(4),
+        b in rhs(4),
+        omega in 0.1f64..10.0,
+    ) {
+        // Factor A + jω·I, a shape that mirrors G + jωC in AC analysis.
+        let n = 4;
+        let mut cm = CMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                cm[(i, j)] = Complex::new(a[(i, j)], if i == j { omega } else { 0.0 });
+            }
+        }
+        let bc: Vec<Complex> = b.iter().map(|&v| Complex::from_real(v)).collect();
+        let x = CLu::new(cm.clone()).unwrap().solve(&bc).unwrap();
+        let ax = cm.matvec(&x);
+        for (axi, bi) in ax.iter().zip(&bc) {
+            prop_assert!((*axi - *bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn complex_field_axioms(re1 in -5.0f64..5.0, im1 in -5.0f64..5.0,
+                            re2 in -5.0f64..5.0, im2 in -5.0f64..5.0) {
+        let a = Complex::new(re1, im1);
+        let b = Complex::new(re2, im2);
+        // Commutativity
+        prop_assert!((a * b - b * a).abs() < 1e-12);
+        prop_assert!((a + b - (b + a)).abs() < 1e-12);
+        // |ab| = |a||b|
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
+        // Conjugate distributes over multiplication
+        prop_assert!(((a * b).conj() - a.conj() * b.conj()).abs() < 1e-9);
+    }
+}

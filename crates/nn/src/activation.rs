@@ -1,0 +1,115 @@
+/// Element-wise activation function of a [`crate::Dense`] layer.
+///
+/// # Example
+///
+/// ```
+/// use maopt_nn::Activation;
+///
+/// assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+/// assert_eq!(Activation::Relu.apply(3.0), 3.0);
+/// assert!((Activation::Tanh.apply(0.0)).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// `f(x) = x` — used on output layers of regression networks.
+    #[default]
+    Identity,
+    /// Rectified linear unit, `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent — used on actor outputs to bound actions.
+    Tanh,
+    /// Logistic sigmoid, `1 / (1 + e^{-x})`.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative `f'(x)` expressed in terms of the *output* `y = f(x)`.
+    ///
+    /// All four supported activations admit this form, which lets backward
+    /// passes avoid caching pre-activations.
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACTS: [Activation; 4] = [
+        Activation::Identity,
+        Activation::Relu,
+        Activation::Tanh,
+        Activation::Sigmoid,
+    ];
+
+    #[test]
+    fn identity_passes_through() {
+        assert_eq!(Activation::Identity.apply(-3.25), -3.25);
+        assert_eq!(Activation::Identity.derivative_from_output(7.0), 1.0);
+    }
+
+    #[test]
+    fn relu_clips_negative() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(5.0), 1.0);
+    }
+
+    #[test]
+    fn tanh_range_and_symmetry() {
+        let y = Activation::Tanh.apply(100.0);
+        assert!(y <= 1.0 && y > 0.999);
+        assert!((Activation::Tanh.apply(-0.5) + Activation::Tanh.apply(0.5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sigmoid_midpoint() {
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-15);
+        assert!((Activation::Sigmoid.derivative_from_output(0.5) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-6;
+        for act in ACTS {
+            // Avoid the ReLU kink at 0.
+            for &x in &[-1.3, -0.4, 0.7, 1.9] {
+                let y = act.apply(x);
+                let fd = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let an = act.derivative_from_output(y);
+                assert!(
+                    (fd - an).abs() < 1e-5,
+                    "{act:?} at x={x}: fd={fd}, analytic={an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_identity() {
+        assert_eq!(Activation::default(), Activation::Identity);
+    }
+}

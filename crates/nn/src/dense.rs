@@ -1,0 +1,331 @@
+use maopt_linalg::Mat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Activation;
+
+/// A fully connected layer: `y = act(x·Wᵀ + b)`.
+///
+/// Rows of the weight matrix correspond to output units, columns to inputs.
+/// The layer caches its last input and output so that [`Dense::backward`]
+/// can compute parameter and input gradients.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weights: Mat,
+    bias: Vec<f64>,
+    activation: Activation,
+    grad_weights: Mat,
+    grad_bias: Vec<f64>,
+    // Caches from the most recent forward pass.
+    last_input: Mat,
+    last_output: Mat,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier-uniform initialized weights.
+    ///
+    /// The `rng` drives initialization; pass a seeded RNG for reproducible
+    /// networks.
+    pub fn new(inputs: usize, outputs: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        let limit = (6.0 / (inputs + outputs) as f64).sqrt();
+        let weights = Mat::from_fn(outputs, inputs, |_, _| rng.random_range(-limit..limit));
+        Dense {
+            weights,
+            bias: vec![0.0; outputs],
+            activation,
+            grad_weights: Mat::zeros(outputs, inputs),
+            grad_bias: vec![0.0; outputs],
+            last_input: Mat::zeros(0, 0),
+            last_output: Mat::zeros(0, 0),
+        }
+    }
+
+    /// Deterministic convenience constructor used by tests.
+    pub fn with_seed(inputs: usize, outputs: usize, activation: Activation, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dense::new(inputs, outputs, activation, &mut rng)
+    }
+
+    /// Number of input features.
+    pub fn inputs(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of output units.
+    pub fn outputs(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Immutable view of the weights (rows = outputs).
+    pub fn weights(&self) -> &Mat {
+        &self.weights
+    }
+
+    /// Immutable view of the bias.
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// Forward pass over a batch (rows = samples).
+    ///
+    /// Caches the input and output for the subsequent backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.inputs()`.
+    pub fn forward(&mut self, x: &Mat) -> Mat {
+        assert_eq!(x.cols(), self.inputs(), "dense layer input width mismatch");
+        let mut out = Mat::zeros(x.rows(), self.outputs());
+        for s in 0..x.rows() {
+            let row = x.row(s);
+            for o in 0..self.outputs() {
+                let z: f64 = self
+                    .weights
+                    .row(o)
+                    .iter()
+                    .zip(row)
+                    .map(|(w, v)| w * v)
+                    .sum::<f64>()
+                    + self.bias[o];
+                out[(s, o)] = self.activation.apply(z);
+            }
+        }
+        self.last_input = x.clone();
+        self.last_output = out.clone();
+        out
+    }
+
+    /// Inference-only forward pass that does not touch the caches.
+    pub fn forward_inference(&self, x: &Mat) -> Mat {
+        assert_eq!(x.cols(), self.inputs(), "dense layer input width mismatch");
+        let mut out = Mat::zeros(x.rows(), self.outputs());
+        for s in 0..x.rows() {
+            let row = x.row(s);
+            for o in 0..self.outputs() {
+                let z: f64 = self
+                    .weights
+                    .row(o)
+                    .iter()
+                    .zip(row)
+                    .map(|(w, v)| w * v)
+                    .sum::<f64>()
+                    + self.bias[o];
+                out[(s, o)] = self.activation.apply(z);
+            }
+        }
+        out
+    }
+
+    /// Backward pass: given `∂L/∂y`, accumulates parameter gradients and
+    /// returns `∂L/∂x`.
+    ///
+    /// Gradients accumulate across calls until [`Dense::zero_grad`]; combine
+    /// with `accumulate_params = false` to propagate through a frozen layer
+    /// (used when training an actor through the critic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass preceded this call or if `grad_out` does not
+    /// match the cached output shape.
+    pub fn backward(&mut self, grad_out: &Mat, accumulate_params: bool) -> Mat {
+        assert_eq!(
+            (grad_out.rows(), grad_out.cols()),
+            (self.last_output.rows(), self.last_output.cols()),
+            "backward called with mismatched gradient shape (did you forward first?)"
+        );
+        let batch = grad_out.rows();
+        let mut grad_in = Mat::zeros(batch, self.inputs());
+        for s in 0..batch {
+            for o in 0..self.outputs() {
+                let dz = grad_out[(s, o)]
+                    * self
+                        .activation
+                        .derivative_from_output(self.last_output[(s, o)]);
+                if dz == 0.0 {
+                    continue;
+                }
+                if accumulate_params {
+                    self.grad_bias[o] += dz;
+                    let in_row = self.last_input.row(s);
+                    let gw_row = self.grad_weights.row_mut(o);
+                    for (g, &xi) in gw_row.iter_mut().zip(in_row) {
+                        *g += dz * xi;
+                    }
+                }
+                let w_row = self.weights.row(o);
+                let gi_row = grad_in.row_mut(s);
+                for (gi, &w) in gi_row.iter_mut().zip(w_row) {
+                    *gi += dz * w;
+                }
+            }
+        }
+        grad_in
+    }
+
+    /// Clears accumulated parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weights.fill_zero();
+        self.grad_bias.fill(0.0);
+    }
+
+    /// Applies `params -= lr * grads` (plain SGD step).
+    pub fn sgd_step(&mut self, lr: f64) {
+        self.weights.axpy_mut(-lr, &self.grad_weights);
+        for (b, g) in self.bias.iter_mut().zip(&self.grad_bias) {
+            *b -= lr * g;
+        }
+    }
+
+    /// Visits `(parameter, gradient)` pairs mutably — used by optimizers.
+    pub(crate) fn visit_params_mut(&mut self, mut f: impl FnMut(&mut f64, f64)) {
+        for (w, g) in self
+            .weights
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.grad_weights.as_slice())
+        {
+            f(w, *g);
+        }
+        for (b, g) in self.bias.iter_mut().zip(&self.grad_bias) {
+            f(b, *g);
+        }
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_identity_is_affine() {
+        let mut layer = Dense::with_seed(2, 1, Activation::Identity, 1);
+        let x = Mat::from_rows(&[&[1.0, 2.0]]);
+        let y = layer.forward(&x);
+        let expected = layer.weights()[(0, 0)] + 2.0 * layer.weights()[(0, 1)];
+        assert!((y[(0, 0)] - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn forward_inference_matches_forward() {
+        let mut layer = Dense::with_seed(3, 4, Activation::Tanh, 7);
+        let x = Mat::from_rows(&[&[0.1, -0.2, 0.3], &[1.0, 0.0, -1.0]]);
+        let a = layer.forward(&x);
+        let b = layer.forward_inference(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xavier_init_within_limit() {
+        let layer = Dense::with_seed(10, 10, Activation::Relu, 3);
+        let limit = (6.0 / 20.0_f64).sqrt();
+        assert!(layer.weights().as_slice().iter().all(|w| w.abs() <= limit));
+        assert!(layer.bias().iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn param_count() {
+        let layer = Dense::with_seed(3, 5, Activation::Relu, 0);
+        assert_eq!(layer.param_count(), 3 * 5 + 5);
+    }
+
+    /// Central-difference gradient check of both parameter and input
+    /// gradients for a single layer under an L = Σ y² loss.
+    #[test]
+    fn backward_matches_finite_difference() {
+        for act in [Activation::Identity, Activation::Tanh, Activation::Sigmoid] {
+            let mut layer = Dense::with_seed(3, 2, act, 11);
+            let x = Mat::from_rows(&[&[0.3, -0.7, 0.2], &[0.9, 0.1, -0.4]]);
+
+            let loss = |l: &Dense, xx: &Mat| -> f64 {
+                let y = l.forward_inference(xx);
+                y.as_slice().iter().map(|v| v * v).sum()
+            };
+
+            // Analytic gradients: dL/dy = 2y.
+            let y = layer.forward(&x);
+            let grad_out = y.scaled(2.0);
+            layer.zero_grad();
+            let grad_in = layer.backward(&grad_out, true);
+
+            let h = 1e-6;
+            // Parameter gradients.
+            for o in 0..2 {
+                for i in 0..3 {
+                    let mut lp = layer.clone();
+                    lp.weights[(o, i)] += h;
+                    let mut lm = layer.clone();
+                    lm.weights[(o, i)] -= h;
+                    let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h);
+                    let an = layer.grad_weights[(o, i)];
+                    assert!(
+                        (fd - an).abs() < 1e-4 * (1.0 + fd.abs()),
+                        "{act:?} dW[{o}][{i}]: fd={fd} an={an}"
+                    );
+                }
+                let mut lp = layer.clone();
+                lp.bias[o] += h;
+                let mut lm = layer.clone();
+                lm.bias[o] -= h;
+                let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h);
+                let an = layer.grad_bias[o];
+                assert!((fd - an).abs() < 1e-4 * (1.0 + fd.abs()), "{act:?} db[{o}]");
+            }
+            // Input gradients.
+            for s in 0..2 {
+                for i in 0..3 {
+                    let mut xp = x.clone();
+                    xp[(s, i)] += h;
+                    let mut xm = x.clone();
+                    xm[(s, i)] -= h;
+                    let fd = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * h);
+                    let an = grad_in[(s, i)];
+                    assert!(
+                        (fd - an).abs() < 1e-4 * (1.0 + fd.abs()),
+                        "{act:?} dX[{s}][{i}]: fd={fd} an={an}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_backward_leaves_param_grads_untouched() {
+        let mut layer = Dense::with_seed(2, 2, Activation::Tanh, 5);
+        let x = Mat::from_rows(&[&[0.5, -0.5]]);
+        let y = layer.forward(&x);
+        layer.zero_grad();
+        let _ = layer.backward(&y.scaled(2.0), false);
+        assert!(layer.grad_weights.as_slice().iter().all(|&g| g == 0.0));
+        assert!(layer.grad_bias.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn sgd_step_reduces_quadratic_loss() {
+        let mut layer = Dense::with_seed(1, 1, Activation::Identity, 2);
+        let x = Mat::from_rows(&[&[1.0]]);
+        let target = 3.0;
+        let mut prev_loss = f64::INFINITY;
+        for _ in 0..50 {
+            let y = layer.forward(&x);
+            let err = y[(0, 0)] - target;
+            let loss = err * err;
+            assert!(loss <= prev_loss + 1e-12, "loss must not increase");
+            prev_loss = loss;
+            layer.zero_grad();
+            let grad = Mat::from_rows(&[&[2.0 * err]]);
+            layer.backward(&grad, true);
+            layer.sgd_step(0.1);
+        }
+        assert!(prev_loss < 1e-6);
+    }
+}

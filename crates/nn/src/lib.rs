@@ -1,0 +1,50 @@
+//! Minimal feed-forward neural-network stack for the MA-Opt reproduction.
+//!
+//! The paper's actor and critic networks are small MLPs (two hidden layers of
+//! 100 units). This crate implements exactly what they need, from scratch:
+//!
+//! * [`Dense`] layers with [`Activation`] functions and hand-written
+//!   backpropagation (finite-difference-verified in the test suite),
+//! * an [`Mlp`] container with **input-gradient** support — training an actor
+//!   *through* a frozen critic requires `∂L/∂input` of the critic,
+//! * the [`Adam`] and [`Sgd`] optimizers,
+//! * [`MinMaxScaler`] for normalizing network inputs/outputs to the unit box.
+//!
+//! # Example: fit a line
+//!
+//! ```
+//! use maopt_nn::{Activation, Adam, Mlp, mse_loss_grad};
+//! use maopt_linalg::Mat;
+//!
+//! let mut mlp = Mlp::new(&[1, 16, 1], Activation::Tanh, 42);
+//! let mut adam = Adam::new(&mlp, 1e-2);
+//! let x = Mat::from_fn(32, 1, |i, _| i as f64 / 32.0);
+//! let y = Mat::from_fn(32, 1, |i, _| 2.0 * (i as f64 / 32.0) - 0.5);
+//! for _ in 0..500 {
+//!     let pred = mlp.forward(&x);
+//!     let (_, grad) = mse_loss_grad(&pred, &y);
+//!     mlp.zero_grad();
+//!     mlp.backward(&grad);
+//!     adam.step(&mut mlp);
+//! }
+//! let pred = mlp.forward(&x);
+//! let (loss, _) = mse_loss_grad(&pred, &y);
+//! assert!(loss < 1e-3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod dense;
+mod loss;
+mod mlp;
+mod optimizer;
+mod scaler;
+
+pub use activation::Activation;
+pub use dense::Dense;
+pub use loss::{mse_loss, mse_loss_grad};
+pub use mlp::Mlp;
+pub use optimizer::{Adam, Sgd};
+pub use scaler::MinMaxScaler;

@@ -1,0 +1,209 @@
+use maopt_linalg::Mat;
+
+/// Per-column min–max scaler mapping data into `[0, 1]`.
+///
+/// The critic is trained on metric vectors whose components span wildly
+/// different magnitudes (dB of gain vs. amperes of quiescent current);
+/// scaling each output column to the unit interval keeps the MSE loss
+/// balanced across metrics. The scaler is refit as the population grows.
+///
+/// Columns with zero range are mapped to the constant `0.5` and inverse
+/// transforms return the original constant.
+///
+/// # Example
+///
+/// ```
+/// use maopt_nn::MinMaxScaler;
+/// use maopt_linalg::Mat;
+///
+/// let data = Mat::from_rows(&[&[0.0, 100.0], &[10.0, 300.0]]);
+/// let scaler = MinMaxScaler::fit(&data);
+/// let scaled = scaler.transform(&data);
+/// assert_eq!(scaled[(0, 0)], 0.0);
+/// assert_eq!(scaled[(1, 1)], 1.0);
+/// let back = scaler.inverse_transform(&scaled);
+/// assert!((back[(1, 1)] - 300.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>, // 0.0 marks a degenerate (constant) column
+}
+
+impl MinMaxScaler {
+    /// Fits column-wise minima and ranges.
+    ///
+    /// Non-finite entries are ignored during fitting; a column with no
+    /// finite entries is treated as constant zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has no rows.
+    pub fn fit(data: &Mat) -> Self {
+        assert!(data.rows() > 0, "cannot fit a scaler on an empty matrix");
+        let cols = data.cols();
+        let mut mins = vec![f64::INFINITY; cols];
+        let mut maxs = vec![f64::NEG_INFINITY; cols];
+        for i in 0..data.rows() {
+            for (j, &v) in data.row(i).iter().enumerate() {
+                if v.is_finite() {
+                    mins[j] = mins[j].min(v);
+                    maxs[j] = maxs[j].max(v);
+                }
+            }
+        }
+        let ranges = mins
+            .iter_mut()
+            .zip(&maxs)
+            .map(|(mn, mx)| {
+                if !mn.is_finite() {
+                    *mn = 0.0;
+                    return 0.0;
+                }
+                let r = mx - *mn;
+                if r > 0.0 {
+                    r
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        MinMaxScaler { mins, ranges }
+    }
+
+    /// Number of columns this scaler handles.
+    pub fn cols(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Scales a matrix into the unit box.
+    ///
+    /// Values outside the fitted range extrapolate linearly (they are not
+    /// clipped), so unseen-but-nearby data keeps its ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.cols() != self.cols()`.
+    pub fn transform(&self, data: &Mat) -> Mat {
+        assert_eq!(data.cols(), self.cols(), "scaler column mismatch");
+        Mat::from_fn(data.rows(), data.cols(), |i, j| self.transform_value(data[(i, j)], j))
+    }
+
+    /// Scales a single row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()`.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.cols(), "scaler column mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(j, &v)| self.transform_value(v, j))
+            .collect()
+    }
+
+    /// Maps one value in column `j` into scaled space.
+    pub fn transform_value(&self, v: f64, j: usize) -> f64 {
+        if self.ranges[j] == 0.0 {
+            0.5
+        } else {
+            (v - self.mins[j]) / self.ranges[j]
+        }
+    }
+
+    /// Inverse of [`MinMaxScaler::transform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.cols() != self.cols()`.
+    pub fn inverse_transform(&self, data: &Mat) -> Mat {
+        assert_eq!(data.cols(), self.cols(), "scaler column mismatch");
+        Mat::from_fn(data.rows(), data.cols(), |i, j| self.inverse_value(data[(i, j)], j))
+    }
+
+    /// Inverse-transforms a single row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()`.
+    pub fn inverse_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.cols(), "scaler column mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(j, &v)| self.inverse_value(v, j))
+            .collect()
+    }
+
+    /// Maps one scaled value in column `j` back to the original units.
+    pub fn inverse_value(&self, v: f64, j: usize) -> f64 {
+        if self.ranges[j] == 0.0 {
+            self.mins[j]
+        } else {
+            v * self.ranges[j] + self.mins[j]
+        }
+    }
+
+    /// Scale factor `∂scaled/∂raw` of column `j` (0 for constant columns).
+    pub fn scale_factor(&self, j: usize) -> f64 {
+        if self.ranges[j] == 0.0 {
+            0.0
+        } else {
+            1.0 / self.ranges[j]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = Mat::from_rows(&[&[1.0, -5.0, 3.0], &[2.0, 5.0, 3.5], &[0.0, 0.0, 4.0]]);
+        let s = MinMaxScaler::fit(&data);
+        let t = s.transform(&data);
+        assert!(t.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let back = s.inverse_transform(&t);
+        assert!((&back - &data).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_maps_to_half() {
+        let data = Mat::from_rows(&[&[7.0], &[7.0]]);
+        let s = MinMaxScaler::fit(&data);
+        let t = s.transform(&data);
+        assert_eq!(t[(0, 0)], 0.5);
+        assert_eq!(s.inverse_value(0.123, 0), 7.0);
+        assert_eq!(s.scale_factor(0), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_extrapolates() {
+        let data = Mat::from_rows(&[&[0.0], &[10.0]]);
+        let s = MinMaxScaler::fit(&data);
+        assert_eq!(s.transform_value(20.0, 0), 2.0);
+        assert_eq!(s.transform_value(-10.0, 0), -1.0);
+    }
+
+    #[test]
+    fn ignores_non_finite_entries() {
+        let data = Mat::from_rows(&[&[0.0], &[f64::INFINITY], &[4.0]]);
+        let s = MinMaxScaler::fit(&data);
+        assert_eq!(s.transform_value(2.0, 0), 0.5);
+    }
+
+    #[test]
+    fn row_api_matches_matrix_api() {
+        let data = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 8.0]]);
+        let s = MinMaxScaler::fit(&data);
+        let row = s.transform_row(&[2.0, 5.0]);
+        assert_eq!(row, vec![0.5, 0.5]);
+        assert_eq!(s.inverse_row(&row), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_panics() {
+        let _ = MinMaxScaler::fit(&Mat::zeros(0, 2));
+    }
+}

@@ -1,0 +1,10 @@
+//! Circuit analyses: DC operating point, AC sweep, transient, noise, and
+//! waveform/Bode measurement helpers.
+
+pub mod ac;
+pub mod dc;
+pub mod fourier;
+pub mod measure;
+pub mod montecarlo;
+pub mod noise;
+pub mod tran;

@@ -1,0 +1,162 @@
+//! `minispice` — a command-line front end for the `maopt-sim` engine.
+//!
+//! Reads a SPICE-flavoured netlist (see [`maopt_sim::parse_netlist`]) and
+//! runs one analysis:
+//!
+//! ```text
+//! minispice ckt.cir op
+//! minispice ckt.cir ac <f_start> <f_stop> <pts/dec> <node> [node…]
+//! minispice ckt.cir tran <t_stop> <dt> <node> [node…]
+//! minispice ckt.cir noise <f_start> <f_stop> <pts/dec> <out_node>
+//! ```
+//!
+//! Output is plain text (`op`) or CSV on stdout (`ac`, `tran`, `noise`),
+//! ready for plotting.
+
+use std::process::ExitCode;
+
+use maopt_sim::analysis::ac::AcAnalysis;
+use maopt_sim::analysis::dc::DcAnalysis;
+use maopt_sim::analysis::noise::NoiseAnalysis;
+use maopt_sim::analysis::tran::TranAnalysis;
+use maopt_sim::{parse_netlist, parse_value, Circuit, Element, Node};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: minispice <netlist> op\n\
+         \x20      minispice <netlist> ac <f_start> <f_stop> <pts/dec> <node> [node...]\n\
+         \x20      minispice <netlist> tran <t_stop> <dt> <node> [node...]\n\
+         \x20      minispice <netlist> noise <f_start> <f_stop> <pts/dec> <out_node>"
+    );
+    ExitCode::from(2)
+}
+
+fn value_arg(args: &[String], k: usize, what: &str) -> Result<f64, String> {
+    args.get(k)
+        .and_then(|s| parse_value(s))
+        .ok_or_else(|| format!("missing or invalid {what}"))
+}
+
+fn node_args(ckt: &Circuit, args: &[String]) -> Result<Vec<(String, Node)>, String> {
+    if args.is_empty() {
+        return Err("at least one node name required".into());
+    }
+    args.iter()
+        .map(|name| {
+            ckt.find_node(name)
+                .map(|n| (name.clone(), n))
+                .ok_or_else(|| format!("unknown node '{name}'"))
+        })
+        .collect()
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return Err("not enough arguments".into());
+    }
+    let text = std::fs::read_to_string(&args[0])
+        .map_err(|e| format!("cannot read {}: {e}", args[0]))?;
+    let ckt = parse_netlist(&text).map_err(|e| e.to_string())?;
+
+    match args[1].as_str() {
+        "op" => {
+            let op = DcAnalysis::new().run(&ckt).map_err(|e| e.to_string())?;
+            println!("-- node voltages --");
+            for node in ckt.nodes().into_iter().filter(|n| !n.is_ground()) {
+                println!("V({}) = {:.6e}", ckt.node_name(node), op.voltage(node));
+            }
+            println!("-- device operating points --");
+            for (id, e) in ckt.elements_with_ids() {
+                match e {
+                    Element::Mosfet { name, .. } => {
+                        let mos = op.mos_op(id).expect("mosfet op");
+                        println!(
+                            "{name}: Id={:.4e} A  gm={:.4e} S  gds={:.4e} S  region={:?}",
+                            mos.id, mos.gm, mos.gds, mos.region
+                        );
+                    }
+                    Element::Vsource { name, .. } => {
+                        if let Some(i) = op.branch_current(id) {
+                            println!("{name}: I={:.4e} A", i);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Ok(())
+        }
+        "ac" => {
+            let f0 = value_arg(&args, 2, "f_start")?;
+            let f1 = value_arg(&args, 3, "f_stop")?;
+            let ppd = value_arg(&args, 4, "pts/dec")? as usize;
+            let nodes = node_args(&ckt, &args[5..])?;
+            let op = DcAnalysis::new().run(&ckt).map_err(|e| e.to_string())?;
+            let ac = AcAnalysis::log(f0, f1, ppd).run(&ckt, &op).map_err(|e| e.to_string())?;
+            print!("freq");
+            for (name, _) in &nodes {
+                print!(",mag({name}),phase({name})");
+            }
+            println!();
+            for k in 0..ac.len() {
+                print!("{:.6e}", ac.freqs()[k]);
+                for (_, node) in &nodes {
+                    let v = ac.voltage(k, *node);
+                    print!(",{:.6e},{:.3}", v.abs(), v.arg_deg());
+                }
+                println!();
+            }
+            Ok(())
+        }
+        "tran" => {
+            let t_stop = value_arg(&args, 2, "t_stop")?;
+            let dt = value_arg(&args, 3, "dt")?;
+            let nodes = node_args(&ckt, &args[4..])?;
+            let res = TranAnalysis::new(t_stop, dt).run(&ckt).map_err(|e| e.to_string())?;
+            print!("time");
+            for (name, _) in &nodes {
+                print!(",v({name})");
+            }
+            println!();
+            for k in 0..res.len() {
+                print!("{:.6e}", res.times()[k]);
+                for (_, node) in &nodes {
+                    print!(",{:.6e}", res.voltage_at(k, *node));
+                }
+                println!();
+            }
+            Ok(())
+        }
+        "noise" => {
+            let f0 = value_arg(&args, 2, "f_start")?;
+            let f1 = value_arg(&args, 3, "f_stop")?;
+            let ppd = value_arg(&args, 4, "pts/dec")? as usize;
+            let nodes = node_args(&ckt, &args[5..])?;
+            let (_, out) = nodes[0];
+            let op = DcAnalysis::new().run(&ckt).map_err(|e| e.to_string())?;
+            let res = NoiseAnalysis::log(f0, f1, ppd)
+                .run(&ckt, &op, out)
+                .map_err(|e| e.to_string())?;
+            println!("freq,psd_v2_per_hz");
+            for (f, p) in res.freqs().iter().zip(res.psd()) {
+                println!("{f:.6e},{p:.6e}");
+            }
+            eprintln!("integrated output noise: {:.4e} Vrms", res.output_rms());
+            for c in res.contributors().iter().take(5) {
+                eprintln!("  {}: {:.3e} V^2", c.element, c.power);
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown analysis '{other}'")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("minispice: {e}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,545 @@
+use std::collections::HashMap;
+
+use crate::mosfet::MosModel;
+use crate::waveform::Waveform;
+use crate::SimError;
+
+/// A circuit node handle.
+///
+/// Nodes are created through [`Circuit::node`]; the ground node is the
+/// constant [`Circuit::GROUND`]. A `Node` is only meaningful for the circuit
+/// that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Node(pub(crate) usize);
+
+impl Node {
+    /// `true` for the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Index of this node's voltage unknown in the MNA system, or `None`
+    /// for ground.
+    pub(crate) fn unknown(self) -> Option<usize> {
+        self.0.checked_sub(1)
+    }
+}
+
+/// Identifier of an element inside its [`Circuit`], returned by the builder
+/// methods; used to retrieve branch currents and device operating points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ElementId(pub(crate) usize);
+
+/// A sized MOSFET instance: model card plus geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosInstance {
+    /// Model card (threshold, transconductance parameter, …).
+    pub model: MosModel,
+    /// Channel width in meters.
+    pub w: f64,
+    /// Channel length in meters.
+    pub l: f64,
+    /// Parallel multiplier (number of fingers/copies).
+    pub m: f64,
+}
+
+/// One circuit element.
+///
+/// Terminal order follows SPICE conventions; all node fields are handles
+/// from the owning [`Circuit`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Element {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Resistance in ohms (must be positive).
+        ohms: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Capacitance in farads (must be positive).
+        farads: f64,
+    },
+    /// Linear inductor between `a` and `b` (current is a branch unknown,
+    /// flowing from `a` to `b`).
+    Inductor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Inductance in henries (must be positive).
+        henries: f64,
+    },
+    /// Independent voltage source from `p` (positive) to `n`.
+    Vsource {
+        /// Instance name.
+        name: String,
+        /// Positive terminal.
+        p: Node,
+        /// Negative terminal.
+        n: Node,
+        /// DC value in volts.
+        dc: f64,
+        /// AC magnitude for small-signal analysis (0 = quiet).
+        ac_mag: f64,
+        /// Optional transient waveform; DC value is used when absent.
+        waveform: Option<Waveform>,
+    },
+    /// Independent current source pushing `dc` amps from `p` to `n`
+    /// (through the source), i.e. extracting current from node `p`.
+    Isource {
+        /// Instance name.
+        name: String,
+        /// Terminal the current leaves from.
+        p: Node,
+        /// Terminal the current flows into.
+        n: Node,
+        /// DC value in amps.
+        dc: f64,
+        /// AC magnitude for small-signal analysis.
+        ac_mag: f64,
+        /// Optional transient waveform.
+        waveform: Option<Waveform>,
+    },
+    /// Four-terminal MOSFET (drain, gate, source, bulk).
+    Mosfet {
+        /// Instance name.
+        name: String,
+        /// Drain terminal.
+        d: Node,
+        /// Gate terminal.
+        g: Node,
+        /// Source terminal.
+        s: Node,
+        /// Bulk terminal.
+        b: Node,
+        /// Sizing and model card.
+        inst: MosInstance,
+    },
+    /// Voltage-controlled voltage source: `v(p,n) = gain · v(cp,cn)`.
+    Vcvs {
+        /// Instance name.
+        name: String,
+        /// Positive output terminal.
+        p: Node,
+        /// Negative output terminal.
+        n: Node,
+        /// Positive controlling terminal.
+        cp: Node,
+        /// Negative controlling terminal.
+        cn: Node,
+        /// Voltage gain.
+        gain: f64,
+    },
+    /// Voltage-controlled current source: `i(p→n) = gm · v(cp,cn)`.
+    Vccs {
+        /// Instance name.
+        name: String,
+        /// Terminal the current leaves from.
+        p: Node,
+        /// Terminal the current flows into.
+        n: Node,
+        /// Positive controlling terminal.
+        cp: Node,
+        /// Negative controlling terminal.
+        cn: Node,
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+}
+
+impl Element {
+    /// Instance name of the element.
+    pub fn name(&self) -> &str {
+        match self {
+            Element::Resistor { name, .. }
+            | Element::Capacitor { name, .. }
+            | Element::Inductor { name, .. }
+            | Element::Vsource { name, .. }
+            | Element::Isource { name, .. }
+            | Element::Mosfet { name, .. }
+            | Element::Vcvs { name, .. }
+            | Element::Vccs { name, .. } => name,
+        }
+    }
+}
+
+/// A netlist under construction: nodes plus elements.
+///
+/// See the [crate-level example](crate) for typical usage. Build the
+/// topology with the `resistor`/`capacitor`/`vsource`/`mosfet`/… methods,
+/// then hand the circuit to an analysis in [`crate::analysis`].
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    name_to_node: HashMap<String, Node>,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// The ground (reference) node, always present.
+    pub const GROUND: Node = Node(0);
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        let mut ckt = Circuit {
+            node_names: Vec::new(),
+            name_to_node: HashMap::new(),
+            elements: Vec::new(),
+        };
+        ckt.node_names.push("0".to_string());
+        ckt.name_to_node.insert("0".to_string(), Node(0));
+        ckt
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    /// The name `"0"` refers to ground.
+    pub fn node(&mut self, name: &str) -> Node {
+        if let Some(&n) = self.name_to_node.get(name) {
+            return n;
+        }
+        let n = Node(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.name_to_node.insert(name.to_string(), n);
+        n
+    }
+
+    /// Looks up an existing node by name.
+    pub fn find_node(&self, name: &str) -> Option<Node> {
+        self.name_to_node.get(name).copied()
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this circuit.
+    pub fn node_name(&self, node: Node) -> &str {
+        &self.node_names[node.0]
+    }
+
+    /// Total node count, including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// All nodes in creation order, starting with ground.
+    pub fn nodes(&self) -> Vec<Node> {
+        (0..self.node_names.len()).map(Node).collect()
+    }
+
+    /// Element ids paired with their elements, in insertion order.
+    pub fn elements_with_ids(&self) -> impl Iterator<Item = (ElementId, &Element)> {
+        self.elements.iter().enumerate().map(|(i, e)| (ElementId(i), e))
+    }
+
+    /// Mutable element access for in-crate transformations (Monte Carlo).
+    pub(crate) fn elements_mut(&mut self) -> &mut [Element] {
+        &mut self.elements
+    }
+
+    /// The elements in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Element lookup by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.0]
+    }
+
+    /// Finds an element id by instance name.
+    pub fn find_element(&self, name: &str) -> Option<ElementId> {
+        self.elements
+            .iter()
+            .position(|e| e.name() == name)
+            .map(ElementId)
+    }
+
+    fn push(&mut self, e: Element) -> ElementId {
+        self.elements.push(e);
+        ElementId(self.elements.len() - 1)
+    }
+
+    /// Adds a resistor.
+    pub fn resistor(&mut self, name: &str, a: Node, b: Node, ohms: f64) -> ElementId {
+        self.push(Element::Resistor { name: name.into(), a, b, ohms })
+    }
+
+    /// Adds a capacitor.
+    pub fn capacitor(&mut self, name: &str, a: Node, b: Node, farads: f64) -> ElementId {
+        self.push(Element::Capacitor { name: name.into(), a, b, farads })
+    }
+
+    /// Adds an inductor.
+    pub fn inductor(&mut self, name: &str, a: Node, b: Node, henries: f64) -> ElementId {
+        self.push(Element::Inductor { name: name.into(), a, b, henries })
+    }
+
+    /// Adds a DC voltage source.
+    pub fn vsource(&mut self, name: &str, p: Node, n: Node, dc: f64) -> ElementId {
+        self.push(Element::Vsource { name: name.into(), p, n, dc, ac_mag: 0.0, waveform: None })
+    }
+
+    /// Adds a voltage source with both DC value and AC magnitude.
+    pub fn vsource_ac(&mut self, name: &str, p: Node, n: Node, dc: f64, ac_mag: f64) -> ElementId {
+        self.push(Element::Vsource { name: name.into(), p, n, dc, ac_mag, waveform: None })
+    }
+
+    /// Adds a DC current source (`dc` amps flowing from `p` to `n` through
+    /// the source).
+    pub fn isource(&mut self, name: &str, p: Node, n: Node, dc: f64) -> ElementId {
+        self.push(Element::Isource { name: name.into(), p, n, dc, ac_mag: 0.0, waveform: None })
+    }
+
+    /// Adds a current source with both DC value and AC magnitude.
+    pub fn isource_ac(&mut self, name: &str, p: Node, n: Node, dc: f64, ac_mag: f64) -> ElementId {
+        self.push(Element::Isource { name: name.into(), p, n, dc, ac_mag, waveform: None })
+    }
+
+    /// Adds a MOSFET (drain, gate, source, bulk order).
+    pub fn mosfet(
+        &mut self,
+        name: &str,
+        d: Node,
+        g: Node,
+        s: Node,
+        b: Node,
+        inst: MosInstance,
+    ) -> ElementId {
+        self.push(Element::Mosfet { name: name.into(), d, g, s, b, inst })
+    }
+
+    /// Adds a voltage-controlled voltage source.
+    pub fn vcvs(
+        &mut self,
+        name: &str,
+        p: Node,
+        n: Node,
+        cp: Node,
+        cn: Node,
+        gain: f64,
+    ) -> ElementId {
+        self.push(Element::Vcvs { name: name.into(), p, n, cp, cn, gain })
+    }
+
+    /// Adds a voltage-controlled current source.
+    pub fn vccs(
+        &mut self,
+        name: &str,
+        p: Node,
+        n: Node,
+        cp: Node,
+        cn: Node,
+        gm: f64,
+    ) -> ElementId {
+        self.push(Element::Vccs { name: name.into(), p, n, cp, cn, gm })
+    }
+
+    /// Attaches a transient waveform to an independent source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a voltage or current source.
+    pub fn set_waveform(&mut self, id: ElementId, wf: Waveform) {
+        match &mut self.elements[id.0] {
+            Element::Vsource { waveform, .. } | Element::Isource { waveform, .. } => {
+                *waveform = Some(wf);
+            }
+            other => panic!("set_waveform on non-source element {}", other.name()),
+        }
+    }
+
+    /// Overrides the DC value of an independent source (useful for sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a voltage or current source.
+    pub fn set_dc(&mut self, id: ElementId, value: f64) {
+        match &mut self.elements[id.0] {
+            Element::Vsource { dc, .. } | Element::Isource { dc, .. } => *dc = value,
+            other => panic!("set_dc on non-source element {}", other.name()),
+        }
+    }
+
+    /// Validates element values; analyses call this before running.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadNetlist`] for non-positive resistances,
+    /// capacitances or device geometry, and for an element-free circuit.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.elements.is_empty() {
+            return Err(SimError::BadNetlist { reason: "circuit has no elements".into() });
+        }
+        for e in &self.elements {
+            match e {
+                Element::Resistor { name, ohms, .. } => {
+                    if !(*ohms > 0.0) || !ohms.is_finite() {
+                        return Err(SimError::BadNetlist {
+                            reason: format!("resistor {name} has non-positive value {ohms}"),
+                        });
+                    }
+                }
+                Element::Capacitor { name, farads, .. } => {
+                    if !(*farads > 0.0) || !farads.is_finite() {
+                        return Err(SimError::BadNetlist {
+                            reason: format!("capacitor {name} has non-positive value {farads}"),
+                        });
+                    }
+                }
+                Element::Inductor { name, henries, .. } => {
+                    if !(*henries > 0.0) || !henries.is_finite() {
+                        return Err(SimError::BadNetlist {
+                            reason: format!("inductor {name} has non-positive value {henries}"),
+                        });
+                    }
+                }
+                Element::Mosfet { name, inst, .. } => {
+                    if !(inst.w > 0.0) || !(inst.l > 0.0) || !(inst.m > 0.0) {
+                        return Err(SimError::BadNetlist {
+                            reason: format!("mosfet {name} has non-positive geometry"),
+                        });
+                    }
+                }
+                Element::Vsource { name, dc, .. } | Element::Isource { name, dc, .. } => {
+                    if !dc.is_finite() {
+                        return Err(SimError::BadNetlist {
+                            reason: format!("source {name} has non-finite value {dc}"),
+                        });
+                    }
+                }
+                Element::Vcvs { name, gain, .. } => {
+                    if !gain.is_finite() {
+                        return Err(SimError::BadNetlist {
+                            reason: format!("vcvs {name} has non-finite gain"),
+                        });
+                    }
+                }
+                Element::Vccs { name, gm, .. } => {
+                    if !gm.is_finite() {
+                        return Err(SimError::BadNetlist {
+                            reason: format!("vccs {name} has non-finite gm"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mosfet::nmos_180nm;
+
+    #[test]
+    fn ground_is_predeclared() {
+        let ckt = Circuit::new();
+        assert_eq!(ckt.node_count(), 1);
+        assert!(Circuit::GROUND.is_ground());
+        assert_eq!(ckt.find_node("0"), Some(Circuit::GROUND));
+    }
+
+    #[test]
+    fn node_reuse_by_name() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let a2 = ckt.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(ckt.node_count(), 2);
+        assert_eq!(ckt.node_name(a), "a");
+    }
+
+    #[test]
+    fn element_lookup() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let id = ckt.resistor("R1", a, Circuit::GROUND, 100.0);
+        assert_eq!(ckt.find_element("R1"), Some(id));
+        assert_eq!(ckt.element(id).name(), "R1");
+        assert_eq!(ckt.find_element("R2"), None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor("R1", a, Circuit::GROUND, -5.0);
+        assert!(matches!(ckt.validate(), Err(SimError::BadNetlist { .. })));
+
+        let mut ckt2 = Circuit::new();
+        let b = ckt2.node("b");
+        ckt2.capacitor("C1", b, Circuit::GROUND, 0.0);
+        assert!(ckt2.validate().is_err());
+
+        let mut ckt3 = Circuit::new();
+        let d = ckt3.node("d");
+        ckt3.mosfet(
+            "M1",
+            d,
+            d,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosInstance { model: nmos_180nm(), w: -1e-6, l: 1e-6, m: 1.0 },
+        );
+        assert!(ckt3.validate().is_err());
+    }
+
+    #[test]
+    fn empty_circuit_is_invalid() {
+        assert!(Circuit::new().validate().is_err());
+    }
+
+    #[test]
+    fn waveform_attaches_to_sources_only() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let v = ckt.vsource("V1", a, Circuit::GROUND, 1.0);
+        ckt.set_waveform(v, Waveform::Dc(2.0));
+        match ckt.element(v) {
+            Element::Vsource { waveform, .. } => assert!(waveform.is_some()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-source")]
+    fn waveform_on_resistor_panics() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let r = ckt.resistor("R1", a, Circuit::GROUND, 1.0);
+        ckt.set_waveform(r, Waveform::Dc(2.0));
+    }
+
+    #[test]
+    fn set_dc_updates_source() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let v = ckt.vsource("V1", a, Circuit::GROUND, 1.0);
+        ckt.set_dc(v, 5.0);
+        match ckt.element(v) {
+            Element::Vsource { dc, .. } => assert_eq!(*dc, 5.0),
+            _ => unreachable!(),
+        }
+    }
+}

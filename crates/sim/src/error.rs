@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+use maopt_linalg::LinalgError;
+
+/// Errors reported by the circuit analyses.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Newton–Raphson failed to converge within the iteration budget, even
+    /// after gmin and source stepping.
+    NoConvergence {
+        /// Which analysis failed, e.g. `"dc"` or `"tran @ t=1.5e-6"`.
+        analysis: String,
+        /// Iterations spent before giving up.
+        iterations: usize,
+    },
+    /// The MNA matrix was singular — usually a floating node or a loop of
+    /// voltage sources.
+    SingularMatrix {
+        /// Which analysis hit the singularity.
+        analysis: String,
+    },
+    /// The netlist is malformed (unknown node, non-positive element value…).
+    BadNetlist {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An analysis was asked for a quantity it cannot produce
+    /// (e.g. noise at a node with no DC path).
+    BadRequest {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoConvergence { analysis, iterations } => {
+                write!(f, "{analysis} analysis failed to converge after {iterations} iterations")
+            }
+            SimError::SingularMatrix { analysis } => {
+                write!(f, "singular MNA matrix in {analysis} analysis (floating node?)")
+            }
+            SimError::BadNetlist { reason } => write!(f, "bad netlist: {reason}"),
+            SimError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<LinalgError> for SimError {
+    fn from(e: LinalgError) -> Self {
+        match e {
+            LinalgError::Singular { .. } => SimError::SingularMatrix { analysis: "linear solve".into() },
+            other => SimError::BadNetlist { reason: other.to_string() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::NoConvergence { analysis: "dc".into(), iterations: 100 };
+        assert!(e.to_string().contains("dc"));
+        assert!(e.to_string().contains("100"));
+        let e = SimError::SingularMatrix { analysis: "ac".into() };
+        assert!(e.to_string().contains("floating node"));
+    }
+
+    #[test]
+    fn from_linalg_singular() {
+        let e: SimError = LinalgError::Singular { pivot: 2 }.into();
+        assert!(matches!(e, SimError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        let e: Box<dyn Error + Send + Sync> =
+            Box::new(SimError::BadNetlist { reason: "negative resistor".into() });
+        assert!(e.to_string().contains("negative resistor"));
+    }
+}

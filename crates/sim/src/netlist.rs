@@ -1,0 +1,425 @@
+//! A SPICE-flavoured netlist parser.
+//!
+//! Supports the element cards used by this simulator so circuits can be
+//! loaded from text instead of built programmatically:
+//!
+//! ```text
+//! * comment lines start with '*'
+//! VDD vdd 0 1.8
+//! VIN in  0 0.9 AC 1
+//! R1  vdd out 10k
+//! C1  out 0   500f
+//! L1  out tap 1u
+//! M1  out in 0 0 NMOS W=20u L=0.5u M=2
+//! IB  vdd bias 10u
+//! E1  x 0 a b 2.0      * VCVS
+//! G1  x 0 a b 1m       * VCCS
+//! ```
+//!
+//! * Node `0` is ground; all other names are created on first use.
+//! * Values accept SPICE suffixes: `f p n u m k meg g t` (case-insensitive).
+//! * MOSFETs take the built-in `NMOS`/`PMOS` 180 nm model cards with
+//!   `W=`, `L=` and optional `M=` geometry.
+//! * `V`/`I` sources accept an optional trailing `AC <mag>` and
+//!   `PULSE(v1 v2 td tr tf pw per)` or `PWL(t1 v1 t2 v2 …)` waveforms.
+//!
+//! This is deliberately a subset of SPICE: no subcircuits, no `.model`
+//! cards, no control statements. Unknown cards produce a
+//! [`SimError::BadNetlist`] with the offending line number.
+
+use crate::circuit::Circuit;
+use crate::mosfet::{nmos_180nm, pmos_180nm};
+use crate::waveform::Waveform;
+use crate::{MosInstance, SimError};
+
+/// Parses a SPICE-flavoured netlist into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`SimError::BadNetlist`] with a line-numbered message for any
+/// malformed card.
+///
+/// # Example
+///
+/// ```
+/// use maopt_sim::{parse_netlist, analysis::dc::DcAnalysis};
+///
+/// # fn main() -> Result<(), maopt_sim::SimError> {
+/// let ckt = parse_netlist(
+///     "* divider
+///      V1 in 0 10
+///      R1 in out 1k
+///      R2 out 0 3k",
+/// )?;
+/// let op = DcAnalysis::new().run(&ckt)?;
+/// let out = ckt.find_node("out").expect("node exists");
+/// assert!((op.voltage(out) - 7.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_netlist(text: &str) -> Result<Circuit, SimError> {
+    let mut ckt = Circuit::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        parse_card(&mut ckt, line, lineno + 1)?;
+    }
+    Ok(ckt)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let t = line.trim_start();
+    if t.starts_with('*') {
+        return "";
+    }
+    match line.find(';') {
+        Some(k) => &line[..k],
+        None => line,
+    }
+}
+
+fn bad(lineno: usize, msg: impl std::fmt::Display) -> SimError {
+    SimError::BadNetlist { reason: format!("line {lineno}: {msg}") }
+}
+
+/// Parses a SPICE value with magnitude suffix (`10k`, `0.5u`, `2meg`, …).
+pub fn parse_value(token: &str) -> Option<f64> {
+    let t = token.trim().to_ascii_lowercase();
+    // Longest suffixes first.
+    const SUFFIXES: [(&str, f64); 9] = [
+        ("meg", 1e6),
+        ("f", 1e-15),
+        ("p", 1e-12),
+        ("n", 1e-9),
+        ("u", 1e-6),
+        ("m", 1e-3),
+        ("k", 1e3),
+        ("g", 1e9),
+        ("t", 1e12),
+    ];
+    for (suf, mult) in SUFFIXES {
+        if let Some(stem) = t.strip_suffix(suf) {
+            if let Ok(v) = stem.parse::<f64>() {
+                return Some(v * mult);
+            }
+        }
+    }
+    t.parse::<f64>().ok()
+}
+
+/// Splits `W=20u` style assignments.
+fn parse_assign(token: &str) -> Option<(String, f64)> {
+    let (k, v) = token.split_once('=')?;
+    Some((k.trim().to_ascii_uppercase(), parse_value(v)?))
+}
+
+/// Parses a trailing source specification: optional `AC <mag>` and one
+/// optional `PULSE(...)` / `PWL(...)` group. Returns `(ac_mag, waveform)`.
+fn parse_source_tail(tokens: &[String], lineno: usize) -> Result<(f64, Option<Waveform>), SimError> {
+    let mut ac = 0.0;
+    let mut wf = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = tokens[i].to_ascii_uppercase();
+        if t == "AC" {
+            let mag = tokens
+                .get(i + 1)
+                .and_then(|v| parse_value(v))
+                .ok_or_else(|| bad(lineno, "AC needs a magnitude"))?;
+            ac = mag;
+            i += 2;
+        } else if let Some(args) = t.strip_prefix("PULSE(") {
+            let inner = args.strip_suffix(')').ok_or_else(|| bad(lineno, "unclosed PULSE("))?;
+            let vals: Vec<f64> = inner
+                .split_whitespace()
+                .map(|v| parse_value(v).ok_or_else(|| bad(lineno, format!("bad PULSE value {v}"))))
+                .collect::<Result<_, _>>()?;
+            if vals.len() != 7 {
+                return Err(bad(lineno, "PULSE needs 7 values (v1 v2 td tr tf pw per)"));
+            }
+            wf = Some(Waveform::pulse(
+                vals[0], vals[1], vals[2], vals[3], vals[4], vals[5],
+                if vals[6] > 0.0 { vals[6] } else { f64::INFINITY },
+            ));
+            i += 1;
+        } else if let Some(args) = t.strip_prefix("PWL(") {
+            let inner = args.strip_suffix(')').ok_or_else(|| bad(lineno, "unclosed PWL("))?;
+            let vals: Vec<f64> = inner
+                .split_whitespace()
+                .map(|v| parse_value(v).ok_or_else(|| bad(lineno, format!("bad PWL value {v}"))))
+                .collect::<Result<_, _>>()?;
+            if vals.is_empty() || vals.len() % 2 != 0 {
+                return Err(bad(lineno, "PWL needs an even, non-zero number of values"));
+            }
+            let points: Vec<(f64, f64)> =
+                vals.chunks(2).map(|c| (c[0], c[1])).collect();
+            wf = Some(Waveform::pwl(points));
+            i += 1;
+        } else {
+            return Err(bad(lineno, format!("unexpected token '{}'", tokens[i])));
+        }
+    }
+    Ok((ac, wf))
+}
+
+/// Re-joins parenthesised groups so `PULSE(0 1 0 1n 1n 5u 10u)` survives
+/// whitespace tokenization as a single token.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in line.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            c if c.is_whitespace() && depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_card(ckt: &mut Circuit, line: &str, lineno: usize) -> Result<(), SimError> {
+    let tokens = tokenize(line);
+    if tokens.is_empty() {
+        return Ok(());
+    }
+    let name = tokens[0].clone();
+    let kind = name.chars().next().expect("non-empty token").to_ascii_uppercase();
+    let args = &tokens[1..];
+
+    let need = |n: usize| -> Result<(), SimError> {
+        if args.len() < n {
+            Err(bad(lineno, format!("{name}: expected at least {n} fields")))
+        } else {
+            Ok(())
+        }
+    };
+    macro_rules! node {
+        ($k:expr) => {
+            ckt.node(&args[$k])
+        };
+    }
+    macro_rules! value {
+        ($k:expr) => {
+            parse_value(&args[$k]).ok_or_else(|| bad(lineno, format!("bad value '{}'", args[$k])))?
+        };
+    }
+
+    match kind {
+        'R' => {
+            need(3)?;
+            let (a, b, v) = (node!(0), node!(1), value!(2));
+            ckt.resistor(&name, a, b, v);
+        }
+        'C' => {
+            need(3)?;
+            let (a, b, v) = (node!(0), node!(1), value!(2));
+            ckt.capacitor(&name, a, b, v);
+        }
+        'L' => {
+            need(3)?;
+            let (a, b, v) = (node!(0), node!(1), value!(2));
+            ckt.inductor(&name, a, b, v);
+        }
+        'V' | 'I' => {
+            need(3)?;
+            let (p, n, dc) = (node!(0), node!(1), value!(2));
+            let (ac, wf) = parse_source_tail(&args[3..], lineno)?;
+            let id = if kind == 'V' {
+                ckt.vsource_ac(&name, p, n, dc, ac)
+            } else {
+                ckt.isource_ac(&name, p, n, dc, ac)
+            };
+            if let Some(wf) = wf {
+                ckt.set_waveform(id, wf);
+            }
+        }
+        'M' => {
+            need(5)?;
+            let (d, g, s, b) = (node!(0), node!(1), node!(2), node!(3));
+            let model = match args[4].to_ascii_uppercase().as_str() {
+                "NMOS" => nmos_180nm(),
+                "PMOS" => pmos_180nm(),
+                other => return Err(bad(lineno, format!("unknown model '{other}'"))),
+            };
+            let mut w = None;
+            let mut l = None;
+            let mut m = 1.0;
+            for t in &args[5..] {
+                match parse_assign(t) {
+                    Some((k, v)) if k == "W" => w = Some(v),
+                    Some((k, v)) if k == "L" => l = Some(v),
+                    Some((k, v)) if k == "M" => m = v,
+                    _ => return Err(bad(lineno, format!("bad MOS parameter '{t}'"))),
+                }
+            }
+            let w = w.ok_or_else(|| bad(lineno, "MOSFET needs W="))?;
+            let l = l.ok_or_else(|| bad(lineno, "MOSFET needs L="))?;
+            ckt.mosfet(&name, d, g, s, b, MosInstance { model, w, l, m });
+        }
+        'E' => {
+            need(5)?;
+            let (p, n, cp, cn, gain) = (node!(0), node!(1), node!(2), node!(3), value!(4));
+            ckt.vcvs(&name, p, n, cp, cn, gain);
+        }
+        'G' => {
+            need(5)?;
+            let (p, n, cp, cn, gm) = (node!(0), node!(1), node!(2), node!(3), value!(4));
+            ckt.vccs(&name, p, n, cp, cn, gm);
+        }
+        '.' => {
+            // Control cards are not supported; .end is tolerated.
+            if !name.eq_ignore_ascii_case(".end") {
+                return Err(bad(lineno, format!("unsupported control card '{name}'")));
+            }
+        }
+        other => return Err(bad(lineno, format!("unknown element type '{other}'"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::dc::DcAnalysis;
+    use crate::Element;
+
+    #[test]
+    fn value_suffixes() {
+        assert_eq!(parse_value("10k"), Some(10e3));
+        assert_eq!(parse_value("2meg"), Some(2e6));
+        assert_eq!(parse_value("500f"), Some(500e-15));
+        assert_eq!(parse_value("0.5u"), Some(0.5e-6));
+        assert_eq!(parse_value("1.8"), Some(1.8));
+        let v = parse_value("3n").expect("3n parses");
+        assert!((v - 3e-9).abs() < 1e-18, "3n → {v}");
+        assert_eq!(parse_value("1G"), Some(1e9));
+        assert_eq!(parse_value("x"), None);
+        assert_eq!(parse_value("10kk"), None);
+    }
+
+    #[test]
+    fn divider_parses_and_solves() {
+        let ckt = parse_netlist(
+            "* a divider
+             V1 in 0 10
+             R1 in out 1k
+             R2 out 0 3k",
+        )
+        .unwrap();
+        assert_eq!(ckt.elements().len(), 3);
+        let op = DcAnalysis::new().run(&ckt).unwrap();
+        assert!((op.voltage(ckt.find_node("out").unwrap()) - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mosfet_card_with_geometry() {
+        let ckt = parse_netlist(
+            "VDD vdd 0 1.8
+             VG  g 0 0.9
+             RD  vdd d 10k
+             M1  d g 0 0 NMOS W=20u L=0.5u M=2",
+        )
+        .unwrap();
+        match &ckt.elements()[3] {
+            Element::Mosfet { inst, .. } => {
+                assert!((inst.w - 20e-6).abs() < 1e-18);
+                assert!((inst.l - 0.5e-6).abs() < 1e-18);
+                assert_eq!(inst.m, 2.0);
+            }
+            other => panic!("expected mosfet, got {other:?}"),
+        }
+        assert!(DcAnalysis::new().run(&ckt).is_ok());
+    }
+
+    #[test]
+    fn source_with_ac_and_pulse() {
+        let ckt = parse_netlist("V1 a 0 0.9 AC 1 PULSE(0 1 0 1n 1n 5u 0)").unwrap();
+        match &ckt.elements()[0] {
+            Element::Vsource { dc, ac_mag, waveform, .. } => {
+                assert_eq!(*dc, 0.9);
+                assert_eq!(*ac_mag, 1.0);
+                let wf = waveform.as_ref().expect("waveform parsed");
+                assert_eq!(wf.value(2e-6), 1.0);
+                assert_eq!(wf.value(1e-3), 0.0, "zero period means single pulse");
+            }
+            other => panic!("expected vsource, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pwl_source() {
+        let ckt = parse_netlist("I1 0 a 0 PWL(0 0 1u 2m)").unwrap();
+        match &ckt.elements()[0] {
+            Element::Isource { waveform, .. } => {
+                let wf = waveform.as_ref().unwrap();
+                assert!((wf.value(0.5e-6) - 1e-3).abs() < 1e-12);
+            }
+            other => panic!("expected isource, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn controlled_sources_and_inductor() {
+        let ckt = parse_netlist(
+            "V1 a 0 1
+             L1 a b 1m
+             E1 x 0 a b 2.0
+             G1 y 0 a b 1m
+             R1 x 0 1k
+             R2 y 0 1k
+             R3 b 0 1k",
+        )
+        .unwrap();
+        assert_eq!(ckt.elements().len(), 7);
+        assert!(DcAnalysis::new().run(&ckt).is_ok());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_netlist("R1 a 0 1k\nQ1 a b c").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = parse_netlist("R1 a 0").unwrap_err();
+        assert!(err.to_string().contains("at least 3"), "{err}");
+        let err = parse_netlist("M1 d g 0 0 NMOS W=1u").unwrap_err();
+        assert!(err.to_string().contains("needs L="), "{err}");
+        let err = parse_netlist("V1 a 0 1 AC").unwrap_err();
+        assert!(err.to_string().contains("AC needs"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_end_are_tolerated() {
+        let ckt = parse_netlist(
+            "* title
+             R1 a 0 1k ; trailing comment
+             .end",
+        )
+        .unwrap();
+        assert_eq!(ckt.elements().len(), 1);
+        match &ckt.elements()[0] {
+            Element::Resistor { ohms, .. } => assert_eq!(*ohms, 1e3),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn unknown_control_card_rejected() {
+        assert!(parse_netlist(".tran 1n 1u").is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of circuit-level physical invariants.
+
+use maopt_sim::analysis::ac::AcAnalysis;
+use maopt_sim::analysis::dc::DcAnalysis;
+use maopt_sim::{nmos_180nm, pmos_180nm, Circuit, MosInstance, Waveform};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Voltage dividers obey the analytic ratio for any positive resistors.
+    #[test]
+    fn divider_ratio(r1 in 1.0f64..1e6, r2 in 1.0f64..1e6, v in -10.0f64..10.0) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.vsource("V1", vin, Circuit::GROUND, v);
+        ckt.resistor("R1", vin, out, r1);
+        ckt.resistor("R2", out, Circuit::GROUND, r2);
+        let op = DcAnalysis::new().run(&ckt).unwrap();
+        let expected = v * r2 / (r1 + r2);
+        prop_assert!((op.voltage(out) - expected).abs() < 1e-6 * (1.0 + expected.abs()));
+    }
+
+    /// KCL at the solution: the source current equals the load current for
+    /// a single-loop circuit.
+    #[test]
+    fn source_current_matches_ohms_law(r in 1.0f64..1e6, v in 0.1f64..10.0) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let vs = ckt.vsource("V1", a, Circuit::GROUND, v);
+        ckt.resistor("R1", a, Circuit::GROUND, r);
+        let op = DcAnalysis::new().run(&ckt).unwrap();
+        let i = op.branch_current(vs).unwrap();
+        prop_assert!((i + v / r).abs() < 1e-9 * (1.0 + (v / r).abs()));
+    }
+
+    /// MOSFET drain current is monotone in gate drive (fixed everything
+    /// else) across the whole model, including the subthreshold blend.
+    #[test]
+    fn mosfet_current_monotone_in_vgs(
+        vg1 in 0.0f64..1.8,
+        vg2 in 0.0f64..1.8,
+        vd in 0.05f64..1.8,
+        w_um in 1.0f64..100.0,
+        l_um in 0.18f64..2.0,
+    ) {
+        let nmos = nmos_180nm();
+        let (lo, hi) = (vg1.min(vg2), vg1.max(vg2));
+        let i_lo = nmos.eval(vd, lo, 0.0, 0.0, w_um * 1e-6, l_um * 1e-6, 1.0).id;
+        let i_hi = nmos.eval(vd, hi, 0.0, 0.0, w_um * 1e-6, l_um * 1e-6, 1.0).id;
+        prop_assert!(i_hi >= i_lo - 1e-15, "Id must grow with Vgs: {i_lo} vs {i_hi}");
+    }
+
+    /// The CMOS inverter transfer curve is monotone non-increasing for any
+    /// device sizing.
+    #[test]
+    fn inverter_vtc_monotone(wn in 0.5f64..20.0, wp in 0.5f64..40.0) {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, Circuit::GROUND, 1.8);
+        let vin = ckt.vsource("VIN", inp, Circuit::GROUND, 0.0);
+        ckt.mosfet("MP", out, inp, vdd, vdd,
+            MosInstance { model: pmos_180nm(), w: wp * 1e-6, l: 0.18e-6, m: 1.0 });
+        ckt.mosfet("MN", out, inp, Circuit::GROUND, Circuit::GROUND,
+            MosInstance { model: nmos_180nm(), w: wn * 1e-6, l: 0.18e-6, m: 1.0 });
+        let values: Vec<f64> = (0..=9).map(|i| i as f64 * 0.2).collect();
+        let ops = maopt_sim::analysis::dc::dc_sweep(&mut ckt, vin, &values).unwrap();
+        let vouts: Vec<f64> = ops.iter().map(|op| op.voltage(out)).collect();
+        for w in vouts.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-5, "VTC must fall: {vouts:?}");
+        }
+    }
+
+    /// RC low-pass magnitude response is 1/√(1+(f/f₀)²) at every frequency.
+    #[test]
+    fn rc_lowpass_magnitude(
+        r in 10.0f64..1e5,
+        c in 1e-12f64..1e-6,
+        fmul in 0.01f64..100.0,
+    ) {
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+        let f = f0 * fmul;
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.vsource_ac("V1", vin, Circuit::GROUND, 0.0, 1.0);
+        ckt.resistor("R1", vin, out, r);
+        ckt.capacitor("C1", out, Circuit::GROUND, c);
+        let op = DcAnalysis::new().run(&ckt).unwrap();
+        let ac = AcAnalysis::new(vec![f]).run(&ckt, &op).unwrap();
+        let mag = ac.voltage(0, out).abs();
+        let expected = 1.0 / (1.0 + fmul * fmul).sqrt();
+        prop_assert!((mag - expected).abs() < 1e-6, "at {fmul}·f0: {mag} vs {expected}");
+    }
+
+    /// Waveform values always lie within the [min, max] of their
+    /// breakpoints (PULSE and PWL are interpolating).
+    #[test]
+    fn waveform_bounded(
+        v1 in -5.0f64..5.0,
+        v2 in -5.0f64..5.0,
+        t in 0.0f64..10.0,
+    ) {
+        let lo = v1.min(v2);
+        let hi = v1.max(v2);
+        let pulse = Waveform::pulse(v1, v2, 1.0, 0.5, 0.5, 2.0, 6.0);
+        let val = pulse.value(t);
+        prop_assert!((lo - 1e-12..=hi + 1e-12).contains(&val));
+        let pwl = Waveform::pwl(vec![(0.0, v1), (5.0, v2)]);
+        let val = pwl.value(t);
+        prop_assert!((lo - 1e-12..=hi + 1e-12).contains(&val));
+    }
+}

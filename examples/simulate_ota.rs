@@ -1,0 +1,61 @@
+//! Drive the circuit simulator directly: build a common-source amplifier,
+//! bias it, and sweep it across frequency — the substrate the sizing
+//! problems are built on.
+//!
+//! ```text
+//! cargo run --release --example simulate_ota
+//! ```
+
+use ma_opt::sim::analysis::ac::AcAnalysis;
+use ma_opt::sim::analysis::dc::DcAnalysis;
+use ma_opt::sim::analysis::measure::Bode;
+use ma_opt::sim::analysis::noise::NoiseAnalysis;
+use ma_opt::sim::{nmos_180nm, Circuit, MosInstance, SimError};
+
+fn main() -> Result<(), SimError> {
+    // A resistively loaded common-source NMOS amplifier.
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let gate = ckt.node("gate");
+    let drain = ckt.node("drain");
+    ckt.vsource("VDD", vdd, Circuit::GROUND, 1.8);
+    ckt.vsource_ac("VG", gate, Circuit::GROUND, 0.65, 1.0);
+    ckt.resistor("RD", vdd, drain, 20e3);
+    ckt.capacitor("CL", drain, Circuit::GROUND, 500e-15);
+    let m1 = ckt.mosfet(
+        "M1",
+        drain,
+        gate,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        MosInstance { model: nmos_180nm(), w: 20e-6, l: 0.5e-6, m: 1.0 },
+    );
+
+    // DC operating point.
+    let op = DcAnalysis::new().run(&ckt)?;
+    let mos = op.mos_op(m1).expect("M1 is a MOSFET");
+    println!("-- operating point --");
+    println!("V(drain) = {:.3} V", op.voltage(drain));
+    println!("Id = {:.1} uA   gm = {:.3} mS   gds = {:.2} uS   region = {:?}",
+        mos.id * 1e6, mos.gm * 1e3, mos.gds * 1e6, mos.region);
+
+    // AC sweep → Bode quantities.
+    let freqs = ma_opt::sim::analysis::ac::log_freqs(1e2, 1e10, 10);
+    let ac = AcAnalysis::new(freqs.clone()).run(&ckt, &op)?;
+    let bode = Bode::new(freqs, ac.transfer(drain));
+    println!("\n-- small signal --");
+    println!("DC gain   = {:.1} dB", bode.dc_gain_db());
+    println!("f(-3 dB)  = {:.2} MHz", bode.bw_3db().unwrap_or(0.0) / 1e6);
+    if let Some(ugf) = bode.unity_gain_freq() {
+        println!("UGF       = {:.2} MHz", ugf / 1e6);
+    }
+
+    // Output noise with per-device attribution.
+    let noise = NoiseAnalysis::log(10.0, 1e8, 5).run(&ckt, &op, drain)?;
+    println!("\n-- noise --");
+    println!("integrated output noise = {:.1} uVrms", noise.output_rms() * 1e6);
+    for c in noise.contributors() {
+        println!("  {:>4} contributes {:.3e} V^2", c.element, c.power);
+    }
+    Ok(())
+}

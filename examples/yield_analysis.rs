@@ -1,0 +1,72 @@
+//! Monte-Carlo mismatch / yield analysis with the simulator substrate:
+//! build a five-transistor OTA, perturb every device per the Pelgrom
+//! model, and measure the systematic + random offset spread.
+//!
+//! ```text
+//! cargo run --release --example yield_analysis
+//! ```
+
+use ma_opt::linalg::stats;
+use ma_opt::sim::analysis::dc::DcAnalysis;
+use ma_opt::sim::analysis::montecarlo::{monte_carlo, MismatchModel};
+use ma_opt::sim::{nmos_180nm, pmos_180nm, Circuit, MosInstance, SimError};
+
+fn five_transistor_ota(pair_w_um: f64, pair_l_um: f64) -> Circuit {
+    let nmos = nmos_180nm();
+    let pmos = pmos_180nm();
+    let m = |model: &ma_opt::sim::MosModel, w: f64, l: f64| MosInstance {
+        model: model.clone(),
+        w: w * 1e-6,
+        l: l * 1e-6,
+        m: 1.0,
+    };
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let inp = ckt.node("inp");
+    let out = ckt.node("out");
+    let tail = ckt.node("tail");
+    let d1 = ckt.node("d1");
+    let bias = ckt.node("bias");
+    let gnd = Circuit::GROUND;
+    ckt.vsource("VDD", vdd, gnd, 1.8);
+    ckt.vsource("VIN", inp, gnd, 0.9);
+    ckt.isource("IB", vdd, bias, 10e-6);
+    ckt.mosfet("MB", bias, bias, gnd, gnd, m(&nmos, 2.0, 1.0));
+    ckt.mosfet("M5", tail, bias, gnd, gnd, m(&nmos, 4.0, 1.0));
+    ckt.mosfet("M1", d1, inp, tail, gnd, m(&nmos, pair_w_um, pair_l_um));
+    ckt.mosfet("M2", out, out, tail, gnd, m(&nmos, pair_w_um, pair_l_um));
+    ckt.mosfet("M3", d1, d1, vdd, vdd, m(&pmos, 8.0, 1.0));
+    ckt.mosfet("M4", out, d1, vdd, vdd, m(&pmos, 8.0, 1.0));
+    ckt
+}
+
+fn offset_spread(pair_w_um: f64, pair_l_um: f64, samples: usize) -> Result<(f64, usize), SimError> {
+    let ckt = five_transistor_ota(pair_w_um, pair_l_um);
+    let nominal = DcAnalysis::new().run(&ckt)?;
+    let d1 = ckt.find_node("d1").expect("d1");
+    let out = ckt.find_node("out").expect("out");
+    let v0 = nominal.voltage(d1) - nominal.voltage(out);
+
+    let results = monte_carlo(&ckt, &MismatchModel::default(), samples, 2026, |sample| {
+        let op = DcAnalysis::new().run(sample)?;
+        let d1 = sample.find_node("d1").expect("d1");
+        let out = sample.find_node("out").expect("out");
+        Ok((op.voltage(d1) - op.voltage(out)) - v0)
+    });
+    let ok: Vec<f64> = results.into_iter().filter_map(Result::ok).collect();
+    let fails = samples - ok.len();
+    Ok((stats::std_dev(&ok), fails))
+}
+
+fn main() -> Result<(), SimError> {
+    println!("Pelgrom mismatch: imbalance spread vs differential-pair area");
+    println!("{:>12} | {:>12} | {:>14} | {:>6}", "W (um)", "L (um)", "sigma (mV)", "fails");
+    println!("{}", "-".repeat(54));
+    for (w, l) in [(1.0, 0.18), (4.0, 0.5), (20.0, 1.0), (80.0, 2.0)] {
+        let (sigma, fails) = offset_spread(w, l, 60)?;
+        println!("{w:>12.2} | {l:>12.2} | {:>14.3} | {fails:>6}", sigma * 1e3);
+    }
+    println!("\nLarger gate area → smaller mismatch (σ ∝ 1/√(W·L)), the");
+    println!("area-accuracy trade-off every analog designer sizes against.");
+    Ok(())
+}

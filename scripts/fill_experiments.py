@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Fills the "ours" columns of EXPERIMENTS.md from results/table_*.csv
+(produced by the `reproduce` binary). Idempotent: rewrites the three
+comparison tables in place."""
+
+import csv
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+PAPER = {
+    "ota": {
+        "title": "## Table II — two-stage OTA (16 params, Eq. 7 specs, minimize power)",
+        "target": "Min power mW",
+        "rows": {
+            "BO": ("0/10", "–", "−0.04"),
+            "DNN-Opt": ("8/10", "0.852", "−2.05"),
+            "MA-Opt1": ("7/10", "0.994", "−1.25"),
+            "MA-Opt2": ("10/10", "1.097", "−2.75"),
+            "MA-Opt": ("10/10", "0.737", "−2.92"),
+        },
+    },
+    "tia": {
+        "title": "## Table IV — three-stage TIA (15 params, Eq. 8 specs, minimize power)",
+        "target": "Min power mW",
+        "rows": {
+            "BO": ("0/10", "–", "−0.01"),
+            "DNN-Opt": ("4/10", "0.196", "−1.04"),
+            "MA-Opt1": ("2/10", "–", "−0.76"),
+            "MA-Opt2": ("10/10", "0.190", "−3.43"),
+            "MA-Opt": ("10/10", "0.148", "−3.50"),
+        },
+    },
+    "ldo": {
+        "title": "## Table VI — LDO regulator (16 params, Eq. 9 specs, minimize I_Q)",
+        "target": "Min I_Q mA",
+        "rows": {
+            "BO": ("0/10", "–", "+0.04"),
+            "DNN-Opt": ("7/10", "0.320", "−0.88"),
+            "MA-Opt1": ("9/10", "0.335", "−2.59"),
+            "MA-Opt2": ("10/10", "0.382", "−2.79"),
+            "MA-Opt": ("10/10", "0.265", "−2.98"),
+        },
+    },
+}
+LABEL = {"MA-Opt1": "MA-Opt¹", "MA-Opt2": "MA-Opt²"}
+
+
+def load(circuit: str):
+    path = ROOT / "results" / f"table_{circuit}.csv"
+    if not path.exists():
+        return None
+    out = {}
+    with open(path) as fh:
+        for row in csv.DictReader(fh):
+            out[row["method"]] = row
+    return out
+
+
+def fmt_table(circuit: str, data) -> str:
+    meta = PAPER[circuit]
+    lines = [
+        meta["title"],
+        "",
+        f"| Method | Success (paper) | Success (ours) | {meta['target']} (paper) | "
+        f"{meta['target']} (ours) | log10 aFoM (paper) | log10 aFoM (ours) | modeled h (ours) |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for method, (p_succ, p_min, p_fom) in meta["rows"].items():
+        r = data.get(method) if data else None
+        if r is None:
+            ours = ("TBD", "TBD", "TBD", "TBD")
+        else:
+            succ = f"{r['successes']}/{r['runs']}"
+            mt = r["min_target"]
+            mt = f"{float(mt):.3f}" if mt else "–"
+            ours = (succ, mt, f"{float(r['log10_avg_fom']):+.2f}", f"{float(r['modeled_h']):.2f}")
+        lines.append(
+            f"| {LABEL.get(method, method):7} | {p_succ} | {ours[0]} | {p_min} | "
+            f"{ours[1]} | {p_fom} | {ours[2]} | {ours[3]} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    exp = (ROOT / "EXPERIMENTS.md").read_text()
+    for circuit in ["ota", "tia", "ldo"]:
+        data = load(circuit)
+        new_table = fmt_table(circuit, data)
+        title = PAPER[circuit]["title"]
+        # Replace from the title up to (not including) the next "## ".
+        pattern = re.compile(re.escape(title) + r".*?(?=\n## )", re.S)
+        if not pattern.search(exp):
+            raise SystemExit(f"section not found: {title}")
+        exp = pattern.sub(new_table, exp)
+    (ROOT / "EXPERIMENTS.md").write_text(exp)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()
