@@ -44,7 +44,13 @@ fn ablation_round_cost(c: &mut Criterion) {
         let ns = NearSampler::new(2000, 0.05);
         let x_opt = pop.design(pop.best().unwrap()).to_vec();
         b.iter(|| {
-            black_box(ns.propose(&critic, &x_opt, problem.specs(), FomConfig::default(), &mut rng))
+            black_box(ns.propose(
+                &critic,
+                &x_opt,
+                problem.specs(),
+                FomConfig::default(),
+                &mut rng,
+            ))
         })
     });
 
@@ -114,9 +120,11 @@ fn ablation_network_width(c: &mut Criterion) {
         let mut critic = Critic::new(8, 3, &[width, width], 1e-3, 4);
         critic.refit_scaler(&pop);
         let mut rng = StdRng::seed_from_u64(6);
-        group.bench_with_input(BenchmarkId::new("critic_10_steps", width), &width, |b, _| {
-            b.iter(|| black_box(critic.train(&pop, 10, 32, &mut rng)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("critic_10_steps", width),
+            &width,
+            |b, _| b.iter(|| black_box(critic.train(&pop, 10, 32, &mut rng))),
+        );
     }
     group.finish();
 }

@@ -42,7 +42,11 @@ fn parse_table(path: &PathBuf) -> Result<HashMap<String, Row>, String> {
             Row {
                 successes: f[1].parse().map_err(|e| format!("successes: {e}"))?,
                 runs: f[2].parse().map_err(|e| format!("runs: {e}"))?,
-                min_target: if f[3].is_empty() { None } else { Some(parse(f[3])?) },
+                min_target: if f[3].is_empty() {
+                    None
+                } else {
+                    Some(parse(f[3])?)
+                },
                 log10_avg_fom: parse(f[4])?,
                 modeled_h: parse(f[6])?,
             },
@@ -77,7 +81,10 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut v = Verdicts { passed: 0, failed: 0 };
+    let mut v = Verdicts {
+        passed: 0,
+        failed: 0,
+    };
     let mut any = false;
     for circuit in ["ota", "tia", "ldo"] {
         let path = dir.join(format!("table_{circuit}.csv"));
@@ -105,7 +112,10 @@ fn main() -> ExitCode {
         // beats BO's.
         let rl = [&dnn, &ma1, &ma2, &ma];
         let c1_succ = rl.iter().all(|r| r.successes >= bo.successes);
-        let best_rl_fom = rl.iter().map(|r| r.log10_avg_fom).fold(f64::INFINITY, f64::min);
+        let best_rl_fom = rl
+            .iter()
+            .map(|r| r.log10_avg_fom)
+            .fold(f64::INFINITY, f64::min);
         v.check(
             circuit,
             "C1",
@@ -117,12 +127,20 @@ fn main() -> ExitCode {
         );
 
         // C2: MA-Opt² and MA-Opt reach the top success rate.
-        let top = rl.iter().map(|r| r.successes).max().unwrap_or(0).max(bo.successes);
+        let top = rl
+            .iter()
+            .map(|r| r.successes)
+            .max()
+            .unwrap_or(0)
+            .max(bo.successes);
         v.check(
             circuit,
             "C2",
             ma.successes == top && ma2.successes == top,
-            format!("top {top}, MA-Opt2 {} MA-Opt {}", ma2.successes, ma.successes),
+            format!(
+                "top {top}, MA-Opt2 {} MA-Opt {}",
+                ma2.successes, ma.successes
+            ),
         );
 
         // C3: MA-Opt has the lowest average FoM of all five methods.
@@ -146,7 +164,12 @@ fn main() -> ExitCode {
                 format!("MA-Opt {m:.4} vs DNN-Opt {d:.4}"),
             ),
             (Some(_), None) => v.check(circuit, "C4", true, "only MA-Opt feasible".into()),
-            _ => v.check(circuit, "C4", false, "MA-Opt found no feasible design".into()),
+            _ => v.check(
+                circuit,
+                "C4",
+                false,
+                "MA-Opt found no feasible design".into(),
+            ),
         }
 
         // C5: modeled runtime ordering DNN-Opt < MA-Opt ≤ MA-Opt² and BO slowest.

@@ -3,7 +3,12 @@ use maopt_sim::analysis::dc::DcAnalysis;
 use maopt_sim::{nmos_180nm, pmos_180nm, Circuit, MosInstance};
 
 fn mos(model: &maopt_sim::MosModel, w_um: f64, l_um: f64, m: f64) -> MosInstance {
-    MosInstance { model: model.clone(), w: w_um * 1e-6, l: l_um * 1e-6, m }
+    MosInstance {
+        model: model.clone(),
+        w: w_um * 1e-6,
+        l: l_um * 1e-6,
+        m,
+    }
 }
 
 fn main() {

@@ -10,9 +10,13 @@ fn probe(p: &dyn SizingProblem, n: usize) {
     for _ in 0..n {
         let x: Vec<f64> = (0..p.dim()).map(|_| rng.random_range(0.0..1.0)).collect();
         let m = p.evaluate(&x);
-        if is_feasible(&m, p.specs()) { feas += 1; }
+        if is_feasible(&m, p.specs()) {
+            feas += 1;
+        }
         for (k, s) in p.specs().iter().enumerate() {
-            if s.is_met(m[s.metric_index]) { per_spec[k] += 1; }
+            if s.is_met(m[s.metric_index]) {
+                per_spec[k] += 1;
+            }
         }
     }
     println!("{}: {feas}/{n} random designs feasible", p.name());

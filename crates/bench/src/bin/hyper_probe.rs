@@ -1,5 +1,5 @@
 use maopt_circuits::LdoRegulator;
-use maopt_core::runner::{make_initial_sets, run_method, Optimizer};
+use maopt_core::runner::{make_initial_sets, run_method};
 use maopt_core::MaOptConfig;
 
 fn main() {
@@ -18,7 +18,7 @@ fn main() {
             "{name:10} success {}  minT {:?}  log10(aFoM) {:+.2}",
             s.success_rate(),
             s.min_target.map(|t| (t * 1e6).round()),
-            s.log10_avg_fom
+            s.log10_avg_fom_or_neg_inf()
         );
     }
 }

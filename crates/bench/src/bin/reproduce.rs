@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [--circuit ota|tia|ldo|all] [--quick] [--runs N] [--budget N]
-//!           [--init N] [--seed N] [--tables-only] [--out DIR]
+//!           [--init N] [--seed N] [--jobs N] [--tables-only] [--out DIR]
 //! ```
 //!
 //! * Tables I / III / V: printed from the problem definitions.
@@ -12,18 +12,23 @@
 //!   `results/fig5_<circuit>.csv` and rendered as ASCII.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
-use maopt_bench::report::{ascii_fom_chart, comparison_table, param_table, write_fom_curves_csv, TableRow};
+use maopt_bench::report::{
+    ascii_fom_chart, comparison_table, param_table, write_fom_curves_csv, TableRow,
+};
 use maopt_bench::runtime_model::RuntimeModel;
 use maopt_bench::{paper_methods, Protocol};
 use maopt_circuits::{LdoRegulator, ThreeStageTia, TwoStageOta};
-use maopt_core::runner::{make_initial_sets, run_method, MethodStats};
+use maopt_core::runner::{make_initial_sets_with, run_method_with, MethodStats};
 use maopt_core::SizingProblem;
+use maopt_exec::{EvalEngine, SimCache, Telemetry};
 
 struct Args {
     circuit: String,
     protocol: Protocol,
+    jobs: usize,
     tables_only: bool,
     out: PathBuf,
 }
@@ -32,6 +37,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         circuit: "all".into(),
         protocol: Protocol::paper(),
+        jobs: 1,
         tables_only: false,
         out: PathBuf::from("results"),
     };
@@ -41,25 +47,46 @@ fn parse_args() -> Args {
             "--circuit" => args.circuit = it.next().expect("--circuit needs a value"),
             "--quick" => args.protocol = Protocol::quick(),
             "--runs" => {
-                args.protocol.runs = it.next().expect("--runs needs a value").parse().expect("runs")
+                args.protocol.runs = it
+                    .next()
+                    .expect("--runs needs a value")
+                    .parse()
+                    .expect("runs")
             }
             "--budget" => {
-                args.protocol.budget =
-                    it.next().expect("--budget needs a value").parse().expect("budget")
+                args.protocol.budget = it
+                    .next()
+                    .expect("--budget needs a value")
+                    .parse()
+                    .expect("budget")
             }
             "--init" => {
-                args.protocol.init_size =
-                    it.next().expect("--init needs a value").parse().expect("init")
+                args.protocol.init_size = it
+                    .next()
+                    .expect("--init needs a value")
+                    .parse()
+                    .expect("init")
             }
             "--seed" => {
-                args.protocol.seed = it.next().expect("--seed needs a value").parse().expect("seed")
+                args.protocol.seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed")
+            }
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .expect("--jobs needs a value")
+                    .parse()
+                    .expect("jobs")
             }
             "--tables-only" => args.tables_only = true,
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
             "--help" | "-h" => {
                 println!(
                     "usage: reproduce [--circuit ota|tia|ldo|all] [--quick] [--runs N] \
-                     [--budget N] [--init N] [--seed N] [--tables-only] [--out DIR]"
+                     [--budget N] [--init N] [--seed N] [--jobs N] [--tables-only] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -88,18 +115,29 @@ fn run_circuit(
     args: &Args,
 ) {
     let p = &args.protocol;
-    println!("\n==== {} — Table {} / Fig. 5{} ====", problem.name(), table_no, fig_panel);
+    println!(
+        "\n==== {} — Table {} / Fig. 5{} ====",
+        problem.name(),
+        table_no,
+        fig_panel
+    );
     println!("{}", param_table(problem));
     if args.tables_only {
         return;
     }
 
     println!(
-        "protocol: {} runs x ({} init + {} optimization sims), seed {}",
-        p.runs, p.init_size, p.budget, p.seed
+        "protocol: {} runs x ({} init + {} optimization sims), seed {}, {} jobs",
+        p.runs, p.init_size, p.budget, p.seed, args.jobs
     );
+    // One engine per circuit carries the worker pool and the telemetry
+    // sink whose counter deltas land in each method's stats. Each method
+    // gets its own simulation cache below: deterministic methods replay
+    // identical design points, so a circuit-wide cache would let later
+    // methods ride on earlier ones and skew the measured-runtime column.
+    let engine = EvalEngine::new(args.jobs).with_telemetry(Arc::new(Telemetry::new()));
     let t0 = Instant::now();
-    let inits = make_initial_sets(problem, p.runs, p.init_size, p.seed);
+    let inits = make_initial_sets_with(problem, p.runs, p.init_size, p.seed, &engine);
     println!("initial sets simulated in {:?}", t0.elapsed());
 
     let model = RuntimeModel::default();
@@ -107,8 +145,17 @@ fn run_circuit(
     let mut rows = Vec::new();
     let mut all_stats: Vec<MethodStats> = Vec::new();
     for method in paper_methods(p.seed) {
+        let method_engine = engine.clone().with_cache(Arc::new(SimCache::new()));
         let t0 = Instant::now();
-        let stats = run_method(method.as_ref(), problem, &inits, p.runs, p.budget, p.seed + 7);
+        let stats = run_method_with(
+            method.as_ref(),
+            problem,
+            &inits,
+            p.runs,
+            p.budget,
+            p.seed + 7,
+            &method_engine,
+        );
         let elapsed = t0.elapsed();
         let n_actors = match method.name().as_str() {
             "BO" | "DNN-Opt" => 1,
@@ -121,19 +168,23 @@ fn run_circuit(
             .sum::<f64>()
             / stats.runs.max(1) as f64;
         println!(
-            "  {:>8}: success {}  log10(aFoM) {:+.2}  wall {:?}",
+            "  {:>8}: success {}  log10(aFoM) {:+.2}  wall {:?}  [{}]",
             stats.name,
             stats.success_rate(),
-            stats.log10_avg_fom,
-            elapsed
+            stats.log10_avg_fom_or_neg_inf(),
+            elapsed,
+            stats.exec
         );
         rows.push(TableRow {
             method: stats.name.clone(),
             success: stats.success_rate(),
             min_target: stats.min_target.map(|t| t * scale),
-            log10_avg_fom: stats.log10_avg_fom,
+            log10_avg_fom: stats.log10_avg_fom_or_neg_inf(),
             measured_s: elapsed.as_secs_f64(),
             modeled_h: modeled,
+            sims: stats.exec.sims,
+            cache_hits: stats.exec.cache_hits,
+            retries: stats.exec.retries,
         });
         all_stats.push(stats);
     }
@@ -141,7 +192,11 @@ fn run_circuit(
     println!();
     println!(
         "{}",
-        comparison_table(&format!("Table {table_no} — {}", problem.name()), target_label, &rows)
+        comparison_table(
+            &format!("Table {table_no} — {}", problem.name()),
+            target_label,
+            &rows
+        )
     );
 
     let csv_path = args.out.join(format!("fig5_{key}.csv"));
@@ -150,20 +205,29 @@ fn run_circuit(
         Err(e) => eprintln!("could not write {}: {e}", csv_path.display()),
     }
 
-    // Machine-readable table for `check_claims`.
+    // Machine-readable table for `check_claims` (which indexes the first
+    // seven columns; the engine-telemetry columns are appended after).
     let mut table_csv = String::from(
-        "method,successes,runs,min_target,log10_avg_fom,measured_s,modeled_h\n",
+        "method,successes,runs,min_target,log10_avg_fom,measured_s,modeled_h,\
+         sims,cache_hits,cache_misses,retries,faults\n",
     );
     for (row, stats) in rows.iter().zip(&all_stats) {
         table_csv.push_str(&format!(
-            "{},{},{},{},{:.4},{:.2},{:.3}\n",
+            "{},{},{},{},{:.4},{:.2},{:.3},{},{},{},{},{}\n",
             row.method,
             stats.successes,
             stats.runs,
-            row.min_target.map(|t| format!("{t:.5}")).unwrap_or_default(),
+            row.min_target
+                .map(|t| format!("{t:.5}"))
+                .unwrap_or_default(),
             row.log10_avg_fom,
             row.measured_s,
-            row.modeled_h
+            row.modeled_h,
+            stats.exec.sims,
+            stats.exec.cache_hits,
+            stats.exec.cache_misses,
+            stats.exec.retries,
+            stats.exec.faults()
         ));
     }
     let table_path = args.out.join(format!("table_{key}.csv"));
@@ -171,6 +235,20 @@ fn run_circuit(
         eprintln!("could not write {}: {e}", table_path.display());
     }
     println!("{}", ascii_fom_chart(&all_stats, p.budget, 72, 16));
+
+    println!(
+        "engine phase times ({} jobs, summed across workers):",
+        engine.jobs()
+    );
+    for (phase, dur) in engine.telemetry().spans() {
+        println!("  {phase:>24}: {dur:?}");
+    }
+    let snap = engine.telemetry().snapshot();
+    println!(
+        "simulation cache (per-method caches, circuit total): {} hits / {} lookups",
+        snap.cache_hits,
+        snap.cache_hits + snap.cache_misses
+    );
 }
 
 fn main() {

@@ -51,12 +51,22 @@ pub struct Protocol {
 impl Protocol {
     /// The paper's full protocol.
     pub fn paper() -> Self {
-        Protocol { runs: 10, budget: 200, init_size: 100, seed: 2023 }
+        Protocol {
+            runs: 10,
+            budget: 200,
+            init_size: 100,
+            seed: 2023,
+        }
     }
 
     /// A reduced smoke-test protocol (`--quick`).
     pub fn quick() -> Self {
-        Protocol { runs: 2, budget: 40, init_size: 30, seed: 2023 }
+        Protocol {
+            runs: 2,
+            budget: 40,
+            init_size: 30,
+            seed: 2023,
+        }
     }
 }
 

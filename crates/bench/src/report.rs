@@ -14,10 +14,18 @@ use maopt_core::SizingProblem;
 pub fn param_table(problem: &dyn SizingProblem) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Parameter ranges for {}:", problem.name());
-    let _ = writeln!(out, "{:>6} | {:>6} | {:>12} | {:>12}", "name", "unit", "min", "max");
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>6} | {:>12} | {:>12}",
+        "name", "unit", "min", "max"
+    );
     let _ = writeln!(out, "{}", "-".repeat(46));
     for p in problem.params() {
-        let _ = writeln!(out, "{:>6} | {:>6} | {:>12.4} | {:>12.4}", p.name, p.unit, p.lo, p.hi);
+        let _ = writeln!(
+            out,
+            "{:>6} | {:>6} | {:>12.4} | {:>12.4}",
+            p.name, p.unit, p.lo, p.hi
+        );
     }
     out
 }
@@ -31,24 +39,40 @@ pub struct TableRow {
     pub success: String,
     /// Minimum feasible target metric, already unit-scaled for display.
     pub min_target: Option<f64>,
-    /// `log10` of the average FoM.
+    /// `log10` of the average FoM (`-inf` when the average is
+    /// non-positive and the logarithm is undefined).
     pub log10_avg_fom: f64,
     /// Measured wall-clock, seconds.
     pub measured_s: f64,
     /// Modeled testbed runtime, hours (§III-C model).
     pub modeled_h: f64,
+    /// Simulator invocations the evaluation engine actually ran.
+    pub sims: u64,
+    /// Evaluations answered from the simulation cache.
+    pub cache_hits: u64,
+    /// Faulted-evaluation re-attempts.
+    pub retries: u64,
 }
 
-/// Formats a comparison table (paper Tables II / IV / VI).
+/// Formats a comparison table (paper Tables II / IV / VI), extended with
+/// the evaluation-engine telemetry columns.
 pub fn comparison_table(title: &str, target_label: &str, rows: &[TableRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     let _ = writeln!(
         out,
-        "{:>10} | {:>8} | {:>14} | {:>12} | {:>11} | {:>10}",
-        "method", "success", target_label, "log10(aFoM)", "measured(s)", "modeled(h)"
+        "{:>10} | {:>8} | {:>14} | {:>12} | {:>11} | {:>10} | {:>6} | {:>6} | {:>7}",
+        "method",
+        "success",
+        target_label,
+        "log10(aFoM)",
+        "measured(s)",
+        "modeled(h)",
+        "sims",
+        "hits",
+        "retries"
     );
-    let _ = writeln!(out, "{}", "-".repeat(80));
+    let _ = writeln!(out, "{}", "-".repeat(106));
     for r in rows {
         let target = r
             .min_target
@@ -56,8 +80,16 @@ pub fn comparison_table(title: &str, target_label: &str, rows: &[TableRow]) -> S
             .unwrap_or_else(|| "-".to_string());
         let _ = writeln!(
             out,
-            "{:>10} | {:>8} | {:>14} | {:>12.2} | {:>11.1} | {:>10.2}",
-            r.method, r.success, target, r.log10_avg_fom, r.measured_s, r.modeled_h
+            "{:>10} | {:>8} | {:>14} | {:>12.2} | {:>11.1} | {:>10.2} | {:>6} | {:>6} | {:>7}",
+            r.method,
+            r.success,
+            target,
+            r.log10_avg_fom,
+            r.measured_s,
+            r.modeled_h,
+            r.sims,
+            r.cache_hits,
+            r.retries
         );
     }
     out
@@ -68,11 +100,7 @@ pub fn comparison_table(title: &str, target_label: &str, rows: &[TableRow]) -> S
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn write_fom_curves_csv(
-    path: &Path,
-    stats: &[MethodStats],
-    budget: usize,
-) -> io::Result<()> {
+pub fn write_fom_curves_csv(path: &Path, stats: &[MethodStats], budget: usize) -> io::Result<()> {
     let mut csv = String::from("sim");
     for s in stats {
         let _ = write!(csv, ",{}", s.name);
@@ -93,7 +121,12 @@ pub fn write_fom_curves_csv(
 
 /// Renders the Fig. 5 curves as a `log10(FoM)` ASCII chart (x = simulation
 /// count, one letter per method).
-pub fn ascii_fom_chart(stats: &[MethodStats], budget: usize, width: usize, height: usize) -> String {
+pub fn ascii_fom_chart(
+    stats: &[MethodStats],
+    budget: usize,
+    width: usize,
+    height: usize,
+) -> String {
     let letters: Vec<char> = stats
         .iter()
         .map(|s| s.name.chars().next().unwrap_or('?'))
@@ -117,8 +150,10 @@ pub fn ascii_fom_chart(stats: &[MethodStats], budget: usize, width: usize, heigh
 
     let mut grid = vec![vec![' '; width]; height];
     for (si, s) in series.iter().enumerate() {
-        for col in 0..width {
-            let sim = ((col as f64 / (width - 1).max(1) as f64) * (budget - 1) as f64) as usize;
+        for (col, sim) in (0..width)
+            .map(|c| ((c as f64 / (width - 1).max(1) as f64) * (budget - 1) as f64) as usize)
+            .enumerate()
+        {
             let v = s[sim.min(s.len() - 1)];
             let row = ((hi - v) / span * (height - 1) as f64).round() as usize;
             let row = row.min(height - 1);
@@ -178,6 +213,9 @@ mod tests {
             log10_avg_fom: -2.92,
             measured_s: 12.5,
             modeled_h: 0.91,
+            sims: 2100,
+            cache_hits: 40,
+            retries: 1,
         }];
         let t = comparison_table("Table II", "min power (mW)", &rows);
         assert!(t.contains("MA-Opt"));
@@ -186,7 +224,10 @@ mod tests {
         let empty = comparison_table(
             "T",
             "x",
-            &[TableRow { min_target: None, ..rows[0].clone() }],
+            &[TableRow {
+                min_target: None,
+                ..rows[0].clone()
+            }],
         );
         assert!(empty.contains(" - "));
     }

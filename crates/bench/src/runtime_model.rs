@@ -78,8 +78,7 @@ impl RuntimeModel {
                     if actor_sims_in_round == n_actors {
                         // One multi-actor round: single-lane cost plus the
                         // overhead of the extra lanes.
-                        seconds +=
-                            self.round_single + self.lane_overhead * (n_actors as f64 - 1.0);
+                        seconds += self.round_single + self.lane_overhead * (n_actors as f64 - 1.0);
                         actor_sims_in_round = 0;
                     }
                 }
@@ -106,7 +105,13 @@ mod tests {
     use maopt_core::MaOptConfig;
 
     fn tiny(cfg: MaOptConfig) -> MaOptConfig {
-        MaOptConfig { hidden: vec![8], critic_steps: 2, actor_steps: 2, n_samples: 10, ..cfg }
+        MaOptConfig {
+            hidden: vec![8],
+            critic_steps: 2,
+            actor_steps: 2,
+            n_samples: 10,
+            ..cfg
+        }
     }
 
     #[test]
@@ -141,7 +146,10 @@ mod tests {
         let p = Sphere::new(2);
         let small_init = sample_initial_set(&p, 5, 3);
         let large_init = sample_initial_set(&p, 150, 3);
-        let bo = BoOptimizer { n_candidates: 10, ..BoOptimizer::new() };
+        let bo = BoOptimizer {
+            n_candidates: 10,
+            ..BoOptimizer::new()
+        };
         let model = RuntimeModel::default();
         let r_small = bo.optimize(&p, &small_init, 5, 3);
         let r_large = bo.optimize(&p, &large_init, 5, 3);

@@ -73,8 +73,12 @@ impl GaussianProcess {
         let mut best: Option<(f64, f64, Cholesky, Vec<f64>)> = None;
         for &ls in &[0.1, 0.2, 0.4, 0.8] {
             let k = kernel_matrix(&xs, ls);
-            let Ok(chol) = Cholesky::new(&k) else { continue };
-            let Ok(alpha) = chol.solve(&y_norm) else { continue };
+            let Ok(chol) = Cholesky::new(&k) else {
+                continue;
+            };
+            let Ok(alpha) = chol.solve(&y_norm) else {
+                continue;
+            };
             // log p(y|X) = −½ yᵀα − ½ log|K| − (n/2) log 2π
             let fit_term: f64 = y_norm.iter().zip(&alpha).map(|(y, a)| y * a).sum();
             let lml = -0.5 * fit_term
@@ -87,7 +91,14 @@ impl GaussianProcess {
         }
         let (_, lengthscale, chol, alpha) =
             best.expect("at least one length-scale must factor (kernel is PD)");
-        GaussianProcess { x_train: xs, alpha, chol, lengthscale, y_mean, y_std }
+        GaussianProcess {
+            x_train: xs,
+            alpha,
+            chol,
+            lengthscale,
+            y_mean,
+            y_std,
+        }
     }
 
     /// Number of training points.

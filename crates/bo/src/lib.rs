@@ -38,12 +38,13 @@ pub use gp::GaussianProcess;
 
 use std::time::Instant;
 
+use maopt_exec::EvalEngine;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use maopt_core::runner::Optimizer;
 use maopt_core::trace::{SimKind, Trace};
-use maopt_core::{FomConfig, Population, RunResult, RunTimings, SizingProblem};
+use maopt_core::{EngineProblem, FomConfig, Population, RunResult, RunTimings, SizingProblem};
 
 /// Expected-improvement Bayesian optimization over the FoM.
 #[derive(Debug, Clone)]
@@ -58,7 +59,11 @@ pub struct BoOptimizer {
 
 impl Default for BoOptimizer {
     fn default() -> Self {
-        BoOptimizer { n_candidates: 2000, xi: 0.01, fom: FomConfig::default() }
+        BoOptimizer {
+            n_candidates: 2000,
+            xi: 0.01,
+            fom: FomConfig::default(),
+        }
     }
 }
 
@@ -107,11 +112,23 @@ impl Optimizer for BoOptimizer {
         budget: usize,
         seed: u64,
     ) -> RunResult {
+        self.optimize_with(problem, init, budget, seed, &EvalEngine::serial())
+    }
+
+    fn optimize_with(
+        &self,
+        problem: &dyn SizingProblem,
+        init: &[(Vec<f64>, Vec<f64>)],
+        budget: usize,
+        seed: u64,
+        engine: &EvalEngine,
+    ) -> RunResult {
         let t_start = Instant::now();
         let mut timings = RunTimings::default();
         let specs = problem.specs().to_vec();
         let d = problem.dim();
         let mut rng = StdRng::seed_from_u64(seed);
+        let sim_target = EngineProblem(problem);
 
         let mut pop = Population::new();
         let mut trace = Trace::new();
@@ -129,22 +146,38 @@ impl Optimizer for BoOptimizer {
             let gp = GaussianProcess::fit(xs, ys);
             let best = pop.foms().iter().copied().fold(f64::INFINITY, f64::min);
 
-            // Maximize EI over random candidates.
-            let mut best_cand: Option<(f64, Vec<f64>)> = None;
-            for _ in 0..self.n_candidates {
-                let cand: Vec<f64> = (0..d).map(|_| rng.random_range(0.0..1.0)).collect();
-                let (mean, var) = gp.predict(&cand);
-                let ei = expected_improvement(mean, var, best, self.xi);
-                match &best_cand {
-                    Some((bei, _)) if *bei >= ei => {}
-                    _ => best_cand = Some((ei, cand)),
+            // Maximize EI over random candidates. All candidates come from
+            // one serial RNG stream; the independent per-candidate EI
+            // scores are computed on the engine's pool and reduced with a
+            // first-index-wins scan, so the chosen candidate is identical
+            // for any worker count.
+            let candidates: Vec<Vec<f64>> = (0..self.n_candidates)
+                .map(|_| (0..d).map(|_| rng.random_range(0.0..1.0)).collect())
+                .collect();
+            let eis: Vec<f64> = {
+                let _span = engine.telemetry().span("bo_acquisition");
+                engine.map((0..candidates.len()).collect(), |_, k: usize| {
+                    let (mean, var) = gp.predict(&candidates[k]);
+                    expected_improvement(mean, var, best, self.xi)
+                })
+            };
+            let mut best_k = 0;
+            for (k, &ei) in eis.iter().enumerate() {
+                if ei > eis[best_k] {
+                    best_k = k;
                 }
             }
-            let (_, cand) = best_cand.expect("candidate set is non-empty");
+            let cand = candidates
+                .into_iter()
+                .nth(best_k)
+                .expect("candidate set is non-empty");
             timings.training += t0.elapsed();
 
             let t0 = Instant::now();
-            let metrics = problem.evaluate(&cand);
+            let metrics = {
+                let _span = engine.telemetry().span("simulation");
+                engine.evaluate_one(&sim_target, &cand)
+            };
             timings.simulation += t0.elapsed();
 
             let idx = pop.push(cand, metrics, &specs, self.fom);
@@ -157,7 +190,12 @@ impl Optimizer for BoOptimizer {
         }
 
         timings.total = t_start.elapsed();
-        RunResult { label: self.name(), trace, population: pop, timings }
+        RunResult {
+            label: self.name(),
+            trace,
+            population: pop,
+            timings,
+        }
     }
 }
 
@@ -191,7 +229,10 @@ mod tests {
     fn bo_improves_sphere_over_initial_set() {
         let problem = Sphere::new(3);
         let init = sample_initial_set(&problem, 15, 3);
-        let bo = BoOptimizer { n_candidates: 500, ..BoOptimizer::new() };
+        let bo = BoOptimizer {
+            n_candidates: 500,
+            ..BoOptimizer::new()
+        };
         let result = bo.optimize(&problem, &init, 20, 3);
         assert!(result.best_fom() < result.trace.init_best_fom());
         assert_eq!(result.trace.num_sims(), 20);
@@ -201,7 +242,10 @@ mod tests {
     fn bo_runs_on_constrained_problem() {
         let problem = ConstrainedToy::new(3);
         let init = sample_initial_set(&problem, 20, 4);
-        let bo = BoOptimizer { n_candidates: 300, ..BoOptimizer::new() };
+        let bo = BoOptimizer {
+            n_candidates: 300,
+            ..BoOptimizer::new()
+        };
         let result = bo.optimize(&problem, &init, 10, 4);
         assert_eq!(result.trace.num_sims(), 10);
         assert!(result.best_fom().is_finite());
@@ -211,9 +255,29 @@ mod tests {
     fn deterministic_given_seed() {
         let problem = Sphere::new(2);
         let init = sample_initial_set(&problem, 10, 5);
-        let bo = BoOptimizer { n_candidates: 200, ..BoOptimizer::new() };
+        let bo = BoOptimizer {
+            n_candidates: 200,
+            ..BoOptimizer::new()
+        };
         let a = bo.optimize(&problem, &init, 5, 9);
         let b = bo.optimize(&problem, &init, 5, 9);
         assert_eq!(a.trace.best_fom_series(5), b.trace.best_fom_series(5));
+    }
+
+    #[test]
+    fn parallel_acquisition_matches_serial_bitwise() {
+        let problem = Sphere::new(3);
+        let init = sample_initial_set(&problem, 12, 6);
+        let bo = BoOptimizer {
+            n_candidates: 300,
+            ..BoOptimizer::new()
+        };
+        let serial = bo.optimize_with(&problem, &init, 8, 7, &EvalEngine::serial());
+        let pooled = bo.optimize_with(&problem, &init, 8, 7, &EvalEngine::new(4));
+        assert_eq!(serial.best_fom(), pooled.best_fom());
+        assert_eq!(
+            serial.trace.best_fom_series(8),
+            pooled.trace.best_fom_series(8)
+        );
     }
 }

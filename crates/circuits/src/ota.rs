@@ -154,15 +154,64 @@ impl TwoStageOta {
         ckt.mosfet("MB", bias, bias, gnd, gnd, mos(&nmos, 2.0, 1.0, 1.0));
 
         // First stage.
-        ckt.mosfet("M5", tail, bias, gnd, gnd, mos(&nmos, s.w_um[2], s.l_um[2], 1.0));
-        ckt.mosfet("M1", d1, fb, tail, gnd, mos(&nmos, s.w_um[0], s.l_um[0], s.n[0]));
-        ckt.mosfet("M2", d2, inp, tail, gnd, mos(&nmos, s.w_um[0], s.l_um[0], s.n[0]));
-        ckt.mosfet("M3", d1, d1, vdd, vdd, mos(&pmos, s.w_um[1], s.l_um[1], s.n[1]));
-        ckt.mosfet("M4", d2, d1, vdd, vdd, mos(&pmos, s.w_um[1], s.l_um[1], s.n[1]));
+        ckt.mosfet(
+            "M5",
+            tail,
+            bias,
+            gnd,
+            gnd,
+            mos(&nmos, s.w_um[2], s.l_um[2], 1.0),
+        );
+        ckt.mosfet(
+            "M1",
+            d1,
+            fb,
+            tail,
+            gnd,
+            mos(&nmos, s.w_um[0], s.l_um[0], s.n[0]),
+        );
+        ckt.mosfet(
+            "M2",
+            d2,
+            inp,
+            tail,
+            gnd,
+            mos(&nmos, s.w_um[0], s.l_um[0], s.n[0]),
+        );
+        ckt.mosfet(
+            "M3",
+            d1,
+            d1,
+            vdd,
+            vdd,
+            mos(&pmos, s.w_um[1], s.l_um[1], s.n[1]),
+        );
+        ckt.mosfet(
+            "M4",
+            d2,
+            d1,
+            vdd,
+            vdd,
+            mos(&pmos, s.w_um[1], s.l_um[1], s.n[1]),
+        );
 
         // Second stage with Miller compensation (R in series with C).
-        ckt.mosfet("M6", out, d2, vdd, vdd, mos(&pmos, s.w_um[3], s.l_um[3], s.n[2]));
-        ckt.mosfet("M7", out, bias, gnd, gnd, mos(&nmos, s.w_um[4], s.l_um[4], 1.0));
+        ckt.mosfet(
+            "M6",
+            out,
+            d2,
+            vdd,
+            vdd,
+            mos(&pmos, s.w_um[3], s.l_um[3], s.n[2]),
+        );
+        ckt.mosfet(
+            "M7",
+            out,
+            bias,
+            gnd,
+            gnd,
+            mos(&nmos, s.w_um[4], s.l_um[4], 1.0),
+        );
         ckt.resistor("RZ", d2, zn, kohm(s.r_kohm));
         ckt.capacitor("CC", zn, out, ff(s.c_ff));
 
@@ -197,19 +246,76 @@ impl TwoStageOta {
         if step {
             ckt.set_waveform(
                 vin,
-                Waveform::pulse(VCM - STEP / 2.0, VCM + STEP / 2.0, T_STEP, 1e-9, 1e-9, 1.0, f64::INFINITY),
+                Waveform::pulse(
+                    VCM - STEP / 2.0,
+                    VCM + STEP / 2.0,
+                    T_STEP,
+                    1e-9,
+                    1e-9,
+                    1.0,
+                    f64::INFINITY,
+                ),
             );
         }
         ckt.isource("IB", vdd, bias, IREF);
         ckt.mosfet("MB", bias, bias, gnd, gnd, mos(&nmos, 2.0, 1.0, 1.0));
-        ckt.mosfet("M5", tail, bias, gnd, gnd, mos(&nmos, s.w_um[2], s.l_um[2], 1.0));
+        ckt.mosfet(
+            "M5",
+            tail,
+            bias,
+            gnd,
+            gnd,
+            mos(&nmos, s.w_um[2], s.l_um[2], 1.0),
+        );
         // Feedback: gate of M1 (inverting input) is the output.
-        ckt.mosfet("M1", d1, out, tail, gnd, mos(&nmos, s.w_um[0], s.l_um[0], s.n[0]));
-        ckt.mosfet("M2", d2, inp, tail, gnd, mos(&nmos, s.w_um[0], s.l_um[0], s.n[0]));
-        ckt.mosfet("M3", d1, d1, vdd, vdd, mos(&pmos, s.w_um[1], s.l_um[1], s.n[1]));
-        ckt.mosfet("M4", d2, d1, vdd, vdd, mos(&pmos, s.w_um[1], s.l_um[1], s.n[1]));
-        ckt.mosfet("M6", out, d2, vdd, vdd, mos(&pmos, s.w_um[3], s.l_um[3], s.n[2]));
-        ckt.mosfet("M7", out, bias, gnd, gnd, mos(&nmos, s.w_um[4], s.l_um[4], 1.0));
+        ckt.mosfet(
+            "M1",
+            d1,
+            out,
+            tail,
+            gnd,
+            mos(&nmos, s.w_um[0], s.l_um[0], s.n[0]),
+        );
+        ckt.mosfet(
+            "M2",
+            d2,
+            inp,
+            tail,
+            gnd,
+            mos(&nmos, s.w_um[0], s.l_um[0], s.n[0]),
+        );
+        ckt.mosfet(
+            "M3",
+            d1,
+            d1,
+            vdd,
+            vdd,
+            mos(&pmos, s.w_um[1], s.l_um[1], s.n[1]),
+        );
+        ckt.mosfet(
+            "M4",
+            d2,
+            d1,
+            vdd,
+            vdd,
+            mos(&pmos, s.w_um[1], s.l_um[1], s.n[1]),
+        );
+        ckt.mosfet(
+            "M6",
+            out,
+            d2,
+            vdd,
+            vdd,
+            mos(&pmos, s.w_um[3], s.l_um[3], s.n[2]),
+        );
+        ckt.mosfet(
+            "M7",
+            out,
+            bias,
+            gnd,
+            gnd,
+            mos(&nmos, s.w_um[4], s.l_um[4], 1.0),
+        );
         ckt.resistor("RZ", d2, zn, kohm(s.r_kohm));
         ckt.capacitor("CC", zn, out, ff(s.c_ff));
         ckt.capacitor("CF", out, gnd, ff(s.cf_ff));
@@ -240,7 +346,11 @@ impl TwoStageOta {
         let bode = Bode::new(freqs.clone(), ac_dm.transfer(out));
         let gain_db = bode.dc_gain_db();
         let ugf = bode.unity_gain_freq().unwrap_or(0.0);
-        let pm = if ugf > 0.0 { bode.phase_margin_deg().unwrap_or(0.0) } else { 0.0 };
+        let pm = if ugf > 0.0 {
+            bode.phase_margin_deg().unwrap_or(0.0)
+        } else {
+            0.0
+        };
 
         let lf = vec![1.0, 3.0, 10.0];
         let ckt_cm = self.build_main(&s, AcMode::CommonMode);
@@ -265,13 +375,20 @@ impl TwoStageOta {
             .run(&ckt_noise, &op_n, ckt_noise.find_node("out").expect("out"))?
             .output_rms();
 
-        Ok(vec![power, gain_db, ugf, pm, cmrr, psrr, settling, swing, noise])
+        Ok(vec![
+            power, gain_db, ugf, pm, cmrr, psrr, settling, swing, noise,
+        ])
     }
 }
 
 /// Builds a [`MosInstance`] from micron geometry.
 fn mos(model: &maopt_sim::MosModel, w_um: f64, l_um: f64, m: f64) -> MosInstance {
-    MosInstance { model: model.clone(), w: um(w_um), l: um(l_um), m }
+    MosInstance {
+        model: model.clone(),
+        w: um(w_um),
+        l: um(l_um),
+        m,
+    }
 }
 
 impl SizingProblem for TwoStageOta {
@@ -305,7 +422,14 @@ impl SizingProblem for TwoStageOta {
     }
 
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
-        self.try_evaluate(x).unwrap_or_else(|_| self.failure_metrics())
+        self.try_evaluate(x)
+            .unwrap_or_else(|_| self.failure_metrics())
+    }
+
+    fn failure_metrics(&self) -> Vec<f64> {
+        // The inherent finite, maximally-spec-violating vector, surfaced
+        // through the trait so the evaluation engine's fault path emits it.
+        Self::failure_metrics(self)
     }
 }
 
@@ -319,13 +443,17 @@ mod tests {
         let ota = TwoStageOta::new();
         let phys = [
             0.5, 0.5, 1.0, 0.5, 0.5, // L1..L5 µm
-            40.0, 60.0, 8.0, 80.0, 20.0, // W1..W5 µm
+            40.0, 60.0, 8.0, 80.0, 20.0,  // W1..W5 µm
             2.0,   // R kΩ
             500.0, // C fF
             300.0, // Cf fF
             2.0, 2.0, 4.0, // N1..N3
         ];
-        ota.params.iter().zip(phys).map(|(p, v)| p.normalize(v)).collect()
+        ota.params
+            .iter()
+            .zip(phys)
+            .map(|(p, v)| p.normalize(v))
+            .collect()
     }
 
     #[test]
@@ -373,7 +501,11 @@ mod tests {
         assert_eq!(f.len(), ota.num_metrics());
         assert!(!maopt_core::is_feasible(&f, ota.specs()));
         for s in ota.specs() {
-            assert!(s.violation(f[s.metric_index]) > 0.0, "spec {} not violated", s.name);
+            assert!(
+                s.violation(f[s.metric_index]) > 0.0,
+                "spec {} not violated",
+                s.name
+            );
         }
     }
 
@@ -382,7 +514,7 @@ mod tests {
         // The all-zeros corner (minimum geometry everywhere) must return a
         // well-formed metric vector, even if it fails specs.
         let ota = TwoStageOta::new();
-        let m = ota.evaluate(&vec![0.0; 16]);
+        let m = ota.evaluate(&[0.0; 16]);
         assert_eq!(m.len(), 9);
         assert!(m.iter().all(|v| v.is_finite()));
     }
@@ -395,6 +527,9 @@ mod tests {
         // Crank the output-stage multiplier N3 (last parameter).
         x[15] = 1.0;
         let big = ota.evaluate(&x)[0];
-        assert!(big > base, "more output fingers must draw more power: {base} -> {big}");
+        assert!(
+            big > base,
+            "more output fingers must draw more power: {base} -> {big}"
+        );
     }
 }

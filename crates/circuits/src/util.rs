@@ -21,8 +21,7 @@ pub fn windowed_settling(res: &TranResult, node: Node, t_start: f64, tol: f64) -
     if t.len() < 2 {
         return t_end;
     }
-    maopt_sim::analysis::measure::settling_time(&t, &v, t_start, tol)
-        .unwrap_or(t_end - t_start)
+    maopt_sim::analysis::measure::settling_time(&t, &v, t_start, tol).unwrap_or(t_end - t_start)
 }
 
 /// Settling time with an **absolute** tolerance band in volts — the right
@@ -36,8 +35,7 @@ pub fn windowed_settling_abs(res: &TranResult, node: Node, t_start: f64, band: f
         return t_end - t_start;
     }
     let mut settle = t_start;
-    for k in 0..res.len() {
-        let ti = times[k];
+    for (k, &ti) in times.iter().enumerate().take(res.len()) {
         if ti < t_start {
             continue;
         }
@@ -83,7 +81,10 @@ mod tests {
         let vin = ckt.node("vin");
         let out = ckt.node("out");
         let v1 = ckt.vsource("V1", vin, Circuit::GROUND, 0.0);
-        ckt.set_waveform(v1, Waveform::pulse(0.0, 1.0, 1e-6, 1e-9, 1e-9, 1.0, f64::INFINITY));
+        ckt.set_waveform(
+            v1,
+            Waveform::pulse(0.0, 1.0, 1e-6, 1e-9, 1e-9, 1.0, f64::INFINITY),
+        );
         ckt.resistor("R1", vin, out, 1e3);
         ckt.capacitor("C1", out, Circuit::GROUND, 1e-9);
         let res = TranAnalysis::new(12e-6, 20e-9).run(&ckt).unwrap();

@@ -35,7 +35,12 @@ impl Actor {
         widths.push(dim);
         let mlp = Mlp::with_output_activation(&widths, Activation::Relu, Activation::Tanh, seed);
         let adam = Adam::new(&mlp, lr);
-        Actor { mlp, adam, dim, action_scale }
+        Actor {
+            mlp,
+            adam,
+            dim,
+            action_scale,
+        }
     }
 
     /// Design-space dimensionality.
@@ -46,7 +51,11 @@ impl Actor {
     /// Proposes an action `Δx` for a single state.
     pub fn act(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.dim, "state length mismatch");
-        self.mlp.predict(x).iter().map(|a| a * self.action_scale).collect()
+        self.mlp
+            .predict(x)
+            .iter()
+            .map(|a| a * self.action_scale)
+            .collect()
     }
 
     /// Trains the actor through the *frozen* critic for `steps` batches of
@@ -109,10 +118,9 @@ impl Actor {
                     let v = s.weight * s.violation(q_raw[s.metric_index]);
                     if v > 0.0 && v < 1.0 {
                         let j = s.metric_index;
-                        grad_q[(b, j)] += s.weight
-                            * s.violation_grad(q_raw[j])
-                            * inv_scale(&scaler, j)
-                            / batch as f64;
+                        grad_q[(b, j)] +=
+                            s.weight * s.violation_grad(q_raw[j]) * inv_scale(&scaler, j)
+                                / batch as f64;
                     }
                 }
             }
@@ -137,8 +145,11 @@ impl Actor {
                     .map(|(x, a)| x + a)
                     .collect();
                 let viol = boundary_violation(&y, lb, ub);
-                let norm: f64 =
-                    viol.iter().map(|v| (lambda * v) * (lambda * v)).sum::<f64>().sqrt();
+                let norm: f64 = viol
+                    .iter()
+                    .map(|v| (lambda * v) * (lambda * v))
+                    .sum::<f64>()
+                    .sqrt();
                 gbound += norm;
                 if norm > 1e-12 {
                     for (t, &v) in viol.iter().enumerate() {
@@ -286,7 +297,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(18);
         let pop3 = {
             let mut p = Population::new();
-            p.push(vec![0.1, 0.2, 0.3], vec![1.0, 5.0], &specs, FomConfig::default());
+            p.push(
+                vec![0.1, 0.2, 0.3],
+                vec![1.0, 5.0],
+                &specs,
+                FomConfig::default(),
+            );
             p
         };
         let lb = vec![0.0; 3];

@@ -62,10 +62,20 @@ impl Optimizer for RandomSearch {
             let m = problem.evaluate(&x);
             timings.simulation += s0.elapsed();
             let idx = pop.push(x, m, &specs, fom_cfg);
-            trace.record(SimKind::Baseline, pop.fom(idx), pop.feasible(idx), pop.metrics(idx)[0]);
+            trace.record(
+                SimKind::Baseline,
+                pop.fom(idx),
+                pop.feasible(idx),
+                pop.metrics(idx)[0],
+            );
         }
         timings.total = t0.elapsed();
-        RunResult { label: self.name(), trace, population: pop, timings }
+        RunResult {
+            label: self.name(),
+            trace,
+            population: pop,
+            timings,
+        }
     }
 }
 
@@ -85,7 +95,12 @@ pub struct ParticleSwarm {
 
 impl Default for ParticleSwarm {
     fn default() -> Self {
-        ParticleSwarm { swarm: 20, inertia: 0.72, cognitive: 1.49, social: 1.49 }
+        ParticleSwarm {
+            swarm: 20,
+            inertia: 0.72,
+            cognitive: 1.49,
+            social: 1.49,
+        }
     }
 }
 
@@ -181,7 +196,12 @@ impl Optimizer for ParticleSwarm {
             }
         }
         timings.total = t0.elapsed();
-        RunResult { label: self.name(), trace, population: pop, timings }
+        RunResult {
+            label: self.name(),
+            trace,
+            population: pop,
+            timings,
+        }
     }
 }
 
@@ -198,7 +218,11 @@ pub struct DifferentialEvolution {
 
 impl Default for DifferentialEvolution {
     fn default() -> Self {
-        DifferentialEvolution { np: 20, f: 0.6, cr: 0.9 }
+        DifferentialEvolution {
+            np: 20,
+            f: 0.6,
+            cr: 0.9,
+        }
     }
 }
 
@@ -263,8 +287,7 @@ impl Optimizer for DifferentialEvolution {
                 let mut trial = xs[k].clone();
                 for t in 0..d {
                     if t == j_rand || rng.random_range(0.0..1.0) < self.cr {
-                        trial[t] =
-                            (xs[a][t] + self.f * (xs[b][t] - xs[c][t])).clamp(0.0, 1.0);
+                        trial[t] = (xs[a][t] + self.f * (xs[b][t] - xs[c][t])).clamp(0.0, 1.0);
                     }
                 }
                 let s0 = Instant::now();
@@ -286,7 +309,12 @@ impl Optimizer for DifferentialEvolution {
             }
         }
         timings.total = t0.elapsed();
-        RunResult { label: self.name(), trace, population: pop, timings }
+        RunResult {
+            label: self.name(),
+            trace,
+            population: pop,
+            timings,
+        }
     }
 }
 
@@ -314,14 +342,20 @@ mod tests {
     fn pso_improves_sphere() {
         let (init, best) = improves(&ParticleSwarm::new(), 2);
         assert!(best < init, "PSO should improve: {init} -> {best}");
-        assert!(best < 0.05, "PSO on a smooth sphere should get close: {best}");
+        assert!(
+            best < 0.05,
+            "PSO on a smooth sphere should get close: {best}"
+        );
     }
 
     #[test]
     fn de_improves_sphere() {
         let (init, best) = improves(&DifferentialEvolution::new(), 3);
         assert!(best < init, "DE should improve: {init} -> {best}");
-        assert!(best < 0.05, "DE on a smooth sphere should get close: {best}");
+        assert!(
+            best < 0.05,
+            "DE on a smooth sphere should get close: {best}"
+        );
     }
 
     #[test]
@@ -343,7 +377,10 @@ mod tests {
     fn deterministic_given_seed() {
         let p = Sphere::new(3);
         let init = sample_initial_set(&p, 10, 4);
-        for opt in [&ParticleSwarm::new() as &dyn Optimizer, &DifferentialEvolution::new()] {
+        for opt in [
+            &ParticleSwarm::new() as &dyn Optimizer,
+            &DifferentialEvolution::new(),
+        ] {
             let a = opt.optimize(&p, &init, 20, 9);
             let b = opt.optimize(&p, &init, 20, 9);
             assert_eq!(a.trace.best_fom_series(20), b.trace.best_fom_series(20));

@@ -53,7 +53,13 @@ impl Critic {
         widths.push(num_metrics);
         let mlp = Mlp::new(&widths, Activation::Relu, seed);
         let adam = Adam::new(&mlp, lr);
-        Critic { mlp, adam, scaler: None, dim, num_metrics }
+        Critic {
+            mlp,
+            adam,
+            scaler: None,
+            dim,
+            num_metrics,
+        }
     }
 
     /// Design-space dimensionality `d`.
@@ -88,7 +94,11 @@ impl Critic {
     ///
     /// Panics if the scaler has not been fitted or the population is empty.
     pub fn train(&mut self, pop: &Population, steps: usize, batch: usize, rng: &mut StdRng) -> f64 {
-        let scaler = self.scaler.as_ref().expect("fit the scaler before training").clone();
+        let scaler = self
+            .scaler
+            .as_ref()
+            .expect("fit the scaler before training")
+            .clone();
         let mut last = f64::NAN;
         for _ in 0..steps {
             let (inputs, targets_raw) = pseudo_batch(pop, batch, rng);
@@ -175,7 +185,14 @@ impl CriticEnsemble {
     /// # Panics
     ///
     /// Panics if `n == 0`.
-    pub fn new(n: usize, dim: usize, num_metrics: usize, hidden: &[usize], lr: f64, seed: u64) -> Self {
+    pub fn new(
+        n: usize,
+        dim: usize,
+        num_metrics: usize,
+        hidden: &[usize],
+        lr: f64,
+        seed: u64,
+    ) -> Self {
         assert!(n > 0, "ensemble needs at least one critic");
         let members = (0..n)
             .map(|i| Critic::new(dim, num_metrics, hidden, lr, seed ^ ((i as u64 + 1) << 32)))
@@ -306,8 +323,18 @@ mod tests {
         let dx = [dst[0] - x[0], dst[1] - x[1]];
         let pred = c.predict_raw(&x, &dx);
         let truth = [dst[0] * dst[0] + dst[1] * dst[1], 10.0 * dst[0]];
-        assert!((pred[0] - truth[0]).abs() < 0.15, "m0 {} vs {}", pred[0], truth[0]);
-        assert!((pred[1] - truth[1]).abs() < 1.5, "m1 {} vs {}", pred[1], truth[1]);
+        assert!(
+            (pred[0] - truth[0]).abs() < 0.15,
+            "m0 {} vs {}",
+            pred[0],
+            truth[0]
+        );
+        assert!(
+            (pred[1] - truth[1]).abs() < 1.5,
+            "m1 {} vs {}",
+            pred[1],
+            truth[1]
+        );
     }
 
     #[test]
@@ -346,7 +373,10 @@ mod tests {
         ens.train(&pop, 40, 16, &mut r2);
         let x = [0.3, 0.4];
         let dx = [0.1, -0.1];
-        assert_eq!(single.predict_raw(&x, &dx), Surrogate::predict_raw(&ens, &x, &dx));
+        assert_eq!(
+            single.predict_raw(&x, &dx),
+            Surrogate::predict_raw(&ens, &x, &dx)
+        );
     }
 
     #[test]
@@ -358,7 +388,7 @@ mod tests {
         ens.train(&pop, 30, 16, &mut rng);
         let input = Mat::from_rows(&[&[0.2, 0.6, 0.05, 0.1]]);
         let mean = ens.predict_batch_raw(&input);
-        let mut acc = vec![0.0; 2];
+        let mut acc = [0.0; 2];
         for i in 0..3 {
             let p = ens.member(i).predict_batch_raw(&input);
             acc[0] += p[(0, 0)];
@@ -398,9 +428,8 @@ mod tests {
         let ones = Mat::filled(out.rows(), out.cols(), 1.0);
         let gi = c.input_gradient(&ones);
 
-        let loss = |c: &Critic, inp: &Mat| -> f64 {
-            c.mlp.forward_inference(inp).as_slice().iter().sum()
-        };
+        let loss =
+            |c: &Critic, inp: &Mat| -> f64 { c.mlp.forward_inference(inp).as_slice().iter().sum() };
         let h = 1e-6;
         for j in 0..4 {
             let mut ip = input.clone();

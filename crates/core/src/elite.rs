@@ -23,7 +23,11 @@ impl EliteSet {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "elite set capacity must be positive");
-        EliteSet { capacity, designs: Vec::new(), foms: Vec::new() }
+        EliteSet {
+            capacity,
+            designs: Vec::new(),
+            foms: Vec::new(),
+        }
     }
 
     /// Maximum number of designs retained.
@@ -56,9 +60,7 @@ impl EliteSet {
             }
             Some(idx) => {
                 let mut sorted: Vec<usize> = idx.to_vec();
-                sorted.sort_by(|&a, &b| {
-                    pop.fom(a).partial_cmp(&pop.fom(b)).expect("finite FoM")
-                });
+                sorted.sort_by(|&a, &b| pop.fom(a).partial_cmp(&pop.fom(b)).expect("finite FoM"));
                 for &i in sorted.iter().take(self.capacity) {
                     self.designs.push(pop.design(i).to_vec());
                     self.foms.push(pop.fom(i));

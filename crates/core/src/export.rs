@@ -45,7 +45,12 @@ pub fn population_csv(result: &RunResult, problem: &dyn SizingProblem) -> String
         let _ = write!(out, ",{}_norm", p.name);
     }
     for p in problem.params() {
-        let _ = write!(out, ",{}_{}", p.name, if p.unit.is_empty() { "phys" } else { p.unit });
+        let _ = write!(
+            out,
+            ",{}_{}",
+            p.name,
+            if p.unit.is_empty() { "phys" } else { p.unit }
+        );
     }
     for m in problem.metric_names() {
         let _ = write!(out, ",{m}");
@@ -150,7 +155,11 @@ mod tests {
         let report = sizing_report(&r, &p);
         if r.success() {
             for s in p.specs() {
-                assert!(report.contains(&s.name), "missing spec {} in:\n{report}", s.name);
+                assert!(
+                    report.contains(&s.name),
+                    "missing spec {} in:\n{report}",
+                    s.name
+                );
             }
             assert!(report.contains("best feasible design"));
         } else {

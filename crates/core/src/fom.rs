@@ -41,7 +41,11 @@ pub fn spec_violations(metrics: &[f64], specs: &[Spec]) -> Vec<f64> {
 /// A non-finite target metric (failed simulation) is replaced by a large
 /// finite penalty so FoM ordering stays total.
 pub fn fom(metrics: &[f64], specs: &[Spec], config: FomConfig) -> f64 {
-    let target = if metrics[0].is_finite() { metrics[0] } else { 1e3 };
+    let target = if metrics[0].is_finite() {
+        metrics[0]
+    } else {
+        1e3
+    };
     let penalty: f64 = spec_violations(metrics, specs).iter().sum();
     config.w0 * target + penalty
 }
@@ -57,7 +61,10 @@ mod tests {
     use crate::problem::Spec;
 
     fn specs() -> Vec<Spec> {
-        vec![Spec::at_least("gain", 1, 60.0), Spec::at_most("noise", 2, 30e-3)]
+        vec![
+            Spec::at_least("gain", 1, 60.0),
+            Spec::at_most("noise", 2, 30e-3),
+        ]
     }
 
     #[test]

@@ -54,4 +54,4 @@ pub use fom::{fom, is_feasible, spec_violations, FomConfig};
 pub use maopt::{MaOpt, MaOptConfig, RunResult, RunTimings};
 pub use near_sampling::NearSampler;
 pub use population::{pseudo_batch, Population};
-pub use problem::{ParamScale, ParamSpec, SizingProblem, Spec, SpecKind};
+pub use problem::{EngineProblem, ParamScale, ParamSpec, SizingProblem, Spec, SpecKind};

@@ -13,6 +13,7 @@
 
 use std::time::{Duration, Instant};
 
+use maopt_exec::EvalEngine;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,7 +23,7 @@ use crate::elite::EliteSet;
 use crate::fom::FomConfig;
 use crate::near_sampling::NearSampler;
 use crate::population::Population;
-use crate::problem::SizingProblem;
+use crate::problem::{EngineProblem, SizingProblem};
 use crate::trace::{SimKind, Trace};
 
 /// Full configuration of a MA-Opt run.
@@ -126,7 +127,10 @@ impl MaOptConfig {
 
     /// MA-Opt²: three actors with a shared elite set, no near-sampling.
     pub fn ma_opt2(seed: u64) -> Self {
-        MaOptConfig { near_sampling: false, ..Self::base("MA-Opt2", seed) }
+        MaOptConfig {
+            near_sampling: false,
+            ..Self::base("MA-Opt2", seed)
+        }
     }
 
     /// Full MA-Opt: three actors, shared elite set, near-sampling.
@@ -174,12 +178,16 @@ impl RunResult {
 
     /// Target metric of the best feasible design, if any.
     pub fn best_feasible_target(&self) -> Option<f64> {
-        self.population.best_feasible().map(|i| self.population.metrics(i)[0])
+        self.population
+            .best_feasible()
+            .map(|i| self.population.metrics(i)[0])
     }
 
     /// Normalized design vector of the best feasible design, if any.
     pub fn best_feasible_design(&self) -> Option<&[f64]> {
-        self.population.best_feasible().map(|i| self.population.design(i))
+        self.population
+            .best_feasible()
+            .map(|i| self.population.design(i))
     }
 }
 
@@ -220,7 +228,31 @@ impl MaOpt {
         init: Vec<(Vec<f64>, Vec<f64>)>,
         budget: usize,
     ) -> RunResult {
-        assert!(!init.is_empty(), "MA-Opt needs a non-empty initial sample set");
+        self.run_with(problem, init, budget, &EvalEngine::default())
+    }
+
+    /// [`MaOpt::run`] with actor training, proposal simulations and
+    /// near-sampling ranking dispatched through the given [`EvalEngine`].
+    ///
+    /// Every per-actor computation is seeded independently of scheduling
+    /// (`iter_seed ^ (i << 17)`), so the result is bitwise identical for
+    /// any engine worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` is empty.
+    pub fn run_with(
+        &self,
+        problem: &dyn SizingProblem,
+        init: Vec<(Vec<f64>, Vec<f64>)>,
+        budget: usize,
+        engine: &EvalEngine,
+    ) -> RunResult {
+        assert!(
+            !init.is_empty(),
+            "MA-Opt needs a non-empty initial sample set"
+        );
+        let sim_target = EngineProblem(problem);
         let cfg = &self.config;
         let t_start = Instant::now();
         let mut timings = RunTimings::default();
@@ -238,11 +270,23 @@ impl MaOpt {
         let init_len = pop.len();
 
         // Networks.
-        let mut critic =
-            CriticEnsemble::new(cfg.n_critics, d, m1, &cfg.hidden, cfg.critic_lr, cfg.seed ^ 0xC717);
+        let mut critic = CriticEnsemble::new(
+            cfg.n_critics,
+            d,
+            m1,
+            &cfg.hidden,
+            cfg.critic_lr,
+            cfg.seed ^ 0xC717,
+        );
         let mut actors: Vec<Actor> = (0..cfg.n_actors)
             .map(|i| {
-                Actor::new(d, &cfg.hidden, cfg.action_scale, cfg.actor_lr, cfg.seed ^ (i as u64 + 1))
+                Actor::new(
+                    d,
+                    &cfg.hidden,
+                    cfg.action_scale,
+                    cfg.actor_lr,
+                    cfg.seed ^ (i as u64 + 1),
+                )
             })
             .collect();
 
@@ -258,7 +302,8 @@ impl MaOpt {
         while sims_used < budget {
             t += 1;
             let specs_met = pop.best_feasible().is_some();
-            let do_ns = cfg.near_sampling && specs_met && critic_ready && t % cfg.t_ns == 0;
+            let do_ns =
+                cfg.near_sampling && specs_met && critic_ready && t.is_multiple_of(cfg.t_ns);
 
             if do_ns {
                 // ---- Algorithm 2: near-sampling round (1 simulation). ----
@@ -266,11 +311,17 @@ impl MaOpt {
                 let best_idx = pop.best().expect("non-empty population");
                 let x_opt = pop.design(best_idx).to_vec();
                 let t0 = Instant::now();
-                let cand = ns.propose(&critic, &x_opt, &specs, cfg.fom, &mut rng);
+                let cand = {
+                    let _span = engine.telemetry().span("near_sampling");
+                    ns.propose_with(&critic, &x_opt, &specs, cfg.fom, &mut rng, engine)
+                };
                 timings.near_sampling += t0.elapsed();
 
                 let t0 = Instant::now();
-                let metrics = problem.evaluate(&cand);
+                let metrics = {
+                    let _span = engine.telemetry().span("simulation");
+                    engine.evaluate_one(&sim_target, &cand)
+                };
                 timings.simulation += t0.elapsed();
 
                 let idx = pop.push(cand, metrics, &specs, cfg.fom);
@@ -312,75 +363,72 @@ impl MaOpt {
                 let n_props = cfg.n_actors.min(budget - sims_used);
                 let iter_seed: u64 = rng.random();
 
-                // Train actors and generate proposals in parallel.
+                // Train actors and generate proposals on the engine's pool.
+                // Each lane reads shared state immutably and owns its actor
+                // mutably; results come back in actor order.
                 let pop_ref = &pop;
                 let specs_ref = &specs;
                 let critic_ref = &critic;
-                let candidates: Vec<Vec<f64>> = std::thread::scope(|scope| {
-                    let mut handles = Vec::with_capacity(actors.len());
-                    for (i, actor) in actors.iter_mut().enumerate() {
+                let shared_elite_ref = &shared_elite;
+                let individual_elites_ref = &individual_elites;
+                let actor_lanes: Vec<&mut Actor> = actors.iter_mut().collect();
+                let candidates: Vec<Vec<f64>> = {
+                    let _span = engine.telemetry().span("actor_training");
+                    engine.map(actor_lanes, |i, actor| {
                         let elite = if cfg.shared_elite {
-                            shared_elite.as_ref().expect("shared elite built")
+                            shared_elite_ref.as_ref().expect("shared elite built")
                         } else {
-                            &individual_elites[i]
+                            &individual_elites_ref[i]
                         };
                         let fom_cfg = cfg.fom;
-                        let (lambda, steps, batch) =
-                            (cfg.lambda, cfg.actor_steps, cfg.batch_size);
-                        handles.push(scope.spawn(move || {
-                            // Each actor trains through one ensemble member
-                            // (round-robin); with one critic this is the
-                            // paper's configuration.
-                            let mut local_critic = critic_ref.member(i).clone();
-                            let mut local_rng =
-                                StdRng::seed_from_u64(iter_seed ^ (i as u64) << 17);
-                            let (lb, ub) = elite.bounds();
-                            actor.train(
-                                &mut local_critic,
-                                pop_ref,
-                                specs_ref,
-                                fom_cfg,
-                                (&lb, &ub),
-                                lambda,
-                                steps,
-                                batch,
-                                &mut local_rng,
-                            );
-                            // Line 8 of Algorithm 1: among elite states, pick
-                            // the one whose actor-proposed successor has the
-                            // best predicted FoM; simulate that successor.
-                            let mut best: Option<(f64, Vec<f64>)> = None;
-                            for x in elite.designs() {
-                                let a = actor.act(x);
-                                let pred = local_critic.predict_raw(x, &a);
-                                let g = crate::fom::fom(&pred, specs_ref, fom_cfg);
-                                let cand: Vec<f64> = x
-                                    .iter()
-                                    .zip(&a)
-                                    .map(|(xi, ai)| (xi + ai).clamp(0.0, 1.0))
-                                    .collect();
-                                match &best {
-                                    Some((bg, _)) if *bg <= g => {}
-                                    _ => best = Some((g, cand)),
-                                }
+                        let (lambda, steps, batch) = (cfg.lambda, cfg.actor_steps, cfg.batch_size);
+                        // Each actor trains through one ensemble member
+                        // (round-robin); with one critic this is the
+                        // paper's configuration.
+                        let mut local_critic = critic_ref.member(i).clone();
+                        let mut local_rng = StdRng::seed_from_u64(iter_seed ^ (i as u64) << 17);
+                        let (lb, ub) = elite.bounds();
+                        actor.train(
+                            &mut local_critic,
+                            pop_ref,
+                            specs_ref,
+                            fom_cfg,
+                            (&lb, &ub),
+                            lambda,
+                            steps,
+                            batch,
+                            &mut local_rng,
+                        );
+                        // Line 8 of Algorithm 1: among elite states, pick
+                        // the one whose actor-proposed successor has the
+                        // best predicted FoM; simulate that successor.
+                        let mut best: Option<(f64, Vec<f64>)> = None;
+                        for x in elite.designs() {
+                            let a = actor.act(x);
+                            let pred = local_critic.predict_raw(x, &a);
+                            let g = crate::fom::fom(&pred, specs_ref, fom_cfg);
+                            let cand: Vec<f64> = x
+                                .iter()
+                                .zip(&a)
+                                .map(|(xi, ai)| (xi + ai).clamp(0.0, 1.0))
+                                .collect();
+                            match &best {
+                                Some((bg, _)) if *bg <= g => {}
+                                _ => best = Some((g, cand)),
                             }
-                            best.expect("elite set is non-empty").1
-                        }));
-                    }
-                    handles.into_iter().map(|h| h.join().expect("actor thread")).collect()
-                });
+                        }
+                        best.expect("elite set is non-empty").1
+                    })
+                };
                 timings.training += t0.elapsed();
 
-                // Simulate the first `n_props` proposals in parallel.
+                // Simulate the first `n_props` proposals on the pool.
                 let t0 = Instant::now();
                 let to_run = &candidates[..n_props];
-                let results: Vec<Vec<f64>> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = to_run
-                        .iter()
-                        .map(|cand| scope.spawn(move || problem.evaluate(cand)))
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("sim thread")).collect()
-                });
+                let results: Vec<Vec<f64>> = {
+                    let _span = engine.telemetry().span("simulation");
+                    engine.evaluate_batch(&sim_target, to_run)
+                };
                 timings.simulation += t0.elapsed();
 
                 for (i, (cand, metrics)) in to_run.iter().zip(results).enumerate() {
@@ -400,7 +448,12 @@ impl MaOpt {
         }
 
         timings.total = t_start.elapsed();
-        RunResult { label: cfg.label.clone(), trace, population: pop, timings }
+        RunResult {
+            label: cfg.label.clone(),
+            trace,
+            population: pop,
+            timings,
+        }
     }
 }
 
@@ -535,8 +588,11 @@ mod tests {
         let problem = Sphere::new(3);
         let init = sample_initial_set(&problem, 12, 14);
         let a = MaOpt::new(small(MaOptConfig::ma_opt2(14))).run(&problem, init.clone(), 6);
-        let b = MaOpt::new(small(MaOptConfig { n_critics: 1, ..MaOptConfig::ma_opt2(14) }))
-            .run(&problem, init, 6);
+        let b = MaOpt::new(small(MaOptConfig {
+            n_critics: 1,
+            ..MaOptConfig::ma_opt2(14)
+        }))
+        .run(&problem, init, 6);
         assert_eq!(a.trace.best_fom_series(6), b.trace.best_fom_series(6));
     }
 

@@ -2,6 +2,7 @@
 //! incumbent best design, ranked by the critic, one simulation spent on the
 //! predicted winner.
 
+use maopt_exec::EvalEngine;
 use maopt_linalg::Mat;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -37,7 +38,7 @@ impl NearSampler {
     ///
     /// The returned design still needs a real simulation; the caller accepts
     /// it only if the simulated FoM beats the incumbent (lines 8–11).
-    pub fn propose<S: Surrogate>(
+    pub fn propose<S: Surrogate + Sync>(
         &self,
         critic: &S,
         x_opt: &[f64],
@@ -45,16 +46,39 @@ impl NearSampler {
         fom_cfg: FomConfig,
         rng: &mut StdRng,
     ) -> Vec<f64> {
+        self.propose_with(critic, x_opt, specs, fom_cfg, rng, &EvalEngine::serial())
+    }
+
+    /// [`NearSampler::propose`] with the candidate ranking split into
+    /// per-worker batches on the given engine.
+    ///
+    /// Candidates come from a serial RNG stream and the critic's MLP
+    /// computes each input row independently, so a chunked prediction is
+    /// bitwise identical to the full batch: the proposal does not depend on
+    /// the worker count.
+    pub fn propose_with<S: Surrogate + Sync>(
+        &self,
+        critic: &S,
+        x_opt: &[f64],
+        specs: &[Spec],
+        fom_cfg: FomConfig,
+        rng: &mut StdRng,
+        engine: &EvalEngine,
+    ) -> Vec<f64> {
         let d = x_opt.len();
         // Build the critic input batch (x_opt, x_ns − x_opt) for all samples.
         let mut candidates = Vec::with_capacity(self.n_samples);
         let mut inputs = Mat::zeros(self.n_samples, 2 * d);
         for k in 0..self.n_samples {
             let mut x_ns = Vec::with_capacity(d);
-            for t in 0..d {
-                let lo = (x_opt[t] - self.delta).max(0.0);
-                let hi = (x_opt[t] + self.delta).min(1.0);
-                x_ns.push(if hi > lo { rng.random_range(lo..hi) } else { lo });
+            for &xo in x_opt {
+                let lo = (xo - self.delta).max(0.0);
+                let hi = (xo + self.delta).min(1.0);
+                x_ns.push(if hi > lo {
+                    rng.random_range(lo..hi)
+                } else {
+                    lo
+                });
             }
             for t in 0..d {
                 inputs[(k, t)] = x_opt[t];
@@ -62,11 +86,26 @@ impl NearSampler {
             }
             candidates.push(x_ns);
         }
-        let predictions = critic.predict_batch_raw(&inputs);
+
+        let n = self.n_samples;
+        let chunk = n.div_ceil(engine.jobs()).max(1);
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(n)))
+            .collect();
+        let inputs_ref = &inputs;
+        let scored: Vec<Vec<f64>> = engine.map(ranges, |_, (start, end)| {
+            let sub = Mat::from_fn(end - start, 2 * d, |r, c| inputs_ref[(start + r, c)]);
+            let predictions = critic.predict_batch_raw(&sub);
+            (0..end - start)
+                .map(|k| fom(predictions.row(k), specs, fom_cfg))
+                .collect()
+        });
+
+        // First-index-wins argmin over the concatenated scores.
         let mut best_k = 0;
         let mut best_fom = f64::INFINITY;
-        for k in 0..self.n_samples {
-            let g = fom(predictions.row(k), specs, fom_cfg);
+        for (k, g) in scored.into_iter().flatten().enumerate() {
             if g < best_fom {
                 best_fom = g;
                 best_k = k;

@@ -34,7 +34,13 @@ impl Population {
     }
 
     /// Records a simulated design; returns its index.
-    pub fn push(&mut self, x: Vec<f64>, metrics: Vec<f64>, specs: &[Spec], config: FomConfig) -> usize {
+    pub fn push(
+        &mut self,
+        x: Vec<f64>,
+        metrics: Vec<f64>,
+        specs: &[Spec],
+        config: FomConfig,
+    ) -> usize {
         debug_assert!(!x.is_empty());
         self.foms.push(fom(&metrics, specs, config));
         self.feasible.push(is_feasible(&metrics, specs));
@@ -123,7 +129,10 @@ impl Population {
 ///
 /// Panics if the population is empty or `n == 0`.
 pub fn pseudo_batch(pop: &Population, n: usize, rng: &mut StdRng) -> (Mat, Mat) {
-    assert!(!pop.is_empty(), "cannot draw pseudo-samples from an empty population");
+    assert!(
+        !pop.is_empty(),
+        "cannot draw pseudo-samples from an empty population"
+    );
     assert!(n > 0, "batch size must be positive");
     let d = pop.design(0).len();
     let m1 = pop.metrics(0).len();
@@ -196,8 +205,8 @@ mod tests {
         assert_eq!(x.rows(), 32);
         assert_eq!(x.cols(), 4); // 2d
         assert_eq!(y.cols(), 2); // m+1
-        // Invariant: x_i + Δx must be one of the population designs, and the
-        // target must be that design's metrics.
+                                 // Invariant: x_i + Δx must be one of the population designs, and the
+                                 // target must be that design's metrics.
         for k in 0..32 {
             let xi = [x[(k, 0)], x[(k, 1)]];
             let dst = [xi[0] + x[(k, 2)], xi[1] + x[(k, 3)]];

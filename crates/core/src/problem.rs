@@ -38,7 +38,13 @@ impl ParamSpec {
     /// Creates a linear parameter.
     pub fn linear(name: &str, unit: &'static str, lo: f64, hi: f64) -> Self {
         assert!(lo < hi, "parameter {name} needs lo < hi");
-        ParamSpec { name: name.into(), unit, lo, hi, scale: ParamScale::Linear }
+        ParamSpec {
+            name: name.into(),
+            unit,
+            lo,
+            hi,
+            scale: ParamScale::Linear,
+        }
     }
 
     /// Creates a log-scaled parameter.
@@ -47,8 +53,17 @@ impl ParamSpec {
     ///
     /// Panics unless `0 < lo < hi`.
     pub fn log(name: &str, unit: &'static str, lo: f64, hi: f64) -> Self {
-        assert!(lo > 0.0 && lo < hi, "log parameter {name} needs 0 < lo < hi");
-        ParamSpec { name: name.into(), unit, lo, hi, scale: ParamScale::Log }
+        assert!(
+            lo > 0.0 && lo < hi,
+            "log parameter {name} needs 0 < lo < hi"
+        );
+        ParamSpec {
+            name: name.into(),
+            unit,
+            lo,
+            hi,
+            scale: ParamScale::Log,
+        }
     }
 
     /// Creates an integer parameter.
@@ -112,12 +127,24 @@ pub struct Spec {
 impl Spec {
     /// An `AtLeast` constraint with unit weight.
     pub fn at_least(name: &str, metric_index: usize, bound: f64) -> Self {
-        Spec { name: name.into(), metric_index, kind: SpecKind::AtLeast, bound, weight: 1.0 }
+        Spec {
+            name: name.into(),
+            metric_index,
+            kind: SpecKind::AtLeast,
+            bound,
+            weight: 1.0,
+        }
     }
 
     /// An `AtMost` constraint with unit weight.
     pub fn at_most(name: &str, metric_index: usize, bound: f64) -> Self {
-        Spec { name: name.into(), metric_index, kind: SpecKind::AtMost, bound, weight: 1.0 }
+        Spec {
+            name: name.into(),
+            metric_index,
+            kind: SpecKind::AtMost,
+            bound,
+            weight: 1.0,
+        }
     }
 
     /// Relative violation of this spec by a metric value: 0 when satisfied,
@@ -192,6 +219,47 @@ pub trait SizingProblem: Send + Sync {
             .zip(x)
             .map(|(p, &u)| p.denormalize(u))
             .collect()
+    }
+
+    /// Penalty metric vector the evaluation engine emits when a simulation
+    /// keeps faulting (panic, timeout, or [`SizingProblem::is_failure`]).
+    /// Circuits override this with their finite, maximally-spec-violating
+    /// vector; the default is all-infinite, which the FoM and spec code
+    /// already treat as maximally infeasible.
+    fn failure_metrics(&self) -> Vec<f64> {
+        vec![f64::INFINITY; self.num_metrics()]
+    }
+
+    /// Whether a metric vector should be treated as a failed simulation
+    /// (and retried by the evaluation engine). The default flags any
+    /// non-finite entry.
+    fn is_failure(&self, metrics: &[f64]) -> bool {
+        metrics.iter().any(|m| !m.is_finite())
+    }
+}
+
+/// Adapter exposing a [`SizingProblem`] to the evaluation engine.
+///
+/// `maopt-core` depends on `maopt-exec` (not the other way around), so the
+/// engine's [`maopt_exec::Evaluate`] trait cannot be implemented for
+/// `dyn SizingProblem` directly without this newtype.
+pub struct EngineProblem<'a>(pub &'a dyn SizingProblem);
+
+impl maopt_exec::Evaluate for EngineProblem<'_> {
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        self.0.evaluate(x)
+    }
+
+    fn num_metrics(&self) -> usize {
+        self.0.num_metrics()
+    }
+
+    fn failure_metrics(&self) -> Vec<f64> {
+        self.0.failure_metrics()
+    }
+
+    fn is_failure(&self, metrics: &[f64]) -> bool {
+        self.0.is_failure(metrics)
     }
 }
 

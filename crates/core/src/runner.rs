@@ -5,11 +5,12 @@
 
 use std::time::Duration;
 
+use maopt_exec::{CounterSnapshot, EvalEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::maopt::{MaOpt, MaOptConfig, RunResult};
-use crate::problem::SizingProblem;
+use crate::problem::{EngineProblem, SizingProblem};
 
 /// Anything that can run the paper's optimization protocol — MA-Opt and its
 /// ablations implement this here; the BO baseline implements it in
@@ -27,6 +28,22 @@ pub trait Optimizer: Send + Sync {
         budget: usize,
         seed: u64,
     ) -> RunResult;
+
+    /// Like [`Optimizer::optimize`], but running every simulation and
+    /// internal fan-out through the given [`EvalEngine`]. Implementations
+    /// must keep the result bitwise identical for any worker count; the
+    /// default ignores the engine and runs the plain serial path.
+    fn optimize_with(
+        &self,
+        problem: &dyn SizingProblem,
+        init: &[(Vec<f64>, Vec<f64>)],
+        budget: usize,
+        seed: u64,
+        engine: &EvalEngine,
+    ) -> RunResult {
+        let _ = engine;
+        self.optimize(problem, init, budget, seed)
+    }
 }
 
 impl Optimizer for MaOptConfig {
@@ -41,8 +58,26 @@ impl Optimizer for MaOptConfig {
         budget: usize,
         seed: u64,
     ) -> RunResult {
-        let config = MaOptConfig { seed, ..self.clone() };
+        let config = MaOptConfig {
+            seed,
+            ..self.clone()
+        };
         MaOpt::new(config).run(problem, init.to_vec(), budget)
+    }
+
+    fn optimize_with(
+        &self,
+        problem: &dyn SizingProblem,
+        init: &[(Vec<f64>, Vec<f64>)],
+        budget: usize,
+        seed: u64,
+        engine: &EvalEngine,
+    ) -> RunResult {
+        let config = MaOptConfig {
+            seed,
+            ..self.clone()
+        };
+        MaOpt::new(config).run_with(problem, init.to_vec(), budget, engine)
     }
 }
 
@@ -52,22 +87,26 @@ pub fn sample_initial_set(
     n: usize,
     seed: u64,
 ) -> Vec<(Vec<f64>, Vec<f64>)> {
+    sample_initial_set_with(problem, n, seed, &EvalEngine::default())
+}
+
+/// [`sample_initial_set`] running its simulations on the given engine's
+/// worker pool. The designs come from a serial RNG stream, so the result
+/// is identical for any worker count.
+pub fn sample_initial_set_with(
+    problem: &dyn SizingProblem,
+    n: usize,
+    seed: u64,
+    engine: &EvalEngine,
+) -> Vec<(Vec<f64>, Vec<f64>)> {
     let mut rng = StdRng::seed_from_u64(seed);
     let d = problem.dim();
     let xs: Vec<Vec<f64>> = (0..n)
         .map(|_| (0..d).map(|_| rng.random_range(0.0..1.0)).collect())
         .collect();
-    // Evaluate in parallel — initial sets are 100 circuit simulations.
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = xs
-            .iter()
-            .map(|x| scope.spawn(move || problem.evaluate(x)))
-            .collect();
-        xs.iter()
-            .zip(handles)
-            .map(|(x, h)| (x.clone(), h.join().expect("init sim thread")))
-            .collect()
-    })
+    let _span = engine.telemetry().span("init_sampling");
+    let metrics = engine.evaluate_batch(&EngineProblem(problem), &xs);
+    xs.into_iter().zip(metrics).collect()
 }
 
 /// Aggregate statistics of one method over repeated runs — one row of the
@@ -84,12 +123,17 @@ pub struct MethodStats {
     pub min_target: Option<f64>,
     /// Mean of each run's final best FoM.
     pub avg_fom: f64,
-    /// `log10` of the average FoM (the paper's reporting scale).
-    pub log10_avg_fom: f64,
+    /// `log10` of the average FoM (the paper's reporting scale), or `None`
+    /// when the average is non-positive and the logarithm is undefined
+    /// (instead of a silent `NaN`/`-inf` poisoning downstream comparisons).
+    pub log10_avg_fom: Option<f64>,
     /// Summed wall-clock runtime across runs.
     pub total_runtime: Duration,
     /// Mean best-FoM-so-far at each simulation count (Fig. 5 series).
     pub fom_curve: Vec<f64>,
+    /// Evaluation-engine counters (simulations, cache hits/misses, retries,
+    /// faults) accumulated while this method ran.
+    pub exec: CounterSnapshot,
     /// The per-run results, for deeper inspection.
     pub results: Vec<RunResult>,
 }
@@ -98,6 +142,12 @@ impl MethodStats {
     /// Success rate as a `"s/r"` string (paper notation).
     pub fn success_rate(&self) -> String {
         format!("{}/{}", self.successes, self.runs)
+    }
+
+    /// `log10(avg_fom)` with the undefined case mapped to `-inf` — the
+    /// sentinel the report CSVs print (and `f64::from_str` round-trips).
+    pub fn log10_avg_fom_or_neg_inf(&self) -> f64 {
+        self.log10_avg_fom.unwrap_or(f64::NEG_INFINITY)
     }
 }
 
@@ -118,23 +168,66 @@ pub fn run_method(
     budget: usize,
     base_seed: u64,
 ) -> MethodStats {
+    run_method_with(
+        optimizer,
+        problem,
+        inits,
+        runs,
+        budget,
+        base_seed,
+        &EvalEngine::serial(),
+    )
+}
+
+/// [`run_method`] with run-level parallelism and engine-backed simulations.
+///
+/// Runs are mutually independent (run `r` is fully determined by `inits[r]`
+/// and `base_seed + r`), so executing them concurrently on the engine's
+/// pool yields bitwise-identical per-run results to the serial loop; only
+/// wall-clock changes. The returned [`MethodStats::exec`] holds the engine
+/// counters accumulated by this method.
+///
+/// # Panics
+///
+/// Panics if `inits.len() < runs`.
+pub fn run_method_with(
+    optimizer: &dyn Optimizer,
+    problem: &dyn SizingProblem,
+    inits: &[Vec<(Vec<f64>, Vec<f64>)>],
+    runs: usize,
+    budget: usize,
+    base_seed: u64,
+    engine: &EvalEngine,
+) -> MethodStats {
     assert!(inits.len() >= runs, "need one initial set per run");
-    let mut results = Vec::with_capacity(runs);
-    for r in 0..runs {
-        let result = optimizer.optimize(problem, &inits[r], budget, base_seed + r as u64);
-        results.push(result);
-    }
-    summarize(optimizer.name(), results, budget)
+    let before = engine.telemetry().snapshot();
+    let results: Vec<RunResult> = {
+        let _span = engine
+            .telemetry()
+            .span(&format!("method:{}", optimizer.name()));
+        engine.map((0..runs).collect(), |_, r| {
+            optimizer.optimize_with(problem, &inits[r], budget, base_seed + r as u64, engine)
+        })
+    };
+    let exec = engine.telemetry().snapshot().since(&before);
+    summarize(optimizer.name(), results, budget, exec)
 }
 
 /// Builds the aggregate statistics from raw run results.
-pub fn summarize(name: String, results: Vec<RunResult>, budget: usize) -> MethodStats {
+pub fn summarize(
+    name: String,
+    results: Vec<RunResult>,
+    budget: usize,
+    exec: CounterSnapshot,
+) -> MethodStats {
     let runs = results.len();
     let successes = results.iter().filter(|r| r.success()).count();
     let min_target = results
         .iter()
         .filter_map(RunResult::best_feasible_target)
-        .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.min(t))));
+        .fold(None, |acc: Option<f64>, t| {
+            Some(acc.map_or(t, |a| a.min(t)))
+        });
     let final_foms: Vec<f64> = results.iter().map(RunResult::best_fom).collect();
     let avg_fom = maopt_linalg::stats::mean(&final_foms);
     let total_runtime = results.iter().map(|r| r.timings.total).sum();
@@ -156,9 +249,12 @@ pub fn summarize(name: String, results: Vec<RunResult>, budget: usize) -> Method
         runs,
         min_target,
         avg_fom,
-        log10_avg_fom: avg_fom.log10(),
+        // log10 of a non-positive average is NaN (or -inf at exactly zero);
+        // report that case as an explicit None instead.
+        log10_avg_fom: (avg_fom > 0.0).then(|| avg_fom.log10()),
         total_runtime,
         fom_curve,
+        exec,
         results,
     }
 }
@@ -170,8 +266,26 @@ pub fn make_initial_sets(
     init_size: usize,
     base_seed: u64,
 ) -> Vec<Vec<(Vec<f64>, Vec<f64>)>> {
+    make_initial_sets_with(problem, runs, init_size, base_seed, &EvalEngine::default())
+}
+
+/// [`make_initial_sets`] running its simulations on the given engine.
+pub fn make_initial_sets_with(
+    problem: &dyn SizingProblem,
+    runs: usize,
+    init_size: usize,
+    base_seed: u64,
+    engine: &EvalEngine,
+) -> Vec<Vec<(Vec<f64>, Vec<f64>)>> {
     (0..runs)
-        .map(|r| sample_initial_set(problem, init_size, base_seed.wrapping_add(1000 * r as u64)))
+        .map(|r| {
+            sample_initial_set_with(
+                problem,
+                init_size,
+                base_seed.wrapping_add(1000 * r as u64),
+                engine,
+            )
+        })
         .collect()
 }
 

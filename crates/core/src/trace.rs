@@ -43,7 +43,12 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace.
     pub fn new() -> Self {
-        Trace { entries: Vec::new(), best_so_far: f64::INFINITY, init_best: f64::INFINITY, sims: 0 }
+        Trace {
+            entries: Vec::new(),
+            best_so_far: f64::INFINITY,
+            init_best: f64::INFINITY,
+            sims: 0,
+        }
     }
 
     /// Records an initial sample (not counted against the simulation budget).
@@ -118,7 +123,10 @@ impl Trace {
 
     /// Count of near-sampling simulations (used by runtime ablations).
     pub fn near_sample_count(&self) -> usize {
-        self.entries.iter().filter(|e| e.kind == SimKind::NearSample).count()
+        self.entries
+            .iter()
+            .filter(|e| e.kind == SimKind::NearSample)
+            .count()
     }
 }
 

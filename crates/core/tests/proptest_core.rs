@@ -17,15 +17,18 @@ fn metric_vec() -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn population(n: usize) -> impl Strategy<Value = Population> {
-    prop::collection::vec((prop::collection::vec(0.0f64..1.0, 3), metric_vec()), n..n + 1)
-        .prop_map(|entries| {
-            let specs = specs2();
-            let mut pop = Population::new();
-            for (x, m) in entries {
-                pop.push(x, m, &specs, FomConfig::default());
-            }
-            pop
-        })
+    prop::collection::vec(
+        (prop::collection::vec(0.0f64..1.0, 3), metric_vec()),
+        n..n + 1,
+    )
+    .prop_map(|entries| {
+        let specs = specs2();
+        let mut pop = Population::new();
+        for (x, m) in entries {
+            pop.push(x, m, &specs, FomConfig::default());
+        }
+        pop
+    })
 }
 
 proptest! {

@@ -1,0 +1,166 @@
+//! Memoizing simulation cache keyed by quantized design vectors.
+//!
+//! Analog sizing loops re-simulate near-duplicate points constantly:
+//! elite designs are re-proposed, near-sampling perturbs the same
+//! optimum, and BO re-scores converged candidates. Keying on the raw
+//! `f64` bits would make the cache uselessly brittle, so coordinates are
+//! quantized to a fixed grid (`SCALE` steps per unit in normalized
+//! [0, 1] space) — far below any physically meaningful sizing change,
+//! far above float noise.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Quantization steps per unit of normalized parameter space.
+const SCALE: f64 = 1e12;
+
+/// Quantizes one normalized design vector into a hashable cache key.
+#[must_use]
+pub fn quantize(x: &[f64]) -> Vec<i64> {
+    x.iter()
+        .map(|&v| {
+            if v.is_finite() {
+                // Saturating cast keeps huge/denormal junk hashable
+                // instead of UB-adjacent.
+                (v * SCALE).round() as i64
+            } else if v.is_nan() {
+                i64::MIN
+            } else if v > 0.0 {
+                i64::MAX
+            } else {
+                i64::MIN + 1
+            }
+        })
+        .collect()
+}
+
+/// Thread-safe memo table from quantized design vectors to metric vectors.
+#[derive(Debug, Default)]
+pub struct SimCache {
+    map: Mutex<HashMap<Vec<i64>, Vec<f64>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SimCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a design vector, counting the hit or miss.
+    pub fn get(&self, x: &[f64]) -> Option<Vec<f64>> {
+        let key = quantize(x);
+        let map = self.map.lock().expect("cache mutex poisoned");
+        match map.get(&key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a result. First write wins so concurrent evaluators of the
+    /// same point stay deterministic regardless of finish order (the
+    /// results are identical for a deterministic simulator anyway).
+    pub fn insert(&self, x: &[f64], metrics: Vec<f64>) {
+        let key = quantize(x);
+        let mut map = self.map.lock().expect("cache mutex poisoned");
+        map.entry(key).or_insert(metrics);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache mutex poisoned").len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime (hits, misses) counts.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drops all entries; counters are preserved.
+    pub fn clear(&self) {
+        self.map.lock().expect("cache mutex poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let c = SimCache::new();
+        let x = [0.25, 0.75];
+        assert_eq!(c.get(&x), None);
+        c.insert(&x, vec![1.0, 2.0]);
+        assert_eq!(c.get(&x), Some(vec![1.0, 2.0]));
+        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn quantization_absorbs_float_noise_only() {
+        let c = SimCache::new();
+        let x = [0.3, 0.6];
+        c.insert(&x, vec![9.0]);
+        // Perturbation below half a grid step maps to the same key.
+        let eps = 0.4 / SCALE;
+        assert_eq!(c.get(&[0.3 + eps, 0.6 - eps]), Some(vec![9.0]));
+        // A full grid step is a different design.
+        assert_eq!(c.get(&[0.3 + 2.0 / SCALE, 0.6]), None);
+    }
+
+    #[test]
+    fn non_finite_coordinates_get_distinct_stable_keys() {
+        assert_eq!(quantize(&[f64::NAN]), quantize(&[f64::NAN]));
+        assert_ne!(quantize(&[f64::INFINITY]), quantize(&[f64::NEG_INFINITY]));
+        assert_ne!(quantize(&[f64::NAN]), quantize(&[f64::INFINITY]));
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let c = SimCache::new();
+        c.insert(&[0.5], vec![1.0]);
+        c.insert(&[0.5], vec![2.0]);
+        assert_eq!(c.get(&[0.5]), Some(vec![1.0]));
+    }
+
+    #[test]
+    fn concurrent_mixed_access_is_consistent() {
+        let c = SimCache::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let x = [f64::from(i % 10) / 10.0, f64::from(t % 2)];
+                        if let Some(v) = c.get(&x) {
+                            assert_eq!(v, vec![f64::from(i % 10)]);
+                        } else {
+                            c.insert(&x, vec![f64::from(i % 10)]);
+                        }
+                    }
+                });
+            }
+        });
+        let (hits, misses) = c.stats();
+        assert_eq!(c.len(), 20);
+        assert_eq!(hits + misses, 4 * 50);
+        assert!(hits >= 4 * 50 - 20 * 4, "most lookups should hit");
+    }
+}

@@ -1,0 +1,537 @@
+//! `maopt-exec`: the shared parallel evaluation engine for MA-Opt.
+//!
+//! Every optimizer in the workspace used to hand-roll its own
+//! `thread::scope` fan-out (initial sampling, actor lanes, proposal
+//! sims, BO candidates). This crate centralizes that into one
+//! [`EvalEngine`] providing:
+//!
+//! * a fixed-size worker pool fed by a bounded queue ([`queue`]),
+//! * a memoizing simulation cache over quantized design vectors
+//!   ([`cache`]),
+//! * fault handling — per-evaluation panic isolation, a configurable
+//!   deadline, and bounded retry before a penalty vector is emitted,
+//! * telemetry — counters, per-phase wall-time spans and an optional
+//!   JSONL event log ([`telemetry`]).
+//!
+//! The engine is deliberately deterministic: [`EvalEngine::map`]
+//! returns results in input order no matter how workers interleave, so
+//! for a deterministic evaluator the parallel result is bitwise
+//! identical to the serial one.
+//!
+//! Dependency direction: `maopt-core` depends on this crate, so the
+//! engine defines its own minimal [`Evaluate`] trait instead of
+//! consuming `SizingProblem`; core provides the adapter.
+
+pub mod cache;
+pub mod queue;
+pub mod telemetry;
+
+pub use cache::{quantize, SimCache};
+pub use queue::BoundedQueue;
+pub use telemetry::{CounterSnapshot, Telemetry};
+
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Anything the engine can run: a deterministic map from a normalized
+/// design vector to a metric vector.
+pub trait Evaluate: Sync {
+    /// Simulates one design point.
+    fn evaluate(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Length of the metric vector [`Evaluate::evaluate`] returns.
+    fn num_metrics(&self) -> usize;
+
+    /// Penalty vector emitted when an evaluation keeps faulting. The
+    /// default is all-infinite, which downstream FoM/spec code already
+    /// treats as maximally infeasible.
+    fn failure_metrics(&self) -> Vec<f64> {
+        vec![f64::INFINITY; self.num_metrics()]
+    }
+
+    /// Whether a metric vector should be treated as a failed simulation
+    /// (and hence retried). The default flags any non-finite entry.
+    fn is_failure(&self, metrics: &[f64]) -> bool {
+        metrics.iter().any(|m| !m.is_finite())
+    }
+}
+
+/// What went wrong with one evaluation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The evaluator panicked; the payload was caught and isolated.
+    Panic,
+    /// The evaluation finished after the configured deadline; its result
+    /// is discarded. (Evaluations run on pool threads and cannot be
+    /// interrupted mid-flight, so the deadline is enforced by discarding
+    /// late results, not by preemption.)
+    Timeout,
+    /// The evaluator returned metrics its [`Evaluate::is_failure`]
+    /// rejects.
+    Failed,
+}
+
+impl FaultKind {
+    fn label(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Timeout => "timeout",
+            FaultKind::Failed => "failed",
+        }
+    }
+}
+
+/// Retry/deadline policy for one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Re-attempts after a faulted evaluation before the penalty vector
+    /// is emitted (so an evaluation runs at most `1 + max_retries`
+    /// times).
+    pub max_retries: u32,
+    /// Optional per-evaluation deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            max_retries: 1,
+            deadline: None,
+        }
+    }
+}
+
+/// Parallel evaluation engine: worker pool + cache + fault policy +
+/// telemetry. Cheap to clone (shared state is behind `Arc`s); clones
+/// share the same cache and telemetry.
+#[derive(Debug, Clone)]
+pub struct EvalEngine {
+    jobs: usize,
+    cache: Option<Arc<SimCache>>,
+    policy: FaultPolicy,
+    telemetry: Arc<Telemetry>,
+}
+
+impl Default for EvalEngine {
+    fn default() -> Self {
+        let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        EvalEngine::new(jobs)
+    }
+}
+
+impl EvalEngine {
+    /// An engine with `jobs` workers (clamped to at least 1), no cache,
+    /// and the default fault policy.
+    pub fn new(jobs: usize) -> Self {
+        EvalEngine {
+            jobs: jobs.max(1),
+            cache: None,
+            policy: FaultPolicy::default(),
+            telemetry: Arc::new(Telemetry::new()),
+        }
+    }
+
+    /// A single-worker engine — the serial reference behaviour.
+    pub fn serial() -> Self {
+        EvalEngine::new(1)
+    }
+
+    /// Attaches a (shared) simulation cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<SimCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Replaces the fault policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the telemetry sink.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The engine's fault policy.
+    pub fn policy(&self) -> FaultPolicy {
+        self.policy
+    }
+
+    /// The shared telemetry sink.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&Arc<SimCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Runs `f` over `items` on the worker pool and returns the results
+    /// in input order.
+    ///
+    /// Work is distributed through a bounded queue (capacity `2 * jobs`)
+    /// so a huge batch never materializes per-item threads or unbounded
+    /// buffering. With one worker (or one item) this degenerates to a
+    /// plain serial loop on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// A panic in `f` is re-raised here on the calling thread after the
+    /// pool shuts down cleanly (remaining queued items are dropped).
+    /// Evaluator panics never reach this: [`EvalEngine::evaluate_one`]
+    /// converts them into retries / penalty vectors first.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        }
+
+        let queue = BoundedQueue::new(2 * workers);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let caught: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let queue = &queue;
+                let caught = &caught;
+                let f = &f;
+                s.spawn(move || {
+                    while let Some((i, item)) = queue.pop() {
+                        match std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                            Ok(r) => {
+                                if tx.send((i, r)).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(payload) => {
+                                let mut slot = caught.lock().expect("panic slot poisoned");
+                                slot.get_or_insert(payload);
+                                drop(slot);
+                                // Unblocks the producer and the other
+                                // workers so the scope can join.
+                                queue.close();
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for pair in items.into_iter().enumerate() {
+                if !queue.push(pair) {
+                    break;
+                }
+            }
+            queue.close();
+        });
+
+        if let Some(payload) = caught.into_inner().expect("panic slot poisoned") {
+            std::panic::resume_unwind(payload);
+        }
+
+        let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("worker pool lost a result without panicking"))
+            .collect()
+    }
+
+    /// Evaluates one design through the cache and fault policy.
+    ///
+    /// Order of business: cache lookup; then up to `1 + max_retries`
+    /// attempts, each with panic isolation and the deadline check; then
+    /// either the (cached) real metrics or the problem's penalty vector.
+    /// Faulted attempts are never cached.
+    pub fn evaluate_one<P: Evaluate + ?Sized>(&self, problem: &P, x: &[f64]) -> Vec<f64> {
+        let t = &self.telemetry;
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(x) {
+                t.bump(&t.counters.cache_hits);
+                return hit;
+            }
+            t.bump(&t.counters.cache_misses);
+        }
+
+        let mut attempt: u32 = 0;
+        loop {
+            t.bump(&t.counters.sims);
+            let start = Instant::now();
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| problem.evaluate(x)));
+            let fault = match outcome {
+                Err(_) => {
+                    t.bump(&t.counters.panics);
+                    Some(FaultKind::Panic)
+                }
+                Ok(metrics) => {
+                    let late = self
+                        .policy
+                        .deadline
+                        .is_some_and(|limit| start.elapsed() > limit);
+                    if late {
+                        t.bump(&t.counters.timeouts);
+                        Some(FaultKind::Timeout)
+                    } else if problem.is_failure(&metrics) {
+                        Some(FaultKind::Failed)
+                    } else {
+                        if let Some(cache) = &self.cache {
+                            cache.insert(x, metrics.clone());
+                        }
+                        return metrics;
+                    }
+                }
+            };
+
+            let kind = fault.expect("non-faulting attempts return above");
+            t.event(
+                "fault",
+                &[
+                    ("kind", telemetry::json_string(kind.label())),
+                    ("attempt", attempt.to_string()),
+                ],
+            );
+            if attempt < self.policy.max_retries {
+                attempt += 1;
+                t.bump(&t.counters.retries);
+            } else {
+                t.bump(&t.counters.failures);
+                return problem.failure_metrics();
+            }
+        }
+    }
+
+    /// Evaluates a batch of designs on the pool, preserving input order.
+    pub fn evaluate_batch<P: Evaluate + ?Sized>(
+        &self,
+        problem: &P,
+        xs: &[Vec<f64>],
+    ) -> Vec<Vec<f64>> {
+        self.map((0..xs.len()).collect(), |_, i: usize| {
+            self.evaluate_one(problem, &xs[i])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    /// Deterministic toy evaluator: metrics = [sum(x), attempts seen].
+    struct Quadratic;
+
+    impl Evaluate for Quadratic {
+        fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+            vec![x.iter().map(|v| v * v).sum()]
+        }
+        fn num_metrics(&self) -> usize {
+            1
+        }
+    }
+
+    /// Faults (panic or NaN) on the first `faults_per_point` attempts of
+    /// every design, then succeeds.
+    struct Flaky {
+        calls: AtomicU64,
+        faults_before_success: u64,
+        panic_mode: bool,
+    }
+
+    impl Flaky {
+        fn new(faults_before_success: u64, panic_mode: bool) -> Self {
+            Flaky {
+                calls: AtomicU64::new(0),
+                faults_before_success,
+                panic_mode,
+            }
+        }
+    }
+
+    impl Evaluate for Flaky {
+        fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+            let call = self.calls.fetch_add(1, Ordering::SeqCst);
+            if call < self.faults_before_success {
+                if self.panic_mode {
+                    panic!("injected fault");
+                }
+                return vec![f64::NAN];
+            }
+            vec![x[0] + 1.0]
+        }
+        fn num_metrics(&self) -> usize {
+            1
+        }
+        fn failure_metrics(&self) -> Vec<f64> {
+            vec![1e9]
+        }
+    }
+
+    #[test]
+    fn map_preserves_input_order_across_workers() {
+        let engine = EvalEngine::new(4);
+        let out = engine.map((0..64).collect::<Vec<i32>>(), |i, v| {
+            assert_eq!(i as i32, v);
+            v * 2
+        });
+        assert_eq!(out, (0..64).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_serial_and_parallel_agree() {
+        let items: Vec<f64> = (0..33).map(|i| f64::from(i) * 0.37).collect();
+        let serial = EvalEngine::serial().map(items.clone(), |_, v| v.sin());
+        let parallel = EvalEngine::new(3).map(items, |_, v| v.sin());
+        assert_eq!(serial, parallel, "bitwise identical, not approximately");
+    }
+
+    #[test]
+    fn map_bounds_concurrency_to_jobs() {
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let engine = EvalEngine::new(2);
+        engine.map((0..32).collect::<Vec<i32>>(), |_, _| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(1));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    fn map_propagates_a_pool_function_panic() {
+        let engine = EvalEngine::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            engine.map((0..16).collect::<Vec<i32>>(), |_, v| {
+                assert!(v != 7, "boom");
+                v
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn evaluate_one_retries_past_transient_nan() {
+        let engine = EvalEngine::new(1).with_policy(FaultPolicy {
+            max_retries: 2,
+            deadline: None,
+        });
+        let flaky = Flaky::new(2, false);
+        assert_eq!(engine.evaluate_one(&flaky, &[0.5]), vec![1.5]);
+        let snap = engine.telemetry().snapshot();
+        assert_eq!(snap.sims, 3);
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.failures, 0);
+    }
+
+    #[test]
+    fn evaluate_one_isolates_panics_and_emits_penalty() {
+        let engine = EvalEngine::new(1).with_policy(FaultPolicy {
+            max_retries: 1,
+            deadline: None,
+        });
+        let flaky = Flaky::new(u64::MAX, true);
+        assert_eq!(engine.evaluate_one(&flaky, &[0.0]), vec![1e9]);
+        let snap = engine.telemetry().snapshot();
+        assert_eq!(snap.panics, 2, "initial attempt + one retry");
+        assert_eq!(snap.failures, 1);
+    }
+
+    #[test]
+    fn evaluate_one_discards_late_results() {
+        struct Slow;
+        impl Evaluate for Slow {
+            fn evaluate(&self, _x: &[f64]) -> Vec<f64> {
+                std::thread::sleep(Duration::from_millis(5));
+                vec![42.0]
+            }
+            fn num_metrics(&self) -> usize {
+                1
+            }
+        }
+        let engine = EvalEngine::new(1).with_policy(FaultPolicy {
+            max_retries: 0,
+            deadline: Some(Duration::from_millis(1)),
+        });
+        let out = engine.evaluate_one(&Slow, &[0.0]);
+        assert_eq!(out, vec![f64::INFINITY]);
+        assert_eq!(engine.telemetry().snapshot().timeouts, 1);
+    }
+
+    #[test]
+    fn cache_deduplicates_repeat_evaluations() {
+        let cache = Arc::new(SimCache::new());
+        let engine = EvalEngine::new(1).with_cache(Arc::clone(&cache));
+        let xs: Vec<Vec<f64>> = vec![vec![0.1], vec![0.2], vec![0.1], vec![0.2], vec![0.1]];
+        let out = engine.evaluate_batch(&Quadratic, &xs);
+        assert!((out[0][0] - 0.01).abs() < 1e-15);
+        assert_eq!(out[0], out[2]);
+        let snap = engine.telemetry().snapshot();
+        assert_eq!(snap.sims, 2, "only two distinct designs simulate");
+        assert_eq!(snap.cache_hits, 3);
+        assert_eq!(snap.cache_misses, 2);
+    }
+
+    #[test]
+    fn faulted_attempts_are_not_cached() {
+        let cache = Arc::new(SimCache::new());
+        let engine = EvalEngine::new(1)
+            .with_cache(Arc::clone(&cache))
+            .with_policy(FaultPolicy {
+                max_retries: 0,
+                deadline: None,
+            });
+        let flaky = Flaky::new(1, false);
+        assert_eq!(
+            engine.evaluate_one(&flaky, &[0.0]),
+            vec![1e9],
+            "penalty emitted"
+        );
+        assert_eq!(
+            engine.evaluate_one(&flaky, &[0.0]),
+            vec![1.0],
+            "second call re-simulates"
+        );
+        assert_eq!(
+            engine.evaluate_one(&flaky, &[0.0]),
+            vec![1.0],
+            "third call hits the cache"
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_batch_bitwise() {
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![f64::from(i) * 0.013, (f64::from(i) * 0.77).fract()])
+            .collect();
+        let serial = EvalEngine::serial().evaluate_batch(&Quadratic, &xs);
+        let parallel = EvalEngine::new(4).evaluate_batch(&Quadratic, &xs);
+        assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,295 @@
+//! Telemetry for the evaluation engine: monotonic counters, per-phase
+//! wall-time spans and an optional JSONL event log.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Monotonic event counters. All increments are relaxed atomics — the
+/// counters are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Simulator invocations actually executed (cache hits excluded,
+    /// retries included).
+    pub sims: AtomicU64,
+    /// Evaluations answered from the simulation cache.
+    pub cache_hits: AtomicU64,
+    /// Evaluations that had to run because the cache had no entry.
+    pub cache_misses: AtomicU64,
+    /// Re-attempts after a failed or panicked evaluation.
+    pub retries: AtomicU64,
+    /// Evaluations that panicked (caught and isolated).
+    pub panics: AtomicU64,
+    /// Evaluations that exceeded the configured deadline.
+    pub timeouts: AtomicU64,
+    /// Evaluations that exhausted retries and emitted the penalty vector.
+    pub failures: AtomicU64,
+}
+
+/// A plain-data copy of [`Counters`] at one point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// See [`Counters::sims`].
+    pub sims: u64,
+    /// See [`Counters::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`Counters::cache_misses`].
+    pub cache_misses: u64,
+    /// See [`Counters::retries`].
+    pub retries: u64,
+    /// See [`Counters::panics`].
+    pub panics: u64,
+    /// See [`Counters::timeouts`].
+    pub timeouts: u64,
+    /// See [`Counters::failures`].
+    pub failures: u64,
+}
+
+impl CounterSnapshot {
+    /// Counter-wise difference (`self - earlier`), for scoping telemetry
+    /// to one phase of a larger computation.
+    #[must_use]
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            sims: self.sims - earlier.sims,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            retries: self.retries - earlier.retries,
+            panics: self.panics - earlier.panics,
+            timeouts: self.timeouts - earlier.timeouts,
+            failures: self.failures - earlier.failures,
+        }
+    }
+
+    /// Total faults of any kind.
+    pub fn faults(&self) -> u64 {
+        self.panics + self.timeouts + self.failures
+    }
+}
+
+impl fmt::Display for CounterSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sims {} cache {}/{} retries {} faults {}",
+            self.sims,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.retries,
+            self.faults()
+        )
+    }
+}
+
+/// Telemetry sink shared by everything an [`crate::EvalEngine`] runs.
+pub struct Telemetry {
+    /// Event counters.
+    pub counters: Counters,
+    spans: Mutex<BTreeMap<String, Duration>>,
+    events: Option<Mutex<BufWriter<File>>>,
+    origin: Instant,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("counters", &self.counters)
+            .field("jsonl", &self.events.is_some())
+            .finish()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry {
+            counters: Counters::default(),
+            spans: Mutex::new(BTreeMap::new()),
+            events: None,
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Telemetry {
+    /// Telemetry with no event log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Telemetry writing one JSON object per line to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn with_jsonl(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Telemetry {
+            events: Some(Mutex::new(BufWriter::new(file))),
+            ..Self::default()
+        })
+    }
+
+    /// Starts a wall-time span for `phase`; the elapsed time accumulates
+    /// into the phase's total when the guard drops. Overlapping spans from
+    /// concurrent workers all add up, so a phase total can exceed
+    /// wall-clock — it is a work measure, like CPU time.
+    pub fn span(&self, phase: &str) -> SpanGuard<'_> {
+        SpanGuard {
+            telemetry: self,
+            phase: phase.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    fn end_span(&self, phase: String, elapsed: Duration) {
+        let mut spans = self.spans.lock().expect("span mutex poisoned");
+        *spans.entry(phase).or_default() += elapsed;
+    }
+
+    /// Accumulated per-phase wall time, sorted by phase name.
+    pub fn spans(&self) -> Vec<(String, Duration)> {
+        let spans = self.spans.lock().expect("span mutex poisoned");
+        spans.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let c = &self.counters;
+        CounterSnapshot {
+            sims: c.sims.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            failures: c.failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bumps one counter by one.
+    pub(crate) fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Emits a JSONL event (no-op without an event log). `fields` are
+    /// appended as pre-rendered JSON values.
+    pub fn event(&self, kind: &str, fields: &[(&str, String)]) {
+        let Some(events) = &self.events else { return };
+        let mut line = format!(
+            "{{\"event\":{},\"t_ms\":{}",
+            json_string(kind),
+            self.origin.elapsed().as_millis()
+        );
+        for (key, value) in fields {
+            line.push_str(&format!(",{}:{}", json_string(key), value));
+        }
+        line.push_str("}\n");
+        let mut w = events.lock().expect("event log mutex poisoned");
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
+}
+
+/// Minimal JSON string escaping for event keys/values.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// RAII guard returned by [`Telemetry::span`].
+pub struct SpanGuard<'a> {
+    telemetry: &'a Telemetry,
+    phase: String,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.telemetry
+            .end_span(std::mem::take(&mut self.phase), self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_per_phase() {
+        let t = Telemetry::new();
+        {
+            let _a = t.span("train");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        {
+            let _b = t.span("train");
+        }
+        {
+            let _c = t.span("sim");
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].0, "sim");
+        assert_eq!(spans[1].0, "train");
+        assert!(spans[1].1 >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_a_window() {
+        let t = Telemetry::new();
+        t.bump(&t.counters.sims);
+        let before = t.snapshot();
+        t.bump(&t.counters.sims);
+        t.bump(&t.counters.cache_hits);
+        let delta = t.snapshot().since(&before);
+        assert_eq!(delta.sims, 1);
+        assert_eq!(delta.cache_hits, 1);
+        assert_eq!(format!("{delta}"), "sims 1 cache 1/1 retries 0 faults 0");
+    }
+
+    #[test]
+    fn jsonl_events_are_valid_lines() {
+        let dir = std::env::temp_dir().join("maopt_exec_telemetry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let t = Telemetry::with_jsonl(&path).unwrap();
+        t.event(
+            "eval",
+            &[("label", json_string("a\"b")), ("sims", "3".into())],
+        );
+        t.event("done", &[]);
+        drop(t);
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"event\":\"eval\",\"t_ms\":"));
+        assert!(lines[0].contains("\"label\":\"a\\\"b\""));
+        assert!(lines[1].contains("\"done\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_string_escapes_control_characters() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

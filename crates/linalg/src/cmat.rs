@@ -28,7 +28,11 @@ pub struct CMat {
 impl CMat {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CMat { rows, cols, data: vec![Complex::ZERO; rows * cols] }
+        CMat {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
     }
 
     /// Number of rows.
@@ -160,6 +164,8 @@ impl CLu {
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    // Index form mirrors the textbook forward/backward substitution.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>, LinalgError> {
         let n = self.dim();
         if b.len() != n {

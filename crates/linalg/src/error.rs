@@ -55,7 +55,10 @@ mod tests {
     #[test]
     fn display_not_positive_definite() {
         let e = LinalgError::NotPositiveDefinite { index: 1 };
-        assert_eq!(e.to_string(), "matrix is not positive definite at diagonal 1");
+        assert_eq!(
+            e.to_string(),
+            "matrix is not positive definite at diagonal 1"
+        );
     }
 
     #[test]

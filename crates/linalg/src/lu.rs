@@ -94,6 +94,8 @@ impl Lu {
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    // Index form mirrors the textbook forward/backward substitution.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.dim();
         if b.len() != n {
@@ -207,7 +209,10 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         let a = Mat::zeros(2, 3);
-        assert!(matches!(Lu::new(a), Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(
+            Lu::new(a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

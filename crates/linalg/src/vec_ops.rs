@@ -66,7 +66,10 @@ pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
 ///
 /// Panics if lengths disagree.
 pub fn clamp_box(x: &[f64], lo: &[f64], hi: &[f64]) -> Vec<f64> {
-    assert!(x.len() == lo.len() && x.len() == hi.len(), "clamp_box length mismatch");
+    assert!(
+        x.len() == lo.len() && x.len() == hi.len(),
+        "clamp_box length mismatch"
+    );
     x.iter()
         .zip(lo.iter().zip(hi))
         .map(|(&v, (&l, &h))| v.clamp(l, h))

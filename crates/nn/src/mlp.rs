@@ -38,12 +38,19 @@ impl Mlp {
     ///
     /// Panics if fewer than two widths are given.
     pub fn new(widths: &[usize], hidden_activation: Activation, seed: u64) -> Self {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut layers = Vec::with_capacity(widths.len() - 1);
         for w in widths.windows(2) {
             let is_last = layers.len() == widths.len() - 2;
-            let act = if is_last { Activation::Identity } else { hidden_activation };
+            let act = if is_last {
+                Activation::Identity
+            } else {
+                hidden_activation
+            };
             layers.push(Dense::new(w[0], w[1], act, &mut rng));
         }
         Mlp { layers }
@@ -57,12 +64,19 @@ impl Mlp {
         output_activation: Activation,
         seed: u64,
     ) -> Self {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut layers = Vec::with_capacity(widths.len() - 1);
         let last = widths.len() - 2;
         for (i, w) in widths.windows(2).enumerate() {
-            let act = if i == last { output_activation } else { hidden_activation };
+            let act = if i == last {
+                output_activation
+            } else {
+                hidden_activation
+            };
             layers.push(Dense::new(w[0], w[1], act, &mut rng));
         }
         Mlp { layers }
@@ -169,7 +183,10 @@ mod tests {
     #[test]
     fn output_layer_is_linear_by_default() {
         let mlp = Mlp::new(&[1, 4, 1], Activation::Tanh, 0);
-        assert_eq!(mlp.layers().last().unwrap().activation(), Activation::Identity);
+        assert_eq!(
+            mlp.layers().last().unwrap().activation(),
+            Activation::Identity
+        );
         assert_eq!(mlp.layers()[0].activation(), Activation::Tanh);
     }
 

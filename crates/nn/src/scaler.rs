@@ -86,7 +86,9 @@ impl MinMaxScaler {
     /// Panics if `data.cols() != self.cols()`.
     pub fn transform(&self, data: &Mat) -> Mat {
         assert_eq!(data.cols(), self.cols(), "scaler column mismatch");
-        Mat::from_fn(data.rows(), data.cols(), |i, j| self.transform_value(data[(i, j)], j))
+        Mat::from_fn(data.rows(), data.cols(), |i, j| {
+            self.transform_value(data[(i, j)], j)
+        })
     }
 
     /// Scales a single row.
@@ -118,7 +120,9 @@ impl MinMaxScaler {
     /// Panics if `data.cols() != self.cols()`.
     pub fn inverse_transform(&self, data: &Mat) -> Mat {
         assert_eq!(data.cols(), self.cols(), "scaler column mismatch");
-        Mat::from_fn(data.rows(), data.cols(), |i, j| self.inverse_value(data[(i, j)], j))
+        Mat::from_fn(data.rows(), data.cols(), |i, j| {
+            self.inverse_value(data[(i, j)], j)
+        })
     }
 
     /// Inverse-transforms a single row.

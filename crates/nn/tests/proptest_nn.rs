@@ -88,38 +88,45 @@ proptest! {
     }
 
     /// Gradient accumulation: two backward passes accumulate exactly twice
-    /// the gradient of one.
+    /// the gradient of one. SGD with lr 1 moves every parameter by exactly
+    /// minus its accumulated gradient, so the parameter displacement after
+    /// the doubled accumulation must be 2× the single-pass displacement —
+    /// checked on the parameters themselves, where the invariant is linear
+    /// (a prediction at a probe point is not: the network nonlinearity can
+    /// shrink a larger parameter step into a smaller output change).
     #[test]
     fn gradients_accumulate_linearly(x in small_batch(2, 2), seed in 0u64..1000) {
-        let mut a = Mlp::new(&[2, 4, 1], Activation::Tanh, seed);
-        let mut b = a.clone();
+        let orig = Mlp::new(&[2, 4, 1], Activation::Tanh, seed);
+        let mut a = orig.clone();
+        let mut b = orig.clone();
         let grad_out = Mat::filled(2, 1, 0.3);
+        let sgd = maopt_nn::Sgd::new(1.0);
 
         a.forward(&x);
         a.zero_grad();
         a.backward(&grad_out);
-        // Step with SGD lr 1: parameters move by -grad.
-        let sgd = maopt_nn::Sgd::new(1.0);
-        let mut a1 = a.clone();
-        sgd.step(&mut a1);
+        sgd.step(&mut a);
 
         b.forward(&x);
         b.zero_grad();
         b.backward(&grad_out);
+        // No step in between, so the second pass adds the same gradient.
         b.forward(&x);
         b.backward(&grad_out);
-        let mut b2 = b.clone();
-        sgd.step(&mut b2);
+        sgd.step(&mut b);
 
-        // b2's step = 2 × a1's step, so: (orig - b2) = 2 (orig - a1)
-        let probe = [0.37, -0.81];
-        let orig = a.predict(&probe);
-        let one = a1.predict(&probe);
-        let two = b2.predict(&probe);
-        // Only check that the doubled-gradient step moved further in the
-        // same direction (exact 2x does not survive the nonlinearity).
-        let d1 = (orig[0] - one[0]).abs();
-        let d2 = (orig[0] - two[0]).abs();
-        prop_assert!(d2 + 1e-12 >= d1, "accumulated step should not be smaller: {d1} vs {d2}");
+        for ((lo, la), lb) in orig.layers().iter().zip(a.layers()).zip(b.layers()) {
+            let params = |l: &maopt_nn::Dense| {
+                l.weights().as_slice().to_vec().into_iter().chain(l.bias().to_vec())
+            };
+            for ((po, pa), pb) in params(lo).zip(params(la)).zip(params(lb)) {
+                let d1 = po - pa;
+                let d2 = po - pb;
+                prop_assert!(
+                    (d2 - 2.0 * d1).abs() <= 1e-12 * (1.0 + d1.abs()),
+                    "doubled accumulation must double the step: {d1} vs {d2}"
+                );
+            }
+        }
     }
 }

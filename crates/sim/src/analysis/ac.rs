@@ -14,7 +14,10 @@ use crate::SimError;
 ///
 /// Panics unless `0 < f_start < f_stop` and `points_per_decade ≥ 1`.
 pub fn log_freqs(f_start: f64, f_stop: f64, points_per_decade: usize) -> Vec<f64> {
-    assert!(f_start > 0.0 && f_stop > f_start, "need 0 < f_start < f_stop");
+    assert!(
+        f_start > 0.0 && f_stop > f_start,
+        "need 0 < f_start < f_stop"
+    );
     assert!(points_per_decade >= 1, "need at least one point per decade");
     let decades = (f_stop / f_start).log10();
     let n = (decades * points_per_decade as f64).ceil() as usize + 1;
@@ -66,7 +69,9 @@ impl AcSweep {
 
     /// The differential transfer series `v(p) − v(n)` over the whole sweep.
     pub fn transfer_diff(&self, p: Node, n: Node) -> Vec<Complex> {
-        (0..self.len()).map(|k| self.voltage_diff(k, p, n)).collect()
+        (0..self.len())
+            .map(|k| self.voltage_diff(k, p, n))
+            .collect()
     }
 }
 
@@ -92,7 +97,9 @@ pub(crate) fn build_ac_matrix(
     let mut mos_ord = 0usize;
     for (ei, e) in ckt.elements().iter().enumerate() {
         match e {
-            Element::Resistor { a: na, b: nb, ohms, .. } => {
+            Element::Resistor {
+                a: na, b: nb, ohms, ..
+            } => {
                 let g = Complex::from_real(1.0 / ohms);
                 add(&mut a, *na, *na, g);
                 add(&mut a, *na, *nb, -g);
@@ -100,7 +107,12 @@ pub(crate) fn build_ac_matrix(
                 add(&mut a, *nb, *nb, g);
             }
             Element::Capacitor { .. } => {} // handled via `caps` below
-            Element::Inductor { a: na, b: nb, henries, .. } => {
+            Element::Inductor {
+                a: na,
+                b: nb,
+                henries,
+                ..
+            } => {
                 // Branch row: v_a − v_b − jωL·i = 0.
                 let k = layout.branch_of[ei].expect("inductor branch");
                 if let Some(ai) = na.unknown() {
@@ -125,7 +137,14 @@ pub(crate) fn build_ac_matrix(
                     a[(k, ni)] -= Complex::ONE;
                 }
             }
-            Element::Vcvs { p, n: nn, cp, cn, gain, .. } => {
+            Element::Vcvs {
+                p,
+                n: nn,
+                cp,
+                cn,
+                gain,
+                ..
+            } => {
                 let k = layout.branch_of[ei].expect("vcvs branch");
                 if let Some(pi) = p.unknown() {
                     a[(pi, k)] += Complex::ONE;
@@ -142,7 +161,14 @@ pub(crate) fn build_ac_matrix(
                     a[(k, ci)] += Complex::from_real(*gain);
                 }
             }
-            Element::Vccs { p, n: nn, cp, cn, gm, .. } => {
+            Element::Vccs {
+                p,
+                n: nn,
+                cp,
+                cn,
+                gm,
+                ..
+            } => {
                 let g = Complex::from_real(*gm);
                 add(&mut a, *p, *cp, g);
                 add(&mut a, *p, *cn, -g);
@@ -217,8 +243,14 @@ impl AcAnalysis {
     ///
     /// Panics if the grid is empty or contains non-positive frequencies.
     pub fn new(freqs: Vec<f64>) -> Self {
-        assert!(!freqs.is_empty(), "AC analysis needs at least one frequency");
-        assert!(freqs.iter().all(|&f| f > 0.0), "AC frequencies must be positive");
+        assert!(
+            !freqs.is_empty(),
+            "AC analysis needs at least one frequency"
+        );
+        assert!(
+            freqs.iter().all(|&f| f > 0.0),
+            "AC frequencies must be positive"
+        );
         AcAnalysis { freqs }
     }
 
@@ -245,7 +277,10 @@ impl AcAnalysis {
             })?;
             sols.push(lu.solve(&b)?);
         }
-        Ok(AcSweep { freqs: self.freqs.clone(), sols })
+        Ok(AcSweep {
+            freqs: self.freqs.clone(),
+            sols,
+        })
     }
 }
 
@@ -278,7 +313,9 @@ mod tests {
         ckt.capacitor("C1", out, Circuit::GROUND, 1e-6);
         let op = DcAnalysis::new().run(&ckt).unwrap();
         let f3db = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-6);
-        let ac = AcAnalysis::new(vec![f3db / 100.0, f3db, f3db * 100.0]).run(&ckt, &op).unwrap();
+        let ac = AcAnalysis::new(vec![f3db / 100.0, f3db, f3db * 100.0])
+            .run(&ckt, &op)
+            .unwrap();
         // Passband ≈ 1, pole = −3 dB at 45°, stopband rolls off.
         assert!((ac.voltage(0, out).abs() - 1.0).abs() < 1e-3);
         assert!((ac.voltage(1, out).abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
@@ -301,7 +338,12 @@ mod tests {
             g,
             Circuit::GROUND,
             Circuit::GROUND,
-            MosInstance { model: nmos_180nm(), w: 20e-6, l: 1e-6, m: 1.0 },
+            MosInstance {
+                model: nmos_180nm(),
+                w: 20e-6,
+                l: 1e-6,
+                m: 1.0,
+            },
         );
         let op = DcAnalysis::new().run(&ckt).unwrap();
         let mop = *op.mos_op(m1).unwrap();

@@ -26,7 +26,12 @@ pub struct DcAnalysis {
 
 impl Default for DcAnalysis {
     fn default() -> Self {
-        DcAnalysis { max_iter: 150, vtol: 1e-9, step_limit: 0.6, final_gmin: 1e-12 }
+        DcAnalysis {
+            max_iter: 150,
+            vtol: 1e-9,
+            step_limit: 0.6,
+            final_gmin: 1e-12,
+        }
     }
 }
 
@@ -57,7 +62,12 @@ impl DcOp {
     ///
     /// Returns `None` for elements without a branch current.
     pub fn branch_current(&self, id: ElementId) -> Option<f64> {
-        self.layout.branch_of.get(id.0).copied().flatten().map(|k| self.x[k])
+        self.layout
+            .branch_of
+            .get(id.0)
+            .copied()
+            .flatten()
+            .map(|k| self.x[k])
     }
 
     /// Small-signal operating point of a MOSFET element.
@@ -177,7 +187,17 @@ impl DcAnalysis {
         for _ in 0..self.max_iter {
             f.iter_mut().for_each(|v| *v = 0.0);
             jac.fill_zero();
-            assemble_resistive(ckt, layout, &x, gmin, source_scale, time, &mut f, &mut jac, None);
+            assemble_resistive(
+                ckt,
+                layout,
+                &x,
+                gmin,
+                source_scale,
+                time,
+                &mut f,
+                &mut jac,
+                None,
+            );
             let lu = Lu::new(jac.clone()).map_err(|_| SimError::SingularMatrix {
                 analysis: "dc".into(),
             })?;
@@ -190,7 +210,11 @@ impl DcAnalysis {
                     iterations: self.max_iter,
                 });
             }
-            let alpha = if max_step > self.step_limit { self.step_limit / max_step } else { 1.0 };
+            let alpha = if max_step > self.step_limit {
+                self.step_limit / max_step
+            } else {
+                1.0
+            };
             for (xi, di) in x.iter_mut().zip(&delta) {
                 *xi += alpha * di;
             }
@@ -198,7 +222,10 @@ impl DcAnalysis {
                 return Ok(x);
             }
         }
-        Err(SimError::NoConvergence { analysis: "dc".into(), iterations: self.max_iter })
+        Err(SimError::NoConvergence {
+            analysis: "dc".into(),
+            iterations: self.max_iter,
+        })
     }
 
     /// Final assembly at the solution to harvest MOSFET operating points.
@@ -218,7 +245,11 @@ impl DcAnalysis {
             &mut jac,
             Some(&mut mos_ops),
         );
-        DcOp { x, layout: layout.clone(), mos_ops }
+        DcOp {
+            x,
+            layout: layout.clone(),
+            mos_ops,
+        }
     }
 }
 
@@ -330,7 +361,12 @@ mod tests {
             d,
             Circuit::GROUND,
             Circuit::GROUND,
-            MosInstance { model: nmos_180nm(), w: 10e-6, l: 1e-6, m: 1.0 },
+            MosInstance {
+                model: nmos_180nm(),
+                w: 10e-6,
+                l: 1e-6,
+                m: 1.0,
+            },
         );
         let op = DcAnalysis::new().run(&ckt).unwrap();
         let vd = op.voltage(d);
@@ -358,11 +394,19 @@ mod tests {
             g,
             Circuit::GROUND,
             Circuit::GROUND,
-            MosInstance { model: nmos_180nm(), w: 20e-6, l: 0.5e-6, m: 1.0 },
+            MosInstance {
+                model: nmos_180nm(),
+                w: 20e-6,
+                l: 0.5e-6,
+                m: 1.0,
+            },
         );
         let op = DcAnalysis::new().run(&ckt).unwrap();
         let vd = op.voltage(d);
-        assert!(vd > 0.1 && vd < 1.7, "drain should bias mid-rail-ish, got {vd}");
+        assert!(
+            vd > 0.1 && vd < 1.7,
+            "drain should bias mid-rail-ish, got {vd}"
+        );
         let m1 = ckt.find_element("M1").unwrap();
         assert!(op.mos_op(m1).unwrap().gm > 0.0);
     }
@@ -381,7 +425,12 @@ mod tests {
             inp,
             vdd,
             vdd,
-            MosInstance { model: pmos_180nm(), w: 4e-6, l: 0.18e-6, m: 1.0 },
+            MosInstance {
+                model: pmos_180nm(),
+                w: 4e-6,
+                l: 0.18e-6,
+                m: 1.0,
+            },
         );
         ckt.mosfet(
             "MN",
@@ -389,7 +438,12 @@ mod tests {
             inp,
             Circuit::GROUND,
             Circuit::GROUND,
-            MosInstance { model: nmos_180nm(), w: 2e-6, l: 0.18e-6, m: 1.0 },
+            MosInstance {
+                model: nmos_180nm(),
+                w: 2e-6,
+                l: 0.18e-6,
+                m: 1.0,
+            },
         );
         let op = DcAnalysis::new().run(&ckt).unwrap();
         assert!(op.voltage(out) > 1.7, "inverter output should be near VDD");
@@ -430,7 +484,12 @@ mod tests {
             inp,
             vdd,
             vdd,
-            MosInstance { model: pmos_180nm(), w: 4e-6, l: 0.18e-6, m: 1.0 },
+            MosInstance {
+                model: pmos_180nm(),
+                w: 4e-6,
+                l: 0.18e-6,
+                m: 1.0,
+            },
         );
         ckt.mosfet(
             "MN",
@@ -438,7 +497,12 @@ mod tests {
             inp,
             Circuit::GROUND,
             Circuit::GROUND,
-            MosInstance { model: nmos_180nm(), w: 2e-6, l: 0.18e-6, m: 1.0 },
+            MosInstance {
+                model: nmos_180nm(),
+                w: 2e-6,
+                l: 0.18e-6,
+                m: 1.0,
+            },
         );
         let values: Vec<f64> = (0..=18).map(|i| i as f64 * 0.1).collect();
         let ops = dc_sweep(&mut ckt, vin, &values).unwrap();

@@ -88,7 +88,11 @@ pub fn thd(
         .collect();
     let fund = magnitudes[0].max(1e-300);
     let harm_power: f64 = magnitudes[1..].iter().map(|m| m * m).sum();
-    HarmonicAnalysis { fundamental: f0, magnitudes, thd: harm_power.sqrt() / fund }
+    HarmonicAnalysis {
+        fundamental: f0,
+        magnitudes,
+        thd: harm_power.sqrt() / fund,
+    }
 }
 
 #[cfg(test)]
@@ -105,12 +109,26 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let v1 = ckt.vsource("V1", a, Circuit::GROUND, 0.0);
-        ckt.set_waveform(v1, Waveform::Sine { offset: 0.0, amplitude: 0.5, freq: f0, delay: 0.0 });
+        ckt.set_waveform(
+            v1,
+            Waveform::Sine {
+                offset: 0.0,
+                amplitude: 0.5,
+                freq: f0,
+                delay: 0.0,
+            },
+        );
         ckt.resistor("R1", a, Circuit::GROUND, 1e3);
         // Fine timestep for clean harmonics.
-        let res = TranAnalysis::new(6.0 / f0, 1.0 / (f0 * 400.0)).run(&ckt).unwrap();
+        let res = TranAnalysis::new(6.0 / f0, 1.0 / (f0 * 400.0))
+            .run(&ckt)
+            .unwrap();
         let h = thd(&res, a, f0, 5, 2.0 / f0, 3);
-        assert!((h.magnitudes[0] - 0.5).abs() < 5e-3, "fundamental {}", h.magnitudes[0]);
+        assert!(
+            (h.magnitudes[0] - 0.5).abs() < 5e-3,
+            "fundamental {}",
+            h.magnitudes[0]
+        );
         assert!(h.thd < 0.01, "linear THD {}", h.thd);
     }
 
@@ -122,18 +140,33 @@ mod tests {
         let a = ckt.node("a");
         let b = ckt.node("b");
         let v1 = ckt.vsource("V1", a, Circuit::GROUND, 0.0);
-        ckt.set_waveform(v1, Waveform::Sine { offset: 0.0, amplitude: 1.0, freq: f0, delay: 0.0 });
+        ckt.set_waveform(
+            v1,
+            Waveform::Sine {
+                offset: 0.0,
+                amplitude: 1.0,
+                freq: f0,
+                delay: 0.0,
+            },
+        );
         let v2 = ckt.vsource("V2", b, Circuit::GROUND, 0.0);
         ckt.set_waveform(
             v2,
-            Waveform::Sine { offset: 0.0, amplitude: 0.3, freq: 3.0 * f0, delay: 0.0 },
+            Waveform::Sine {
+                offset: 0.0,
+                amplitude: 0.3,
+                freq: 3.0 * f0,
+                delay: 0.0,
+            },
         );
         // Sum the tones through a resistive adder into node s.
         let s = ckt.node("s");
         ckt.resistor("R1", a, s, 1e3);
         ckt.resistor("R2", b, s, 1e3);
         ckt.resistor("R3", s, Circuit::GROUND, 1e9);
-        let res = TranAnalysis::new(8.0 / f0, 1.0 / (f0 * 600.0)).run(&ckt).unwrap();
+        let res = TranAnalysis::new(8.0 / f0, 1.0 / (f0 * 600.0))
+            .run(&ckt)
+            .unwrap();
         // Superposition: v(s) = (v_a + v_b)/2 for equal resistors.
         let c1 = fourier_coefficient(&res, s, f0, 2.0 / f0, 6.0 / f0).abs();
         let c3 = fourier_coefficient(&res, s, 3.0 * f0, 2.0 / f0, 6.0 / f0).abs();
@@ -155,7 +188,12 @@ mod tests {
             let vg = ckt.vsource("VG", g, Circuit::GROUND, 0.65);
             ckt.set_waveform(
                 vg,
-                Waveform::Sine { offset: 0.65, amplitude: amp, freq: f0, delay: 0.0 },
+                Waveform::Sine {
+                    offset: 0.65,
+                    amplitude: amp,
+                    freq: f0,
+                    delay: 0.0,
+                },
             );
             ckt.resistor("RD", vdd, d, 10e3);
             ckt.mosfet(
@@ -164,20 +202,34 @@ mod tests {
                 g,
                 Circuit::GROUND,
                 Circuit::GROUND,
-                MosInstance { model: nmos_180nm(), w: 10e-6, l: 0.5e-6, m: 1.0 },
+                MosInstance {
+                    model: nmos_180nm(),
+                    w: 10e-6,
+                    l: 0.5e-6,
+                    m: 1.0,
+                },
             );
             ckt
         };
         let mut thds = Vec::new();
         for amp in [0.02, 0.15] {
             let ckt = build(amp);
-            let res = TranAnalysis::new(6.0 / f0, 1.0 / (f0 * 300.0)).run(&ckt).unwrap();
+            let res = TranAnalysis::new(6.0 / f0, 1.0 / (f0 * 300.0))
+                .run(&ckt)
+                .unwrap();
             let d = ckt.find_node("d").unwrap();
             let h = thd(&res, d, f0, 5, 2.0 / f0, 3);
             thds.push(h.thd);
         }
-        assert!(thds[1] > 3.0 * thds[0], "THD must grow with drive: {thds:?}");
-        assert!(thds[0] < 0.1, "small-signal THD should be modest: {}", thds[0]);
+        assert!(
+            thds[1] > 3.0 * thds[0],
+            "THD must grow with drive: {thds:?}"
+        );
+        assert!(
+            thds[0] < 0.1,
+            "small-signal THD should be modest: {}",
+            thds[0]
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ impl Bode {
             phase_deg.push(p);
             prev = p;
         }
-        Bode { freqs, mag_db, phase_deg }
+        Bode {
+            freqs,
+            mag_db,
+            phase_deg,
+        }
     }
 
     /// The frequency grid.
@@ -280,7 +284,12 @@ mod tests {
             .collect();
         let b = Bode::new(freqs, h);
         for w in b.phase_deg().windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "phase must not jump up: {} -> {}", w[0], w[1]);
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "phase must not jump up: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
         assert!(*b.phase_deg().last().unwrap() < -200.0);
     }
@@ -320,7 +329,13 @@ mod tests {
         let t: Vec<f64> = (0..=1000).map(|i| i as f64 * 0.01).collect();
         let v: Vec<f64> = t
             .iter()
-            .map(|&ti| if ti < 2.0 { 0.0 } else { 1.0 - (-(ti - 2.0)).exp() })
+            .map(|&ti| {
+                if ti < 2.0 {
+                    0.0
+                } else {
+                    1.0 - (-(ti - 2.0)).exp()
+                }
+            })
             .collect();
         let ts = settling_time(&t, &v, 2.0, 0.01).unwrap();
         assert!((ts - 4.605).abs() < 0.1, "settling {ts}");

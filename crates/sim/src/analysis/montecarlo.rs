@@ -30,7 +30,10 @@ pub struct MismatchModel {
 
 impl Default for MismatchModel {
     fn default() -> Self {
-        MismatchModel { a_vt: 5e-9, a_kp: 1e-8 }
+        MismatchModel {
+            a_vt: 5e-9,
+            a_kp: 1e-8,
+        }
     }
 }
 
@@ -127,7 +130,10 @@ mod tests {
     #[test]
     fn zero_mismatch_is_identity() {
         let ckt = diff_pair(10.0, 1.0);
-        let model = MismatchModel { a_vt: 0.0, a_kp: 0.0 };
+        let model = MismatchModel {
+            a_vt: 0.0,
+            a_kp: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let p = perturb_circuit(&ckt, &model, &mut rng);
         let a = DcAnalysis::new().run(&ckt).unwrap();
@@ -149,7 +155,10 @@ mod tests {
         // The differential (d1 − out) isolates pair/load imbalance; scaling
         // the *pair* area should shrink its spread toward the fixed-load
         // mismatch floor.
-        let model = MismatchModel { a_vt: 5e-9, a_kp: 0.0 };
+        let model = MismatchModel {
+            a_vt: 5e-9,
+            a_kp: 0.0,
+        };
         let spread = |w: f64, l: f64| -> f64 {
             let ckt = diff_pair(w, l);
             let nominal = DcAnalysis::new().run(&ckt).unwrap();
@@ -162,8 +171,7 @@ mod tests {
                 let out = sample.find_node("out").expect("out");
                 Ok((op.voltage(d1) - op.voltage(out)) - v0)
             });
-            let deltas: Vec<f64> =
-                results.into_iter().filter_map(Result::ok).collect();
+            let deltas: Vec<f64> = results.into_iter().filter_map(Result::ok).collect();
             assert!(deltas.len() >= 25, "too many failed samples");
             maopt_linalg::stats::std_dev(&deltas)
         };

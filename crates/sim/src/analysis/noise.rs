@@ -81,7 +81,10 @@ impl NoiseAnalysis {
     ///
     /// Panics if the grid is empty or unsorted.
     pub fn new(freqs: Vec<f64>) -> Self {
-        assert!(!freqs.is_empty(), "noise analysis needs at least one frequency");
+        assert!(
+            !freqs.is_empty(),
+            "noise analysis needs at least one frequency"
+        );
         assert!(
             freqs.windows(2).all(|w| w[0] < w[1]),
             "noise frequency grid must be strictly increasing"
@@ -91,7 +94,11 @@ impl NoiseAnalysis {
 
     /// Log-spaced grid from `f_start` to `f_stop`.
     pub fn log(f_start: f64, f_stop: f64, points_per_decade: usize) -> Self {
-        NoiseAnalysis::new(crate::analysis::ac::log_freqs(f_start, f_stop, points_per_decade))
+        NoiseAnalysis::new(crate::analysis::ac::log_freqs(
+            f_start,
+            f_stop,
+            points_per_decade,
+        ))
     }
 
     /// Computes the output noise spectrum at `out`.
@@ -123,7 +130,9 @@ impl NoiseAnalysis {
         let mut mos_ord = 0usize;
         for e in ckt.elements() {
             match e {
-                Element::Resistor { name, a, b, ohms, .. } => {
+                Element::Resistor {
+                    name, a, b, ohms, ..
+                } => {
                     let g = 1.0 / ohms;
                     sources.push(Source {
                         name: name.clone(),
@@ -132,7 +141,9 @@ impl NoiseAnalysis {
                         psd: Box::new(move |_f| 4.0 * KT * g),
                     });
                 }
-                Element::Mosfet { name, d, s, inst, .. } => {
+                Element::Mosfet {
+                    name, d, s, inst, ..
+                } => {
                     let mop = op.mos_ops[mos_ord];
                     mos_ord += 1;
                     let model = inst.model.clone();
@@ -185,11 +196,18 @@ impl NoiseAnalysis {
         let mut contributors: Vec<NoiseContributor> = sources
             .iter()
             .zip(&contrib_power)
-            .map(|(s, &p)| NoiseContributor { element: s.name.clone(), power: p })
+            .map(|(s, &p)| NoiseContributor {
+                element: s.name.clone(),
+                power: p,
+            })
             .collect();
         contributors.sort_by(|a, b| b.power.partial_cmp(&a.power).expect("finite powers"));
 
-        Ok(NoiseResult { freqs: self.freqs.clone(), psd: psd_total, contributors })
+        Ok(NoiseResult {
+            freqs: self.freqs.clone(),
+            psd: psd_total,
+            contributors,
+        })
     }
 }
 
@@ -212,7 +230,9 @@ mod tests {
         ckt.vsource("V1", b, Circuit::GROUND, 1.0);
         ckt.resistor("R2", b, Circuit::GROUND, 1e3);
         let op = DcAnalysis::new().run(&ckt).unwrap();
-        let res = NoiseAnalysis::new(vec![1e3, 1e4]).run(&ckt, &op, a).unwrap();
+        let res = NoiseAnalysis::new(vec![1e3, 1e4])
+            .run(&ckt, &op, a)
+            .unwrap();
         let expected = 4.0 * KT * r; // |Z|²·(4kT/R) = R²·4kT/R
         for &p in res.psd() {
             let rel = (p - expected).abs() / expected;
@@ -252,7 +272,10 @@ mod tests {
         let v2 = res.output_rms().powi(2);
         let ktc = KT / c;
         let rel = (v2 - ktc).abs() / ktc;
-        assert!(rel < 0.05, "integrated noise {v2} vs kT/C {ktc} (rel {rel})");
+        assert!(
+            rel < 0.05,
+            "integrated noise {v2} vs kT/C {ktc} (rel {rel})"
+        );
     }
 
     #[test]
@@ -270,12 +293,21 @@ mod tests {
             g,
             Circuit::GROUND,
             Circuit::GROUND,
-            MosInstance { model: nmos_180nm(), w: 20e-6, l: 1e-6, m: 1.0 },
+            MosInstance {
+                model: nmos_180nm(),
+                w: 20e-6,
+                l: 1e-6,
+                m: 1.0,
+            },
         );
         let op = DcAnalysis::new().run(&ckt).unwrap();
         let res = NoiseAnalysis::log(10.0, 1e6, 5).run(&ckt, &op, d).unwrap();
         assert!(res.output_rms() > 0.0);
-        let names: Vec<&str> = res.contributors().iter().map(|c| c.element.as_str()).collect();
+        let names: Vec<&str> = res
+            .contributors()
+            .iter()
+            .map(|c| c.element.as_str())
+            .collect();
         assert!(names.contains(&"M1"));
         assert!(names.contains(&"RD"));
         // Contributions are sorted descending.

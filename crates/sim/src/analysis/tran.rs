@@ -252,7 +252,11 @@ impl TranAnalysis {
                 });
             }
             let limit = 0.6;
-            let alpha = if max_step > limit { limit / max_step } else { 1.0 };
+            let alpha = if max_step > limit {
+                limit / max_step
+            } else {
+                1.0
+            };
             for (xi, di) in x.iter_mut().zip(&delta) {
                 *xi += alpha * di;
             }
@@ -260,7 +264,10 @@ impl TranAnalysis {
                 return Ok(x);
             }
         }
-        Err(SimError::NoConvergence { analysis: "tran".into(), iterations: self.max_newton })
+        Err(SimError::NoConvergence {
+            analysis: "tran".into(),
+            iterations: self.max_newton,
+        })
     }
 }
 
@@ -339,7 +346,10 @@ mod tests {
         let vin = ckt.node("vin");
         let out = ckt.node("out");
         let v1 = ckt.vsource("V1", vin, Circuit::GROUND, 0.0);
-        ckt.set_waveform(v1, Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0, f64::INFINITY));
+        ckt.set_waveform(
+            v1,
+            Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0, f64::INFINITY),
+        );
         ckt.resistor("R1", vin, out, r);
         ckt.capacitor("C1", out, Circuit::GROUND, c);
         let res = TranAnalysis::new(5.0 * tau, tau / 200.0).run(&ckt).unwrap();
@@ -360,7 +370,10 @@ mod tests {
         let vin = ckt.node("vin");
         let out = ckt.node("out");
         let v1 = ckt.vsource("V1", vin, Circuit::GROUND, 0.0);
-        ckt.set_waveform(v1, Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0, f64::INFINITY));
+        ckt.set_waveform(
+            v1,
+            Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0, f64::INFINITY),
+        );
         ckt.resistor("R1", vin, out, 1e3);
         ckt.capacitor("C1", out, Circuit::GROUND, 1e-9);
         let res = TranAnalysis::new(5.0 * tau, tau / 100.0)
@@ -407,7 +420,10 @@ mod tests {
             let out = ckt.node("out");
             let vin = ckt.node("vin");
             let v1 = ckt.vsource("V1", vin, Circuit::GROUND, 1.0);
-            ckt.set_waveform(v1, Waveform::pulse(1.0, 0.0, 0.0, 1e-12, 1e-12, 1.0, f64::INFINITY));
+            ckt.set_waveform(
+                v1,
+                Waveform::pulse(1.0, 0.0, 0.0, 1e-12, 1e-12, 1.0, f64::INFINITY),
+            );
             ckt.resistor("R1", vin, out, 1e3);
             ckt.capacitor("C1", out, Circuit::GROUND, 1e-9);
             (ckt, out)

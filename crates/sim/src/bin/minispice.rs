@@ -55,8 +55,8 @@ fn run() -> Result<(), String> {
     if args.len() < 2 {
         return Err("not enough arguments".into());
     }
-    let text = std::fs::read_to_string(&args[0])
-        .map_err(|e| format!("cannot read {}: {e}", args[0]))?;
+    let text =
+        std::fs::read_to_string(&args[0]).map_err(|e| format!("cannot read {}: {e}", args[0]))?;
     let ckt = parse_netlist(&text).map_err(|e| e.to_string())?;
 
     match args[1].as_str() {
@@ -92,7 +92,9 @@ fn run() -> Result<(), String> {
             let ppd = value_arg(&args, 4, "pts/dec")? as usize;
             let nodes = node_args(&ckt, &args[5..])?;
             let op = DcAnalysis::new().run(&ckt).map_err(|e| e.to_string())?;
-            let ac = AcAnalysis::log(f0, f1, ppd).run(&ckt, &op).map_err(|e| e.to_string())?;
+            let ac = AcAnalysis::log(f0, f1, ppd)
+                .run(&ckt, &op)
+                .map_err(|e| e.to_string())?;
             print!("freq");
             for (name, _) in &nodes {
                 print!(",mag({name}),phase({name})");
@@ -112,7 +114,9 @@ fn run() -> Result<(), String> {
             let t_stop = value_arg(&args, 2, "t_stop")?;
             let dt = value_arg(&args, 3, "dt")?;
             let nodes = node_args(&ckt, &args[4..])?;
-            let res = TranAnalysis::new(t_stop, dt).run(&ckt).map_err(|e| e.to_string())?;
+            let res = TranAnalysis::new(t_stop, dt)
+                .run(&ckt)
+                .map_err(|e| e.to_string())?;
             print!("time");
             for (name, _) in &nodes {
                 print!(",v({name})");

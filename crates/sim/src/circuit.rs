@@ -244,7 +244,10 @@ impl Circuit {
 
     /// Element ids paired with their elements, in insertion order.
     pub fn elements_with_ids(&self) -> impl Iterator<Item = (ElementId, &Element)> {
-        self.elements.iter().enumerate().map(|(i, e)| (ElementId(i), e))
+        self.elements
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ElementId(i), e))
     }
 
     /// Mutable element access for in-crate transformations (Monte Carlo).
@@ -281,38 +284,81 @@ impl Circuit {
 
     /// Adds a resistor.
     pub fn resistor(&mut self, name: &str, a: Node, b: Node, ohms: f64) -> ElementId {
-        self.push(Element::Resistor { name: name.into(), a, b, ohms })
+        self.push(Element::Resistor {
+            name: name.into(),
+            a,
+            b,
+            ohms,
+        })
     }
 
     /// Adds a capacitor.
     pub fn capacitor(&mut self, name: &str, a: Node, b: Node, farads: f64) -> ElementId {
-        self.push(Element::Capacitor { name: name.into(), a, b, farads })
+        self.push(Element::Capacitor {
+            name: name.into(),
+            a,
+            b,
+            farads,
+        })
     }
 
     /// Adds an inductor.
     pub fn inductor(&mut self, name: &str, a: Node, b: Node, henries: f64) -> ElementId {
-        self.push(Element::Inductor { name: name.into(), a, b, henries })
+        self.push(Element::Inductor {
+            name: name.into(),
+            a,
+            b,
+            henries,
+        })
     }
 
     /// Adds a DC voltage source.
     pub fn vsource(&mut self, name: &str, p: Node, n: Node, dc: f64) -> ElementId {
-        self.push(Element::Vsource { name: name.into(), p, n, dc, ac_mag: 0.0, waveform: None })
+        self.push(Element::Vsource {
+            name: name.into(),
+            p,
+            n,
+            dc,
+            ac_mag: 0.0,
+            waveform: None,
+        })
     }
 
     /// Adds a voltage source with both DC value and AC magnitude.
     pub fn vsource_ac(&mut self, name: &str, p: Node, n: Node, dc: f64, ac_mag: f64) -> ElementId {
-        self.push(Element::Vsource { name: name.into(), p, n, dc, ac_mag, waveform: None })
+        self.push(Element::Vsource {
+            name: name.into(),
+            p,
+            n,
+            dc,
+            ac_mag,
+            waveform: None,
+        })
     }
 
     /// Adds a DC current source (`dc` amps flowing from `p` to `n` through
     /// the source).
     pub fn isource(&mut self, name: &str, p: Node, n: Node, dc: f64) -> ElementId {
-        self.push(Element::Isource { name: name.into(), p, n, dc, ac_mag: 0.0, waveform: None })
+        self.push(Element::Isource {
+            name: name.into(),
+            p,
+            n,
+            dc,
+            ac_mag: 0.0,
+            waveform: None,
+        })
     }
 
     /// Adds a current source with both DC value and AC magnitude.
     pub fn isource_ac(&mut self, name: &str, p: Node, n: Node, dc: f64, ac_mag: f64) -> ElementId {
-        self.push(Element::Isource { name: name.into(), p, n, dc, ac_mag, waveform: None })
+        self.push(Element::Isource {
+            name: name.into(),
+            p,
+            n,
+            dc,
+            ac_mag,
+            waveform: None,
+        })
     }
 
     /// Adds a MOSFET (drain, gate, source, bulk order).
@@ -325,7 +371,14 @@ impl Circuit {
         b: Node,
         inst: MosInstance,
     ) -> ElementId {
-        self.push(Element::Mosfet { name: name.into(), d, g, s, b, inst })
+        self.push(Element::Mosfet {
+            name: name.into(),
+            d,
+            g,
+            s,
+            b,
+            inst,
+        })
     }
 
     /// Adds a voltage-controlled voltage source.
@@ -338,20 +391,26 @@ impl Circuit {
         cn: Node,
         gain: f64,
     ) -> ElementId {
-        self.push(Element::Vcvs { name: name.into(), p, n, cp, cn, gain })
+        self.push(Element::Vcvs {
+            name: name.into(),
+            p,
+            n,
+            cp,
+            cn,
+            gain,
+        })
     }
 
     /// Adds a voltage-controlled current source.
-    pub fn vccs(
-        &mut self,
-        name: &str,
-        p: Node,
-        n: Node,
-        cp: Node,
-        cn: Node,
-        gm: f64,
-    ) -> ElementId {
-        self.push(Element::Vccs { name: name.into(), p, n, cp, cn, gm })
+    pub fn vccs(&mut self, name: &str, p: Node, n: Node, cp: Node, cn: Node, gm: f64) -> ElementId {
+        self.push(Element::Vccs {
+            name: name.into(),
+            p,
+            n,
+            cp,
+            cn,
+            gm,
+        })
     }
 
     /// Attaches a transient waveform to an independent source.
@@ -388,33 +447,38 @@ impl Circuit {
     /// capacitances or device geometry, and for an element-free circuit.
     pub fn validate(&self) -> Result<(), SimError> {
         if self.elements.is_empty() {
-            return Err(SimError::BadNetlist { reason: "circuit has no elements".into() });
+            return Err(SimError::BadNetlist {
+                reason: "circuit has no elements".into(),
+            });
         }
         for e in &self.elements {
             match e {
                 Element::Resistor { name, ohms, .. } => {
-                    if !(*ohms > 0.0) || !ohms.is_finite() {
+                    if *ohms <= 0.0 || !ohms.is_finite() {
                         return Err(SimError::BadNetlist {
                             reason: format!("resistor {name} has non-positive value {ohms}"),
                         });
                     }
                 }
                 Element::Capacitor { name, farads, .. } => {
-                    if !(*farads > 0.0) || !farads.is_finite() {
+                    if *farads <= 0.0 || !farads.is_finite() {
                         return Err(SimError::BadNetlist {
                             reason: format!("capacitor {name} has non-positive value {farads}"),
                         });
                     }
                 }
                 Element::Inductor { name, henries, .. } => {
-                    if !(*henries > 0.0) || !henries.is_finite() {
+                    if *henries <= 0.0 || !henries.is_finite() {
                         return Err(SimError::BadNetlist {
                             reason: format!("inductor {name} has non-positive value {henries}"),
                         });
                     }
                 }
                 Element::Mosfet { name, inst, .. } => {
-                    if !(inst.w > 0.0) || !(inst.l > 0.0) || !(inst.m > 0.0) {
+                    if ![inst.w, inst.l, inst.m]
+                        .iter()
+                        .all(|g| g.is_finite() && *g > 0.0)
+                    {
                         return Err(SimError::BadNetlist {
                             reason: format!("mosfet {name} has non-positive geometry"),
                         });
@@ -500,7 +564,12 @@ mod tests {
             d,
             Circuit::GROUND,
             Circuit::GROUND,
-            MosInstance { model: nmos_180nm(), w: -1e-6, l: 1e-6, m: 1.0 },
+            MosInstance {
+                model: nmos_180nm(),
+                w: -1e-6,
+                l: 1e-6,
+                m: 1.0,
+            },
         );
         assert!(ckt3.validate().is_err());
     }

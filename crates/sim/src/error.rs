@@ -37,11 +37,20 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::NoConvergence { analysis, iterations } => {
-                write!(f, "{analysis} analysis failed to converge after {iterations} iterations")
+            SimError::NoConvergence {
+                analysis,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{analysis} analysis failed to converge after {iterations} iterations"
+                )
             }
             SimError::SingularMatrix { analysis } => {
-                write!(f, "singular MNA matrix in {analysis} analysis (floating node?)")
+                write!(
+                    f,
+                    "singular MNA matrix in {analysis} analysis (floating node?)"
+                )
             }
             SimError::BadNetlist { reason } => write!(f, "bad netlist: {reason}"),
             SimError::BadRequest { reason } => write!(f, "bad request: {reason}"),
@@ -54,8 +63,12 @@ impl Error for SimError {}
 impl From<LinalgError> for SimError {
     fn from(e: LinalgError) -> Self {
         match e {
-            LinalgError::Singular { .. } => SimError::SingularMatrix { analysis: "linear solve".into() },
-            other => SimError::BadNetlist { reason: other.to_string() },
+            LinalgError::Singular { .. } => SimError::SingularMatrix {
+                analysis: "linear solve".into(),
+            },
+            other => SimError::BadNetlist {
+                reason: other.to_string(),
+            },
         }
     }
 }
@@ -66,10 +79,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = SimError::NoConvergence { analysis: "dc".into(), iterations: 100 };
+        let e = SimError::NoConvergence {
+            analysis: "dc".into(),
+            iterations: 100,
+        };
         assert!(e.to_string().contains("dc"));
         assert!(e.to_string().contains("100"));
-        let e = SimError::SingularMatrix { analysis: "ac".into() };
+        let e = SimError::SingularMatrix {
+            analysis: "ac".into(),
+        };
         assert!(e.to_string().contains("floating node"));
     }
 
@@ -81,8 +99,9 @@ mod tests {
 
     #[test]
     fn error_trait_object_usable() {
-        let e: Box<dyn Error + Send + Sync> =
-            Box::new(SimError::BadNetlist { reason: "negative resistor".into() });
+        let e: Box<dyn Error + Send + Sync> = Box::new(SimError::BadNetlist {
+            reason: "negative resistor".into(),
+        });
         assert!(e.to_string().contains("negative resistor"));
     }
 }

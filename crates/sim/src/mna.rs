@@ -42,7 +42,12 @@ impl Layout {
                 _ => {}
             }
         }
-        Layout { n_node_unknowns, n_unknowns: next, branch_of, mos_elems }
+        Layout {
+            n_node_unknowns,
+            n_unknowns: next,
+            branch_of,
+            mos_elems,
+        }
     }
 }
 
@@ -94,14 +99,36 @@ pub(crate) fn cap_list(ckt: &Circuit) -> Vec<CapSpec> {
     for e in ckt.elements() {
         match e {
             Element::Capacitor { a, b, farads, .. } => {
-                caps.push(CapSpec { a: *a, b: *b, farads: *farads });
+                caps.push(CapSpec {
+                    a: *a,
+                    b: *b,
+                    farads: *farads,
+                });
             }
-            Element::Mosfet { d, g, s, b, inst, .. } => {
+            Element::Mosfet {
+                d, g, s, b, inst, ..
+            } => {
                 let (w, l, m) = (inst.w, inst.l, inst.m);
-                caps.push(CapSpec { a: *g, b: *s, farads: inst.model.cgs(w, l, m) });
-                caps.push(CapSpec { a: *g, b: *d, farads: inst.model.cgd(w, l, m) });
-                caps.push(CapSpec { a: *d, b: *b, farads: inst.model.cdb(w, l, m) });
-                caps.push(CapSpec { a: *s, b: *b, farads: inst.model.csb(w, l, m) });
+                caps.push(CapSpec {
+                    a: *g,
+                    b: *s,
+                    farads: inst.model.cgs(w, l, m),
+                });
+                caps.push(CapSpec {
+                    a: *g,
+                    b: *d,
+                    farads: inst.model.cgd(w, l, m),
+                });
+                caps.push(CapSpec {
+                    a: *d,
+                    b: *b,
+                    farads: inst.model.cdb(w, l, m),
+                });
+                caps.push(CapSpec {
+                    a: *s,
+                    b: *b,
+                    farads: inst.model.csb(w, l, m),
+                });
             }
             _ => {}
         }
@@ -179,12 +206,16 @@ pub(crate) fn assemble_resistive(
                     jac[(k, bi)] -= 1.0;
                 }
             }
-            Element::Isource { p, n, dc, waveform, .. } => {
+            Element::Isource {
+                p, n, dc, waveform, ..
+            } => {
                 let i = source_value(*dc, waveform, time, source_scale);
                 add_f(f, *p, i);
                 add_f(f, *n, -i);
             }
-            Element::Vsource { p, n, dc, waveform, .. } => {
+            Element::Vsource {
+                p, n, dc, waveform, ..
+            } => {
                 let k = layout.branch_of[ei].expect("vsource has a branch");
                 let v = source_value(*dc, waveform, time, source_scale);
                 let ib = x[k];
@@ -200,7 +231,9 @@ pub(crate) fn assemble_resistive(
                     jac[(k, ni)] -= 1.0;
                 }
             }
-            Element::Vcvs { p, n, cp, cn, gain, .. } => {
+            Element::Vcvs {
+                p, n, cp, cn, gain, ..
+            } => {
                 let k = layout.branch_of[ei].expect("vcvs has a branch");
                 let ib = x[k];
                 add_f(f, *p, ib);
@@ -221,7 +254,9 @@ pub(crate) fn assemble_resistive(
                     jac[(k, ci)] += gain;
                 }
             }
-            Element::Vccs { p, n, cp, cn, gm, .. } => {
+            Element::Vccs {
+                p, n, cp, cn, gm, ..
+            } => {
                 let i = gm * (volt(x, *cp) - volt(x, *cn));
                 add_f(f, *p, i);
                 add_f(f, *n, -i);
@@ -230,7 +265,9 @@ pub(crate) fn assemble_resistive(
                 add_j(jac, *n, *cp, -*gm);
                 add_j(jac, *n, *cn, *gm);
             }
-            Element::Mosfet { d, g, s, b, inst, .. } => {
+            Element::Mosfet {
+                d, g, s, b, inst, ..
+            } => {
                 let op = inst.model.eval(
                     volt(x, *d),
                     volt(x, *g),
@@ -296,7 +333,12 @@ mod tests {
             g,
             Circuit::GROUND,
             Circuit::GROUND,
-            crate::MosInstance { model: crate::nmos_180nm(), w: 1e-6, l: 1e-6, m: 1.0 },
+            crate::MosInstance {
+                model: crate::nmos_180nm(),
+                w: 1e-6,
+                l: 1e-6,
+                m: 1.0,
+            },
         );
         let caps = cap_list(&ckt);
         assert_eq!(caps.len(), 1 + 4);
@@ -347,7 +389,17 @@ mod tests {
         let x = [0.0, 0.0];
         let mut f = vec![0.0; 2];
         let mut jac = Mat::zeros(2, 2);
-        assemble_resistive(&ckt, &layout, &x, 0.0, 1.0, Some(0.0), &mut f, &mut jac, None);
+        assemble_resistive(
+            &ckt,
+            &layout,
+            &x,
+            0.0,
+            1.0,
+            Some(0.0),
+            &mut f,
+            &mut jac,
+            None,
+        );
         // Branch equation: (0 − 0) − 5 = −5
         assert!((f[1] + 5.0).abs() < 1e-15);
     }

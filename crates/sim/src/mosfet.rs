@@ -142,6 +142,8 @@ impl MosModel {
     ///
     /// `vd, vg, vs, vb` are node voltages; geometry is width `w`, length
     /// `l` (meters) and multiplier `m`.
+    // Four terminals + three geometry values is the device's natural arity.
+    #[allow(clippy::too_many_arguments)]
     pub fn eval(&self, vd: f64, vg: f64, vs: f64, vb: f64, w: f64, l: f64, m: f64) -> MosOp {
         let (vgs, vds, vbs) = (vg - vs, vd - vs, vb - vs);
         match self.polarity {
@@ -185,7 +187,11 @@ impl MosModel {
         let sqrt_term = (self.phi - vbs_c).sqrt();
         let vth = self.vt0 + self.gamma * (sqrt_term - self.phi.sqrt());
         // dvth/dvbs = −γ / (2√(φ − vbs)); zero in the clamped zone.
-        let dvth_dvbs = if vbs < self.phi - 1e-3 { -self.gamma / (2.0 * sqrt_term) } else { 0.0 };
+        let dvth_dvbs = if vbs < self.phi - 1e-3 {
+            -self.gamma / (2.0 * sqrt_term)
+        } else {
+            0.0
+        };
 
         // Softplus-blended overdrive.
         let x = (vgs - vth) / nvt;
@@ -207,7 +213,11 @@ impl MosModel {
             let i = 0.5 * beta * vov * vov;
             (i, 0.0, beta * vov, MosRegion::Saturation)
         };
-        let region = if x < 0.0 { MosRegion::Subthreshold } else { region };
+        let region = if x < 0.0 {
+            MosRegion::Subthreshold
+        } else {
+            region
+        };
 
         let id = ids0 * clm;
         let gds = d_dvds * clm + ids0 * lambda;
@@ -216,7 +226,16 @@ impl MosModel {
         // vth falls with vbs rising → more current: gmbs = gm_vov·σ·(−dvth/dvbs)
         let gmbs = gm_vov * sigma * (-dvth_dvbs);
 
-        MosOp { id, gm, gds, gmbs, vth, vov, vdsat: vov, region }
+        MosOp {
+            id,
+            gm,
+            gds,
+            gmbs,
+            vth,
+            vov,
+            vdsat: vov,
+            region,
+        }
     }
 
     /// Gate–source capacitance (2/3 C_ox + overlap), farads.
@@ -315,7 +334,10 @@ mod tests {
         let pmos = pmos_180nm();
         // PMOS with source at 1.8 V, gate at 0.8 V (|vgs| = 1), drain at 0.
         let op = pmos.eval(0.0, 0.8, 1.8, 1.8, W, L, M);
-        assert!(op.id < 0.0, "conducting PMOS drain current must be negative");
+        assert!(
+            op.id < 0.0,
+            "conducting PMOS drain current must be negative"
+        );
         assert!(op.gm > 0.0, "conductances stay positive");
         assert!(op.gds > 0.0);
         assert_eq!(op.region, MosRegion::Saturation);
@@ -367,9 +389,21 @@ mod tests {
                 - nmos.eval(vd, vg, vs, vb - h, W, L, M).id)
                 / (2.0 * h);
             let tol = |fd: f64| 1e-5 * (1.0 + fd.abs());
-            assert!((op.gm - fd_gm).abs() < tol(fd_gm), "gm at {vd},{vg},{vs},{vb}: {} vs {fd_gm}", op.gm);
-            assert!((op.gds - fd_gds).abs() < tol(fd_gds), "gds at {vd},{vg},{vs},{vb}: {} vs {fd_gds}", op.gds);
-            assert!((op.gmbs - fd_gmbs).abs() < tol(fd_gmbs), "gmbs at {vd},{vg},{vs},{vb}: {} vs {fd_gmbs}", op.gmbs);
+            assert!(
+                (op.gm - fd_gm).abs() < tol(fd_gm),
+                "gm at {vd},{vg},{vs},{vb}: {} vs {fd_gm}",
+                op.gm
+            );
+            assert!(
+                (op.gds - fd_gds).abs() < tol(fd_gds),
+                "gds at {vd},{vg},{vs},{vb}: {} vs {fd_gds}",
+                op.gds
+            );
+            assert!(
+                (op.gmbs - fd_gmbs).abs() < tol(fd_gmbs),
+                "gmbs at {vd},{vg},{vs},{vb}: {} vs {fd_gmbs}",
+                op.gmbs
+            );
         }
     }
 

@@ -81,7 +81,9 @@ fn strip_comment(line: &str) -> &str {
 }
 
 fn bad(lineno: usize, msg: impl std::fmt::Display) -> SimError {
-    SimError::BadNetlist { reason: format!("line {lineno}: {msg}") }
+    SimError::BadNetlist {
+        reason: format!("line {lineno}: {msg}"),
+    }
 }
 
 /// Parses a SPICE value with magnitude suffix (`10k`, `0.5u`, `2meg`, …).
@@ -117,7 +119,10 @@ fn parse_assign(token: &str) -> Option<(String, f64)> {
 
 /// Parses a trailing source specification: optional `AC <mag>` and one
 /// optional `PULSE(...)` / `PWL(...)` group. Returns `(ac_mag, waveform)`.
-fn parse_source_tail(tokens: &[String], lineno: usize) -> Result<(f64, Option<Waveform>), SimError> {
+fn parse_source_tail(
+    tokens: &[String],
+    lineno: usize,
+) -> Result<(f64, Option<Waveform>), SimError> {
     let mut ac = 0.0;
     let mut wf = None;
     let mut i = 0;
@@ -131,7 +136,9 @@ fn parse_source_tail(tokens: &[String], lineno: usize) -> Result<(f64, Option<Wa
             ac = mag;
             i += 2;
         } else if let Some(args) = t.strip_prefix("PULSE(") {
-            let inner = args.strip_suffix(')').ok_or_else(|| bad(lineno, "unclosed PULSE("))?;
+            let inner = args
+                .strip_suffix(')')
+                .ok_or_else(|| bad(lineno, "unclosed PULSE("))?;
             let vals: Vec<f64> = inner
                 .split_whitespace()
                 .map(|v| parse_value(v).ok_or_else(|| bad(lineno, format!("bad PULSE value {v}"))))
@@ -140,21 +147,31 @@ fn parse_source_tail(tokens: &[String], lineno: usize) -> Result<(f64, Option<Wa
                 return Err(bad(lineno, "PULSE needs 7 values (v1 v2 td tr tf pw per)"));
             }
             wf = Some(Waveform::pulse(
-                vals[0], vals[1], vals[2], vals[3], vals[4], vals[5],
-                if vals[6] > 0.0 { vals[6] } else { f64::INFINITY },
+                vals[0],
+                vals[1],
+                vals[2],
+                vals[3],
+                vals[4],
+                vals[5],
+                if vals[6] > 0.0 {
+                    vals[6]
+                } else {
+                    f64::INFINITY
+                },
             ));
             i += 1;
         } else if let Some(args) = t.strip_prefix("PWL(") {
-            let inner = args.strip_suffix(')').ok_or_else(|| bad(lineno, "unclosed PWL("))?;
+            let inner = args
+                .strip_suffix(')')
+                .ok_or_else(|| bad(lineno, "unclosed PWL("))?;
             let vals: Vec<f64> = inner
                 .split_whitespace()
                 .map(|v| parse_value(v).ok_or_else(|| bad(lineno, format!("bad PWL value {v}"))))
                 .collect::<Result<_, _>>()?;
-            if vals.is_empty() || vals.len() % 2 != 0 {
+            if vals.is_empty() || !vals.len().is_multiple_of(2) {
                 return Err(bad(lineno, "PWL needs an even, non-zero number of values"));
             }
-            let points: Vec<(f64, f64)> =
-                vals.chunks(2).map(|c| (c[0], c[1])).collect();
+            let points: Vec<(f64, f64)> = vals.chunks(2).map(|c| (c[0], c[1])).collect();
             wf = Some(Waveform::pwl(points));
             i += 1;
         } else {
@@ -200,7 +217,11 @@ fn parse_card(ckt: &mut Circuit, line: &str, lineno: usize) -> Result<(), SimErr
         return Ok(());
     }
     let name = tokens[0].clone();
-    let kind = name.chars().next().expect("non-empty token").to_ascii_uppercase();
+    let kind = name
+        .chars()
+        .next()
+        .expect("non-empty token")
+        .to_ascii_uppercase();
     let args = &tokens[1..];
 
     let need = |n: usize| -> Result<(), SimError> {
@@ -217,7 +238,8 @@ fn parse_card(ckt: &mut Circuit, line: &str, lineno: usize) -> Result<(), SimErr
     }
     macro_rules! value {
         ($k:expr) => {
-            parse_value(&args[$k]).ok_or_else(|| bad(lineno, format!("bad value '{}'", args[$k])))?
+            parse_value(&args[$k])
+                .ok_or_else(|| bad(lineno, format!("bad value '{}'", args[$k])))?
         };
     }
 
@@ -352,7 +374,12 @@ mod tests {
     fn source_with_ac_and_pulse() {
         let ckt = parse_netlist("V1 a 0 0.9 AC 1 PULSE(0 1 0 1n 1n 5u 0)").unwrap();
         match &ckt.elements()[0] {
-            Element::Vsource { dc, ac_mag, waveform, .. } => {
+            Element::Vsource {
+                dc,
+                ac_mag,
+                waveform,
+                ..
+            } => {
                 assert_eq!(*dc, 0.9);
                 assert_eq!(*ac_mag, 1.0);
                 let wf = waveform.as_ref().expect("waveform parsed");

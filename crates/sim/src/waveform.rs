@@ -52,8 +52,24 @@ pub enum Waveform {
 
 impl Waveform {
     /// Convenience constructor for [`Waveform::Pulse`].
-    pub fn pulse(v1: f64, v2: f64, delay: f64, rise: f64, fall: f64, width: f64, period: f64) -> Self {
-        Waveform::Pulse { v1, v2, delay, rise, fall, width, period }
+    pub fn pulse(
+        v1: f64,
+        v2: f64,
+        delay: f64,
+        rise: f64,
+        fall: f64,
+        width: f64,
+        period: f64,
+    ) -> Self {
+        Waveform::Pulse {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        }
     }
 
     /// Builds a PWL waveform, sorting the breakpoints by time.
@@ -71,7 +87,15 @@ impl Waveform {
     pub fn value(&self, t: f64) -> f64 {
         match self {
             Waveform::Dc(v) => *v,
-            Waveform::Pulse { v1, v2, delay, rise, fall, width, period } => {
+            Waveform::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
                 if t < *delay {
                     return *v1;
                 }
@@ -109,7 +133,12 @@ impl Waveform {
                     v0 + (v1 - v0) * (t - t0) / (t1 - t0)
                 }
             }
-            Waveform::Sine { offset, amplitude, freq, delay } => {
+            Waveform::Sine {
+                offset,
+                amplitude,
+                freq,
+                delay,
+            } => {
                 if t < *delay {
                     *offset
                 } else {
@@ -177,7 +206,12 @@ mod tests {
 
     #[test]
     fn sine_starts_after_delay() {
-        let w = Waveform::Sine { offset: 1.0, amplitude: 0.5, freq: 1.0, delay: 1.0 };
+        let w = Waveform::Sine {
+            offset: 1.0,
+            amplitude: 0.5,
+            freq: 1.0,
+            delay: 1.0,
+        };
         assert_eq!(w.value(0.5), 1.0);
         assert!((w.value(1.25) - 1.5).abs() < 1e-12); // quarter period
     }

@@ -34,7 +34,9 @@ fn ac_rl_highpass_corner() {
     ckt.inductor("L1", vin, out, l);
     ckt.resistor("R1", out, Circuit::GROUND, r);
     let op = DcAnalysis::new().run(&ckt).unwrap();
-    let ac = AcAnalysis::new(vec![f_c / 100.0, f_c, f_c * 100.0]).run(&ckt, &op).unwrap();
+    let ac = AcAnalysis::new(vec![f_c / 100.0, f_c, f_c * 100.0])
+        .run(&ckt, &op)
+        .unwrap();
     // Low frequency: inductor ~ short → |H| ≈ 1.
     assert!((ac.voltage(0, out).abs() - 1.0).abs() < 1e-3);
     // Corner: |H| = 1/√2, phase −45°.
@@ -76,7 +78,10 @@ fn tran_rl_current_rise() {
     let a = ckt.node("a");
     let b = ckt.node("b");
     let v1 = ckt.vsource("V1", a, Circuit::GROUND, 0.0);
-    ckt.set_waveform(v1, Waveform::pulse(0.0, v, 0.0, 1e-12, 1e-12, 1.0, f64::INFINITY));
+    ckt.set_waveform(
+        v1,
+        Waveform::pulse(0.0, v, 0.0, 1e-12, 1e-12, 1.0, f64::INFINITY),
+    );
     ckt.resistor("R1", a, b, r);
     ckt.inductor("L1", b, Circuit::GROUND, l);
     let res = TranAnalysis::new(5.0 * tau, tau / 200.0).run(&ckt).unwrap();
@@ -105,12 +110,17 @@ fn tran_lc_oscillation_frequency() {
     let v1 = ckt.vsource("V1", drv, Circuit::GROUND, 0.0);
     // Kick the tank with a short pulse, then leave it (source back to 0,
     // decoupled through a large resistor so ringing persists).
-    ckt.set_waveform(v1, Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 2e-7, f64::INFINITY));
+    ckt.set_waveform(
+        v1,
+        Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 2e-7, f64::INFINITY),
+    );
     ckt.resistor("R1", drv, tank, 100e3);
     ckt.inductor("L1", tank, Circuit::GROUND, l);
     ckt.capacitor("C1", tank, Circuit::GROUND, c);
     let t_stop = 5.0 / f0;
-    let res = TranAnalysis::new(t_stop, 1.0 / (f0 * 400.0)).run(&ckt).unwrap();
+    let res = TranAnalysis::new(t_stop, 1.0 / (f0 * 400.0))
+        .run(&ckt)
+        .unwrap();
     // Count zero crossings of the tank voltage in the free-ringing region.
     let v = res.voltage(tank);
     let t = res.times();
@@ -120,13 +130,20 @@ fn tran_lc_oscillation_frequency() {
             crossings.push(t[k]);
         }
     }
-    assert!(crossings.len() >= 4, "tank should ring: {} crossings", crossings.len());
+    assert!(
+        crossings.len() >= 4,
+        "tank should ring: {} crossings",
+        crossings.len()
+    );
     // Average half-period → frequency.
     let spans: Vec<f64> = crossings.windows(2).map(|w| w[1] - w[0]).collect();
     let half_period = spans.iter().sum::<f64>() / spans.len() as f64;
     let f_meas = 1.0 / (2.0 * half_period);
     let rel = (f_meas - f0).abs() / f0;
-    assert!(rel < 0.05, "f = {f_meas:.3e} vs f0 = {f0:.3e} (rel {rel:.3})");
+    assert!(
+        rel < 0.05,
+        "f = {f_meas:.3e} vs f0 = {f0:.3e} (rel {rel:.3})"
+    );
 }
 
 #[test]

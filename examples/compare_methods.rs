@@ -45,7 +45,7 @@ fn main() {
                 .min_target
                 .map(|t| format!("{t:.4}"))
                 .unwrap_or_else(|| "-".into()),
-            stats.log10_avg_fom,
+            stats.log10_avg_fom_or_neg_inf(),
             stats.total_runtime.as_secs_f64(),
         );
     }

@@ -74,7 +74,10 @@ fn main() {
         Box::new(MaOptConfig::ma_opt(11)),
     ];
 
-    println!("{:>8} | {:>8} | {:>12} | {:>12}", "method", "success", "best FoM", "cap area (pF)");
+    println!(
+        "{:>8} | {:>8} | {:>12} | {:>12}",
+        "method", "success", "best FoM", "cap area (pF)"
+    );
     println!("{}", "-".repeat(52));
     for method in methods {
         let result = method.optimize(&problem, &init, budget, 11);

@@ -25,7 +25,11 @@ CL  out 0 200f
 
 fn main() -> Result<(), SimError> {
     let ckt = parse_netlist(NETLIST)?;
-    println!("parsed {} elements, {} nodes", ckt.elements().len(), ckt.node_count());
+    println!(
+        "parsed {} elements, {} nodes",
+        ckt.elements().len(),
+        ckt.node_count()
+    );
 
     let out = ckt.find_node("out").expect("netlist declares out");
     let op = DcAnalysis::new().run(&ckt)?;
@@ -51,7 +55,12 @@ fn main() -> Result<(), SimError> {
     let vg = ckt2.find_element("VG").expect("VG exists");
     ckt2.set_waveform(
         vg,
-        ma_opt::sim::Waveform::Sine { offset: 0.62, amplitude: 0.05, freq: 1e6, delay: 0.0 },
+        ma_opt::sim::Waveform::Sine {
+            offset: 0.62,
+            amplitude: 0.05,
+            freq: 1e6,
+            delay: 0.0,
+        },
     );
     let res = TranAnalysis::new(6e-6, 3e-9).run(&ckt2)?;
     let out2 = ckt2.find_node("out").expect("out");

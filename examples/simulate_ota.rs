@@ -28,7 +28,12 @@ fn main() -> Result<(), SimError> {
         gate,
         Circuit::GROUND,
         Circuit::GROUND,
-        MosInstance { model: nmos_180nm(), w: 20e-6, l: 0.5e-6, m: 1.0 },
+        MosInstance {
+            model: nmos_180nm(),
+            w: 20e-6,
+            l: 0.5e-6,
+            m: 1.0,
+        },
     );
 
     // DC operating point.
@@ -36,8 +41,13 @@ fn main() -> Result<(), SimError> {
     let mos = op.mos_op(m1).expect("M1 is a MOSFET");
     println!("-- operating point --");
     println!("V(drain) = {:.3} V", op.voltage(drain));
-    println!("Id = {:.1} uA   gm = {:.3} mS   gds = {:.2} uS   region = {:?}",
-        mos.id * 1e6, mos.gm * 1e3, mos.gds * 1e6, mos.region);
+    println!(
+        "Id = {:.1} uA   gm = {:.3} mS   gds = {:.2} uS   region = {:?}",
+        mos.id * 1e6,
+        mos.gm * 1e3,
+        mos.gds * 1e6,
+        mos.region
+    );
 
     // AC sweep → Bode quantities.
     let freqs = ma_opt::sim::analysis::ac::log_freqs(1e2, 1e10, 10);
@@ -53,7 +63,10 @@ fn main() -> Result<(), SimError> {
     // Output noise with per-device attribution.
     let noise = NoiseAnalysis::log(10.0, 1e8, 5).run(&ckt, &op, drain)?;
     println!("\n-- noise --");
-    println!("integrated output noise = {:.1} uVrms", noise.output_rms() * 1e6);
+    println!(
+        "integrated output noise = {:.1} uVrms",
+        noise.output_rms() * 1e6
+    );
     for c in noise.contributors() {
         println!("  {:>4} contributes {:.3e} V^2", c.element, c.power);
     }

@@ -60,7 +60,10 @@ fn offset_spread(pair_w_um: f64, pair_l_um: f64, samples: usize) -> Result<(f64,
 
 fn main() -> Result<(), SimError> {
     println!("Pelgrom mismatch: imbalance spread vs differential-pair area");
-    println!("{:>12} | {:>12} | {:>14} | {:>6}", "W (um)", "L (um)", "sigma (mV)", "fails");
+    println!(
+        "{:>12} | {:>12} | {:>14} | {:>6}",
+        "W (um)", "L (um)", "sigma (mV)", "fails"
+    );
     println!("{}", "-".repeat(54));
     for (w, l) in [(1.0, 0.18), (4.0, 0.5), (20.0, 1.0), (80.0, 2.0)] {
         let (sigma, fails) = offset_spread(w, l, 60)?;

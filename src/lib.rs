@@ -9,6 +9,8 @@
 //! * [`sim`] — the MNA circuit simulator substrate,
 //! * [`nn`] — the neural-network stack,
 //! * [`bo`] — the Bayesian-optimization baseline,
+//! * [`exec`] — the parallel evaluation engine (worker pool, simulation
+//!   cache, fault handling, telemetry),
 //! * [`linalg`] — the shared linear algebra.
 //!
 //! # Example
@@ -35,6 +37,7 @@
 pub use maopt_bo as bo;
 pub use maopt_circuits as circuits;
 pub use maopt_core as core;
+pub use maopt_exec as exec;
 pub use maopt_linalg as linalg;
 pub use maopt_nn as nn;
 pub use maopt_sim as sim;

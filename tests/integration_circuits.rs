@@ -28,10 +28,19 @@ fn every_circuit_exposes_a_consistent_problem() {
         assert_eq!(p.params().len(), p.dim());
         let metrics = p.evaluate(&vec![0.5; p.dim()]);
         assert_eq!(metrics.len(), p.num_metrics());
-        assert!(metrics.iter().all(|v| v.is_finite()), "{}: {metrics:?}", p.name());
+        assert!(
+            metrics.iter().all(|v| v.is_finite()),
+            "{}: {metrics:?}",
+            p.name()
+        );
         // Every spec references a valid metric index.
         for s in p.specs() {
-            assert!(s.metric_index < p.num_metrics(), "{} spec {}", p.name(), s.name);
+            assert!(
+                s.metric_index < p.num_metrics(),
+                "{} spec {}",
+                p.name(),
+                s.name
+            );
         }
         // FoM is computable and finite.
         let g = fom(&metrics, p.specs(), FomConfig::default());
@@ -88,7 +97,11 @@ fn parallel_evaluations_match_serial() {
     // independent of threading.
     let problem = ThreeStageTia::new();
     let xs: Vec<Vec<f64>> = (0..4)
-        .map(|i| (0..problem.dim()).map(|j| ((i * 31 + j * 7) % 10) as f64 / 10.0).collect())
+        .map(|i| {
+            (0..problem.dim())
+                .map(|j| ((i * 31 + j * 7) % 10) as f64 / 10.0)
+                .collect()
+        })
         .collect();
     let serial: Vec<Vec<f64>> = xs.iter().map(|x| problem.evaluate(x)).collect();
     let parallel: Vec<Vec<f64>> = std::thread::scope(|s| {

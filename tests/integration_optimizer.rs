@@ -65,7 +65,10 @@ fn shared_initial_sets_make_methods_comparable() {
     let init = sample_initial_set(&problem, 20, 9);
     let a = small(MaOptConfig::dnn_opt(0)).optimize(&problem, &init, 6, 1);
     let b = small(MaOptConfig::ma_opt2(0)).optimize(&problem, &init, 6, 1);
-    let bo = BoOptimizer { n_candidates: 100, ..BoOptimizer::new() };
+    let bo = BoOptimizer {
+        n_candidates: 100,
+        ..BoOptimizer::new()
+    };
     let c = bo.optimize(&problem, &init, 6, 1);
     assert_eq!(a.trace.init_best_fom(), b.trace.init_best_fom());
     assert_eq!(a.trace.init_best_fom(), c.trace.init_best_fom());
@@ -76,7 +79,10 @@ fn bo_and_maopt_traces_have_identical_budget_accounting() {
     let problem = Sphere::new(3);
     let init = sample_initial_set(&problem, 12, 2);
     let budget = 9;
-    let bo = BoOptimizer { n_candidates: 100, ..BoOptimizer::new() };
+    let bo = BoOptimizer {
+        n_candidates: 100,
+        ..BoOptimizer::new()
+    };
     let r_bo = bo.optimize(&problem, &init, budget, 4);
     let r_ma = small(MaOptConfig::ma_opt2(4)).optimize(&problem, &init, budget, 4);
     assert_eq!(r_bo.trace.num_sims(), budget);
@@ -90,7 +96,10 @@ fn best_fom_series_is_monotone_for_every_method() {
     let problem = RosenbrockDisk::new(3);
     let init = sample_initial_set(&problem, 15, 6);
     let methods: Vec<Box<dyn Optimizer>> = vec![
-        Box::new(BoOptimizer { n_candidates: 100, ..BoOptimizer::new() }),
+        Box::new(BoOptimizer {
+            n_candidates: 100,
+            ..BoOptimizer::new()
+        }),
         Box::new(small(MaOptConfig::dnn_opt(6))),
         Box::new(small(MaOptConfig::ma_opt(6))),
     ];
@@ -109,13 +118,19 @@ fn near_sampling_stays_local_to_the_incumbent() {
     // MA-Opt's NS proposals must land within δ of the then-best design.
     let problem = ConstrainedToy::new(3);
     let init = sample_initial_set(&problem, 30, 10);
-    let cfg = MaOptConfig { delta: 0.03, ..small(MaOptConfig::ma_opt(10)) };
+    let cfg = MaOptConfig {
+        delta: 0.03,
+        ..small(MaOptConfig::ma_opt(10))
+    };
     let result = MaOpt::new(cfg).run(&problem, init, 30);
     // Reconstruct: every NearSample entry's design is in the population at
     // init_len + sim − 1; check it lies in the δ-box of some earlier design.
     let entries = result.trace.entries();
     let init_len = entries.iter().filter(|e| e.sim == 0).count();
-    for e in entries.iter().filter(|e| e.kind == ma_opt::core::trace::SimKind::NearSample) {
+    for e in entries
+        .iter()
+        .filter(|e| e.kind == ma_opt::core::trace::SimKind::NearSample)
+    {
         let idx = init_len + e.sim - 1;
         let x = result.population.design(idx);
         let near_someone = (0..idx).any(|j| {
@@ -126,6 +141,9 @@ fn near_sampling_stays_local_to_the_incumbent() {
                 .zip(x)
                 .all(|(a, b)| (a - b).abs() <= 0.03 + 1e-9)
         });
-        assert!(near_someone, "NS design {idx} not within delta of any predecessor");
+        assert!(
+            near_someone,
+            "NS design {idx} not within delta of any predecessor"
+        );
     }
 }

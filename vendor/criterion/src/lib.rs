@@ -1,0 +1,191 @@
+//! Offline, API-compatible subset of the `criterion` benchmarking crate.
+//!
+//! The workspace builds hermetically (no crates.io access), so the
+//! criterion surface its benches use is implemented here: benchmark
+//! groups, [`Bencher::iter`], [`BenchmarkId`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — a warm-up iteration followed by
+//! `sample_size` timed iterations, reporting min/mean — because the goal
+//! is regression *visibility*, not criterion's statistical machinery.
+//! When the harness binary is invoked without `--bench` (as `cargo test`
+//! does for `harness = false` targets) it exits immediately so benches
+//! never slow the test suite down.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run(&mut self, id: String, bencher: &mut Bencher) {
+        let _ = &self.criterion; // reserved for future global config
+        if bencher.samples.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let min = bencher.samples.iter().min().expect("non-empty samples");
+        let total: Duration = bencher.samples.iter().sum();
+        let mean = total / bencher.samples.len() as u32;
+        println!(
+            "{}/{id}: min {min:?}  mean {mean:?}  ({} samples)",
+            self.name,
+            bencher.samples.len()
+        );
+    }
+
+    /// Benchmarks a closure under a string id.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.run(id.into(), &mut b);
+        self
+    }
+
+    /// Benchmarks a closure parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self.run(id.id, &mut b);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Whether the harness was invoked by `cargo bench` (which passes
+/// `--bench`) rather than `cargo test`.
+#[doc(hidden)]
+pub fn invoked_as_bench() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates the harness `main` for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !$crate::invoked_as_bench() {
+                // `cargo test` runs harness-less bench binaries; benches
+                // only execute under `cargo bench`.
+                println!("benches skipped (run with `cargo bench`)");
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+        let n = 5usize;
+        group.bench_with_input(BenchmarkId::new("with_input", n), &n, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}
