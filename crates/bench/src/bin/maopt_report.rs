@@ -1,0 +1,134 @@
+//! Renders run journals written by `reproduce --journal-dir` (or any
+//! `maopt-obs` journal) into Markdown/CSV reports, and compares two
+//! journal sets for regressions.
+//!
+//! ```text
+//! maopt-report render <paths...> [--out FILE] [--csv FILE]
+//! maopt-report diff <baseline> <candidate> [--fom-tol F] [--time-tol F]
+//!                   [--fail-on-regression]
+//! ```
+//!
+//! Paths may be journal files or directories (walked recursively for
+//! `*.jsonl`). Any schema error exits with status 1 and names the
+//! offending file and line; `diff --fail-on-regression` exits with
+//! status 1 when a regression exceeds tolerance.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use maopt_bench::obs_report::{
+    collect_journal_paths, diff, load_journals, render_csv, render_markdown,
+};
+
+const USAGE: &str = "usage: maopt-report render <paths...> [--out FILE] [--csv FILE]\n       \
+     maopt-report diff <baseline> <candidate> [--fom-tol F] [--time-tol F] [--fail-on-regression]";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("maopt-report: {msg}");
+    ExitCode::from(1)
+}
+
+fn load(inputs: &[PathBuf]) -> Result<Vec<maopt_bench::obs_report::LoadedJournal>, String> {
+    let paths = collect_journal_paths(inputs).map_err(|e| e.to_string())?;
+    if paths.is_empty() {
+        return Err(format!(
+            "no .jsonl journals found under {}",
+            inputs
+                .iter()
+                .map(|p| p.display().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    load_journals(&paths)
+}
+
+fn render_cmd(args: &[String]) -> ExitCode {
+    let mut inputs = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut csv: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().map(PathBuf::from),
+            "--csv" => csv = it.next().map(PathBuf::from),
+            other => inputs.push(PathBuf::from(other)),
+        }
+    }
+    if inputs.is_empty() {
+        return fail(USAGE);
+    }
+    let journals = match load(&inputs) {
+        Ok(j) => j,
+        Err(e) => return fail(&e),
+    };
+    let md = render_markdown(&journals);
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &md) {
+                return fail(&format!("could not write {}: {e}", path.display()));
+            }
+            println!("report written to {}", path.display());
+        }
+        None => print!("{md}"),
+    }
+    if let Some(path) = &csv {
+        if let Err(e) = std::fs::write(path, render_csv(&journals)) {
+            return fail(&format!("could not write {}: {e}", path.display()));
+        }
+        println!("per-round CSV written to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn diff_cmd(args: &[String]) -> ExitCode {
+    let mut inputs = Vec::new();
+    let mut fom_tol = 0.05;
+    let mut time_tol = 0.25;
+    let mut fail_on_regression = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fom-tol" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) => fom_tol = v,
+                _ => return fail("--fom-tol needs a number"),
+            },
+            "--time-tol" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) => time_tol = v,
+                _ => return fail("--time-tol needs a number"),
+            },
+            "--fail-on-regression" => fail_on_regression = true,
+            other => inputs.push(PathBuf::from(other)),
+        }
+    }
+    if inputs.len() != 2 {
+        return fail(USAGE);
+    }
+    let baseline = match load(&inputs[..1]) {
+        Ok(j) => j,
+        Err(e) => return fail(&e),
+    };
+    let candidate = match load(&inputs[1..]) {
+        Ok(j) => j,
+        Err(e) => return fail(&e),
+    };
+    let report = diff(&baseline, &candidate, fom_tol, time_tol);
+    print!("{}", report.markdown);
+    if fail_on_regression && !report.regressions.is_empty() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("render") => render_cmd(&args[1..]),
+        Some("diff") => diff_cmd(&args[1..]),
+        Some("--help" | "-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => fail(USAGE),
+    }
+}

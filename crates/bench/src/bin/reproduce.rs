@@ -3,6 +3,7 @@
 //! ```text
 //! reproduce [--circuit ota|tia|ldo|all] [--quick] [--runs N] [--budget N]
 //!           [--init N] [--seed N] [--jobs N] [--tables-only] [--out DIR]
+//!           [--journal-dir DIR]
 //! ```
 //!
 //! * Tables I / III / V: printed from the problem definitions.
@@ -10,10 +11,15 @@
 //!   log10 average FoM, measured and modeled runtime}.
 //! * Fig. 5 (a–c): per-method average best-FoM curves, written to
 //!   `results/fig5_<circuit>.csv` and rendered as ASCII.
+//! * With `--journal-dir DIR`: one structured run journal per run at
+//!   `DIR/<circuit>/<method>/run<r>.jsonl` plus a per-method engine
+//!   aggregate at `DIR/<circuit>/<method>/engine.jsonl`, for
+//!   `maopt-report`. Journaling never changes results: runs are bitwise
+//!   identical with the flag on or off.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use maopt_bench::report::{
     ascii_fom_chart, comparison_table, param_table, write_fom_curves_csv, TableRow,
@@ -21,9 +27,10 @@ use maopt_bench::report::{
 use maopt_bench::runtime_model::RuntimeModel;
 use maopt_bench::{paper_methods, Protocol};
 use maopt_circuits::{LdoRegulator, ThreeStageTia, TwoStageOta};
-use maopt_core::runner::{make_initial_sets_with, run_method_with, MethodStats};
+use maopt_core::runner::{make_initial_sets_with, run_method_observed, MethodStats};
 use maopt_core::SizingProblem;
 use maopt_exec::{EvalEngine, SimCache, Telemetry};
+use maopt_obs::{EngineRecord, Journal, Record};
 
 struct Args {
     circuit: String,
@@ -31,6 +38,7 @@ struct Args {
     jobs: usize,
     tables_only: bool,
     out: PathBuf,
+    journal_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +48,7 @@ fn parse_args() -> Args {
         jobs: 1,
         tables_only: false,
         out: PathBuf::from("results"),
+        journal_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -83,10 +92,16 @@ fn parse_args() -> Args {
             }
             "--tables-only" => args.tables_only = true,
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
+            "--journal-dir" => {
+                args.journal_dir = Some(PathBuf::from(
+                    it.next().expect("--journal-dir needs a value"),
+                ))
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: reproduce [--circuit ota|tia|ldo|all] [--quick] [--runs N] \
-                     [--budget N] [--init N] [--seed N] [--jobs N] [--tables-only] [--out DIR]"
+                     [--budget N] [--init N] [--seed N] [--jobs N] [--tables-only] [--out DIR] \
+                     [--journal-dir DIR]"
                 );
                 std::process::exit(0);
             }
@@ -146,8 +161,27 @@ fn run_circuit(
     let mut all_stats: Vec<MethodStats> = Vec::new();
     for method in paper_methods(p.seed) {
         let method_engine = engine.clone().with_cache(Arc::new(SimCache::new()));
+        // With --journal-dir, every run streams its optimizer internals to
+        // DIR/<circuit>/<method>/run<r>.jsonl; otherwise the disabled
+        // journal makes this exactly the un-observed path.
+        let method_dir = args
+            .journal_dir
+            .as_ref()
+            .map(|dir| dir.join(key).join(method.name()));
+        let journals: Vec<Journal> = match &method_dir {
+            Some(dir) => (0..p.runs)
+                .map(|r| {
+                    Journal::create(dir.join(format!("run{r}.jsonl"))).unwrap_or_else(|e| {
+                        eprintln!("could not create journal in {}: {e}", dir.display());
+                        Journal::disabled()
+                    })
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        let spans_before = engine.telemetry().spans();
         let t0 = Instant::now();
-        let stats = run_method_with(
+        let stats = run_method_observed(
             method.as_ref(),
             problem,
             &inits,
@@ -155,8 +189,12 @@ fn run_circuit(
             p.budget,
             p.seed + 7,
             &method_engine,
+            &journals,
         );
         let elapsed = t0.elapsed();
+        if let Some(dir) = &method_dir {
+            write_engine_record(dir, &method.name(), &engine, &spans_before, &stats);
+        }
         let n_actors = match method.name().as_str() {
             "BO" | "DNN-Opt" => 1,
             _ => 3,
@@ -249,6 +287,41 @@ fn run_circuit(
         snap.cache_hits,
         snap.cache_hits + snap.cache_misses
     );
+}
+
+/// Writes the per-method engine aggregate — span deltas attributable to
+/// this method, its engine counters and the metrics-registry dump — to
+/// `dir/engine.jsonl` for `maopt-report`.
+fn write_engine_record(
+    dir: &Path,
+    method: &str,
+    engine: &EvalEngine,
+    spans_before: &[(String, Duration)],
+    stats: &MethodStats,
+) {
+    let before: std::collections::BTreeMap<&str, Duration> = spans_before
+        .iter()
+        .map(|(name, d)| (name.as_str(), *d))
+        .collect();
+    let spans: Vec<(String, f64)> = engine
+        .telemetry()
+        .spans()
+        .into_iter()
+        .filter_map(|(name, total)| {
+            let delta =
+                total.saturating_sub(before.get(name.as_str()).copied().unwrap_or_default());
+            (delta > Duration::ZERO).then_some((name, delta.as_secs_f64()))
+        })
+        .collect();
+    match Journal::create(dir.join("engine.jsonl")) {
+        Ok(journal) => journal.write(&Record::Engine(EngineRecord {
+            label: method.to_string(),
+            spans,
+            counters: stats.exec,
+            metrics: engine.telemetry().metrics.snapshot(),
+        })),
+        Err(e) => eprintln!("could not write engine journal in {}: {e}", dir.display()),
+    }
 }
 
 fn main() {

@@ -95,6 +95,31 @@ pub fn comparison_table(title: &str, target_label: &str, rows: &[TableRow]) -> S
     out
 }
 
+/// Renders a GitHub-flavored Markdown table. Every row must have one cell
+/// per header; cells are used verbatim (pre-format numbers yourself).
+///
+/// # Panics
+///
+/// Panics if a row's cell count does not match the header count.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        headers
+            .iter()
+            .map(|_| " --- ")
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "markdown row width mismatch");
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
 /// Writes the Fig. 5 series (`sim, method1, method2, …` per line) as CSV.
 ///
 /// # Errors
@@ -230,6 +255,22 @@ mod tests {
             }],
         );
         assert!(empty.contains(" - "));
+    }
+
+    #[test]
+    fn markdown_table_is_well_formed() {
+        let t = markdown_table(
+            &["method", "best FoM"],
+            &[
+                vec!["MA-Opt".into(), "1.2e-3".into()],
+                vec!["DNN-Opt".into(), "4.5e-2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "| method | best FoM |");
+        assert_eq!(lines[1], "| --- | --- |");
+        assert!(lines[2].contains("MA-Opt"));
     }
 
     #[test]

@@ -58,6 +58,40 @@ impl Actor {
             .collect()
     }
 
+    /// Line 8 of Algorithm 1: among the elite designs, picks the one whose
+    /// actor-proposed successor has the best critic-predicted FoM, and
+    /// returns that successor (clipped to the design box) with its
+    /// predicted FoM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elite_designs` is empty.
+    pub fn best_elite_proposal(
+        &self,
+        critic: &Critic,
+        elite_designs: &[Vec<f64>],
+        specs: &[Spec],
+        fom_cfg: FomConfig,
+    ) -> (Vec<f64>, f64) {
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        for x in elite_designs {
+            let a = self.act(x);
+            let pred = critic.predict_raw(x, &a);
+            let g = crate::fom::fom(&pred, specs, fom_cfg);
+            let cand: Vec<f64> = x
+                .iter()
+                .zip(&a)
+                .map(|(xi, ai)| (xi + ai).clamp(0.0, 1.0))
+                .collect();
+            match &best {
+                Some((bg, _)) if *bg <= g => {}
+                _ => best = Some((g, cand)),
+            }
+        }
+        let (g, cand) = best.expect("elite set is non-empty");
+        (cand, g)
+    }
+
     /// Trains the actor through the *frozen* critic for `steps` batches of
     /// `batch` states drawn from the population (Eq. 5), with the elite
     /// bounding-box penalty of Eq. 6 weighted by `lambda`.

@@ -94,6 +94,24 @@ impl Critic {
     ///
     /// Panics if the scaler has not been fitted or the population is empty.
     pub fn train(&mut self, pop: &Population, steps: usize, batch: usize, rng: &mut StdRng) -> f64 {
+        self.train_traced(pop, steps, batch, rng, None)
+    }
+
+    /// [`Critic::train`] that additionally appends every batch loss to
+    /// `trace` when one is given — the run journal's critic-loss
+    /// trajectory. The training computation is identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaler has not been fitted or the population is empty.
+    pub fn train_traced(
+        &mut self,
+        pop: &Population,
+        steps: usize,
+        batch: usize,
+        rng: &mut StdRng,
+        mut trace: Option<&mut Vec<f64>>,
+    ) -> f64 {
         let scaler = self
             .scaler
             .as_ref()
@@ -109,6 +127,9 @@ impl Critic {
             self.mlp.backward(&grad);
             self.adam.step(&mut self.mlp);
             last = loss;
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(loss);
+            }
         }
         last
     }
@@ -237,9 +258,23 @@ impl CriticEnsemble {
     /// different pseudo-sample batches to each member, decorrelating them.
     /// Returns the mean of the members' final losses.
     pub fn train(&mut self, pop: &Population, steps: usize, batch: usize, rng: &mut StdRng) -> f64 {
+        self.train_traced(pop, steps, batch, rng, None)
+    }
+
+    /// [`CriticEnsemble::train`] with the members' per-step losses
+    /// concatenated onto `trace` when one is given (member 0's `steps`
+    /// losses first, then member 1's, …).
+    pub fn train_traced(
+        &mut self,
+        pop: &Population,
+        steps: usize,
+        batch: usize,
+        rng: &mut StdRng,
+        mut trace: Option<&mut Vec<f64>>,
+    ) -> f64 {
         let mut total = 0.0;
         for m in &mut self.members {
-            total += m.train(pop, steps, batch, rng);
+            total += m.train_traced(pop, steps, batch, rng, trace.as_deref_mut());
         }
         total / self.members.len() as f64
     }

@@ -107,6 +107,43 @@ impl EliteSet {
         }
         (lb, ub)
     }
+
+    /// Worst-minus-best elite FoM — how selective the set currently is.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty set.
+    pub fn fom_spread(&self) -> f64 {
+        assert!(!self.is_empty(), "elite spread needs at least one design");
+        self.foms[self.foms.len() - 1] - self.foms[0]
+    }
+
+    /// Volume of the elite bounding box (product of per-coordinate
+    /// extents) — the region Eq. 6 confines actors to. Shrinks toward 0
+    /// as the set concentrates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty set.
+    pub fn bbox_volume(&self) -> f64 {
+        let (lb, ub) = self.bounds();
+        lb.iter().zip(&ub).map(|(&l, &u)| u - l).product()
+    }
+
+    /// Diagonal length of the elite bounding box, a volume-free scale of
+    /// its extent (volume underflows quickly in high dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty set.
+    pub fn bbox_diameter(&self) -> f64 {
+        let (lb, ub) = self.bounds();
+        lb.iter()
+            .zip(&ub)
+            .map(|(&l, &u)| (u - l) * (u - l))
+            .sum::<f64>()
+            .sqrt()
+    }
 }
 
 /// Boundary violation of a candidate `y = x + Δx` against elite bounds
@@ -169,6 +206,25 @@ mod tests {
         let v = boundary_violation(&[0.1, 0.9], &lb, &ub);
         assert!((v[0] - 0.1).abs() < 1e-12);
         assert!((v[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometry_stats_measure_the_elite_box() {
+        let mut es = EliteSet::new(3);
+        es.rebuild(&pop(), None);
+        // Members: foms 1, 2, 3; designs span [0.1, 0.5] per coordinate.
+        assert!((es.fom_spread() - 2.0).abs() < 1e-12);
+        assert!((es.bbox_volume() - 0.16).abs() < 1e-12);
+        assert!((es.bbox_diameter() - (2.0f64 * 0.16).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_set_has_degenerate_geometry() {
+        let mut es = EliteSet::new(1);
+        es.rebuild(&pop(), None);
+        assert_eq!(es.fom_spread(), 0.0);
+        assert_eq!(es.bbox_volume(), 0.0);
+        assert_eq!(es.bbox_diameter(), 0.0);
     }
 
     #[test]

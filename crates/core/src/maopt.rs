@@ -14,17 +14,25 @@
 use std::time::{Duration, Instant};
 
 use maopt_exec::EvalEngine;
+use maopt_obs::json::Json;
+use maopt_obs::{
+    ActorRound, EliteStats, Journal, Manifest, NearSamplingRecord, Record, RoundRecord, RunEnd,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::actor::Actor;
-use crate::critic::CriticEnsemble;
+use crate::critic::{CriticEnsemble, Surrogate};
 use crate::elite::EliteSet;
 use crate::fom::FomConfig;
 use crate::near_sampling::NearSampler;
 use crate::population::Population;
 use crate::problem::{EngineProblem, SizingProblem};
 use crate::trace::{SimKind, Trace};
+
+/// How many recent simulated designs enter the critic-fidelity Spearman
+/// correlation at near-sampling rounds.
+const FIDELITY_WINDOW: usize = 64;
 
 /// Full configuration of a MA-Opt run.
 #[derive(Debug, Clone)]
@@ -248,6 +256,31 @@ impl MaOpt {
         budget: usize,
         engine: &EvalEngine,
     ) -> RunResult {
+        self.run_observed(problem, init, budget, engine, &Journal::disabled())
+    }
+
+    /// [`MaOpt::run_with`] that additionally streams optimizer internals —
+    /// a run manifest, per-round critic/actor/elite records, near-sampling
+    /// decisions and engine counter deltas — into the given run
+    /// [`Journal`].
+    ///
+    /// With a disabled journal this *is* `run_with`: every journal-only
+    /// computation (loss traces, elite geometry, Spearman fidelity) is
+    /// gated on [`Journal::enabled`], none of it consumes RNG draws or
+    /// perturbs optimization arithmetic, so results are bitwise identical
+    /// whether or not journaling is on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` is empty.
+    pub fn run_observed(
+        &self,
+        problem: &dyn SizingProblem,
+        init: Vec<(Vec<f64>, Vec<f64>)>,
+        budget: usize,
+        engine: &EvalEngine,
+        journal: &Journal,
+    ) -> RunResult {
         assert!(
             !init.is_empty(),
             "MA-Opt needs a non-empty initial sample set"
@@ -268,6 +301,23 @@ impl MaOpt {
             trace.record_init(pop.fom(idx), pop.feasible(idx), pop.metrics(idx)[0]);
         }
         let init_len = pop.len();
+
+        if journal.enabled() {
+            let (version, build) = Manifest::build_info();
+            journal.write(&Record::Manifest(Manifest {
+                label: cfg.label.clone(),
+                problem: problem.name().to_string(),
+                dim: d,
+                num_metrics: m1,
+                seed: cfg.seed,
+                budget,
+                init_size: init_len,
+                jobs: engine.jobs(),
+                version,
+                build,
+                config: config_json(cfg),
+            }));
+        }
 
         // Networks.
         let mut critic = CriticEnsemble::new(
@@ -298,22 +348,29 @@ impl MaOpt {
         let mut sims_used = 0usize;
         let mut t = 0usize;
         let mut critic_ready = false;
+        // Journal-only state: engine counters at run start and the previous
+        // round's representative elite designs (for the refresh rate).
+        let run_counters = engine.telemetry().snapshot();
+        let mut prev_elite: Vec<Vec<f64>> = Vec::new();
 
         while sims_used < budget {
             t += 1;
             let specs_met = pop.best_feasible().is_some();
             let do_ns =
                 cfg.near_sampling && specs_met && critic_ready && t.is_multiple_of(cfg.t_ns);
+            // A handful of atomic loads; cheap enough to take unconditionally.
+            let round_counters = engine.telemetry().snapshot();
 
             if do_ns {
                 // ---- Algorithm 2: near-sampling round (1 simulation). ----
                 let ns = NearSampler::new(cfg.n_samples, cfg.delta);
                 let best_idx = pop.best().expect("non-empty population");
+                let incumbent_fom = pop.fom(best_idx);
                 let x_opt = pop.design(best_idx).to_vec();
                 let t0 = Instant::now();
-                let cand = {
+                let (cand, predicted_fom) = {
                     let _span = engine.telemetry().span("near_sampling");
-                    ns.propose_with(&critic, &x_opt, &specs, cfg.fom, &mut rng, engine)
+                    ns.propose_scored_with(&critic, &x_opt, &specs, cfg.fom, &mut rng, engine)
                 };
                 timings.near_sampling += t0.elapsed();
 
@@ -325,18 +382,48 @@ impl MaOpt {
                 timings.simulation += t0.elapsed();
 
                 let idx = pop.push(cand, metrics, &specs, cfg.fom);
+                let simulated_fom = pop.fom(idx);
                 trace.record(
                     SimKind::NearSample,
-                    pop.fom(idx),
+                    simulated_fom,
                     pop.feasible(idx),
                     pop.metrics(idx)[0],
                 );
                 sims_used += 1;
+
+                let tm = engine.telemetry();
+                tm.metrics.inc("opt.ns_rounds", 1);
+                if simulated_fom < incumbent_fom {
+                    tm.metrics.inc("opt.ns_accepted", 1);
+                }
+                if journal.enabled() {
+                    let (spearman, fidelity_n) = critic_fidelity(&critic, &pop, &specs, cfg.fom);
+                    journal.write(&Record::NearSampling(NearSamplingRecord {
+                        round: t,
+                        sims_used,
+                        trigger: "period".to_string(),
+                        n_candidates: cfg.n_samples,
+                        predicted_fom,
+                        simulated_fom,
+                        incumbent_fom,
+                        accepted: simulated_fom < incumbent_fom,
+                        spearman,
+                        fidelity_n,
+                        engine: tm.snapshot().since(&round_counters),
+                    }));
+                }
             } else {
                 // ---- Algorithm 1: actor-critic round (N_act simulations). ----
                 let t0 = Instant::now();
                 critic.refit_scaler(&pop);
-                critic.train(&pop, cfg.critic_steps, cfg.batch_size, &mut rng);
+                let mut critic_trace: Option<Vec<f64>> = journal.enabled().then(Vec::new);
+                let critic_loss = critic.train_traced(
+                    &pop,
+                    cfg.critic_steps,
+                    cfg.batch_size,
+                    &mut rng,
+                    critic_trace.as_mut(),
+                );
                 critic_ready = true;
 
                 // Elite sets (shared: one; individual: per actor).
@@ -372,7 +459,8 @@ impl MaOpt {
                 let shared_elite_ref = &shared_elite;
                 let individual_elites_ref = &individual_elites;
                 let actor_lanes: Vec<&mut Actor> = actors.iter_mut().collect();
-                let candidates: Vec<Vec<f64>> = {
+                // Each lane returns (candidate, actor loss, predicted FoM).
+                let lane_results: Vec<(Vec<f64>, f64, f64)> = {
                     let _span = engine.telemetry().span("actor_training");
                     engine.map(actor_lanes, |i, actor| {
                         let elite = if cfg.shared_elite {
@@ -388,7 +476,7 @@ impl MaOpt {
                         let mut local_critic = critic_ref.member(i).clone();
                         let mut local_rng = StdRng::seed_from_u64(iter_seed ^ (i as u64) << 17);
                         let (lb, ub) = elite.bounds();
-                        actor.train(
+                        let loss = actor.train(
                             &mut local_critic,
                             pop_ref,
                             specs_ref,
@@ -402,37 +490,32 @@ impl MaOpt {
                         // Line 8 of Algorithm 1: among elite states, pick
                         // the one whose actor-proposed successor has the
                         // best predicted FoM; simulate that successor.
-                        let mut best: Option<(f64, Vec<f64>)> = None;
-                        for x in elite.designs() {
-                            let a = actor.act(x);
-                            let pred = local_critic.predict_raw(x, &a);
-                            let g = crate::fom::fom(&pred, specs_ref, fom_cfg);
-                            let cand: Vec<f64> = x
-                                .iter()
-                                .zip(&a)
-                                .map(|(xi, ai)| (xi + ai).clamp(0.0, 1.0))
-                                .collect();
-                            match &best {
-                                Some((bg, _)) if *bg <= g => {}
-                                _ => best = Some((g, cand)),
-                            }
-                        }
-                        best.expect("elite set is non-empty").1
+                        let (cand, pred) = actor.best_elite_proposal(
+                            &local_critic,
+                            elite.designs(),
+                            specs_ref,
+                            fom_cfg,
+                        );
+                        (cand, loss, pred)
                     })
                 };
                 timings.training += t0.elapsed();
 
                 // Simulate the first `n_props` proposals on the pool.
                 let t0 = Instant::now();
-                let to_run = &candidates[..n_props];
+                let to_run: Vec<Vec<f64>> = lane_results[..n_props]
+                    .iter()
+                    .map(|(cand, _, _)| cand.clone())
+                    .collect();
                 let results: Vec<Vec<f64>> = {
                     let _span = engine.telemetry().span("simulation");
-                    engine.evaluate_batch(&sim_target, to_run)
+                    engine.evaluate_batch(&sim_target, &to_run)
                 };
                 timings.simulation += t0.elapsed();
 
-                for (i, (cand, metrics)) in to_run.iter().zip(results).enumerate() {
-                    let idx = pop.push(cand.clone(), metrics, &specs, cfg.fom);
+                let mut pushed = Vec::with_capacity(n_props);
+                for (i, (cand, metrics)) in to_run.into_iter().zip(results).enumerate() {
+                    let idx = pop.push(cand, metrics, &specs, cfg.fom);
                     trace.record(
                         SimKind::Actor,
                         pop.fom(idx),
@@ -443,11 +526,80 @@ impl MaOpt {
                         visible[i].push(idx);
                     }
                     sims_used += 1;
+                    pushed.push(idx);
+                }
+
+                let tm = engine.telemetry();
+                tm.metrics.inc("opt.rounds", 1);
+                tm.metrics.observe("opt.critic_loss", critic_loss);
+                for (_, loss, _) in &lane_results {
+                    tm.metrics.observe("opt.actor_loss", *loss);
+                }
+                if journal.enabled() {
+                    // Representative elite set: the shared one, or actor 0's
+                    // (exact for DNN-Opt, which has a single actor).
+                    let elite_set = shared_elite
+                        .as_ref()
+                        .unwrap_or_else(|| &individual_elites[0]);
+                    let refreshed = elite_set
+                        .designs()
+                        .iter()
+                        .filter(|x| !prev_elite.contains(x))
+                        .count();
+                    prev_elite = elite_set.designs().to_vec();
+                    let actors_obs = lane_results
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (_, loss, pred))| ActorRound {
+                            id: i,
+                            loss: *loss,
+                            predicted_fom: *pred,
+                            // Lanes beyond the budget cut never get simulated.
+                            simulated_fom: pushed.get(i).map_or(f64::NAN, |&idx| pop.fom(idx)),
+                            feasible: pushed.get(i).is_some_and(|&idx| pop.feasible(idx)),
+                        })
+                        .collect();
+                    journal.write(&Record::Round(RoundRecord {
+                        round: t,
+                        sims_used,
+                        best_fom: pop.best().map(|i| pop.fom(i)).expect("non-empty"),
+                        critic_loss: critic_trace.unwrap_or_default(),
+                        actors: actors_obs,
+                        elite: EliteStats {
+                            size: elite_set.len(),
+                            refreshed,
+                            volume: elite_set.bbox_volume(),
+                            diameter: elite_set.bbox_diameter(),
+                            fom_spread: elite_set.fom_spread(),
+                        },
+                        engine: tm.snapshot().since(&round_counters),
+                    }));
                 }
             }
+
+            engine
+                .telemetry()
+                .metrics
+                .set_gauge("opt.best_fom", trace.best_fom());
         }
 
         timings.total = t_start.elapsed();
+
+        if journal.enabled() {
+            journal.write(&Record::RunEnd(RunEnd {
+                rounds: t,
+                sims: sims_used,
+                best_fom: trace.best_fom(),
+                success: pop.best_feasible().is_some(),
+                total_s: timings.total.as_secs_f64(),
+                training_s: timings.training.as_secs_f64(),
+                simulation_s: timings.simulation.as_secs_f64(),
+                near_sampling_s: timings.near_sampling.as_secs_f64(),
+                engine: engine.telemetry().snapshot().since(&run_counters),
+            }));
+            journal.flush();
+        }
+
         RunResult {
             label: cfg.label.clone(),
             trace,
@@ -455,6 +607,58 @@ impl MaOpt {
             timings,
         }
     }
+}
+
+/// The optimizer hyperparameters as a free-form JSON object for the run
+/// manifest.
+fn config_json(cfg: &MaOptConfig) -> Json {
+    Json::obj(vec![
+        ("n_actors", Json::num_u(cfg.n_actors as u64)),
+        ("shared_elite", Json::Bool(cfg.shared_elite)),
+        ("near_sampling", Json::Bool(cfg.near_sampling)),
+        ("n_es", Json::num_u(cfg.n_es as u64)),
+        ("batch_size", Json::num_u(cfg.batch_size as u64)),
+        ("critic_steps", Json::num_u(cfg.critic_steps as u64)),
+        ("actor_steps", Json::num_u(cfg.actor_steps as u64)),
+        (
+            "hidden",
+            Json::Arr(cfg.hidden.iter().map(|&w| Json::num_u(w as u64)).collect()),
+        ),
+        ("critic_lr", Json::Num(cfg.critic_lr)),
+        ("actor_lr", Json::Num(cfg.actor_lr)),
+        ("action_scale", Json::Num(cfg.action_scale)),
+        ("t_ns", Json::num_u(cfg.t_ns as u64)),
+        ("n_samples", Json::num_u(cfg.n_samples as u64)),
+        ("delta", Json::Num(cfg.delta)),
+        ("lambda", Json::Num(cfg.lambda)),
+        ("n_critics", Json::num_u(cfg.n_critics as u64)),
+    ])
+}
+
+/// Critic-rank → simulated-FoM Spearman correlation over the (up to)
+/// [`FIDELITY_WINDOW`] most recent simulated designs: the critic predicts
+/// each design's metrics as the zero-action destination `(x, Δx = 0)`,
+/// those predictions are FoM-scored, and the ranks are correlated with the
+/// already-known simulated FoMs. Returns `(NaN, n)` when the correlation
+/// is undefined (fewer than two clean pairs, or a constant side).
+fn critic_fidelity(
+    critic: &CriticEnsemble,
+    pop: &Population,
+    specs: &[crate::problem::Spec],
+    fom_cfg: FomConfig,
+) -> (f64, usize) {
+    let n = pop.len().min(FIDELITY_WINDOW);
+    let start = pop.len() - n;
+    let zeros = vec![0.0; critic.dim()];
+    let mut predicted = Vec::with_capacity(n);
+    let mut simulated = Vec::with_capacity(n);
+    for i in start..pop.len() {
+        let pred = Surrogate::predict_raw(critic, pop.design(i), &zeros);
+        predicted.push(crate::fom::fom(&pred, specs, fom_cfg));
+        simulated.push(pop.fom(i));
+    }
+    let rho = maopt_obs::stats::spearman(&predicted, &simulated).unwrap_or(f64::NAN);
+    (rho, n)
 }
 
 #[cfg(test)]

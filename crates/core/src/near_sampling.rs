@@ -65,6 +65,23 @@ impl NearSampler {
         rng: &mut StdRng,
         engine: &EvalEngine,
     ) -> Vec<f64> {
+        self.propose_scored_with(critic, x_opt, specs, fom_cfg, rng, engine)
+            .0
+    }
+
+    /// [`NearSampler::propose_with`] that also returns the winning
+    /// candidate's critic-predicted FoM — the prediction side of the run
+    /// journal's predicted-vs-simulated fidelity signal. The proposal
+    /// itself is bitwise identical to [`NearSampler::propose_with`].
+    pub fn propose_scored_with<S: Surrogate + Sync>(
+        &self,
+        critic: &S,
+        x_opt: &[f64],
+        specs: &[Spec],
+        fom_cfg: FomConfig,
+        rng: &mut StdRng,
+        engine: &EvalEngine,
+    ) -> (Vec<f64>, f64) {
         let d = x_opt.len();
         // Build the critic input batch (x_opt, x_ns − x_opt) for all samples.
         let mut candidates = Vec::with_capacity(self.n_samples);
@@ -111,7 +128,7 @@ impl NearSampler {
                 best_k = k;
             }
         }
-        candidates.swap_remove(best_k)
+        (candidates.swap_remove(best_k), best_fom)
     }
 }
 

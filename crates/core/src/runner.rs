@@ -6,6 +6,7 @@
 use std::time::Duration;
 
 use maopt_exec::{CounterSnapshot, EvalEngine};
+use maopt_obs::{Journal, Manifest, Record, RunEnd};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,6 +45,56 @@ pub trait Optimizer: Send + Sync {
         let _ = engine;
         self.optimize(problem, init, budget, seed)
     }
+
+    /// Like [`Optimizer::optimize_with`], additionally streaming run
+    /// internals into the given [`Journal`]. The default wraps
+    /// [`Optimizer::optimize_with`] between a [`Manifest`] and a
+    /// [`RunEnd`] record — optimizers without internal instrumentation
+    /// (e.g. the BO baseline) still produce a valid, if shallow, journal.
+    /// Implementations must keep results bitwise identical to
+    /// [`Optimizer::optimize_with`] whether or not the journal is enabled.
+    fn optimize_observed(
+        &self,
+        problem: &dyn SizingProblem,
+        init: &[(Vec<f64>, Vec<f64>)],
+        budget: usize,
+        seed: u64,
+        engine: &EvalEngine,
+        journal: &Journal,
+    ) -> RunResult {
+        if !journal.enabled() {
+            return self.optimize_with(problem, init, budget, seed, engine);
+        }
+        let (version, build) = Manifest::build_info();
+        journal.write(&Record::Manifest(Manifest {
+            label: self.name(),
+            problem: problem.name().to_string(),
+            dim: problem.dim(),
+            num_metrics: problem.num_metrics(),
+            seed,
+            budget,
+            init_size: init.len(),
+            jobs: engine.jobs(),
+            version,
+            build,
+            config: maopt_obs::json::Json::obj(vec![]),
+        }));
+        let before = engine.telemetry().snapshot();
+        let result = self.optimize_with(problem, init, budget, seed, engine);
+        journal.write(&Record::RunEnd(RunEnd {
+            rounds: 0, // unknown for un-instrumented optimizers
+            sims: result.trace.num_sims(),
+            best_fom: result.best_fom(),
+            success: result.success(),
+            total_s: result.timings.total.as_secs_f64(),
+            training_s: result.timings.training.as_secs_f64(),
+            simulation_s: result.timings.simulation.as_secs_f64(),
+            near_sampling_s: result.timings.near_sampling.as_secs_f64(),
+            engine: engine.telemetry().snapshot().since(&before),
+        }));
+        journal.flush();
+        result
+    }
 }
 
 impl Optimizer for MaOptConfig {
@@ -78,6 +129,22 @@ impl Optimizer for MaOptConfig {
             ..self.clone()
         };
         MaOpt::new(config).run_with(problem, init.to_vec(), budget, engine)
+    }
+
+    fn optimize_observed(
+        &self,
+        problem: &dyn SizingProblem,
+        init: &[(Vec<f64>, Vec<f64>)],
+        budget: usize,
+        seed: u64,
+        engine: &EvalEngine,
+        journal: &Journal,
+    ) -> RunResult {
+        let config = MaOptConfig {
+            seed,
+            ..self.clone()
+        };
+        MaOpt::new(config).run_observed(problem, init.to_vec(), budget, engine, journal)
     }
 }
 
@@ -199,14 +266,54 @@ pub fn run_method_with(
     base_seed: u64,
     engine: &EvalEngine,
 ) -> MethodStats {
+    run_method_observed(
+        optimizer,
+        problem,
+        inits,
+        runs,
+        budget,
+        base_seed,
+        engine,
+        &[],
+    )
+}
+
+/// [`run_method_with`] with one run [`Journal`] per run: run `r` streams
+/// its internals into `journals[r]`; runs beyond `journals.len()` (and all
+/// runs, when `journals` is empty) get the disabled no-op journal.
+/// Per-run results are bitwise identical to [`run_method_with`].
+///
+/// # Panics
+///
+/// Panics if `inits.len() < runs`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_method_observed(
+    optimizer: &dyn Optimizer,
+    problem: &dyn SizingProblem,
+    inits: &[Vec<(Vec<f64>, Vec<f64>)>],
+    runs: usize,
+    budget: usize,
+    base_seed: u64,
+    engine: &EvalEngine,
+    journals: &[Journal],
+) -> MethodStats {
     assert!(inits.len() >= runs, "need one initial set per run");
+    let disabled = Journal::disabled();
     let before = engine.telemetry().snapshot();
     let results: Vec<RunResult> = {
         let _span = engine
             .telemetry()
             .span(&format!("method:{}", optimizer.name()));
         engine.map((0..runs).collect(), |_, r| {
-            optimizer.optimize_with(problem, &inits[r], budget, base_seed + r as u64, engine)
+            let journal = journals.get(r).unwrap_or(&disabled);
+            optimizer.optimize_observed(
+                problem,
+                &inits[r],
+                budget,
+                base_seed + r as u64,
+                engine,
+                journal,
+            )
         })
     };
     let exec = engine.telemetry().snapshot().since(&before);

@@ -23,10 +23,12 @@
 //! consuming `SizingProblem`; core provides the adapter.
 
 pub mod cache;
+pub mod metrics;
 pub mod queue;
 pub mod telemetry;
 
 pub use cache::{quantize, SimCache};
+pub use metrics::{HistogramSnapshot, MetricSnapshot, MetricsRegistry};
 pub use queue::BoundedQueue;
 pub use telemetry::{CounterSnapshot, Telemetry};
 
@@ -302,6 +304,8 @@ impl EvalEngine {
                         if let Some(cache) = &self.cache {
                             cache.insert(x, metrics.clone());
                         }
+                        t.metrics
+                            .observe("exec.sim_seconds", start.elapsed().as_secs_f64());
                         return metrics;
                     }
                 }
@@ -313,6 +317,10 @@ impl EvalEngine {
                 &[
                     ("kind", telemetry::json_string(kind.label())),
                     ("attempt", attempt.to_string()),
+                    (
+                        "elapsed_s",
+                        telemetry::json_f64(start.elapsed().as_secs_f64()),
+                    ),
                 ],
             );
             if attempt < self.policy.max_retries {
@@ -523,6 +531,60 @@ mod tests {
             "third call hits the cache"
         );
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn telemetry_is_consistent_under_parallel_map() {
+        let engine = EvalEngine::new(4).with_cache(Arc::new(SimCache::new()));
+        let n = 48;
+        // Half the designs are duplicates, so cache traffic happens from
+        // several workers at once.
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![(i % (n / 2)) as f64]).collect();
+        let out = engine.map((0..xs.len()).collect(), |_, i: usize| {
+            let t = engine.telemetry();
+            let _span = t.span("work");
+            t.metrics.inc("items", 1);
+            t.metrics.observe("value", xs[i][0] + 1.0);
+            std::thread::sleep(Duration::from_millis(1));
+            engine.evaluate_one(&Quadratic, &xs[i])
+        });
+        assert_eq!(out.len(), n);
+
+        let snap = engine.telemetry().snapshot();
+        assert_eq!(
+            snap.cache_hits + snap.sims,
+            n as u64,
+            "every evaluation either simulated or hit the cache"
+        );
+        assert_eq!(snap.sims, (n / 2) as u64, "one sim per distinct design");
+        assert_eq!(snap.cache_misses, (n / 2) as u64);
+        assert_eq!(snap.faults(), 0);
+
+        let spans = engine.telemetry().spans();
+        let work = spans
+            .iter()
+            .find(|(name, _)| name == "work")
+            .expect("work span recorded");
+        assert!(
+            work.1 >= Duration::from_millis(n as u64),
+            "span totals accumulate across workers: {:?}",
+            work.1
+        );
+
+        let metrics = engine.telemetry().metrics.snapshot();
+        let items = metrics.iter().find(|m| m.name() == "items").unwrap();
+        assert_eq!(
+            *items,
+            MetricSnapshot::Counter {
+                name: "items".into(),
+                value: n as u64
+            }
+        );
+        let MetricSnapshot::Histogram(h) = metrics.iter().find(|m| m.name() == "value").unwrap()
+        else {
+            panic!("value should be a histogram");
+        };
+        assert_eq!(h.count, n as u64, "no observation lost to a race");
     }
 
     #[test]

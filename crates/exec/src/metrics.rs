@@ -1,0 +1,328 @@
+//! A lightweight named-metrics registry: counters, gauges and log-scale
+//! histograms.
+//!
+//! The registry lives on [`crate::Telemetry`], so engine-level metrics
+//! (e.g. simulation latency) and optimizer-level metrics (e.g. critic
+//! loss) land in one sink and can be dumped together into a run journal
+//! or report. Histograms use *fixed* log₁₀-scale buckets (4 per decade,
+//! 1e-10 … 1e10) so merged snapshots from different processes always
+//! align — the right shape for latencies and losses, which span many
+//! orders of magnitude.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Buckets per decade.
+const PER_DECADE: i32 = 4;
+/// Lowest represented decade (bucket 0 starts at 10^MIN_DECADE).
+const MIN_DECADE: i32 = -10;
+/// Highest represented decade.
+const MAX_DECADE: i32 = 10;
+/// Total bucket count.
+const NBUCKETS: usize = ((MAX_DECADE - MIN_DECADE) * PER_DECADE) as usize;
+
+/// Upper bound of bucket `i`: `10^(MIN_DECADE + (i+1)/PER_DECADE)`.
+fn bucket_upper(i: usize) -> f64 {
+    10f64.powf(f64::from(MIN_DECADE) + (i as f64 + 1.0) / f64::from(PER_DECADE))
+}
+
+/// Bucket index for a positive finite value (clamped to the fixed range).
+fn bucket_index(v: f64) -> usize {
+    let idx = ((v.log10() - f64::from(MIN_DECADE)) * f64::from(PER_DECADE)).floor();
+    idx.clamp(0.0, (NBUCKETS - 1) as f64) as usize
+}
+
+#[derive(Debug)]
+struct Hist {
+    count: u64,
+    /// Observations that were non-finite or non-positive (counted, not
+    /// bucketed; excluded from `sum`/`min`/`max` so they cannot poison
+    /// the aggregates).
+    invalid: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: Vec<u64>,
+}
+
+impl Hist {
+    fn new() -> Self {
+        Hist {
+            count: 0,
+            invalid: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![0; NBUCKETS],
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        if !v.is_finite() || v <= 0.0 {
+            self.invalid += 1;
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Hist),
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Valid (positive finite) observations.
+    pub count: u64,
+    /// Non-finite / non-positive observations (counted, not bucketed).
+    pub invalid: u64,
+    /// Sum of valid observations.
+    pub sum: f64,
+    /// Minimum valid observation (`inf` when empty).
+    pub min: f64,
+    /// Maximum valid observation (`-inf` when empty).
+    pub max: f64,
+    /// Non-empty buckets as `(upper_bound, count)`, ascending.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of valid observations (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+
+    /// Approximate quantile (`0.0..=1.0`) from the bucket upper bounds
+    /// (`NaN` when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for &(upper, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// A point-in-time copy of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// Monotonic counter.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Current value.
+        value: u64,
+    },
+    /// Last-value-wins gauge.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Current value.
+        value: f64,
+    },
+    /// Log-bucket histogram.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricSnapshot {
+    /// The metric's name.
+    pub fn name(&self) -> &str {
+        match self {
+            MetricSnapshot::Counter { name, .. } | MetricSnapshot::Gauge { name, .. } => name,
+            MetricSnapshot::Histogram(h) => &h.name,
+        }
+    }
+}
+
+/// Thread-safe registry of named metrics. A name's kind is fixed by the
+/// first operation that touches it; later operations of a different kind
+/// are ignored (statistics must never panic the optimizer).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named counter (creating it at zero).
+    pub fn inc(&self, name: &str, by: u64) {
+        let mut m = self.metrics.lock().expect("metrics mutex poisoned");
+        if let Metric::Counter(v) = m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(0))
+        {
+            *v += by;
+        }
+    }
+
+    /// Sets the named gauge (creating it).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut m = self.metrics.lock().expect("metrics mutex poisoned");
+        if let Metric::Gauge(v) = m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(value))
+        {
+            *v = value;
+        }
+    }
+
+    /// Records one observation into the named histogram (creating it).
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut m = self.metrics.lock().expect("metrics mutex poisoned");
+        if let Metric::Histogram(h) = m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Hist::new()))
+        {
+            h.observe(value);
+        }
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let m = self.metrics.lock().expect("metrics mutex poisoned");
+        m.iter()
+            .map(|(name, metric)| match metric {
+                Metric::Counter(v) => MetricSnapshot::Counter {
+                    name: name.clone(),
+                    value: *v,
+                },
+                Metric::Gauge(v) => MetricSnapshot::Gauge {
+                    name: name.clone(),
+                    value: *v,
+                },
+                Metric::Histogram(h) => MetricSnapshot::Histogram(HistogramSnapshot {
+                    name: name.clone(),
+                    count: h.count,
+                    invalid: h.invalid,
+                    sum: h.sum,
+                    min: h.min,
+                    max: h.max,
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &n)| n > 0)
+                        .map(|(i, &n)| (bucket_upper(i), n))
+                        .collect(),
+                }),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let r = MetricsRegistry::new();
+        r.inc("evals", 3);
+        r.inc("evals", 2);
+        r.set_gauge("best_fom", 0.5);
+        r.set_gauge("best_fom", 0.25);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap[0],
+            MetricSnapshot::Gauge {
+                name: "best_fom".into(),
+                value: 0.25
+            }
+        );
+        assert_eq!(
+            snap[1],
+            MetricSnapshot::Counter {
+                name: "evals".into(),
+                value: 5
+            }
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale_and_fixed() {
+        let r = MetricsRegistry::new();
+        for v in [1e-4, 1.5e-4, 0.1, 10.0, f64::NAN, -1.0, 0.0] {
+            r.observe("latency", v);
+        }
+        let snap = r.snapshot();
+        let MetricSnapshot::Histogram(h) = &snap[0] else {
+            panic!("expected histogram, got {snap:?}");
+        };
+        assert_eq!(h.count, 4);
+        assert_eq!(h.invalid, 3);
+        assert!((h.sum - (1e-4 + 1.5e-4 + 0.1 + 10.0)).abs() < 1e-12);
+        assert_eq!(h.min, 1e-4);
+        assert_eq!(h.max, 10.0);
+        // 1e-4 and 1.5e-4 share a bucket (4 buckets per decade).
+        assert_eq!(h.buckets.len(), 3);
+        assert_eq!(h.buckets[0].1, 2);
+        // Bucket bounds are fixed by the scale, not the data.
+        assert!(h.buckets[0].0 > 1e-4 && h.buckets[0].0 < 1e-3);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let r = MetricsRegistry::new();
+        for i in 1..=100 {
+            r.observe("h", f64::from(i));
+        }
+        let snap = r.snapshot();
+        let MetricSnapshot::Histogram(h) = &snap[0] else {
+            panic!("expected histogram");
+        };
+        let p50 = h.quantile(0.5);
+        assert!((10.0..=100.0).contains(&p50), "p50 {p50}");
+        assert!(h.quantile(1.0) <= h.max + 1e-12);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kind_conflicts_are_ignored_not_panics() {
+        let r = MetricsRegistry::new();
+        r.inc("x", 1);
+        r.set_gauge("x", 9.0);
+        r.observe("x", 2.0);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap,
+            vec![MetricSnapshot::Counter {
+                name: "x".into(),
+                value: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn extreme_values_clamp_into_edge_buckets() {
+        let r = MetricsRegistry::new();
+        r.observe("h", 1e-30);
+        r.observe("h", 1e30);
+        let snap = r.snapshot();
+        let MetricSnapshot::Histogram(h) = &snap[0] else {
+            panic!("expected histogram");
+        };
+        assert_eq!(h.count, 2);
+        assert_eq!(h.buckets.len(), 2);
+    }
+}

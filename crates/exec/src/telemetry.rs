@@ -52,17 +52,19 @@ pub struct CounterSnapshot {
 
 impl CounterSnapshot {
     /// Counter-wise difference (`self - earlier`), for scoping telemetry
-    /// to one phase of a larger computation.
+    /// to one phase of a larger computation. Saturating: a mismatched
+    /// snapshot pair (e.g. taken from two different engines) degrades to
+    /// zeros instead of panicking in debug / wrapping in release.
     #[must_use]
     pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
         CounterSnapshot {
-            sims: self.sims - earlier.sims,
-            cache_hits: self.cache_hits - earlier.cache_hits,
-            cache_misses: self.cache_misses - earlier.cache_misses,
-            retries: self.retries - earlier.retries,
-            panics: self.panics - earlier.panics,
-            timeouts: self.timeouts - earlier.timeouts,
-            failures: self.failures - earlier.failures,
+            sims: self.sims.saturating_sub(earlier.sims),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            retries: self.retries.saturating_sub(earlier.retries),
+            panics: self.panics.saturating_sub(earlier.panics),
+            timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+            failures: self.failures.saturating_sub(earlier.failures),
         }
     }
 
@@ -90,6 +92,10 @@ impl fmt::Display for CounterSnapshot {
 pub struct Telemetry {
     /// Event counters.
     pub counters: Counters,
+    /// Named metrics (counters / gauges / log-bucket histograms) shared by
+    /// the engine and anything running on it, so exec-level and
+    /// optimizer-level metrics land in one sink.
+    pub metrics: crate::metrics::MetricsRegistry,
     spans: Mutex<BTreeMap<String, Duration>>,
     events: Option<Mutex<BufWriter<File>>>,
     origin: Instant,
@@ -108,10 +114,17 @@ impl Default for Telemetry {
     fn default() -> Self {
         Telemetry {
             counters: Counters::default(),
+            metrics: crate::metrics::MetricsRegistry::new(),
             spans: Mutex::new(BTreeMap::new()),
             events: None,
             origin: Instant::now(),
         }
+    }
+}
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -129,8 +142,11 @@ impl Telemetry {
     pub fn with_jsonl(path: &Path) -> std::io::Result<Self> {
         let file = File::create(path)?;
         Ok(Telemetry {
+            counters: Counters::default(),
+            metrics: crate::metrics::MetricsRegistry::new(),
+            spans: Mutex::new(BTreeMap::new()),
             events: Some(Mutex::new(BufWriter::new(file))),
-            ..Self::default()
+            origin: Instant::now(),
         })
     }
 
@@ -177,7 +193,12 @@ impl Telemetry {
     }
 
     /// Emits a JSONL event (no-op without an event log). `fields` are
-    /// appended as pre-rendered JSON values.
+    /// appended as pre-rendered JSON values — use [`json_string`] /
+    /// [`json_f64`] to render them.
+    ///
+    /// Lines are buffered, not flushed: flushing happens in the `Drop`
+    /// impl (or an explicit [`Telemetry::flush`]), keeping JSONL logging
+    /// off the evaluation hot path.
     pub fn event(&self, kind: &str, fields: &[(&str, String)]) {
         let Some(events) = &self.events else { return };
         let mut line = format!(
@@ -191,7 +212,17 @@ impl Telemetry {
         line.push_str("}\n");
         let mut w = events.lock().expect("event log mutex poisoned");
         let _ = w.write_all(line.as_bytes());
-        let _ = w.flush();
+    }
+
+    /// Flushes the buffered JSONL event log (no-op without one). Also
+    /// called on drop, where a poisoned lock is tolerated rather than
+    /// double-panicking.
+    pub fn flush(&self) {
+        if let Some(events) = &self.events {
+            if let Ok(mut w) = events.lock() {
+                let _ = w.flush();
+            }
+        }
     }
 }
 
@@ -212,6 +243,22 @@ pub fn json_string(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+/// Renders an `f64` as a valid JSON value. Rust's `{}` formatting of a
+/// non-finite float (`NaN`, `inf`) is not JSON, so those map to `null`
+/// (not-a-number) and the strings `"inf"` / `"-inf"`; finite values
+/// round-trip through `f64::from_str`.
+pub fn json_f64(v: f64) -> String {
+    if v.is_nan() {
+        "null".to_string()
+    } else if v == f64::INFINITY {
+        "\"inf\"".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "\"-inf\"".to_string()
+    } else {
+        format!("{v}")
+    }
 }
 
 /// RAII guard returned by [`Telemetry::span`].
@@ -291,5 +338,48 @@ mod tests {
         assert_eq!(json_string("plain"), "\"plain\"");
         assert_eq!(json_string("a\nb"), "\"a\\nb\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_f64_maps_non_finite_values() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(-0.25), "-0.25");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "\"inf\"");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "\"-inf\"");
+    }
+
+    #[test]
+    fn since_saturates_on_mismatched_snapshots() {
+        let small = CounterSnapshot {
+            sims: 1,
+            ..CounterSnapshot::default()
+        };
+        let big = CounterSnapshot {
+            sims: 5,
+            cache_hits: 2,
+            ..CounterSnapshot::default()
+        };
+        // Wrong order (or snapshots from different engines): zeros, not a
+        // debug panic / release wrap.
+        let d = small.since(&big);
+        assert_eq!(d, CounterSnapshot::default());
+    }
+
+    #[test]
+    fn events_flush_on_explicit_flush_and_on_drop() {
+        let dir = std::env::temp_dir().join("maopt_exec_telemetry_flush_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let t = Telemetry::with_jsonl(&path).unwrap();
+        t.event("a", &[("x", json_f64(f64::NAN))]);
+        t.flush();
+        let after_flush = std::fs::read_to_string(&path).unwrap();
+        assert!(after_flush.contains("\"x\":null"), "{after_flush:?}");
+        t.event("b", &[]);
+        drop(t);
+        let after_drop = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(after_drop.lines().count(), 2, "drop flushed the rest");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

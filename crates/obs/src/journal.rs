@@ -1,0 +1,254 @@
+//! Append-only JSONL run journal: a cloneable handle that is either a
+//! real buffered file writer or a zero-cost no-op sink.
+
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::record::Record;
+
+/// A handle to one run's journal file.
+///
+/// Cheap to clone (an `Arc` internally) and safe to share across
+/// threads; lines are written atomically under a mutex. The disabled
+/// variant holds no file and makes [`Journal::write`] a no-op, so
+/// instrumented code can take a `&Journal` unconditionally and guard
+/// only *expensive stat computation* behind [`Journal::enabled`].
+///
+/// Writes are buffered; the buffer is flushed on [`Journal::flush`] and
+/// when the last clone is dropped.
+#[derive(Clone, Default)]
+pub struct Journal {
+    inner: Option<Arc<Inner>>,
+}
+
+struct Inner {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+impl Journal {
+    /// The no-op sink: [`Journal::enabled`] is `false` and writes are
+    /// discarded without any I/O or allocation.
+    pub fn disabled() -> Self {
+        Journal { inner: None }
+    }
+
+    /// Creates (truncates) a journal file at `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file-creation failures.
+    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(&path)?;
+        Ok(Journal {
+            inner: Some(Arc::new(Inner {
+                path,
+                writer: Mutex::new(BufWriter::new(file)),
+            })),
+        })
+    }
+
+    /// Whether this handle writes anywhere. Gate expensive stat
+    /// computation (elite geometry, Spearman fidelity, loss traces) on
+    /// this so the disabled journal stays zero-cost.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The journal file path, when enabled.
+    pub fn path(&self) -> Option<&Path> {
+        self.inner.as_deref().map(|i| i.path.as_path())
+    }
+
+    /// Appends one record as a JSONL line. No-op when disabled; I/O
+    /// errors are swallowed (observability must never fail a run).
+    pub fn write(&self, record: &Record) {
+        if let Some(inner) = &self.inner {
+            let line = record.to_json_line();
+            if let Ok(mut w) = inner.writer.lock() {
+                let _ = writeln!(w, "{line}");
+            }
+        }
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            if let Ok(mut w) = inner.writer.lock() {
+                let _ = w.flush();
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.path() {
+            Some(p) => write!(f, "Journal({})", p.display()),
+            None => write!(f, "Journal(disabled)"),
+        }
+    }
+}
+
+/// Why a journal failed to load.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// A line failed schema validation.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Parse { line, msg } => write!(f, "journal line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Loads every record of a journal file, in order. Blank lines are
+/// skipped; any malformed line aborts the load with its line number.
+///
+/// # Errors
+///
+/// Returns [`JournalError::Io`] on read failure and
+/// [`JournalError::Parse`] on the first malformed line.
+pub fn read_journal(path: impl AsRef<Path>) -> Result<Vec<Record>, JournalError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record =
+            Record::parse(&line).map_err(|msg| JournalError::Parse { line: idx + 1, msg })?;
+        out.push(record);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Manifest, RunEnd};
+    use maopt_exec::CounterSnapshot;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("maopt-obs-{}-{name}", std::process::id()))
+    }
+
+    fn manifest() -> Record {
+        let (version, build) = Manifest::build_info();
+        Record::Manifest(Manifest {
+            label: "MA-Opt".into(),
+            problem: "test".into(),
+            dim: 2,
+            num_metrics: 3,
+            seed: 7,
+            budget: 10,
+            init_size: 4,
+            jobs: 1,
+            version,
+            build,
+            config: crate::json::Json::obj(vec![]),
+        })
+    }
+
+    fn run_end() -> Record {
+        Record::RunEnd(RunEnd {
+            rounds: 3,
+            sims: 10,
+            best_fom: 0.5,
+            success: true,
+            total_s: 0.25,
+            training_s: 0.125,
+            simulation_s: 0.0625,
+            near_sampling_s: 0.0,
+            engine: CounterSnapshot::default(),
+        })
+    }
+
+    #[test]
+    fn disabled_journal_is_inert() {
+        let j = Journal::disabled();
+        assert!(!j.enabled());
+        assert_eq!(j.path(), None);
+        j.write(&manifest()); // must not panic or create files
+        j.flush();
+    }
+
+    #[test]
+    fn write_flush_read_roundtrip() {
+        let path = tmp_path("roundtrip/run0.jsonl"); // exercises create_dir_all
+        let j = Journal::create(&path).unwrap();
+        assert!(j.enabled());
+        assert_eq!(j.path(), Some(path.as_path()));
+        j.write(&manifest());
+        let clone = j.clone();
+        clone.write(&run_end());
+        drop(clone); // must not flush-close the shared writer early
+        j.flush();
+        let records = read_journal(&path).unwrap();
+        assert_eq!(records, vec![manifest(), run_end()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn drop_flushes_buffered_lines() {
+        let path = tmp_path("dropflush.jsonl");
+        let j = Journal::create(&path).unwrap();
+        j.write(&manifest());
+        drop(j);
+        assert_eq!(read_journal(&path).unwrap(), vec![manifest()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let path = tmp_path("badline.jsonl");
+        std::fs::write(
+            &path,
+            format!("{}\n\nnot json\n", manifest().to_json_line()),
+        )
+        .unwrap();
+        match read_journal(&path) {
+            Err(JournalError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

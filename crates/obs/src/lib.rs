@@ -1,0 +1,41 @@
+//! `maopt-obs`: run-level observability for the MA-Opt reproduction.
+//!
+//! The optimizer's headline evidence is convergence behaviour driven by
+//! internals that engine-level counters cannot see: critic surrogate
+//! fidelity (Eq. 4), per-actor training losses and proposal quality
+//! (Eqs. 5–6), shared-elite-set refresh rate, and near-sampling accept
+//! decisions (Algorithm 2). This crate makes those signals durable:
+//!
+//! * a structured, append-only **run journal** ([`Journal`]) — one typed
+//!   JSONL record per line with a versioned schema ([`Record`],
+//!   [`SCHEMA_VERSION`]): a run manifest, per-round records, near-sampling
+//!   records, and engine counter deltas;
+//! * a hermetic **JSON value type + parser** ([`json::Json`]) so journals
+//!   can be read back without external dependencies;
+//! * **rank statistics** ([`stats::spearman`]) used for the critic-rank →
+//!   simulated-FoM fidelity signal.
+//!
+//! The disabled journal ([`Journal::disabled`]) is a zero-cost no-op sink:
+//! instrumented code guards every stat computation behind
+//! [`Journal::enabled`], so benchmarks are unaffected when journaling is
+//! off.
+//!
+//! Dependency direction: `maopt-core` depends on this crate (to emit
+//! records), and `maopt-bench`'s `maopt-report` binary depends on it (to
+//! load and render them). This crate depends only on `maopt-exec`, whose
+//! [`maopt_exec::CounterSnapshot`] and [`maopt_exec::MetricSnapshot`] are
+//! embedded in records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod json;
+pub mod record;
+pub mod stats;
+
+pub use journal::{read_journal, Journal, JournalError};
+pub use record::{
+    ActorRound, EliteStats, EngineRecord, Manifest, NearSamplingRecord, Record, RoundRecord,
+    RunEnd, SCHEMA_VERSION,
+};

@@ -1,0 +1,112 @@
+//! Rank statistics for surrogate-fidelity signals.
+//!
+//! The critic only has to *rank* candidates correctly for the optimizer
+//! to pick good proposals (Algorithm 1 line 8, Algorithm 2 line 7), so
+//! the right fidelity measure is rank correlation, not MSE: a Spearman
+//! coefficient near 1 means the critic orders designs like the simulator
+//! does.
+
+/// Average ranks (1-based) of `v`, ties sharing their mean rank.
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let n = v.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("finite values"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && v[order[j + 1]] == v[order[i]] {
+            j += 1;
+        }
+        // Indices i..=j are tied; they share the mean of ranks i+1..=j+1.
+        let rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &order[i..=j] {
+            out[k] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson correlation; `None` when either side has zero variance.
+fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return None;
+    }
+    Some(cov / (va * vb).sqrt())
+}
+
+/// Spearman rank correlation between two paired samples.
+///
+/// Pairs containing a non-finite value on either side are dropped first
+/// (a faulted simulation must not poison the fidelity signal). Returns
+/// `None` with fewer than two clean pairs or when either side is
+/// constant (rank correlation undefined).
+pub fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "paired samples must have equal length");
+    let (fa, fb): (Vec<f64>, Vec<f64>) = a
+        .iter()
+        .zip(b)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .unzip();
+    if fa.len() < 2 {
+        return None;
+    }
+    pearson(&ranks(&fa), &ranks(&fb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone_agreement_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 100.0, 1000.0, 10000.0]; // nonlinear but monotone
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let rev: Vec<f64> = b.iter().rev().copied().collect();
+        assert!((spearman(&a, &rev).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_share_average_ranks() {
+        assert_eq!(ranks(&[5.0, 1.0, 5.0]), vec![2.5, 1.0, 2.5]);
+        let r = spearman(&[1.0, 2.0, 2.0, 3.0], &[1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_pairs_are_dropped() {
+        let a = [1.0, f64::NAN, 2.0, 3.0];
+        let b = [1.0, 0.0, 2.0, f64::INFINITY];
+        // Only (1,1) and (2,2) survive.
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert_eq!(spearman(&[1.0], &[2.0]), None);
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(spearman(&[f64::NAN, 1.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn uncorrelated_data_is_near_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let b = [5.0, 1.0, 7.0, 3.0, 8.0, 2.0, 6.0, 4.0];
+        let r = spearman(&a, &b).unwrap();
+        assert!(r.abs() < 0.5, "shuffled data should decorrelate: {r}");
+    }
+}
