@@ -1,0 +1,183 @@
+//! Comparing two `BENCH_kernels.json` files (written by the vendored
+//! criterion harness under `CRITERION_JSON`) for timing regressions.
+//!
+//! The comparison uses each benchmark's **min** time — the least noisy
+//! statistic a small sample offers — and flags a regression when the
+//! candidate's min exceeds the baseline's by more than `time_tol`
+//! (relative, so `0.5` allows a 50% slowdown). CI runs this with a
+//! generous tolerance: shared runners are noisy, and the gate exists to
+//! catch order-of-magnitude regressions like a reintroduced per-step
+//! allocation, not 5% jitter.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use maopt_obs::json::Json;
+
+/// One benchmark record loaded from a criterion JSON report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// `group/benchmark` id.
+    pub name: String,
+    /// Fastest observed sample, nanoseconds.
+    pub min_ns: f64,
+    /// Mean over all samples, nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// Result of a [`bench_diff`]: rendered Markdown plus the names of the
+/// benchmarks that regressed beyond tolerance.
+#[derive(Debug, Clone)]
+pub struct BenchDiffReport {
+    /// Human-readable comparison table.
+    pub markdown: String,
+    /// Benchmarks whose min time regressed beyond tolerance.
+    pub regressions: Vec<String>,
+}
+
+/// Parses a criterion JSON report (`{"benchmarks": [...]}`).
+pub fn parse_bench_json(text: &str) -> Result<Vec<BenchEntry>, String> {
+    let root = Json::parse(text)?;
+    let list = root
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing \"benchmarks\" array".to_string())?;
+    let mut entries = Vec::with_capacity(list.len());
+    for (i, item) in list.iter().enumerate() {
+        let field = |key: &str| {
+            item.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("benchmark {i}: missing numeric \"{key}\""))
+        };
+        let name = item
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("benchmark {i}: missing \"name\""))?
+            .to_string();
+        entries.push(BenchEntry {
+            name,
+            min_ns: field("min_ns")?,
+            mean_ns: field("mean_ns")?,
+        });
+    }
+    Ok(entries)
+}
+
+/// Loads and parses a criterion JSON report from disk.
+pub fn load_bench_file(path: &Path) -> Result<Vec<BenchEntry>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("could not read {}: {e}", path.display()))?;
+    parse_bench_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Compares candidate timings against a baseline.
+///
+/// Benchmarks present on only one side are listed informationally and
+/// never count as regressions (renames must not brick CI).
+pub fn bench_diff(
+    baseline: &[BenchEntry],
+    candidate: &[BenchEntry],
+    time_tol: f64,
+) -> BenchDiffReport {
+    let base: BTreeMap<&str, &BenchEntry> = baseline.iter().map(|e| (e.name.as_str(), e)).collect();
+    let cand: BTreeMap<&str, &BenchEntry> =
+        candidate.iter().map(|e| (e.name.as_str(), e)).collect();
+
+    let mut md = String::from("# Kernel bench diff\n\n");
+    md.push_str(&format!(
+        "Tolerance: candidate min may exceed baseline min by {:.0}%.\n\n",
+        time_tol * 100.0
+    ));
+    md.push_str("| benchmark | baseline min | candidate min | ratio | status |\n");
+    md.push_str("|---|---:|---:|---:|---|\n");
+
+    let mut regressions = Vec::new();
+    for (name, b) in &base {
+        let Some(c) = cand.get(name) else {
+            md.push_str(&format!(
+                "| {name} | {:.0} ns | — | — | removed |\n",
+                b.min_ns
+            ));
+            continue;
+        };
+        let ratio = if b.min_ns > 0.0 {
+            c.min_ns / b.min_ns
+        } else {
+            1.0
+        };
+        let status = if ratio > 1.0 + time_tol {
+            regressions.push((*name).to_string());
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        md.push_str(&format!(
+            "| {name} | {:.0} ns | {:.0} ns | {ratio:.2}× | {status} |\n",
+            b.min_ns, c.min_ns
+        ));
+    }
+    for (name, c) in &cand {
+        if !base.contains_key(name) {
+            md.push_str(&format!("| {name} | — | {:.0} ns | — | new |\n", c.min_ns));
+        }
+    }
+    md.push_str(&format!(
+        "\n{} regression(s) beyond tolerance.\n",
+        regressions.len()
+    ));
+    BenchDiffReport {
+        markdown: md,
+        regressions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, min_ns: f64) -> BenchEntry {
+        BenchEntry {
+            name: name.to_string(),
+            min_ns,
+            mean_ns: min_ns * 1.1,
+        }
+    }
+
+    #[test]
+    fn parses_criterion_json() {
+        let text = r#"{
+  "benchmarks": [
+    {"name": "kernels/matmul_into/32x100x100", "min_ns": 123.5, "mean_ns": 150, "samples": 10}
+  ]
+}"#;
+        let entries = parse_bench_json(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "kernels/matmul_into/32x100x100");
+        assert_eq!(entries[0].min_ns, 123.5);
+    }
+
+    #[test]
+    fn rejects_malformed_reports() {
+        assert!(parse_bench_json("{}").is_err());
+        assert!(parse_bench_json(r#"{"benchmarks": [{"min_ns": 1}]}"#).is_err());
+    }
+
+    #[test]
+    fn flags_only_regressions_beyond_tolerance() {
+        let base = vec![entry("a", 100.0), entry("b", 100.0), entry("gone", 50.0)];
+        let cand = vec![entry("a", 140.0), entry("b", 600.0), entry("new", 10.0)];
+        let report = bench_diff(&base, &cand, 0.5);
+        assert_eq!(report.regressions, vec!["b".to_string()]);
+        assert!(report.markdown.contains("REGRESSION"));
+        assert!(report.markdown.contains("removed"));
+        assert!(report.markdown.contains("new"));
+    }
+
+    #[test]
+    fn within_tolerance_is_clean() {
+        let base = vec![entry("a", 100.0)];
+        let cand = vec![entry("a", 120.0)];
+        let report = bench_diff(&base, &cand, 0.5);
+        assert!(report.regressions.is_empty());
+    }
+}

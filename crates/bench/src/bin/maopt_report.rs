@@ -6,22 +6,28 @@
 //! maopt-report render <paths...> [--out FILE] [--csv FILE]
 //! maopt-report diff <baseline> <candidate> [--fom-tol F] [--time-tol F]
 //!                   [--fail-on-regression]
+//! maopt-report bench-diff <baseline.json> <candidate.json> [--time-tol F]
+//!                   [--fail-on-regression]
 //! ```
 //!
 //! Paths may be journal files or directories (walked recursively for
 //! `*.jsonl`). Any schema error exits with status 1 and names the
-//! offending file and line; `diff --fail-on-regression` exits with
-//! status 1 when a regression exceeds tolerance.
+//! offending file and line; `diff`/`bench-diff` with
+//! `--fail-on-regression` exit with status 1 when a regression exceeds
+//! tolerance. `bench-diff` compares criterion JSON reports (see
+//! `BENCH_kernels.json`) instead of run journals.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use maopt_bench::bench_diff::{bench_diff, load_bench_file};
 use maopt_bench::obs_report::{
     collect_journal_paths, diff, load_journals, render_csv, render_markdown,
 };
 
 const USAGE: &str = "usage: maopt-report render <paths...> [--out FILE] [--csv FILE]\n       \
-     maopt-report diff <baseline> <candidate> [--fom-tol F] [--time-tol F] [--fail-on-regression]";
+     maopt-report diff <baseline> <candidate> [--fom-tol F] [--time-tol F] [--fail-on-regression]\n       \
+     maopt-report bench-diff <baseline.json> <candidate.json> [--time-tol F] [--fail-on-regression]";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("maopt-report: {msg}");
@@ -120,11 +126,46 @@ fn diff_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn bench_diff_cmd(args: &[String]) -> ExitCode {
+    let mut inputs = Vec::new();
+    let mut time_tol = 1.0;
+    let mut fail_on_regression = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--time-tol" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) => time_tol = v,
+                _ => return fail("--time-tol needs a number"),
+            },
+            "--fail-on-regression" => fail_on_regression = true,
+            other => inputs.push(PathBuf::from(other)),
+        }
+    }
+    if inputs.len() != 2 {
+        return fail(USAGE);
+    }
+    let baseline = match load_bench_file(&inputs[0]) {
+        Ok(e) => e,
+        Err(e) => return fail(&e),
+    };
+    let candidate = match load_bench_file(&inputs[1]) {
+        Ok(e) => e,
+        Err(e) => return fail(&e),
+    };
+    let report = bench_diff(&baseline, &candidate, time_tol);
+    print!("{}", report.markdown);
+    if fail_on_regression && !report.regressions.is_empty() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("render") => render_cmd(&args[1..]),
         Some("diff") => diff_cmd(&args[1..]),
+        Some("bench-diff") => bench_diff_cmd(&args[1..]),
         Some("--help" | "-h") => {
             println!("{USAGE}");
             ExitCode::SUCCESS

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_diff;
 pub mod obs_report;
 pub mod report;
 pub mod runtime_model;

@@ -4,12 +4,12 @@
 //! bounding box.
 
 use maopt_linalg::Mat;
-use maopt_nn::{Activation, Adam, Mlp};
+use maopt_nn::{Activation, Adam, Mlp, Workspace};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::critic::Critic;
-use crate::elite::boundary_violation;
+use crate::elite::boundary_violation_into;
 use crate::fom::FomConfig;
 use crate::population::Population;
 use crate::problem::Spec;
@@ -116,33 +116,54 @@ impl Actor {
         let d = self.dim;
         let mut last = f64::NAN;
 
+        // All step-loop buffers are hoisted and reused: after the first
+        // step warms them up, the loop body performs no heap allocations.
+        let scaler = critic.scaler().clone();
+        let mut actor_ws = Workspace::new();
+        let mut critic_ws = Workspace::new();
+        let mut states = Mat::default();
+        let mut actions = Mat::default();
+        let mut critic_in = Mat::default();
+        let mut grad_q = Mat::default();
+        let mut grad_actions = Mat::default();
+        let mut q_raw = Vec::new();
+        let mut y = Vec::new();
+        let mut viol = Vec::new();
+
         for _ in 0..steps {
             // Sample a batch of states from the total design set.
-            let mut states = Mat::zeros(batch, d);
+            states.resize_reset(batch, d);
             for b in 0..batch {
                 let i = rng.random_range(0..pop.len());
                 states.row_mut(b).copy_from_slice(pop.design(i));
             }
 
-            // Forward: actions, then critic prediction (caching for backward).
-            let raw_actions = self.mlp.forward(&states);
-            let mut actions = raw_actions.clone();
+            // Forward: actions, then critic prediction (activations cached
+            // in the workspaces for the backward passes).
+            let raw_actions = self.mlp.forward_ws(&states, &mut actor_ws);
+            actions.copy_from(raw_actions);
             actions.scale_mut(self.action_scale);
 
-            let mut critic_in = Mat::zeros(batch, 2 * d);
+            critic_in.resize_reset(batch, 2 * d);
             for b in 0..batch {
                 critic_in.row_mut(b)[..d].copy_from_slice(states.row(b));
                 critic_in.row_mut(b)[d..].copy_from_slice(actions.row(b));
             }
-            let q_scaled = critic.forward_scaled(&critic_in);
-            let scaler = critic.scaler().clone();
+            let q_scaled = critic.forward_scaled_ws(&critic_in, &mut critic_ws);
 
             // Loss 1: mean FoM of the de-scaled predictions.
             // dL/dq_scaled[b][j] = (1/B)·dg/dq_raw[j] · d(q_raw)/d(q_scaled)
             let mut gfom = 0.0;
-            let mut grad_q = Mat::zeros(batch, m1);
+            grad_q.resize_reset(batch, m1);
             for b in 0..batch {
-                let q_raw = scaler.inverse_row(q_scaled.row(b));
+                q_raw.clear();
+                q_raw.extend(
+                    q_scaled
+                        .row(b)
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &v)| scaler.inverse_value(v, j)),
+                );
                 gfom += crate::fom::fom(&q_raw, specs, fom_cfg);
                 // Target metric term.
                 let range0 = inv_scale(&scaler, 0);
@@ -161,8 +182,8 @@ impl Actor {
             gfom /= batch as f64;
 
             // Backprop through the frozen critic; keep the action half.
-            let grad_critic_in = critic.input_gradient(&grad_q);
-            let mut grad_actions = Mat::zeros(batch, d);
+            let grad_critic_in = critic.input_gradient_ws(&grad_q, &mut critic_ws);
+            grad_actions.resize_reset(batch, d);
             for b in 0..batch {
                 grad_actions
                     .row_mut(b)
@@ -172,13 +193,9 @@ impl Actor {
             // Loss 2: mean ‖λ·viol‖₂ over the batch (Eq. 6).
             let mut gbound = 0.0;
             for b in 0..batch {
-                let y: Vec<f64> = states
-                    .row(b)
-                    .iter()
-                    .zip(actions.row(b))
-                    .map(|(x, a)| x + a)
-                    .collect();
-                let viol = boundary_violation(&y, lb, ub);
+                y.clear();
+                y.extend(states.row(b).iter().zip(actions.row(b)).map(|(x, a)| x + a));
+                boundary_violation_into(&y, lb, ub, &mut viol);
                 let norm: f64 = viol
                     .iter()
                     .map(|v| (lambda * v) * (lambda * v))
@@ -202,7 +219,7 @@ impl Actor {
             // Chain through the action scaling into the actor network.
             grad_actions.scale_mut(self.action_scale);
             self.mlp.zero_grad();
-            self.mlp.backward(&grad_actions);
+            self.mlp.backward_ws(&grad_actions, &mut actor_ws, true);
             self.adam.step(&mut self.mlp);
             last = gfom + gbound;
         }
@@ -223,6 +240,7 @@ fn inv_scale(scaler: &maopt_nn::MinMaxScaler, j: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::elite::boundary_violation;
     use rand::SeedableRng;
 
     /// Analytic toy: metrics = [ (x₀+Δx₀−0.7)² + (x₁+Δx₁−0.3)², 5 ].

@@ -8,10 +8,10 @@
 //! raw units for FoM evaluation.
 
 use maopt_linalg::Mat;
-use maopt_nn::{mse_loss_grad, Activation, Adam, MinMaxScaler, Mlp};
+use maopt_nn::{mse_loss_grad_into, Activation, Adam, MinMaxScaler, Mlp, Workspace};
 use rand::rngs::StdRng;
 
-use crate::population::{pseudo_batch, Population};
+use crate::population::{pseudo_batch_into, Population};
 
 /// Anything that predicts raw metric vectors from `(x, Δx)` inputs — the
 /// single [`Critic`] and the [`CriticEnsemble`] both qualify, so the
@@ -23,6 +23,14 @@ pub trait Surrogate {
     fn num_metrics(&self) -> usize;
     /// Batch prediction: `inputs` is `[n × 2d]`, result is raw metrics.
     fn predict_batch_raw(&self, inputs: &Mat) -> Mat;
+    /// [`Surrogate::predict_batch_raw`] writing into a caller-owned
+    /// buffer, routing the forward pass through `ws` where the
+    /// implementation supports it. The default delegates to the
+    /// allocating path; [`Critic`] overrides it with an allocation-free
+    /// pass. Results are bitwise identical either way.
+    fn predict_batch_raw_into(&self, inputs: &Mat, _ws: &mut Workspace, out: &mut Mat) {
+        out.copy_from(&self.predict_batch_raw(inputs));
+    }
     /// Single prediction of the raw metric vector of `x + Δx`.
     fn predict_raw(&self, x: &[f64], dx: &[f64]) -> Vec<f64> {
         let mut input = Vec::with_capacity(2 * self.dim());
@@ -33,6 +41,19 @@ pub trait Surrogate {
     }
 }
 
+/// Reusable buffers for an allocation-free [`Critic::train_traced`] loop:
+/// the pseudo-sample batch, its scaled targets, the loss gradient, and the
+/// MLP workspace. Owned by the critic and warmed up on the first training
+/// step; every subsequent same-shaped step allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct TrainScratch {
+    inputs: Mat,
+    targets_raw: Mat,
+    targets: Mat,
+    grad: Mat,
+    ws: Workspace,
+}
+
 /// The critic: an MLP surrogate of the SPICE simulator.
 #[derive(Debug, Clone)]
 pub struct Critic {
@@ -41,6 +62,7 @@ pub struct Critic {
     scaler: Option<MinMaxScaler>,
     dim: usize,
     num_metrics: usize,
+    scratch: TrainScratch,
 }
 
 impl Critic {
@@ -59,6 +81,7 @@ impl Critic {
             scaler: None,
             dim,
             num_metrics,
+            scratch: TrainScratch::default(),
         }
     }
 
@@ -112,20 +135,31 @@ impl Critic {
         rng: &mut StdRng,
         mut trace: Option<&mut Vec<f64>>,
     ) -> f64 {
-        let scaler = self
-            .scaler
-            .as_ref()
-            .expect("fit the scaler before training")
-            .clone();
+        // Disaggregate so the scaler borrow coexists with the mutable
+        // mlp/adam/scratch borrows — no per-call scaler clone.
+        let Critic {
+            mlp,
+            adam,
+            scaler,
+            scratch,
+            ..
+        } = self;
+        let scaler = scaler.as_ref().expect("fit the scaler before training");
         let mut last = f64::NAN;
         for _ in 0..steps {
-            let (inputs, targets_raw) = pseudo_batch(pop, batch, rng);
-            let targets = scaler.transform(&targets_raw);
-            let pred = self.mlp.forward(&inputs);
-            let (loss, grad) = mse_loss_grad(&pred, &targets);
-            self.mlp.zero_grad();
-            self.mlp.backward(&grad);
-            self.adam.step(&mut self.mlp);
+            pseudo_batch_into(
+                pop,
+                batch,
+                rng,
+                &mut scratch.inputs,
+                &mut scratch.targets_raw,
+            );
+            scaler.transform_into(&scratch.targets_raw, &mut scratch.targets);
+            let pred = mlp.forward_ws(&scratch.inputs, &mut scratch.ws);
+            let loss = mse_loss_grad_into(pred, &scratch.targets, &mut scratch.grad);
+            mlp.zero_grad();
+            mlp.backward_ws(&scratch.grad, &mut scratch.ws, true);
+            adam.step(mlp);
             last = loss;
             if let Some(t) = trace.as_deref_mut() {
                 t.push(loss);
@@ -170,6 +204,25 @@ impl Critic {
     pub fn input_gradient(&mut self, grad_out_scaled: &Mat) -> Mat {
         self.mlp.backward_input_only(grad_out_scaled)
     }
+
+    /// [`Critic::forward_scaled`] through a caller-owned [`Workspace`]:
+    /// activations land in `ws` (the critic itself stays untouched) for a
+    /// subsequent [`Critic::input_gradient_ws`]. Allocation-free once the
+    /// workspace is warm; bitwise identical to the allocating path.
+    pub fn forward_scaled_ws<'w>(&self, inputs: &Mat, ws: &'w mut Workspace) -> &'w Mat {
+        self.mlp.forward_ws(inputs, ws)
+    }
+
+    /// [`Critic::input_gradient`] over the activations of a preceding
+    /// [`Critic::forward_scaled_ws`] on the same workspace. Critic
+    /// parameters are left untouched (frozen).
+    pub fn input_gradient_ws<'w>(
+        &mut self,
+        grad_out_scaled: &Mat,
+        ws: &'w mut Workspace,
+    ) -> &'w Mat {
+        self.mlp.backward_ws(grad_out_scaled, ws, false)
+    }
 }
 
 impl Surrogate for Critic {
@@ -183,6 +236,13 @@ impl Surrogate for Critic {
 
     fn predict_batch_raw(&self, inputs: &Mat) -> Mat {
         Critic::predict_batch_raw(self, inputs)
+    }
+
+    fn predict_batch_raw_into(&self, inputs: &Mat, ws: &mut Workspace, out: &mut Mat) {
+        assert_eq!(inputs.cols(), 2 * self.dim, "batch input width mismatch");
+        let scaled = self.mlp.forward_ws(inputs, ws);
+        out.copy_from(scaled);
+        self.scaler().inverse_transform_inplace(out);
     }
 }
 

@@ -148,11 +148,22 @@ impl EliteSet {
 
 /// Boundary violation of a candidate `y = x + Δx` against elite bounds
 /// (Eq. 6): per-coordinate distance outside `[lb, ub]`.
+#[cfg(test)]
 pub(crate) fn boundary_violation(y: &[f64], lb: &[f64], ub: &[f64]) -> Vec<f64> {
-    y.iter()
-        .zip(lb.iter().zip(ub))
-        .map(|(&yi, (&l, &u))| (l - yi).max(0.0) + (yi - u).max(0.0))
-        .collect()
+    let mut out = Vec::new();
+    boundary_violation_into(y, lb, ub, &mut out);
+    out
+}
+
+/// [`boundary_violation`] writing into a caller-owned buffer (cleared and
+/// refilled, reusing its capacity).
+pub(crate) fn boundary_violation_into(y: &[f64], lb: &[f64], ub: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(
+        y.iter()
+            .zip(lb.iter().zip(ub))
+            .map(|(&yi, (&l, &u))| (l - yi).max(0.0) + (yi - u).max(0.0)),
+    );
 }
 
 #[cfg(test)]

@@ -53,5 +53,5 @@ pub use elite::EliteSet;
 pub use fom::{fom, is_feasible, spec_violations, FomConfig};
 pub use maopt::{MaOpt, MaOptConfig, RunResult, RunTimings};
 pub use near_sampling::NearSampler;
-pub use population::{pseudo_batch, Population};
+pub use population::{pseudo_batch, pseudo_batch_into, Population};
 pub use problem::{EngineProblem, ParamScale, ParamSpec, SizingProblem, Spec, SpecKind};

@@ -2,14 +2,25 @@
 //! incumbent best design, ranked by the critic, one simulation spent on the
 //! predicted winner.
 
+use std::cell::RefCell;
+
 use maopt_exec::EvalEngine;
 use maopt_linalg::Mat;
+use maopt_nn::Workspace;
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::critic::Surrogate;
 use crate::fom::{fom, FomConfig};
 use crate::problem::Spec;
+
+thread_local! {
+    /// Per-worker scoring scratch: the chunk's input slice, the surrogate
+    /// forward workspace, and the prediction buffer. Thread-local so every
+    /// engine worker reuses its own buffers across chunks and across
+    /// `propose` calls instead of allocating per chunk.
+    static SCORE_SCRATCH: RefCell<(Mat, Workspace, Mat)> = RefCell::new(Default::default());
+}
 
 /// Near-sampling configuration and proposal logic.
 #[derive(Debug, Clone)]
@@ -112,11 +123,17 @@ impl NearSampler {
             .collect();
         let inputs_ref = &inputs;
         let scored: Vec<Vec<f64>> = engine.map(ranges, |_, (start, end)| {
-            let sub = Mat::from_fn(end - start, 2 * d, |r, c| inputs_ref[(start + r, c)]);
-            let predictions = critic.predict_batch_raw(&sub);
-            (0..end - start)
-                .map(|k| fom(predictions.row(k), specs, fom_cfg))
-                .collect()
+            SCORE_SCRATCH.with(|cell| {
+                let (sub, ws, predictions) = &mut *cell.borrow_mut();
+                sub.resize_reset(end - start, 2 * d);
+                for r in 0..end - start {
+                    sub.row_mut(r).copy_from_slice(inputs_ref.row(start + r));
+                }
+                critic.predict_batch_raw_into(sub, ws, predictions);
+                (0..end - start)
+                    .map(|k| fom(predictions.row(k), specs, fom_cfg))
+                    .collect()
+            })
         });
 
         // First-index-wins argmin over the concatenated scores.

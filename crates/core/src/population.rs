@@ -129,6 +129,28 @@ impl Population {
 ///
 /// Panics if the population is empty or `n == 0`.
 pub fn pseudo_batch(pop: &Population, n: usize, rng: &mut StdRng) -> (Mat, Mat) {
+    let mut inputs = Mat::default();
+    let mut targets = Mat::default();
+    pseudo_batch_into(pop, n, rng, &mut inputs, &mut targets);
+    (inputs, targets)
+}
+
+/// [`pseudo_batch`] writing into caller-owned buffers.
+///
+/// `inputs` and `targets` are resized reusing their capacity, so a
+/// training loop drawing same-sized batches allocates nothing here.
+/// Draws and results are bitwise identical to [`pseudo_batch`].
+///
+/// # Panics
+///
+/// Panics if the population is empty or `n == 0`.
+pub fn pseudo_batch_into(
+    pop: &Population,
+    n: usize,
+    rng: &mut StdRng,
+    inputs: &mut Mat,
+    targets: &mut Mat,
+) {
     assert!(
         !pop.is_empty(),
         "cannot draw pseudo-samples from an empty population"
@@ -136,8 +158,8 @@ pub fn pseudo_batch(pop: &Population, n: usize, rng: &mut StdRng) -> (Mat, Mat) 
     assert!(n > 0, "batch size must be positive");
     let d = pop.design(0).len();
     let m1 = pop.metrics(0).len();
-    let mut inputs = Mat::zeros(n, 2 * d);
-    let mut targets = Mat::zeros(n, m1);
+    inputs.resize_reset(n, 2 * d);
+    targets.resize_reset(n, m1);
     for k in 0..n {
         let i = rng.random_range(0..pop.len());
         let j = rng.random_range(0..pop.len());
@@ -151,7 +173,6 @@ pub fn pseudo_batch(pop: &Population, n: usize, rng: &mut StdRng) -> (Mat, Mat) 
             targets[(k, t)] = if v.is_finite() { v } else { 0.0 };
         }
     }
-    (inputs, targets)
 }
 
 #[cfg(test)]

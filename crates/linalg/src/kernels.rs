@@ -1,0 +1,240 @@
+//! Allocation-free dense kernels with a fixed reduction order.
+//!
+//! These are the hot inner loops of the neural-network stack: every
+//! `Dense` forward/backward and every batched critic prediction bottoms
+//! out here. Two contracts hold for every kernel in this module:
+//!
+//! 1. **Caller-owned outputs.** `_into` kernels write into buffers the
+//!    caller provides and never allocate, so a training step that reuses
+//!    its buffers performs zero heap allocations after warm-up.
+//! 2. **Fixed reduction order.** Every reduction accumulates strictly
+//!    left-to-right into a single accumulator — the same order as the
+//!    naive scalar loop (and as `Iterator::sum`, which folds
+//!    sequentially). Loop unrolling only widens the *body*, never splits
+//!    the accumulator, so results are bitwise identical to the
+//!    allocating counterparts. This is what keeps run journals
+//!    reproducible bit-for-bit at any parallelism or buffering level.
+//!
+//! Zero-skip fast paths (`0.0 * x` contributions are not added) are kept
+//! from the original implementations: they are bitwise-neutral for
+//! finite operands, but would silently launder `0.0 * NaN` or
+//! `0.0 * ∞` to zero. Debug builds therefore assert that skipped
+//! operands are finite, surfacing poisoned inputs instead of masking
+//! them.
+
+use crate::Mat;
+
+/// Debug-only finiteness check used on zero-skip fast paths.
+///
+/// Compiled out in release builds; in debug builds it panics when a
+/// skipped operand would have contributed a `0.0 * NaN` / `0.0 * ∞`
+/// term that the fast path silently drops.
+#[inline]
+pub fn debug_assert_finite(values: &[f64], context: &str) {
+    debug_assert!(
+        values.iter().all(|v| v.is_finite()),
+        "{context}: non-finite operand would be laundered to zero by a \
+         zero-skip fast path"
+    );
+}
+
+/// Dot product with a single left-to-right accumulator.
+///
+/// Bitwise identical to
+/// `a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>()` — the 4× unrolled
+/// body keeps one accumulator so the reduction order is unchanged.
+///
+/// # Panics
+///
+/// Panics (debug) if the slices have different lengths; in release the
+/// shorter length governs, matching `zip`.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let n = a.len().min(b.len());
+    // `Iterator::sum::<f64>()` folds from -0.0 (the additive identity
+    // that preserves the sign of a -0.0 first element); starting from
+    // +0.0 would differ bitwise whenever the first product is -0.0.
+    let mut acc = -0.0;
+    let mut i = 0;
+    while i + 4 <= n {
+        acc += a[i] * b[i];
+        acc += a[i + 1] * b[i + 1];
+        acc += a[i + 2] * b[i + 2];
+        acc += a[i + 3] * b[i + 3];
+        i += 4;
+    }
+    while i < n {
+        acc += a[i] * b[i];
+        i += 1;
+    }
+    acc
+}
+
+/// `y += alpha * x`, element-wise (AXPY on slices).
+///
+/// Each element is updated independently, so the unrolled body is
+/// bitwise identical to the scalar loop.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    let n = y.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        y[i] += alpha * x[i];
+        y[i + 1] += alpha * x[i + 1];
+        y[i + 2] += alpha * x[i + 2];
+        y[i + 3] += alpha * x[i + 3];
+        i += 4;
+    }
+    while i < n {
+        y[i] += alpha * x[i];
+        i += 1;
+    }
+}
+
+/// Matrix × matrix product written into `out` (resized by the kernel,
+/// reusing its capacity).
+///
+/// Bitwise identical to [`Mat::matmul`]: the `i`/`k` loop order, the
+/// `a[i][k] == 0.0` fast path and the row-wise AXPY accumulation are the
+/// same.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul_into(a: &Mat, b: &Mat, out: &mut Mat) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul dimension mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    out.resize_reset(a.rows(), b.cols());
+    let bc = b.cols();
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = &mut out.as_mut_slice()[i * bc..(i + 1) * bc];
+        for (k, &aik) in a_row.iter().enumerate() {
+            let b_row = b.row(k);
+            if aik == 0.0 {
+                debug_assert_finite(b_row, "matmul zero-skip");
+                continue;
+            }
+            axpy(out_row, aik, b_row);
+        }
+    }
+}
+
+/// Matrix × vector product written into `out` (resized, capacity
+/// reused). Bitwise identical to [`Mat::matvec`].
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()`.
+pub fn matvec_into(a: &Mat, x: &[f64], out: &mut Vec<f64>) {
+    assert_eq!(x.len(), a.cols(), "matvec dimension mismatch");
+    out.clear();
+    out.extend((0..a.rows()).map(|i| dot(a.row(i), x)));
+}
+
+/// Transposed matrix × vector product (`Aᵀ x`) written into `out`
+/// without forming `Aᵀ`. Bitwise identical to
+/// [`Mat::matvec_transposed`], including the `x[i] == 0.0` fast path.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.rows()`.
+pub fn matvec_transposed_into(a: &Mat, x: &[f64], out: &mut Vec<f64>) {
+    assert_eq!(x.len(), a.rows(), "matvec_transposed dimension mismatch");
+    out.clear();
+    out.resize(a.cols(), 0.0);
+    for (i, &xi) in x.iter().enumerate() {
+        let row = a.row(i);
+        if xi == 0.0 {
+            debug_assert_finite(row, "matvec_transposed zero-skip");
+            continue;
+        }
+        axpy(out, xi, row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_mat(rows: usize, cols: usize, scale: f64) -> Mat {
+        Mat::from_fn(rows, cols, |i, j| {
+            ((i * cols + j) as f64 * 0.37 - 1.3) * scale
+        })
+    }
+
+    #[test]
+    fn dot_matches_iterator_sum_bitwise() {
+        for n in [0, 1, 3, 4, 7, 8, 17, 100] {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 3.7).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64).cos() - 0.4).collect();
+            let reference: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert_eq!(dot(&a, &b).to_bits(), reference.to_bits(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_loop_bitwise() {
+        for n in [0, 1, 5, 8, 13] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.7 - 2.0).collect();
+            let mut y: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
+            let mut reference = y.clone();
+            for (r, &xi) in reference.iter_mut().zip(&x) {
+                *r += -1.75 * xi;
+            }
+            axpy(&mut y, -1.75, &x);
+            assert_eq!(y, reference, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_bitwise() {
+        let a = seq_mat(5, 7, 0.9);
+        let b = seq_mat(7, 3, -1.1);
+        let mut out = Mat::zeros(0, 0);
+        matmul_into(&a, &b, &mut out);
+        let reference = a.matmul(&b);
+        assert_eq!(out, reference);
+        // Reuse without reallocation: result must still be identical.
+        matmul_into(&a, &b, &mut out);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn matvec_kernels_match_allocating_bitwise() {
+        let a = seq_mat(6, 4, 1.3);
+        let x = [0.5, -1.5, 2.5, 0.0];
+        let mut out = Vec::new();
+        matvec_into(&a, &x, &mut out);
+        assert_eq!(out, a.matvec(&x));
+
+        let xt = [1.0, 0.0, -2.0, 0.5, 0.0, 3.0];
+        let mut out_t = vec![99.0; 10];
+        matvec_transposed_into(&a, &xt, &mut out_t);
+        assert_eq!(out_t, a.matvec_transposed(&xt));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "laundered")]
+    fn zero_skip_surfaces_nan_in_debug() {
+        let a = Mat::from_rows(&[&[0.0, 1.0]]);
+        let mut b = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        b[(0, 0)] = f64::NAN;
+        let mut out = Mat::zeros(0, 0);
+        matmul_into(&a, &b, &mut out);
+    }
+}

@@ -14,6 +14,9 @@
 //!   complex LU solver for small-signal AC circuit analysis.
 //! * [`stats`]: tiny statistics helpers (mean, standard deviation,
 //!   percentiles) used when aggregating experiment runs.
+//! * [`kernels`]: allocation-free `_into` variants of the dense
+//!   products with a fixed reduction order — the zero-allocation hot
+//!   path of the neural-network stack (see DESIGN.md §8).
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@ mod cholesky;
 mod cmat;
 mod complex;
 mod error;
+pub mod kernels;
 mod lu;
 mod mat;
 pub mod stats;

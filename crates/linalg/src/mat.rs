@@ -177,29 +177,15 @@ impl Mat {
 
     /// Matrix × matrix product.
     ///
+    /// Delegates to [`crate::kernels::matmul_into`]; see that kernel for
+    /// the reduction-order and zero-skip contracts.
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Mat) -> Mat {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "matmul dimension mismatch: {}x{} * {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        let mut out = Mat::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == 0.0 {
-                    continue;
-                }
-                let lhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(lhs_row) {
-                    *o += aik * b;
-                }
-            }
-        }
+        let mut out = Mat::zeros(0, 0);
+        crate::kernels::matmul_into(self, rhs, &mut out);
         out
     }
 
@@ -209,10 +195,9 @@ impl Mat {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect()
+        let mut out = Vec::new();
+        crate::kernels::matvec_into(self, x, &mut out);
+        out
     }
 
     /// Transposed matrix × vector product (`Aᵀ x`) without forming `Aᵀ`.
@@ -221,16 +206,8 @@ impl Mat {
     ///
     /// Panics if `x.len() != self.rows()`.
     pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "matvec_transposed dimension mismatch");
-        let mut out = vec![0.0; self.cols];
-        for (i, &xi) in x.iter().enumerate() {
-            if xi == 0.0 {
-                continue;
-            }
-            for (o, &a) in out.iter_mut().zip(self.row(i)) {
-                *o += a * xi;
-            }
-        }
+        let mut out = Vec::new();
+        crate::kernels::matvec_transposed_into(self, x, &mut out);
         out
     }
 
@@ -269,6 +246,27 @@ impl Mat {
         self.data.fill(0.0);
     }
 
+    /// Reshapes to `rows × cols` and fills with zeros, reusing the
+    /// existing heap buffer whenever its capacity suffices.
+    ///
+    /// After a warm-up call at a given size, repeated calls perform no
+    /// heap allocation — the workhorse of the workspace-reuse kernels.
+    pub fn resize_reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` a copy of `src` (shape and contents), reusing the
+    /// existing heap buffer whenever its capacity suffices.
+    pub fn copy_from(&mut self, src: &Mat) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
         self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
@@ -294,6 +292,13 @@ impl Mat {
                 found: format!("{}x{}", self.rows, self.cols),
             })
         }
+    }
+}
+
+impl Default for Mat {
+    /// The empty `0 × 0` matrix (no heap allocation).
+    fn default() -> Self {
+        Mat::zeros(0, 0)
     }
 }
 

@@ -19,6 +19,62 @@ fn rhs(n: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-10.0f64..10.0, n)
 }
 
+/// Strategy: an arbitrary rows×cols matrix with a sprinkling of exact
+/// zeros so the kernels' zero-skip fast paths are exercised.
+fn any_mat(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    prop::collection::vec(-10.0f64..10.0, rows * cols).prop_map(move |mut data| {
+        for (i, v) in data.iter_mut().enumerate() {
+            if i % 4 == 0 {
+                *v = 0.0;
+            }
+        }
+        Mat::from_vec(rows, cols, data)
+    })
+}
+
+/// Reference matmul: the seed implementation's exact loop, kept here so
+/// the kernel path is compared against the original reduction order.
+fn reference_matmul(a: &Mat, b: &Mat) -> Mat {
+    let mut out = Mat::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let aik = a[(i, k)];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                out[(i, j)] += aik * b[(k, j)];
+            }
+        }
+    }
+    out
+}
+
+/// Reference matvec: per-row `Iterator::sum` as in the seed code.
+fn reference_matvec(a: &Mat, x: &[f64]) -> Vec<f64> {
+    (0..a.rows())
+        .map(|i| a.row(i).iter().zip(x).map(|(p, q)| p * q).sum())
+        .collect()
+}
+
+/// Reference transposed matvec: the seed implementation's exact loop.
+fn reference_matvec_transposed(a: &Mat, x: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; a.cols()];
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        for (o, &v) in out.iter_mut().zip(a.row(i)) {
+            *o += v * xi;
+        }
+    }
+    out
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
 proptest! {
     #[test]
     fn lu_solution_satisfies_system(a in well_conditioned(6), b in rhs(6)) {
@@ -101,6 +157,63 @@ proptest! {
         for (axi, bi) in ax.iter().zip(&bc) {
             prop_assert!((*axi - *bi).abs() < 1e-8);
         }
+    }
+
+    /// The `_into` kernels (and the `Mat` methods now delegating to
+    /// them) must be bitwise identical to the seed implementations —
+    /// the determinism contract of the workspace-reuse layer.
+    #[test]
+    fn kernels_bitwise_match_seed_implementations(
+        a in any_mat(5, 7),
+        b in any_mat(7, 4),
+        x in prop::collection::vec(-3.0f64..3.0, 7),
+        xt in prop::collection::vec(-3.0f64..3.0, 5),
+    ) {
+        prop_assert_eq!(
+            bits(a.matmul(&b).as_slice()),
+            bits(reference_matmul(&a, &b).as_slice())
+        );
+        prop_assert_eq!(bits(&a.matvec(&x)), bits(&reference_matvec(&a, &x)));
+        prop_assert_eq!(
+            bits(&a.matvec_transposed(&xt)),
+            bits(&reference_matvec_transposed(&a, &xt))
+        );
+
+        // Dirty, reused buffers must not leak into results.
+        let mut out = Mat::from_rows(&[&[9.9; 3]]);
+        maopt_linalg::kernels::matmul_into(&a, &b, &mut out);
+        prop_assert_eq!(bits(out.as_slice()), bits(reference_matmul(&a, &b).as_slice()));
+        let mut v = vec![4.2; 11];
+        maopt_linalg::kernels::matvec_into(&a, &x, &mut v);
+        prop_assert_eq!(bits(&v), bits(&reference_matvec(&a, &x)));
+        let mut vt = vec![-1.0; 2];
+        maopt_linalg::kernels::matvec_transposed_into(&a, &xt, &mut vt);
+        prop_assert_eq!(bits(&vt), bits(&reference_matvec_transposed(&a, &xt)));
+    }
+
+    /// `dot` must fold exactly like `Iterator::sum` despite unrolling.
+    #[test]
+    fn dot_matches_iterator_sum(
+        pairs in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 0..40),
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let reference: f64 = a.iter().zip(&b).map(|(p, q)| p * q).sum();
+        prop_assert_eq!(
+            maopt_linalg::kernels::dot(&a, &b).to_bits(),
+            reference.to_bits()
+        );
+    }
+
+    /// `resize_reset`/`copy_from` leave the matrix in the same state as
+    /// a fresh construction.
+    #[test]
+    fn buffer_reuse_matches_fresh_construction(a in any_mat(4, 6), b in any_mat(2, 3)) {
+        let mut m = a.clone();
+        m.resize_reset(3, 5);
+        prop_assert_eq!(&m, &Mat::zeros(3, 5));
+        m.copy_from(&b);
+        prop_assert_eq!(&m, &b);
     }
 
     #[test]

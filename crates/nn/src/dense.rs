@@ -1,8 +1,68 @@
+use maopt_linalg::kernels::{axpy, debug_assert_finite, dot};
 use maopt_linalg::Mat;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::Activation;
+
+/// Shared forward kernel: `out = act(x·Wᵀ + b)`, resizing `out` in
+/// place (no allocation once warmed up). Every forward variant —
+/// caching, inference and workspace — funnels through this function, so
+/// they are bitwise identical by construction.
+fn forward_kernel(weights: &Mat, bias: &[f64], activation: Activation, x: &Mat, out: &mut Mat) {
+    assert_eq!(x.cols(), weights.cols(), "dense layer input width mismatch");
+    let outputs = weights.rows();
+    out.resize_reset(x.rows(), outputs);
+    for s in 0..x.rows() {
+        let row = x.row(s);
+        for o in 0..outputs {
+            let z = dot(weights.row(o), row) + bias[o];
+            out[(s, o)] = activation.apply(z);
+        }
+    }
+}
+
+/// Shared backward kernel over explicit caches `x` (layer input) and
+/// `y` (activated output). Accumulates parameter gradients when asked,
+/// writes `∂L/∂x` into `grad_in` (resized in place). The `dz == 0.0`
+/// fast path skips rows that cannot contribute — bitwise-neutral for
+/// finite operands, and debug builds assert the skipped operands really
+/// are finite so poisoned inputs are surfaced rather than laundered.
+#[allow(clippy::too_many_arguments)]
+fn backward_kernel(
+    weights: &Mat,
+    activation: Activation,
+    x: &Mat,
+    y: &Mat,
+    grad_out: &Mat,
+    grad_weights: &mut Mat,
+    grad_bias: &mut [f64],
+    grad_in: &mut Mat,
+    accumulate_params: bool,
+) {
+    assert_eq!(
+        (grad_out.rows(), grad_out.cols()),
+        (y.rows(), y.cols()),
+        "backward called with mismatched gradient shape (did you forward first?)"
+    );
+    let batch = grad_out.rows();
+    grad_in.resize_reset(batch, weights.cols());
+    for s in 0..batch {
+        for o in 0..weights.rows() {
+            let dz = grad_out[(s, o)] * activation.derivative_from_output(y[(s, o)]);
+            if dz == 0.0 {
+                debug_assert_finite(x.row(s), "dense backward zero-skip (input)");
+                debug_assert_finite(weights.row(o), "dense backward zero-skip (weights)");
+                continue;
+            }
+            if accumulate_params {
+                grad_bias[o] += dz;
+                axpy(grad_weights.row_mut(o), dz, x.row(s));
+            }
+            axpy(grad_in.row_mut(s), dz, weights.row(o));
+        }
+    }
+}
 
 /// A fully connected layer: `y = act(x·Wᵀ + b)`.
 ///
@@ -74,51 +134,42 @@ impl Dense {
     /// Forward pass over a batch (rows = samples).
     ///
     /// Caches the input and output for the subsequent backward pass.
+    /// Both caches reuse their buffers from the previous call — the
+    /// seed implementation's `x.clone()`/`out.clone()` pair is gone, so
+    /// a steady-state call allocates only the returned matrix.
     ///
     /// # Panics
     ///
     /// Panics if `x.cols() != self.inputs()`.
     pub fn forward(&mut self, x: &Mat) -> Mat {
-        assert_eq!(x.cols(), self.inputs(), "dense layer input width mismatch");
-        let mut out = Mat::zeros(x.rows(), self.outputs());
-        for s in 0..x.rows() {
-            let row = x.row(s);
-            for o in 0..self.outputs() {
-                let z: f64 = self
-                    .weights
-                    .row(o)
-                    .iter()
-                    .zip(row)
-                    .map(|(w, v)| w * v)
-                    .sum::<f64>()
-                    + self.bias[o];
-                out[(s, o)] = self.activation.apply(z);
-            }
-        }
-        self.last_input = x.clone();
-        self.last_output = out.clone();
-        out
+        forward_kernel(
+            &self.weights,
+            &self.bias,
+            self.activation,
+            x,
+            &mut self.last_output,
+        );
+        self.last_input.copy_from(x);
+        self.last_output.clone()
     }
 
     /// Inference-only forward pass that does not touch the caches.
     pub fn forward_inference(&self, x: &Mat) -> Mat {
-        assert_eq!(x.cols(), self.inputs(), "dense layer input width mismatch");
-        let mut out = Mat::zeros(x.rows(), self.outputs());
-        for s in 0..x.rows() {
-            let row = x.row(s);
-            for o in 0..self.outputs() {
-                let z: f64 = self
-                    .weights
-                    .row(o)
-                    .iter()
-                    .zip(row)
-                    .map(|(w, v)| w * v)
-                    .sum::<f64>()
-                    + self.bias[o];
-                out[(s, o)] = self.activation.apply(z);
-            }
-        }
+        let mut out = Mat::default();
+        self.forward_into(x, &mut out);
         out
+    }
+
+    /// Forward pass into a caller-owned buffer (resized in place),
+    /// touching neither the caches nor the heap once `out` is warm.
+    /// Bitwise identical to [`Dense::forward`] /
+    /// [`Dense::forward_inference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.inputs()`.
+    pub fn forward_into(&self, x: &Mat, out: &mut Mat) {
+        forward_kernel(&self.weights, &self.bias, self.activation, x, out);
     }
 
     /// Backward pass: given `∂L/∂y`, accumulates parameter gradients and
@@ -133,38 +184,49 @@ impl Dense {
     /// Panics if no forward pass preceded this call or if `grad_out` does not
     /// match the cached output shape.
     pub fn backward(&mut self, grad_out: &Mat, accumulate_params: bool) -> Mat {
-        assert_eq!(
-            (grad_out.rows(), grad_out.cols()),
-            (self.last_output.rows(), self.last_output.cols()),
-            "backward called with mismatched gradient shape (did you forward first?)"
+        let mut grad_in = Mat::default();
+        backward_kernel(
+            &self.weights,
+            self.activation,
+            &self.last_input,
+            &self.last_output,
+            grad_out,
+            &mut self.grad_weights,
+            &mut self.grad_bias,
+            &mut grad_in,
+            accumulate_params,
         );
-        let batch = grad_out.rows();
-        let mut grad_in = Mat::zeros(batch, self.inputs());
-        for s in 0..batch {
-            for o in 0..self.outputs() {
-                let dz = grad_out[(s, o)]
-                    * self
-                        .activation
-                        .derivative_from_output(self.last_output[(s, o)]);
-                if dz == 0.0 {
-                    continue;
-                }
-                if accumulate_params {
-                    self.grad_bias[o] += dz;
-                    let in_row = self.last_input.row(s);
-                    let gw_row = self.grad_weights.row_mut(o);
-                    for (g, &xi) in gw_row.iter_mut().zip(in_row) {
-                        *g += dz * xi;
-                    }
-                }
-                let w_row = self.weights.row(o);
-                let gi_row = grad_in.row_mut(s);
-                for (gi, &w) in gi_row.iter_mut().zip(w_row) {
-                    *gi += dz * w;
-                }
-            }
-        }
         grad_in
+    }
+
+    /// Backward pass over *explicit* caches: `x` is the input and `y`
+    /// the activated output of the forward pass being differentiated
+    /// (e.g. buffers held in a [`crate::Workspace`]). Writes `∂L/∂x`
+    /// into `grad_in`, resized in place — no allocation once warm.
+    /// Bitwise identical to [`Dense::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_out` does not match `y`'s shape.
+    pub fn backward_into(
+        &mut self,
+        x: &Mat,
+        y: &Mat,
+        grad_out: &Mat,
+        grad_in: &mut Mat,
+        accumulate_params: bool,
+    ) {
+        backward_kernel(
+            &self.weights,
+            self.activation,
+            x,
+            y,
+            grad_out,
+            &mut self.grad_weights,
+            &mut self.grad_bias,
+            grad_in,
+            accumulate_params,
+        );
     }
 
     /// Clears accumulated parameter gradients.

@@ -41,10 +41,12 @@ mod loss;
 mod mlp;
 mod optimizer;
 mod scaler;
+mod workspace;
 
 pub use activation::Activation;
 pub use dense::Dense;
-pub use loss::{mse_loss, mse_loss_grad};
+pub use loss::{mse_loss, mse_loss_grad, mse_loss_grad_into};
 pub use mlp::Mlp;
 pub use optimizer::{Adam, Sgd};
 pub use scaler::MinMaxScaler;
+pub use workspace::Workspace;

@@ -29,9 +29,24 @@ pub fn mse_loss(pred: &Mat, target: &Mat) -> f64 {
 ///
 /// Panics if `pred` and `target` have different shapes.
 pub fn mse_loss_grad(pred: &Mat, target: &Mat) -> (f64, Mat) {
+    let mut grad = Mat::default();
+    let loss = mse_loss_grad_into(pred, target, &mut grad);
+    (loss, grad)
+}
+
+/// [`mse_loss_grad`] writing the gradient into a caller-owned buffer.
+///
+/// `grad` is resized to `pred`'s shape reusing its capacity, so a
+/// training loop that keeps the buffer allocates nothing here. Returns
+/// the loss; results are bitwise identical to [`mse_loss_grad`].
+///
+/// # Panics
+///
+/// Panics if `pred` and `target` have different shapes.
+pub fn mse_loss_grad_into(pred: &Mat, target: &Mat, grad: &mut Mat) -> f64 {
     let loss = mse_loss(pred, target);
     let n = (pred.rows() * pred.cols()) as f64;
-    let mut grad = Mat::zeros(pred.rows(), pred.cols());
+    grad.resize_reset(pred.rows(), pred.cols());
     for (g, (p, t)) in grad
         .as_mut_slice()
         .iter_mut()
@@ -39,7 +54,7 @@ pub fn mse_loss_grad(pred: &Mat, target: &Mat) -> (f64, Mat) {
     {
         *g = 2.0 * (p - t) / n;
     }
-    (loss, grad)
+    loss
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@ use maopt_linalg::Mat;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::{Activation, Dense};
+use crate::{Activation, Dense, Workspace};
 
 /// A multi-layer perceptron: a stack of [`Dense`] layers.
 ///
@@ -109,8 +109,9 @@ impl Mlp {
 
     /// Forward pass over a batch, caching activations for backward.
     pub fn forward(&mut self, x: &Mat) -> Mat {
-        let mut h = x.clone();
-        for layer in &mut self.layers {
+        let (first, rest) = self.layers.split_first_mut().expect("MLP has layers");
+        let mut h = first.forward(x);
+        for layer in rest {
             h = layer.forward(&h);
         }
         h
@@ -118,11 +119,75 @@ impl Mlp {
 
     /// Inference-only forward pass (no caches touched, `&self`).
     pub fn forward_inference(&self, x: &Mat) -> Mat {
-        let mut h = x.clone();
-        for layer in &self.layers {
+        let (first, rest) = self.layers.split_first().expect("MLP has layers");
+        let mut h = first.forward_inference(x);
+        for layer in rest {
             h = layer.forward_inference(&h);
         }
         h
+    }
+
+    /// Forward pass through caller-owned [`Workspace`] buffers.
+    ///
+    /// Activations (including a copy of the input) land in `ws`, layer
+    /// caches are untouched (`&self`), and nothing is allocated once
+    /// the workspace is warm for this `(batch, widths)` shape. The
+    /// returned reference is the activated output, living in `ws`.
+    /// Bitwise identical to [`Mlp::forward`] and
+    /// [`Mlp::forward_inference`]; pair with [`Mlp::backward_ws`] for a
+    /// zero-allocation training step.
+    pub fn forward_ws<'w>(&self, x: &Mat, ws: &'w mut Workspace) -> &'w Mat {
+        let n = self.layers.len();
+        ws.acts.resize_with(n + 1, Mat::default);
+        ws.acts[0].copy_from(x);
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (head, tail) = ws.acts.split_at_mut(l + 1);
+            layer.forward_into(&head[l], &mut tail[0]);
+        }
+        &ws.acts[n]
+    }
+
+    /// Backward pass over the activations of a preceding
+    /// [`Mlp::forward_ws`] on the same workspace. Parameter gradients
+    /// accumulate when `accumulate` is true (frozen-network mode
+    /// otherwise); the returned reference is `∂L/∂input`, living in
+    /// `ws`. Allocation-free once warm and bitwise identical to
+    /// [`Mlp::backward`] / [`Mlp::backward_input_only`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace does not hold activations matching this
+    /// network (no `forward_ws`, or one from a different network).
+    pub fn backward_ws<'w>(
+        &mut self,
+        grad_out: &Mat,
+        ws: &'w mut Workspace,
+        accumulate: bool,
+    ) -> &'w Mat {
+        let n = self.layers.len();
+        assert_eq!(
+            ws.acts.len(),
+            n + 1,
+            "backward_ws needs the activations of a preceding forward_ws"
+        );
+        let (ga, gb) = ws.gbuf.split_at_mut(1);
+        let (ga, gb) = (&mut ga[0], &mut gb[0]);
+        ga.copy_from(grad_out);
+        let mut src_is_a = true;
+        for (l, layer) in self.layers.iter_mut().enumerate().rev() {
+            let (src, dst) = if src_is_a {
+                (&*ga, &mut *gb)
+            } else {
+                (&*gb, &mut *ga)
+            };
+            layer.backward_into(&ws.acts[l], &ws.acts[l + 1], src, dst, accumulate);
+            src_is_a = !src_is_a;
+        }
+        if src_is_a {
+            &ws.gbuf[0]
+        } else {
+            &ws.gbuf[1]
+        }
     }
 
     /// Convenience single-sample prediction.
@@ -151,8 +216,9 @@ impl Mlp {
     }
 
     fn backward_impl(&mut self, grad_out: &Mat, accumulate: bool) -> Mat {
-        let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
+        let (last, rest) = self.layers.split_last_mut().expect("MLP has layers");
+        let mut g = last.backward(grad_out, accumulate);
+        for layer in rest.iter_mut().rev() {
             g = layer.backward(&g, accumulate);
         }
         g

@@ -85,10 +85,27 @@ impl MinMaxScaler {
     ///
     /// Panics if `data.cols() != self.cols()`.
     pub fn transform(&self, data: &Mat) -> Mat {
+        let mut out = Mat::default();
+        self.transform_into(data, &mut out);
+        out
+    }
+
+    /// [`MinMaxScaler::transform`] writing into a caller-owned buffer.
+    ///
+    /// `out` is resized to `data`'s shape reusing its capacity; results
+    /// are bitwise identical to the allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.cols() != self.cols()`.
+    pub fn transform_into(&self, data: &Mat, out: &mut Mat) {
         assert_eq!(data.cols(), self.cols(), "scaler column mismatch");
-        Mat::from_fn(data.rows(), data.cols(), |i, j| {
-            self.transform_value(data[(i, j)], j)
-        })
+        out.resize_reset(data.rows(), data.cols());
+        for i in 0..data.rows() {
+            for j in 0..data.cols() {
+                out[(i, j)] = self.transform_value(data[(i, j)], j);
+            }
+        }
     }
 
     /// Scales a single row.
@@ -119,10 +136,26 @@ impl MinMaxScaler {
     ///
     /// Panics if `data.cols() != self.cols()`.
     pub fn inverse_transform(&self, data: &Mat) -> Mat {
+        let mut out = data.clone();
+        self.inverse_transform_inplace(&mut out);
+        out
+    }
+
+    /// Inverse-transforms a matrix in place (no allocation).
+    ///
+    /// Results are bitwise identical to
+    /// [`MinMaxScaler::inverse_transform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.cols() != self.cols()`.
+    pub fn inverse_transform_inplace(&self, data: &mut Mat) {
         assert_eq!(data.cols(), self.cols(), "scaler column mismatch");
-        Mat::from_fn(data.rows(), data.cols(), |i, j| {
-            self.inverse_value(data[(i, j)], j)
-        })
+        for i in 0..data.rows() {
+            for j in 0..data.cols() {
+                data[(i, j)] = self.inverse_value(data[(i, j)], j);
+            }
+        }
     }
 
     /// Inverse-transforms a single row.

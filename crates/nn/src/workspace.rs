@@ -1,0 +1,43 @@
+use maopt_linalg::Mat;
+
+/// Reusable buffers for allocation-free MLP passes.
+///
+/// A `Workspace` owns the per-layer activation buffers of an
+/// [`crate::Mlp::forward_ws`] pass and the ping-pong gradient buffers of
+/// the matching [`crate::Mlp::backward_ws`]. Buffers are sized lazily on
+/// first use and reused afterwards: once warmed up for a given
+/// `(batch, widths)` shape, a full forward + backward pass performs
+/// **zero heap allocations**.
+///
+/// The workspace replaces the `last_input`/`last_output` clone pair that
+/// [`crate::Dense::forward`] keeps for its own backward pass — with a
+/// workspace, activations live in caller-owned buffers and layers stay
+/// untouched (`&self`) during the forward pass.
+///
+/// One workspace serves one network at a time: interleaving `forward_ws`
+/// calls of two differently-shaped networks through the same workspace
+/// re-sizes the buffers each call (correct, but no longer
+/// allocation-free). Results are bitwise identical to the allocating
+/// [`crate::Mlp::forward`]/[`crate::Mlp::backward`] paths — enforced by
+/// the nn property tests.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// `acts[0]` is a copy of the input; `acts[l + 1]` is layer `l`'s
+    /// activated output.
+    pub(crate) acts: Vec<Mat>,
+    /// Ping-pong buffers holding `∂L/∂(layer input)` during backward.
+    pub(crate) gbuf: [Mat; 2],
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// The activated output of the most recent `forward_ws` pass, if
+    /// one has run.
+    pub fn output(&self) -> Option<&Mat> {
+        self.acts.last()
+    }
+}

@@ -1,12 +1,22 @@
 //! Property-based tests for the neural-network stack.
 
 use maopt_linalg::Mat;
-use maopt_nn::{mse_loss, mse_loss_grad, Activation, Mlp};
+use maopt_nn::{mse_loss, mse_loss_grad, mse_loss_grad_into, Activation, Mlp, Workspace};
 use proptest::prelude::*;
 
 fn small_batch(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
     prop::collection::vec(-2.0f64..2.0, rows * cols)
         .prop_map(move |data| Mat::from_vec(rows, cols, data))
+}
+
+/// Bit patterns of every entry, for exact (bitwise) equality checks that
+/// distinguish 0.0 from -0.0 and compare NaNs by representation.
+fn mat_bits(m: &Mat) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn slice_bits(s: &[f64]) -> Vec<u64> {
+    s.iter().map(|v| v.to_bits()).collect()
 }
 
 proptest! {
@@ -128,5 +138,100 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The workspace forward/backward paths are bitwise identical to the
+    /// allocating ones: outputs, input gradients, and (via an SGD step
+    /// with lr 1, since gradients are private) parameter gradients. Run
+    /// twice over the same workspace so the buffer-reuse path is covered
+    /// too.
+    #[test]
+    fn workspace_paths_match_allocating_paths_bitwise(
+        x in small_batch(3, 4),
+        y in small_batch(3, 2),
+        seed in 0u64..1000,
+    ) {
+        let orig = Mlp::new(&[4, 6, 2], Activation::Tanh, seed);
+        let mut a = orig.clone();
+        let mut b = orig.clone();
+        let mut ws = Workspace::new();
+        let sgd = maopt_nn::Sgd::new(1.0);
+
+        for round in 0..2 {
+            let pa = a.forward(&x);
+            let pb = b.forward_ws(&x, &mut ws).clone();
+            prop_assert_eq!(mat_bits(&pa), mat_bits(&pb), "forward, round {}", round);
+            prop_assert_eq!(
+                mat_bits(&b.forward_inference(&x)),
+                mat_bits(&pb),
+                "forward_inference, round {}", round
+            );
+
+            let (_, grad) = mse_loss_grad(&pa, &y);
+            a.zero_grad();
+            b.zero_grad();
+            let gia = a.backward(&grad);
+            let gib = b.backward_ws(&grad, &mut ws, true).clone();
+            prop_assert_eq!(mat_bits(&gia), mat_bits(&gib), "input grad, round {}", round);
+
+            sgd.step(&mut a);
+            sgd.step(&mut b);
+            for (la, lb) in a.layers().iter().zip(b.layers()) {
+                prop_assert_eq!(mat_bits(la.weights()), mat_bits(lb.weights()));
+                prop_assert_eq!(slice_bits(la.bias()), slice_bits(lb.bias()));
+            }
+        }
+    }
+
+    /// Frozen-network mode: `backward_ws(…, false)` matches
+    /// `backward_input_only` bitwise and leaves parameters untouched.
+    #[test]
+    fn workspace_frozen_backward_matches_input_only(
+        x in small_batch(2, 3),
+        grad in small_batch(2, 2),
+        seed in 0u64..1000,
+    ) {
+        let orig = Mlp::new(&[3, 5, 2], Activation::Relu, seed);
+        let mut a = orig.clone();
+        let mut b = orig.clone();
+        let mut ws = Workspace::new();
+
+        a.forward(&x);
+        let gia = a.backward_input_only(&grad);
+        b.forward_ws(&x, &mut ws);
+        let gib = b.backward_ws(&grad, &mut ws, false).clone();
+        prop_assert_eq!(mat_bits(&gia), mat_bits(&gib));
+
+        // No parameter gradients were accumulated: an SGD step is a no-op.
+        let sgd = maopt_nn::Sgd::new(1.0);
+        sgd.step(&mut b);
+        for (lo, lb) in orig.layers().iter().zip(b.layers()) {
+            prop_assert_eq!(mat_bits(lo.weights()), mat_bits(lb.weights()));
+            prop_assert_eq!(slice_bits(lo.bias()), slice_bits(lb.bias()));
+        }
+    }
+
+    /// The `_into` loss and scaler variants are bitwise identical to their
+    /// allocating counterparts, including over dirty reused buffers.
+    #[test]
+    fn into_variants_match_allocating_bitwise(
+        pred in small_batch(3, 2),
+        target in small_batch(3, 2),
+    ) {
+        let (loss, grad) = mse_loss_grad(&pred, &target);
+        let mut grad_buf = Mat::from_rows(&[&[9.9; 5]]); // dirty, wrong shape
+        let loss_into = mse_loss_grad_into(&pred, &target, &mut grad_buf);
+        prop_assert_eq!(loss.to_bits(), loss_into.to_bits());
+        prop_assert_eq!(mat_bits(&grad), mat_bits(&grad_buf));
+
+        let scaler = maopt_nn::MinMaxScaler::fit(&pred);
+        let scaled = scaler.transform(&pred);
+        let mut scaled_buf = Mat::from_rows(&[&[-7.0; 4]]);
+        scaler.transform_into(&pred, &mut scaled_buf);
+        prop_assert_eq!(mat_bits(&scaled), mat_bits(&scaled_buf));
+
+        let back = scaler.inverse_transform(&scaled);
+        scaler.inverse_transform_inplace(&mut scaled_buf);
+        prop_assert_eq!(mat_bits(&back), mat_bits(&scaled_buf));
     }
 }

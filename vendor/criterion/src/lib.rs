@@ -11,12 +11,75 @@
 //! When the harness binary is invoked without `--bench` (as `cargo test`
 //! does for `harness = false` targets) it exits immediately so benches
 //! never slow the test suite down.
+//!
+//! Beyond the upstream API, every completed benchmark is recorded in a
+//! process-global registry; when the `CRITERION_JSON` environment
+//! variable names a file, [`criterion_main!`] writes the records there as
+//! JSON on exit. `maopt-report bench-diff` consumes that file to gate
+//! performance regressions in CI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed benchmark: full id plus min/mean nanoseconds.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// `group/benchmark` id.
+    pub name: String,
+    /// Fastest observed sample, in nanoseconds.
+    pub min_ns: f64,
+    /// Mean over all samples, in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn record(rec: BenchRecord) {
+    RECORDS.lock().expect("bench registry poisoned").push(rec);
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders every recorded benchmark as a JSON document:
+/// `{"benchmarks": [{"name", "min_ns", "mean_ns", "samples"}, …]}`.
+pub fn json_report() -> String {
+    let records = RECORDS.lock().expect("bench registry poisoned");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"min_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}{comma}\n",
+            json_escape(&r.name),
+            r.min_ns,
+            r.mean_ns,
+            r.samples
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`json_report`] to the path named by the `CRITERION_JSON`
+/// environment variable, if set. Called by [`criterion_main!`] after all
+/// groups have run.
+#[doc(hidden)]
+pub fn flush_json_report() {
+    if let Some(path) = std::env::var_os("CRITERION_JSON") {
+        if let Err(e) = std::fs::write(&path, json_report()) {
+            eprintln!("criterion: failed to write {}: {e}", path.to_string_lossy());
+            std::process::exit(1);
+        }
+        println!("bench records written to {}", path.to_string_lossy());
+    }
+}
 
 /// Benchmark identifier combining a function name and a parameter.
 #[derive(Debug, Clone)]
@@ -81,6 +144,12 @@ impl BenchmarkGroup<'_> {
             self.name,
             bencher.samples.len()
         );
+        record(BenchRecord {
+            name: format!("{}/{id}", self.name),
+            min_ns: min.as_nanos() as f64,
+            mean_ns: mean.as_nanos() as f64,
+            samples: bencher.samples.len(),
+        });
     }
 
     /// Benchmarks a closure under a string id.
@@ -165,6 +234,7 @@ macro_rules! criterion_main {
                 return;
             }
             $( $group(); )+
+            $crate::flush_json_report();
         }
     };
 }
@@ -187,5 +257,10 @@ mod tests {
             b.iter(|| n * 2)
         });
         group.finish();
+
+        let json = json_report();
+        assert!(json.contains("\"name\": \"g/f\""), "{json}");
+        assert!(json.contains("\"name\": \"g/with_input/5\""), "{json}");
+        assert!(json.contains("\"min_ns\": "), "{json}");
     }
 }
