@@ -11,6 +11,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use maopt_core::{Critic, FomConfig, Population, Spec, Surrogate};
+use maopt_exec::EvalEngine;
 use maopt_linalg::{kernels, Mat};
 use maopt_nn::{mse_loss_grad_into, Activation, Mlp, Workspace};
 use rand::rngs::StdRng;
@@ -128,10 +129,53 @@ fn bench_critic(c: &mut Criterion) {
     group.finish();
 }
 
+/// The register-tiled GEMM paths at 96×96 — exactly 24 row blocks by
+/// 12 column blocks, so steady-state tile throughput dominates; ragged
+/// edges are exercised by the 100-column `kernels` group above.
+fn bench_gemm_tiled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_tiled");
+    group.sample_size(sample_size());
+
+    let a = seq_mat(96, 96, 0.8);
+    let b = seq_mat(96, 96, -0.9);
+    let mut out = Mat::default();
+    group.bench_function("matmul_into/96x96x96", |b_| {
+        b_.iter(|| kernels::matmul_into(black_box(&a), black_box(&b), &mut out))
+    });
+
+    let xt: Vec<f64> = (0..96).map(|i| (i as f64 * 0.17).sin()).collect();
+    let mut vt = Vec::new();
+    group.bench_function("matvec_t_into/96x96", |b_| {
+        b_.iter(|| kernels::matvec_transposed_into(black_box(&a), black_box(&xt), &mut vt))
+    });
+    group.finish();
+}
+
+/// Persistent-pool dispatch: a `map` over trivial items on an engine
+/// created once outside the timing loop — this is the per-call overhead
+/// that used to include spawning (and joining) a thread per worker.
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool");
+    group.sample_size(sample_size());
+
+    let engine = EvalEngine::new(2);
+    group.bench_function("map_reuse/64", |b| {
+        b.iter(|| {
+            let out = engine.map(black_box((0..64u64).collect::<Vec<u64>>()), |_, v| {
+                v.wrapping_mul(0x9e37_79b9)
+            });
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     kernel_benches,
     bench_linalg_kernels,
     bench_mlp_passes,
-    bench_critic
+    bench_critic,
+    bench_gemm_tiled,
+    bench_pool
 );
 criterion_main!(kernel_benches);

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! reproduce [--circuit ota|tia|ldo|all] [--quick] [--runs N] [--budget N]
-//!           [--init N] [--seed N] [--jobs N] [--tables-only] [--out DIR]
-//!           [--journal-dir DIR]
+//!           [--init N] [--seed N] [--jobs N] [--run-jobs N] [--tables-only]
+//!           [--out DIR] [--journal-dir DIR]
 //! ```
 //!
 //! * Tables I / III / V: printed from the problem definitions.
@@ -16,6 +16,10 @@
 //!   aggregate at `DIR/<circuit>/<method>/engine.jsonl`, for
 //!   `maopt-report`. Journaling never changes results: runs are bitwise
 //!   identical with the flag on or off.
+//! * `--jobs N` parallelizes the simulations inside one run; `--run-jobs M`
+//!   additionally fans the independent repetitions over a second pool, so
+//!   up to `M x N` simulations are in flight. Both default to 1; results
+//!   and journals (timing fields aside) are identical for any setting.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -27,7 +31,7 @@ use maopt_bench::report::{
 use maopt_bench::runtime_model::RuntimeModel;
 use maopt_bench::{paper_methods, Protocol};
 use maopt_circuits::{LdoRegulator, ThreeStageTia, TwoStageOta};
-use maopt_core::runner::{make_initial_sets_with, run_method_observed, MethodStats};
+use maopt_core::runner::{make_initial_sets_nested, run_method_nested, MethodStats};
 use maopt_core::SizingProblem;
 use maopt_exec::{EvalEngine, SimCache, Telemetry};
 use maopt_obs::{EngineRecord, Journal, Record};
@@ -36,6 +40,7 @@ struct Args {
     circuit: String,
     protocol: Protocol,
     jobs: usize,
+    run_jobs: usize,
     tables_only: bool,
     out: PathBuf,
     journal_dir: Option<PathBuf>,
@@ -46,6 +51,7 @@ fn parse_args() -> Args {
         circuit: "all".into(),
         protocol: Protocol::paper(),
         jobs: 1,
+        run_jobs: 1,
         tables_only: false,
         out: PathBuf::from("results"),
         journal_dir: None,
@@ -90,6 +96,13 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("jobs")
             }
+            "--run-jobs" => {
+                args.run_jobs = it
+                    .next()
+                    .expect("--run-jobs needs a value")
+                    .parse()
+                    .expect("run-jobs")
+            }
             "--tables-only" => args.tables_only = true,
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
             "--journal-dir" => {
@@ -100,8 +113,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: reproduce [--circuit ota|tia|ldo|all] [--quick] [--runs N] \
-                     [--budget N] [--init N] [--seed N] [--jobs N] [--tables-only] [--out DIR] \
-                     [--journal-dir DIR]"
+                     [--budget N] [--init N] [--seed N] [--jobs N] [--run-jobs N] \
+                     [--tables-only] [--out DIR] [--journal-dir DIR]"
                 );
                 std::process::exit(0);
             }
@@ -142,17 +155,21 @@ fn run_circuit(
     }
 
     println!(
-        "protocol: {} runs x ({} init + {} optimization sims), seed {}, {} jobs",
-        p.runs, p.init_size, p.budget, p.seed, args.jobs
+        "protocol: {} runs x ({} init + {} optimization sims), seed {}, {} run-jobs x {} jobs",
+        p.runs, p.init_size, p.budget, p.seed, args.run_jobs, args.jobs
     );
     // One engine per circuit carries the worker pool and the telemetry
     // sink whose counter deltas land in each method's stats. Each method
     // gets its own simulation cache below: deterministic methods replay
     // identical design points, so a circuit-wide cache would let later
     // methods ride on earlier ones and skew the measured-runtime column.
+    // A second, separate pool fans the independent repetitions out when
+    // --run-jobs asks for it (two distinct pools nest without deadlock).
     let engine = EvalEngine::new(args.jobs).with_telemetry(Arc::new(Telemetry::new()));
+    let run_engine = EvalEngine::new(args.run_jobs);
     let t0 = Instant::now();
-    let inits = make_initial_sets_with(problem, p.runs, p.init_size, p.seed, &engine);
+    let inits =
+        make_initial_sets_nested(problem, p.runs, p.init_size, p.seed, &run_engine, &engine);
     println!("initial sets simulated in {:?}", t0.elapsed());
 
     let model = RuntimeModel::default();
@@ -181,13 +198,14 @@ fn run_circuit(
         };
         let spans_before = engine.telemetry().spans();
         let t0 = Instant::now();
-        let stats = run_method_observed(
+        let stats = run_method_nested(
             method.as_ref(),
             problem,
             &inits,
             p.runs,
             p.budget,
             p.seed + 7,
+            &run_engine,
             &method_engine,
             &journals,
         );

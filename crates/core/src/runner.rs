@@ -3,9 +3,10 @@
 //! statistics reported in Tables II/IV/VI and the FoM-vs-simulations curves
 //! of Fig. 5.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use maopt_exec::{CounterSnapshot, EvalEngine};
+use maopt_exec::{CounterSnapshot, EvalEngine, SimCache, Telemetry};
 use maopt_obs::{Journal, Manifest, Record, RunEnd};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -297,6 +298,44 @@ pub fn run_method_observed(
     engine: &EvalEngine,
     journals: &[Journal],
 ) -> MethodStats {
+    run_method_nested(
+        optimizer, problem, inits, runs, budget, base_seed, engine, engine, journals,
+    )
+}
+
+/// [`run_method_observed`] with hierarchical job budgeting: repetitions
+/// fan out over `run_engine`'s pool while each repetition's simulations
+/// and training lanes fan out over `engine`'s pool, so up to
+/// `run_engine.jobs() * engine.jobs()` simulations are in flight at once.
+/// Passing the same engine for both levels collapses to the single-pool
+/// behaviour (run-level fan-out with inline per-run simulation, since a
+/// pool never re-enters itself).
+///
+/// Run `r` is fully determined by `inits[r]` and the per-run seed stream
+/// `base_seed + r`, so per-run results — and every non-timing field of
+/// the per-run journals — are bitwise identical for any worker count at
+/// either level. To keep that true for the journals' engine counter
+/// deltas, every run executes on a clone of `engine` carrying a fresh
+/// [`Telemetry`] (and a fresh [`SimCache`] when `engine` has one, at the
+/// cost of cross-run cache sharing); the per-run telemetry is merged back
+/// into `engine`'s sink after each run, so aggregate accounting is
+/// preserved.
+///
+/// # Panics
+///
+/// Panics if `inits.len() < runs`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_method_nested(
+    optimizer: &dyn Optimizer,
+    problem: &dyn SizingProblem,
+    inits: &[Vec<(Vec<f64>, Vec<f64>)>],
+    runs: usize,
+    budget: usize,
+    base_seed: u64,
+    run_engine: &EvalEngine,
+    engine: &EvalEngine,
+    journals: &[Journal],
+) -> MethodStats {
     assert!(inits.len() >= runs, "need one initial set per run");
     let disabled = Journal::disabled();
     let before = engine.telemetry().snapshot();
@@ -304,16 +343,22 @@ pub fn run_method_observed(
         let _span = engine
             .telemetry()
             .span(&format!("method:{}", optimizer.name()));
-        engine.map((0..runs).collect(), |_, r| {
+        run_engine.map((0..runs).collect(), |_, r| {
             let journal = journals.get(r).unwrap_or(&disabled);
-            optimizer.optimize_observed(
+            let mut run_eng = engine.clone().with_telemetry(Arc::new(Telemetry::new()));
+            if engine.cache().is_some() {
+                run_eng = run_eng.with_cache(Arc::new(SimCache::new()));
+            }
+            let result = optimizer.optimize_observed(
                 problem,
                 &inits[r],
                 budget,
                 base_seed + r as u64,
-                engine,
+                &run_eng,
                 journal,
-            )
+            );
+            engine.telemetry().merge_from(run_eng.telemetry());
+            result
         })
     };
     let exec = engine.telemetry().snapshot().since(&before);
@@ -394,6 +439,29 @@ pub fn make_initial_sets_with(
             )
         })
         .collect()
+}
+
+/// [`make_initial_sets_with`] fanning the per-run sets over `run_engine`'s
+/// pool while each set's simulations run on `engine` — the same
+/// hierarchical budgeting as [`run_method_nested`]. Set `r` draws from the
+/// serial seed stream `base_seed + 1000 * r` regardless of scheduling, so
+/// the result is bitwise identical to the serial loop.
+pub fn make_initial_sets_nested(
+    problem: &dyn SizingProblem,
+    runs: usize,
+    init_size: usize,
+    base_seed: u64,
+    run_engine: &EvalEngine,
+    engine: &EvalEngine,
+) -> Vec<Vec<(Vec<f64>, Vec<f64>)>> {
+    run_engine.map((0..runs).collect(), |_, r: usize| {
+        sample_initial_set_with(
+            problem,
+            init_size,
+            base_seed.wrapping_add(1000 * r as u64),
+            engine,
+        )
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,144 @@
+//! Jobs-invariance: the full nested-parallel protocol — run-level fan-out
+//! over one pool, per-run simulations over another — must produce run
+//! journals bitwise identical to the serial protocol on every non-timing
+//! field, and identical method statistics.
+//!
+//! The parallel worker counts default to 4 run-jobs × 2 jobs and can be
+//! overridden through `MAOPT_INVARIANCE_RUN_JOBS` / `MAOPT_INVARIANCE_JOBS`
+//! so CI can sweep several configurations with one test.
+
+use std::sync::Arc;
+
+use maopt_core::problems::ConstrainedToy;
+use maopt_core::runner::{make_initial_sets_nested, run_method_nested, MethodStats};
+use maopt_core::MaOptConfig;
+use maopt_exec::{EvalEngine, SimCache, Telemetry};
+use maopt_obs::{read_journal, Journal, Record};
+
+const RUNS: usize = 3;
+const BUDGET: usize = 10;
+const INIT_SIZE: usize = 20;
+const SEED: u64 = 77;
+
+fn tiny(cfg: MaOptConfig) -> MaOptConfig {
+    MaOptConfig {
+        hidden: vec![16, 16],
+        critic_steps: 15,
+        actor_steps: 8,
+        n_samples: 100,
+        t_ns: 2,
+        ..cfg
+    }
+}
+
+fn env_jobs(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs the full journaled protocol at the given worker counts and returns
+/// the method statistics plus every run's parsed journal.
+fn run_protocol(run_jobs: usize, jobs: usize, tag: &str) -> (MethodStats, Vec<Vec<Record>>) {
+    let problem = ConstrainedToy::new(2);
+    let engine = EvalEngine::new(jobs)
+        .with_telemetry(Arc::new(Telemetry::new()))
+        .with_cache(Arc::new(SimCache::new()));
+    let run_engine = EvalEngine::new(run_jobs);
+    let inits = make_initial_sets_nested(&problem, RUNS, INIT_SIZE, SEED, &run_engine, &engine);
+
+    let dir = std::env::temp_dir().join(format!("maopt-invariance-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journals: Vec<Journal> = (0..RUNS)
+        .map(|r| Journal::create(dir.join(format!("run{r}.jsonl"))).unwrap())
+        .collect();
+    let opt = tiny(MaOptConfig::ma_opt(SEED));
+    let stats = run_method_nested(
+        &opt,
+        &problem,
+        &inits,
+        RUNS,
+        BUDGET,
+        SEED + 7,
+        &run_engine,
+        &engine,
+        &journals,
+    );
+    drop(journals);
+
+    let records = (0..RUNS)
+        .map(|r| read_journal(dir.join(format!("run{r}.jsonl"))).unwrap())
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    (stats, records)
+}
+
+/// Zeroes the fields that legitimately vary with scheduling: the
+/// manifest's worker count and the run summary's wall-clock timings.
+/// Everything else — round records, actor losses, engine counter deltas,
+/// near-sampling decisions — must match bitwise.
+fn normalize(records: &mut [Record]) {
+    for rec in records {
+        match rec {
+            Record::Manifest(m) => m.jobs = 0,
+            Record::RunEnd(e) => {
+                e.total_s = 0.0;
+                e.training_s = 0.0;
+                e.simulation_s = 0.0;
+                e.near_sampling_s = 0.0;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn nested_parallel_journals_match_serial_bitwise() {
+    let run_jobs = env_jobs("MAOPT_INVARIANCE_RUN_JOBS", 4);
+    let jobs = env_jobs("MAOPT_INVARIANCE_JOBS", 2);
+
+    let (serial_stats, mut serial_journals) = run_protocol(1, 1, "serial");
+    let (par_stats, mut par_journals) =
+        run_protocol(run_jobs, jobs, &format!("par{run_jobs}x{jobs}"));
+
+    for (r, (s, p)) in serial_journals
+        .iter_mut()
+        .zip(par_journals.iter_mut())
+        .enumerate()
+    {
+        assert!(s.len() > 2, "run {r}: journal has rounds, not just ends");
+        normalize(s);
+        normalize(p);
+        // Compare re-serialized lines rather than parsed records: a run
+        // whose budget expires mid-round legitimately journals NaN fields
+        // (e.g. an unsimulated proposal), and `NaN != NaN` under
+        // `PartialEq` would fail the comparison even on identical bits.
+        let lines = |recs: &[Record]| recs.iter().map(Record::to_json_line).collect::<Vec<_>>();
+        assert_eq!(
+            lines(s),
+            lines(p),
+            "run {r}: journals diverge between 1x1 and {run_jobs}x{jobs} workers"
+        );
+    }
+
+    // The aggregate statistics must agree bitwise as well.
+    assert_eq!(serial_stats.successes, par_stats.successes);
+    assert_eq!(
+        serial_stats
+            .fom_curve
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        par_stats
+            .fom_curve
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(serial_stats.exec.sims, par_stats.exec.sims);
+    assert_eq!(serial_stats.exec.cache_hits, par_stats.exec.cache_hits);
+    for (a, b) in serial_stats.results.iter().zip(&par_stats.results) {
+        assert_eq!(a.best_fom().to_bits(), b.best_fom().to_bits());
+    }
+}

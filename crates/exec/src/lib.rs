@@ -24,17 +24,19 @@
 
 pub mod cache;
 pub mod metrics;
+pub mod pool;
 pub mod queue;
 pub mod telemetry;
 
 pub use cache::{quantize, SimCache};
 pub use metrics::{HistogramSnapshot, MetricSnapshot, MetricsRegistry};
+pub use pool::WorkerPool;
 pub use queue::BoundedQueue;
 pub use telemetry::{CounterSnapshot, Telemetry};
 
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Anything the engine can run: a deterministic map from a normalized
@@ -105,30 +107,47 @@ impl Default for FaultPolicy {
     }
 }
 
-/// Parallel evaluation engine: worker pool + cache + fault policy +
-/// telemetry. Cheap to clone (shared state is behind `Arc`s); clones
-/// share the same cache and telemetry.
+/// Parallel evaluation engine: persistent worker pool + cache + fault
+/// policy + telemetry. Cheap to clone (shared state is behind `Arc`s);
+/// clones share the same pool, cache and telemetry.
 #[derive(Debug, Clone)]
 pub struct EvalEngine {
     jobs: usize,
+    pool: Option<Arc<WorkerPool>>,
     cache: Option<Arc<SimCache>>,
     policy: FaultPolicy,
     telemetry: Arc<Telemetry>,
 }
 
 impl Default for EvalEngine {
+    /// An engine sized by, in order of precedence:
+    ///
+    /// 1. the `MAOPT_JOBS` environment variable, when it parses as an
+    ///    integer (clamped to at least 1),
+    /// 2. [`std::thread::available_parallelism`],
+    /// 3. a single worker, when neither source is available.
     fn default() -> Self {
-        let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let jobs = std::env::var("MAOPT_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|v| v.max(1))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
         EvalEngine::new(jobs)
     }
 }
 
 impl EvalEngine {
     /// An engine with `jobs` workers (clamped to at least 1), no cache,
-    /// and the default fault policy.
+    /// and the default fault policy. With more than one worker this
+    /// spawns the persistent pool here, once; `map`/`scope` calls then
+    /// only enqueue tasks instead of spawning threads.
     pub fn new(jobs: usize) -> Self {
+        let jobs = jobs.max(1);
         EvalEngine {
-            jobs: jobs.max(1),
+            jobs,
+            pool: (jobs > 1).then(|| WorkerPool::new(jobs)),
             cache: None,
             policy: FaultPolicy::default(),
             telemetry: Arc::new(Telemetry::new()),
@@ -181,20 +200,26 @@ impl EvalEngine {
         self.cache.as_ref()
     }
 
-    /// Runs `f` over `items` on the worker pool and returns the results
-    /// in input order.
+    /// Runs `f` over `items` on the persistent worker pool and returns
+    /// the results in input order.
     ///
-    /// Work is distributed through a bounded queue (capacity `2 * jobs`)
-    /// so a huge batch never materializes per-item threads or unbounded
-    /// buffering. With one worker (or one item) this degenerates to a
-    /// plain serial loop on the calling thread.
+    /// Work is distributed through the pool's bounded queue (capacity
+    /// `2 * jobs`) so a huge batch never buffers unboundedly: this call
+    /// blocks enqueueing once the queue is full. With one worker, one
+    /// item, or when called from one of this engine's own pool workers
+    /// (a nested `map`), it degenerates to a plain serial loop on the
+    /// calling thread — which is also what makes same-engine nesting
+    /// deadlock-free. Each executed task bumps a per-worker task counter
+    /// (`exec.pool.worker<k>.tasks`) and the enqueue loop samples an
+    /// `exec.pool.queue_depth` gauge into [`Telemetry::metrics`].
     ///
     /// # Panics
     ///
-    /// A panic in `f` is re-raised here on the calling thread after the
-    /// pool shuts down cleanly (remaining queued items are dropped).
-    /// Evaluator panics never reach this: [`EvalEngine::evaluate_one`]
-    /// converts them into retries / penalty vectors first.
+    /// A panic in `f` is re-raised here on the calling thread after all
+    /// in-flight tasks finished (remaining queued tasks are skipped),
+    /// with the engine's `panics` counter incremented. Evaluator panics
+    /// never reach this: [`EvalEngine::evaluate_one`] converts them into
+    /// retries / penalty vectors first.
     pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
@@ -202,56 +227,35 @@ impl EvalEngine {
         F: Fn(usize, T) -> R + Sync,
     {
         let n = items.len();
-        let workers = self.jobs.min(n);
-        if workers <= 1 {
-            return items
-                .into_iter()
-                .enumerate()
-                .map(|(i, t)| f(i, t))
-                .collect();
-        }
+        let pool = match &self.pool {
+            Some(pool) if n > 1 && !pool.is_current() => pool,
+            _ => {
+                return items
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| f(i, t))
+                    .collect()
+            }
+        };
 
-        let queue = BoundedQueue::new(2 * workers);
         let (tx, rx) = mpsc::channel::<(usize, R)>();
-        let caught: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
-
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let queue = &queue;
-                let caught = &caught;
-                let f = &f;
-                s.spawn(move || {
-                    while let Some((i, item)) = queue.pop() {
-                        match std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item))) {
-                            Ok(r) => {
-                                if tx.send((i, r)).is_err() {
-                                    break;
-                                }
-                            }
-                            Err(payload) => {
-                                let mut slot = caught.lock().expect("panic slot poisoned");
-                                slot.get_or_insert(payload);
-                                drop(slot);
-                                // Unblocks the producer and the other
-                                // workers so the scope can join.
-                                queue.close();
-                                break;
-                            }
-                        }
-                    }
-                });
-            }
-            drop(tx);
-            for pair in items.into_iter().enumerate() {
-                if !queue.push(pair) {
-                    break;
+        let f = &f;
+        let metrics = &self.telemetry.metrics;
+        let scope_result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                for (i, item) in items.into_iter().enumerate() {
+                    let tx = tx.clone();
+                    scope.spawn(move |w| {
+                        metrics.inc(pool.worker_metric_name(w), 1);
+                        let _ = tx.send((i, f(i, item)));
+                    });
+                    metrics.set_gauge("exec.pool.queue_depth", pool.queue_len() as f64);
                 }
-            }
-            queue.close();
-        });
-
-        if let Some(payload) = caught.into_inner().expect("panic slot poisoned") {
+            })
+        }));
+        drop(tx);
+        if let Err(payload) = scope_result {
+            self.telemetry.bump(&self.telemetry.counters.panics);
             std::panic::resume_unwind(payload);
         }
 
@@ -262,6 +266,40 @@ impl EvalEngine {
         out.into_iter()
             .map(|r| r.expect("worker pool lost a result without panicking"))
             .collect()
+    }
+
+    /// Runs `f(0), f(1), …, f(n - 1)` on the pool and returns the
+    /// results in index order — `map` for pure index-driven fan-out
+    /// (training lanes, scoring chunks) with no item vector to move in.
+    pub fn compute<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.map((0..n).collect(), |i, _: usize| f(i))
+    }
+
+    /// Structured fan-out for non-`Problem` work: runs `body` with a
+    /// scope on which closures borrowing the caller's stack can be
+    /// spawned onto the pool; returns only after every spawned closure
+    /// finished. On a serial engine — or re-entered from one of this
+    /// engine's own pool workers — spawns run inline on the calling
+    /// thread, so callers never need a serial special case.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic from a spawned closure (or from `body`)
+    /// after all spawned work finished.
+    pub fn scope<'env, F, R>(&self, body: F) -> R
+    where
+        F: FnOnce(&ExecScope<'_, 'env>) -> R,
+    {
+        match &self.pool {
+            Some(pool) if !pool.is_current() => {
+                pool.scope(|inner| body(&ExecScope { inner: Some(inner) }))
+            }
+            _ => body(&ExecScope { inner: None }),
+        }
     }
 
     /// Evaluates one design through the cache and fault policy.
@@ -345,10 +383,33 @@ impl EvalEngine {
     }
 }
 
+/// Spawn handle passed to the closure of [`EvalEngine::scope`]: either a
+/// real pool scope or the inline (serial / nested) degenerate case.
+pub struct ExecScope<'scope, 'env> {
+    inner: Option<&'scope pool::Scope<'scope, 'env>>,
+}
+
+impl<'env> ExecScope<'_, 'env> {
+    /// Spawns `f` onto the engine's pool (blocking while the bounded
+    /// queue is full); on a serial or re-entered engine, runs `f`
+    /// immediately on the calling thread. `f` receives the executing
+    /// worker's index (0 when inline).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(usize) + Send + 'env,
+    {
+        match self.inner {
+            Some(scope) => scope.spawn(f),
+            None => f(0),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     /// Deterministic toy evaluator: metrics = [sum(x), attempts seen].
     struct Quadratic;
@@ -585,6 +646,137 @@ mod tests {
             panic!("value should be a histogram");
         };
         assert_eq!(h.count, n as u64, "no observation lost to a race");
+    }
+
+    #[test]
+    fn map_reuses_persistent_worker_threads() {
+        let engine = EvalEngine::new(2);
+        let ids = || {
+            let seen = Mutex::new(std::collections::BTreeSet::new());
+            engine.map((0..24).collect::<Vec<i32>>(), |_, _| {
+                seen.lock()
+                    .unwrap()
+                    .insert(format!("{:?}", std::thread::current().id()));
+                std::thread::sleep(Duration::from_micros(200));
+            });
+            seen.into_inner().unwrap()
+        };
+        let first = ids();
+        let second = ids();
+        assert!(!first.is_empty() && first.len() <= 2);
+        assert_eq!(first, second, "no per-map thread spawning");
+    }
+
+    #[test]
+    fn nested_map_on_same_engine_is_inline_and_identical_to_serial() {
+        let items: Vec<f64> = (0..20).map(|i| f64::from(i) * 0.31).collect();
+        let nested = |engine: &EvalEngine, items: Vec<f64>| {
+            engine.map(items, |_, v| {
+                engine
+                    .map(vec![v, v + 1.0, v + 2.0], |_, w| w.sin())
+                    .iter()
+                    .sum::<f64>()
+            })
+        };
+        let serial = nested(&EvalEngine::serial(), items.clone());
+        let parallel = nested(&EvalEngine::new(3), items);
+        assert_eq!(serial, parallel, "bitwise identical, not approximately");
+    }
+
+    #[test]
+    fn default_engine_honors_maopt_jobs_env() {
+        // Process-global env: this is the only test in this binary that
+        // touches MAOPT_JOBS, and it restores the variable before exit.
+        std::env::set_var("MAOPT_JOBS", "3");
+        assert_eq!(EvalEngine::default().jobs(), 3);
+        std::env::set_var("MAOPT_JOBS", "0");
+        assert_eq!(EvalEngine::default().jobs(), 1, "clamped to >= 1");
+        std::env::set_var("MAOPT_JOBS", "not-a-number");
+        assert!(EvalEngine::default().jobs() >= 1, "falls back");
+        std::env::remove_var("MAOPT_JOBS");
+        assert!(EvalEngine::default().jobs() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_still_records_span_and_fault_counter() {
+        // Satellite regression test: a panic on a pool worker must not
+        // lose the enclosing span (the guard drops during unwinding and
+        // must tolerate a poisoned span mutex) and must increment the
+        // engine's existing fault counters.
+        let engine = EvalEngine::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            engine.map((0..8).collect::<Vec<i32>>(), |_, v| {
+                let _span = engine.telemetry().span("doomed_phase");
+                std::thread::sleep(Duration::from_micros(100));
+                assert!(v != 5, "boom");
+            })
+        }));
+        assert!(result.is_err());
+        assert!(
+            engine.telemetry().snapshot().panics >= 1,
+            "pool-function panic is a counted fault"
+        );
+        let spans = engine.telemetry().spans();
+        let doomed = spans.iter().find(|(name, _)| name == "doomed_phase");
+        assert!(
+            doomed.is_some_and(|(_, d)| *d > Duration::ZERO),
+            "span end recorded despite the panic: {spans:?}"
+        );
+        // The telemetry (and the pool) stay fully usable afterwards.
+        let out = engine.map(vec![1, 2, 3], |_, v| v * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn scope_spawns_borrowed_work_and_compute_preserves_order() {
+        let engine = EvalEngine::new(3);
+        let mut doubled = vec![0usize; 32];
+        engine.scope(|scope| {
+            for (i, slot) in doubled.iter_mut().enumerate() {
+                scope.spawn(move |_w| *slot = i * 2);
+            }
+        });
+        assert_eq!(doubled, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+
+        let computed = engine.compute(32, |i| i * 2);
+        assert_eq!(computed, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+
+        // Serial engines run scope spawns inline, same results.
+        let mut serial = vec![0usize; 32];
+        EvalEngine::serial().scope(|scope| {
+            for (i, slot) in serial.iter_mut().enumerate() {
+                scope.spawn(move |_w| *slot = i * 2);
+            }
+        });
+        assert_eq!(serial, doubled);
+    }
+
+    #[test]
+    fn map_tags_metrics_with_worker_ids_and_queue_depth() {
+        let engine = EvalEngine::new(2);
+        let n = 40;
+        engine.map((0..n).collect::<Vec<i32>>(), |_, _| {
+            std::thread::sleep(Duration::from_micros(100));
+        });
+        let metrics = engine.telemetry().metrics.snapshot();
+        let worker_tasks: u64 = metrics
+            .iter()
+            .filter_map(|m| match m {
+                MetricSnapshot::Counter { name, value }
+                    if name.starts_with("exec.pool.worker") && name.ends_with(".tasks") =>
+                {
+                    Some(*value)
+                }
+                _ => None,
+            })
+            .sum();
+        assert_eq!(worker_tasks, n as u64, "every task attributed to a worker");
+        assert!(
+            metrics
+                .iter()
+                .any(|m| matches!(m, MetricSnapshot::Gauge { name, .. } if name == "exec.pool.queue_depth")),
+            "queue-depth gauge sampled: {metrics:?}"
+        );
     }
 
     #[test]

@@ -68,6 +68,19 @@ impl Hist {
         self.max = self.max.max(v);
         self.buckets[bucket_index(v)] += 1;
     }
+
+    /// Element-wise merge with another histogram — sound because every
+    /// `Hist` shares the same fixed bucket layout.
+    fn merge_from(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.invalid += other.invalid;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -195,6 +208,49 @@ impl MetricsRegistry {
             .or_insert_with(|| Metric::Histogram(Hist::new()))
         {
             h.observe(value);
+        }
+    }
+
+    /// Absorbs every metric of `other` into `self`: counters add,
+    /// gauges take `other`'s value (last write wins, as everywhere
+    /// else), histograms merge element-wise (all histograms share the
+    /// fixed bucket layout). Name collisions across kinds follow the
+    /// usual rule — the kind already registered in `self` wins and
+    /// mismatched updates are ignored.
+    ///
+    /// Locks `other` then `self`; concurrent merges into one shared
+    /// target are fine, but two registries must not merge *each other*
+    /// concurrently (lock-order deadlock).
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        let theirs = other.metrics.lock().expect("metrics mutex poisoned");
+        let mut ours = self.metrics.lock().expect("metrics mutex poisoned");
+        for (name, metric) in theirs.iter() {
+            match metric {
+                Metric::Counter(v) => {
+                    if let Metric::Counter(mine) = ours
+                        .entry(name.clone())
+                        .or_insert_with(|| Metric::Counter(0))
+                    {
+                        *mine += v;
+                    }
+                }
+                Metric::Gauge(v) => {
+                    if let Metric::Gauge(mine) = ours
+                        .entry(name.clone())
+                        .or_insert_with(|| Metric::Gauge(*v))
+                    {
+                        *mine = *v;
+                    }
+                }
+                Metric::Histogram(h) => {
+                    if let Metric::Histogram(mine) = ours
+                        .entry(name.clone())
+                        .or_insert_with(|| Metric::Histogram(Hist::new()))
+                    {
+                        mine.merge_from(h);
+                    }
+                }
+            }
         }
     }
 

@@ -77,6 +77,18 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Items currently enqueued (a racy sample by nature — fine for the
+    /// queue-depth gauge, useless for synchronization).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue mutex poisoned").items.len()
+    }
+
+    /// Whether the queue currently holds no items (same caveat as
+    /// [`BoundedQueue::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Closes the queue: pending pops drain the remainder, new pushes are
     /// rejected, blocked parties wake up.
     pub fn close(&self) {

@@ -7,7 +7,7 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Monotonic event counters. All increments are relaxed atomics — the
@@ -162,14 +162,19 @@ impl Telemetry {
         }
     }
 
+    /// Poison-tolerant: [`SpanGuard`]s drop during panic unwinding on
+    /// pool workers, and a lost span (or a double panic aborting the
+    /// process) would be strictly worse than reading through the poison
+    /// — the map of accumulated durations is valid at every point.
     fn end_span(&self, phase: String, elapsed: Duration) {
-        let mut spans = self.spans.lock().expect("span mutex poisoned");
+        let mut spans = self.spans.lock().unwrap_or_else(PoisonError::into_inner);
         *spans.entry(phase).or_default() += elapsed;
     }
 
     /// Accumulated per-phase wall time, sorted by phase name.
+    /// Poison-tolerant for the same reason as span recording.
     pub fn spans(&self) -> Vec<(String, Duration)> {
-        let spans = self.spans.lock().expect("span mutex poisoned");
+        let spans = self.spans.lock().unwrap_or_else(PoisonError::into_inner);
         spans.iter().map(|(k, v)| (k.clone(), *v)).collect()
     }
 
@@ -190,6 +195,36 @@ impl Telemetry {
     /// Bumps one counter by one.
     pub(crate) fn bump(&self, counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Absorbs `other`'s counters, span totals and metrics into `self`.
+    ///
+    /// This is how per-run telemetry isolation composes with aggregate
+    /// reporting: a run executing on the pool records into its own fresh
+    /// `Telemetry` (so its journal counters cannot depend on how
+    /// concurrent runs interleave) and the caller merges the totals back
+    /// into the shared sink afterwards. Counters and span durations add;
+    /// metrics merge per [`crate::MetricsRegistry::merge_from`].
+    /// Concurrent merges into the same target are safe; merging two
+    /// telemetries into each other concurrently is not supported.
+    pub fn merge_from(&self, other: &Telemetry) {
+        let snap = other.snapshot();
+        let c = &self.counters;
+        for (counter, value) in [
+            (&c.sims, snap.sims),
+            (&c.cache_hits, snap.cache_hits),
+            (&c.cache_misses, snap.cache_misses),
+            (&c.retries, snap.retries),
+            (&c.panics, snap.panics),
+            (&c.timeouts, snap.timeouts),
+            (&c.failures, snap.failures),
+        ] {
+            counter.fetch_add(value, Ordering::Relaxed);
+        }
+        for (phase, elapsed) in other.spans() {
+            self.end_span(phase, elapsed);
+        }
+        self.metrics.merge_from(&other.metrics);
     }
 
     /// Emits a JSONL event (no-op without an event log). `fields` are

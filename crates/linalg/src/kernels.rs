@@ -97,12 +97,27 @@ pub fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
     }
 }
 
+/// Row block height of the register-tiled matmul kernel.
+const MR: usize = 4;
+/// Column block width of the register-tiled matmul / transposed-matvec
+/// kernels.
+const NR: usize = 8;
+
 /// Matrix × matrix product written into `out` (resized by the kernel,
 /// reusing its capacity).
 ///
-/// Bitwise identical to [`Mat::matmul`]: the `i`/`k` loop order, the
-/// `a[i][k] == 0.0` fast path and the row-wise AXPY accumulation are the
-/// same.
+/// Register-tiled over `MR x NR` output blocks: each block accumulates
+/// its `k`-reduction in a stack array small enough to live in registers,
+/// so every `a`/`b` element in the block is touched once per `k` step
+/// without round-tripping partial sums through memory.
+///
+/// Bitwise identical to the naive row-AXPY kernel (and hence to
+/// [`Mat::matmul`]): tiling only reorders *which output element* is
+/// worked on next — each individual element still accumulates its
+/// products from `0.0` in strictly ascending `k` order, with the same
+/// `a[i][k] == 0.0` fast path. Floating-point addition is applied per
+/// element, so blocking over `i`/`j` cannot change any result bit; only
+/// splitting the `k` reduction could, and this kernel never does.
 ///
 /// # Panics
 ///
@@ -118,17 +133,33 @@ pub fn matmul_into(a: &Mat, b: &Mat, out: &mut Mat) {
         b.cols()
     );
     out.resize_reset(a.rows(), b.cols());
-    let bc = b.cols();
-    for i in 0..a.rows() {
-        let a_row = a.row(i);
-        let out_row = &mut out.as_mut_slice()[i * bc..(i + 1) * bc];
-        for (k, &aik) in a_row.iter().enumerate() {
-            let b_row = b.row(k);
-            if aik == 0.0 {
-                debug_assert_finite(b_row, "matmul zero-skip");
-                continue;
+    let (ar, ac, bc) = (a.rows(), a.cols(), b.cols());
+    for ib in (0..ar).step_by(MR) {
+        let iw = MR.min(ar - ib);
+        let mut a_rows: [&[f64]; MR] = [&[]; MR];
+        for (ii, a_row) in a_rows.iter_mut().enumerate().take(iw) {
+            *a_row = a.row(ib + ii);
+        }
+        for jb in (0..bc).step_by(NR) {
+            let jw = NR.min(bc - jb);
+            let mut acc = [[0.0f64; NR]; MR];
+            for k in 0..ac {
+                let b_blk = &b.row(k)[jb..jb + jw];
+                for (a_row, acc_row) in a_rows.iter().zip(acc.iter_mut()).take(iw) {
+                    let aik = a_row[k];
+                    if aik == 0.0 {
+                        debug_assert_finite(b_blk, "matmul zero-skip");
+                        continue;
+                    }
+                    for (jj, &bkj) in b_blk.iter().enumerate() {
+                        acc_row[jj] += aik * bkj;
+                    }
+                }
             }
-            axpy(out_row, aik, b_row);
+            for (ii, acc_row) in acc.iter().enumerate().take(iw) {
+                let start = (ib + ii) * bc + jb;
+                out.as_mut_slice()[start..start + jw].copy_from_slice(&acc_row[..jw]);
+            }
         }
     }
 }
@@ -149,20 +180,35 @@ pub fn matvec_into(a: &Mat, x: &[f64], out: &mut Vec<f64>) {
 /// without forming `Aᵀ`. Bitwise identical to
 /// [`Mat::matvec_transposed`], including the `x[i] == 0.0` fast path.
 ///
+/// Blocked over `NR`-wide column strips so the partial sums of one strip
+/// accumulate in a stack array (registers) instead of read-modify-write
+/// traffic on `out`. As in [`matmul_into`], blocking only chooses which
+/// output element is worked on next: each `out[j]` still sums its
+/// `x[i] * a[i][j]` terms from `0.0` in strictly ascending `i` order, so
+/// no result bit can change.
+///
 /// # Panics
 ///
 /// Panics if `x.len() != a.rows()`.
 pub fn matvec_transposed_into(a: &Mat, x: &[f64], out: &mut Vec<f64>) {
     assert_eq!(x.len(), a.rows(), "matvec_transposed dimension mismatch");
+    let cols = a.cols();
     out.clear();
-    out.resize(a.cols(), 0.0);
-    for (i, &xi) in x.iter().enumerate() {
-        let row = a.row(i);
-        if xi == 0.0 {
-            debug_assert_finite(row, "matvec_transposed zero-skip");
-            continue;
+    out.resize(cols, 0.0);
+    for jb in (0..cols).step_by(NR) {
+        let jw = NR.min(cols - jb);
+        let mut acc = [0.0f64; NR];
+        for (i, &xi) in x.iter().enumerate() {
+            let row_blk = &a.row(i)[jb..jb + jw];
+            if xi == 0.0 {
+                debug_assert_finite(row_blk, "matvec_transposed zero-skip");
+                continue;
+            }
+            for (jj, &aij) in row_blk.iter().enumerate() {
+                acc[jj] += xi * aij;
+            }
         }
-        axpy(out, xi, row);
+        out[jb..jb + jw].copy_from_slice(&acc[..jw]);
     }
 }
 

@@ -75,6 +75,42 @@ fn bits(v: &[f64]) -> Vec<u64> {
     v.iter().map(|x| x.to_bits()).collect()
 }
 
+/// Strategy: an `m×k` / `k×n` matmul pair plus an `m`-vector, with the
+/// dimensions ranging over sizes that straddle the tiled kernels' 4-row /
+/// 8-column block boundaries (exact multiples, ragged remainders and the
+/// degenerate 1-sized edges). Entry pools are drawn at the maximum size
+/// and truncated to the drawn dimensions, with every fourth entry forced
+/// to an exact zero to exercise the zero-skip fast paths.
+fn ragged_case() -> impl Strategy<Value = (Mat, Mat, Vec<f64>)> {
+    const MAX_M: usize = 9;
+    const MAX_K: usize = 10;
+    const MAX_N: usize = 19;
+    let entries = |len: usize| prop::collection::vec(-10.0f64..10.0, len);
+    (
+        1usize..MAX_M + 1,
+        1usize..MAX_K + 1,
+        1usize..MAX_N + 1,
+        entries(MAX_M * MAX_K),
+        entries(MAX_K * MAX_N),
+        prop::collection::vec(-3.0f64..3.0, MAX_M),
+    )
+        .prop_map(|(m, k, n, da, db, xt)| {
+            let sprinkle = |mut data: Vec<f64>| {
+                for (i, v) in data.iter_mut().enumerate() {
+                    if i % 4 == 0 {
+                        *v = 0.0;
+                    }
+                }
+                data
+            };
+            (
+                Mat::from_vec(m, k, sprinkle(da[..m * k].to_vec())),
+                Mat::from_vec(k, n, sprinkle(db[..k * n].to_vec())),
+                xt[..m].to_vec(),
+            )
+        })
+}
+
 proptest! {
     #[test]
     fn lu_solution_satisfies_system(a in well_conditioned(6), b in rhs(6)) {
@@ -187,6 +223,24 @@ proptest! {
         maopt_linalg::kernels::matvec_into(&a, &x, &mut v);
         prop_assert_eq!(bits(&v), bits(&reference_matvec(&a, &x)));
         let mut vt = vec![-1.0; 2];
+        maopt_linalg::kernels::matvec_transposed_into(&a, &xt, &mut vt);
+        prop_assert_eq!(bits(&vt), bits(&reference_matvec_transposed(&a, &xt)));
+    }
+
+    /// The register-tiled kernels must stay bitwise identical to the
+    /// seed loops on ragged shapes — dimensions straddling the 4-row /
+    /// 8-column tile boundaries, including exact multiples and the
+    /// degenerate 1-sized edges where partial tiles do all the work.
+    #[test]
+    fn tiled_kernels_bitwise_match_seed_on_ragged_shapes(case in ragged_case()) {
+        let (a, b, xt) = case;
+        let mut out = Mat::zeros(0, 0);
+        maopt_linalg::kernels::matmul_into(&a, &b, &mut out);
+        prop_assert_eq!(
+            bits(out.as_slice()),
+            bits(reference_matmul(&a, &b).as_slice())
+        );
+        let mut vt = Vec::new();
         maopt_linalg::kernels::matvec_transposed_into(&a, &xt, &mut vt);
         prop_assert_eq!(bits(&vt), bits(&reference_matvec_transposed(&a, &xt)));
     }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Regenerates the committed bench baselines in results/ from one real
+# bench run on this machine.
+#
+#   scripts/refresh_bench_baselines.sh [--quick]
+#
+# Runs the kernels bench suite once with CRITERION_JSON enabled, then
+# splits the report into the two baseline files CI diffs against:
+#
+#   results/BENCH_kernels_baseline.json   — kernels / mlp / critic groups
+#   results/BENCH_parallel_baseline.json  — gemm_tiled / pool groups
+#
+# Baselines are machine-dependent; refresh them on the machine class CI
+# runs on (or rely on the wide --time-tol the CI jobs pass).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=""
+if [[ "${1:-}" == "--quick" ]]; then
+    quick=1
+fi
+
+tmp=$(mktemp /tmp/bench_kernels.XXXXXX.json)
+trap 'rm -f "$tmp"' EXIT
+
+MAOPT_BENCH_QUICK=${quick} CRITERION_JSON="$tmp" cargo bench -p maopt-bench --bench kernels
+
+# The criterion stub writes one benchmark record per line, so the report
+# can be split into per-group baselines with grep.
+split_groups() {
+    local out=$1
+    shift
+    {
+        echo '{'
+        echo '  "benchmarks": ['
+        local lines
+        lines=$(grep -E "\"name\": \"($(
+            IFS='|'
+            echo "$*"
+        ))/" "$tmp")
+        # Strip the trailing comma of the last record to stay valid JSON.
+        printf '%s\n' "$lines" | sed '$ s/,$//'
+        echo '  ]'
+        echo '}'
+    } >"$out"
+}
+
+split_groups results/BENCH_kernels_baseline.json kernels mlp critic
+split_groups results/BENCH_parallel_baseline.json gemm_tiled pool
+
+echo "wrote results/BENCH_kernels_baseline.json"
+echo "wrote results/BENCH_parallel_baseline.json"
