@@ -20,6 +20,17 @@
 //!   additionally fans the independent repetitions over a second pool, so
 //!   up to `M x N` simulations are in flight. Both default to 1; results
 //!   and journals (timing fields aside) are identical for any setting.
+//! * `--checkpoint-dir DIR`: each run atomically persists its full
+//!   optimizer state to `DIR/<circuit>/<method>/run<r>.ckpt` after every
+//!   round; with `--resume`, runs continue from an existing snapshot, so
+//!   a killed invocation rerun with the same arguments produces journals
+//!   byte-identical (non-timing fields) to an uninterrupted one.
+//! * `--chaos-seed N`: deterministic fault injection — a seeded fraction
+//!   of simulations panic, return NaN metrics, or stall past the engine
+//!   deadline before succeeding on retry. Results stay identical to the
+//!   fault-free run; only the engine fault counters change.
+//! * `--fail-on-faults`: exit nonzero when any evaluation exhausted its
+//!   retry budget (engine `failures` counter), for CI gating.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -31,9 +42,11 @@ use maopt_bench::report::{
 use maopt_bench::runtime_model::RuntimeModel;
 use maopt_bench::{paper_methods, Protocol};
 use maopt_circuits::{LdoRegulator, ThreeStageTia, TwoStageOta};
-use maopt_core::runner::{make_initial_sets_nested, run_method_nested, MethodStats};
-use maopt_core::SizingProblem;
-use maopt_exec::{EvalEngine, SimCache, Telemetry};
+use maopt_core::chaos::ChaoticProblem;
+use maopt_core::runner::{make_initial_sets_nested, run_method_resumable, MethodStats};
+use maopt_core::{RunCheckpointer, SizingProblem};
+use maopt_exec::chaos::ChaosConfig;
+use maopt_exec::{EvalEngine, FaultPolicy, SimCache, Telemetry};
 use maopt_obs::{EngineRecord, Journal, Record};
 
 struct Args {
@@ -44,6 +57,10 @@ struct Args {
     tables_only: bool,
     out: PathBuf,
     journal_dir: Option<PathBuf>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    chaos_seed: Option<u64>,
+    fail_on_faults: bool,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +72,10 @@ fn parse_args() -> Args {
         tables_only: false,
         out: PathBuf::from("results"),
         journal_dir: None,
+        checkpoint_dir: None,
+        resume: false,
+        chaos_seed: None,
+        fail_on_faults: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -110,11 +131,27 @@ fn parse_args() -> Args {
                     it.next().expect("--journal-dir needs a value"),
                 ))
             }
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(PathBuf::from(
+                    it.next().expect("--checkpoint-dir needs a value"),
+                ))
+            }
+            "--resume" => args.resume = true,
+            "--chaos-seed" => {
+                args.chaos_seed = Some(
+                    it.next()
+                        .expect("--chaos-seed needs a value")
+                        .parse()
+                        .expect("chaos-seed"),
+                )
+            }
+            "--fail-on-faults" => args.fail_on_faults = true,
             "--help" | "-h" => {
                 println!(
                     "usage: reproduce [--circuit ota|tia|ldo|all] [--quick] [--runs N] \
                      [--budget N] [--init N] [--seed N] [--jobs N] [--run-jobs N] \
-                     [--tables-only] [--out DIR] [--journal-dir DIR]"
+                     [--tables-only] [--out DIR] [--journal-dir DIR] \
+                     [--checkpoint-dir DIR] [--resume] [--chaos-seed N] [--fail-on-faults]"
                 );
                 std::process::exit(0);
             }
@@ -135,13 +172,31 @@ fn target_scale(circuit: &str) -> (f64, &'static str) {
     }
 }
 
+/// Engine fault policy for chaos runs: enough retries to outlast the
+/// injector's per-design fault budget, and a deadline comfortably above a
+/// real (debug-build) circuit simulation yet below [`CHAOS_STALL`] so only
+/// injected stalls register as timeouts.
+fn chaos_policy() -> FaultPolicy {
+    FaultPolicy {
+        max_retries: 2,
+        deadline: Some(Duration::from_millis(250)),
+        ..FaultPolicy::default()
+    }
+}
+
+/// How long an injected stall sleeps; must exceed the [`chaos_policy`]
+/// deadline.
+const CHAOS_STALL: Duration = Duration::from_millis(500);
+
+/// Runs one circuit's full comparison; returns the number of evaluations
+/// that exhausted their retry budget (for `--fail-on-faults`).
 fn run_circuit(
     key: &str,
     table_no: &str,
     fig_panel: &str,
     problem: &dyn SizingProblem,
     args: &Args,
-) {
+) -> u64 {
     let p = &args.protocol;
     println!(
         "\n==== {} — Table {} / Fig. 5{} ====",
@@ -151,7 +206,7 @@ fn run_circuit(
     );
     println!("{}", param_table(problem));
     if args.tables_only {
-        return;
+        return 0;
     }
 
     println!(
@@ -165,7 +220,11 @@ fn run_circuit(
     // methods ride on earlier ones and skew the measured-runtime column.
     // A second, separate pool fans the independent repetitions out when
     // --run-jobs asks for it (two distinct pools nest without deadlock).
-    let engine = EvalEngine::new(args.jobs).with_telemetry(Arc::new(Telemetry::new()));
+    let mut engine = EvalEngine::new(args.jobs).with_telemetry(Arc::new(Telemetry::new()));
+    if args.chaos_seed.is_some() {
+        engine = engine.with_policy(chaos_policy());
+    }
+    let engine = engine;
     let run_engine = EvalEngine::new(args.run_jobs);
     let t0 = Instant::now();
     let inits =
@@ -196,9 +255,24 @@ fn run_circuit(
                 .collect(),
             None => Vec::new(),
         };
+        // With --checkpoint-dir, run r persists its state after every round
+        // to DIR/<circuit>/<method>/run<r>.ckpt; --resume continues each run
+        // from an existing snapshot instead of restarting it.
+        let ckpts: Vec<RunCheckpointer> = match &args.checkpoint_dir {
+            Some(dir) => {
+                let method_dir = dir.join(key).join(method.name());
+                (0..p.runs)
+                    .map(|r| {
+                        RunCheckpointer::new(method_dir.join(format!("run{r}.ckpt")))
+                            .with_resume(args.resume)
+                    })
+                    .collect()
+            }
+            None => Vec::new(),
+        };
         let spans_before = engine.telemetry().spans();
         let t0 = Instant::now();
-        let stats = run_method_nested(
+        let stats = run_method_resumable(
             method.as_ref(),
             problem,
             &inits,
@@ -208,6 +282,7 @@ fn run_circuit(
             &run_engine,
             &method_engine,
             &journals,
+            &ckpts,
         );
         let elapsed = t0.elapsed();
         if let Some(dir) = &method_dir {
@@ -305,6 +380,13 @@ fn run_circuit(
         snap.cache_hits,
         snap.cache_hits + snap.cache_misses
     );
+    if args.chaos_seed.is_some() {
+        println!(
+            "chaos: {} panics, {} non-finite, {} timeouts absorbed; {} evaluations failed",
+            snap.panics, snap.non_finite, snap.timeouts, snap.failures
+        );
+    }
+    all_stats.iter().map(|s| s.exec.failures).sum()
 }
 
 /// Writes the per-method engine aggregate — span deltas attributable to
@@ -342,17 +424,53 @@ fn write_engine_record(
     }
 }
 
+/// Runs one circuit, wrapped in the fault injector when `--chaos-seed` is
+/// set; returns the circuit's retry-budget-exhausted evaluation count.
+fn dispatch<P: SizingProblem>(
+    key: &str,
+    table_no: &str,
+    fig_panel: &str,
+    problem: P,
+    args: &Args,
+) -> u64 {
+    match args.chaos_seed {
+        Some(seed) => {
+            let chaotic = ChaoticProblem::new(
+                problem,
+                ChaosConfig {
+                    seed,
+                    stall: CHAOS_STALL,
+                    ..ChaosConfig::default()
+                },
+            );
+            let failures = run_circuit(key, table_no, fig_panel, &chaotic, args);
+            let stats = chaotic.stats();
+            println!(
+                "chaos schedule (seed {seed}): {} panics, {} non-finite, {} stalls injected",
+                stats.panics, stats.non_finite, stats.stalls
+            );
+            failures
+        }
+        None => run_circuit(key, table_no, fig_panel, &problem, args),
+    }
+}
+
 fn main() {
     let args = parse_args();
     let t0 = Instant::now();
+    let mut failures = 0u64;
     if matches!(args.circuit.as_str(), "ota" | "all") {
-        run_circuit("ota", "II", "(a)", &TwoStageOta::new(), &args);
+        failures += dispatch("ota", "II", "(a)", TwoStageOta::new(), &args);
     }
     if matches!(args.circuit.as_str(), "tia" | "all") {
-        run_circuit("tia", "IV", "(b)", &ThreeStageTia::new(), &args);
+        failures += dispatch("tia", "IV", "(b)", ThreeStageTia::new(), &args);
     }
     if matches!(args.circuit.as_str(), "ldo" | "all") {
-        run_circuit("ldo", "VI", "(c)", &LdoRegulator::new(), &args);
+        failures += dispatch("ldo", "VI", "(c)", LdoRegulator::new(), &args);
     }
     println!("\ntotal reproduction time: {:?}", t0.elapsed());
+    if args.fail_on_faults && failures > 0 {
+        eprintln!("{failures} evaluations exhausted their retry budget (--fail-on-faults)");
+        std::process::exit(1);
+    }
 }

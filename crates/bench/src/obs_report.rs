@@ -687,10 +687,17 @@ mod tests {
 
     #[test]
     fn load_surfaces_schema_errors_with_location() {
+        // An interior schema violation aborts the load with file + line.
+        // (Only a malformed *final* line is tolerated, as the torn tail a
+        // crash mid-append leaves behind — see `maopt_obs::read_journal`.)
         let dir = tmp_dir("badschema");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.jsonl");
-        std::fs::write(&path, "{\"record\":\"mystery\",\"v\":1}\n").unwrap();
+        std::fs::write(
+            &path,
+            "{\"record\":\"mystery\",\"v\":1}\n{\"record\":\"mystery\",\"v\":1}\n",
+        )
+        .unwrap();
         let err = load_journals(&[path]).unwrap_err();
         assert!(err.contains("bad.jsonl"), "error names the file: {err}");
         assert!(err.contains("line 1"), "error names the line: {err}");

@@ -1,0 +1,799 @@
+//! `maopt-ckpt`: crash-safe checkpointing for MA-Opt runs.
+//!
+//! A [`RunSnapshot`] captures everything an interrupted optimization needs
+//! to continue *bitwise identically* to an uninterrupted run: the RNG
+//! stream position, the simulated population with per-design provenance,
+//! per-actor and critic network weights plus Adam moments, the fitted
+//! output scaler, individual-elite visibility sets, the quantized-key
+//! simulation cache, accumulated engine counters and timings, and the
+//! journal lines written so far (replayed verbatim on resume).
+//!
+//! # On-disk format
+//!
+//! ```text
+//! magic "MAOPTCKP" (8) | version u32 LE | payload_len u64 LE
+//! payload (payload_len bytes) | fnv1a64(payload) u64 LE
+//! ```
+//!
+//! All integers are little-endian `u64`s (or a single `u8` for enums);
+//! floats are stored as `f64::to_bits` so round-trips are exact. Vectors
+//! and strings are length-prefixed. The payload layout is private to this
+//! crate and only promised to round-trip through
+//! [`save_snapshot`]/[`load_snapshot`] at the same [`FORMAT_VERSION`].
+//!
+//! # Durability
+//!
+//! [`save_snapshot`] writes to a sibling temp file, `fsync`s it, renames
+//! over the destination, then `fsync`s the parent directory — so at any
+//! kill point the destination holds either the previous complete snapshot
+//! or the new one, never a torn mix. The checksum catches torn or
+//! bit-flipped files from less well-behaved storage at load time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use maopt_nn::{AdamState, LayerState, MlpState, ScalerState};
+
+/// Current snapshot format version; bumped on any payload layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"MAOPTCKP";
+
+/// One actor network's checkpointed state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActorCkpt {
+    /// Policy network weights.
+    pub mlp: MlpState,
+    /// Its Adam optimizer moments.
+    pub adam: AdamState,
+}
+
+/// One critic's checkpointed state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticCkpt {
+    /// Surrogate network weights.
+    pub net: MlpState,
+    /// Its Adam optimizer moments.
+    pub adam: AdamState,
+    /// The fitted output scaler; `None` before the first fit. Serialized
+    /// rather than refit on resume: near-sampling rounds use the scaler
+    /// fitted in the *previous* actor round, which a refit over the
+    /// restored population would not reproduce.
+    pub scaler: Option<ScalerState>,
+}
+
+/// Full optimizer state at a round boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSnapshot {
+    /// Method label, validated on resume.
+    pub label: String,
+    /// Problem name, validated on resume.
+    pub problem: String,
+    /// Run seed, validated on resume.
+    pub seed: u64,
+    /// Simulation budget, validated on resume.
+    pub budget: u64,
+    /// Initial sample count, validated on resume.
+    pub init_len: u64,
+    /// Rounds completed.
+    pub round: u64,
+    /// Simulations consumed.
+    pub sims_used: u64,
+    /// Whether the critic has been trained at least once.
+    pub critic_ready: bool,
+    /// RNG stream position for the next round.
+    pub rng: [u64; 4],
+    /// Every simulated `(design, metrics)` pair, in population order.
+    pub population: Vec<(Vec<f64>, Vec<f64>)>,
+    /// Provenance of each post-init population entry (1 = actor round,
+    /// 2 = near-sampling round), for trace replay.
+    pub sim_kinds: Vec<u8>,
+    /// Individual-elite visibility sets (empty under a shared elite set).
+    pub visible: Vec<Vec<u64>>,
+    /// The previous round's representative elite designs (journal-only
+    /// refresh-rate state).
+    pub prev_elite: Vec<Vec<f64>>,
+    /// Per-actor network + optimizer state.
+    pub actors: Vec<ActorCkpt>,
+    /// Per-critic network + optimizer + scaler state.
+    pub critics: Vec<CriticCkpt>,
+    /// Simulation cache entries (quantized key → metrics).
+    pub cache: Vec<(Vec<i64>, Vec<f64>)>,
+    /// Engine counters accumulated since run start, in telemetry order:
+    /// sims, cache hits, cache misses, retries, panics, timeouts,
+    /// non-finite, failures.
+    pub counters: [u64; 8],
+    /// Accumulated timings in seconds: total, training, simulation,
+    /// near-sampling.
+    pub timings: [f64; 4],
+    /// Journal lines written so far, replayed verbatim on resume.
+    pub journal_lines: Vec<String>,
+}
+
+/// Why a snapshot failed to save or load.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file is not a valid snapshot (bad magic, wrong version, short
+    /// read, checksum mismatch, or malformed payload).
+    Corrupt(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CkptError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over a byte slice.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------- codec
+
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn vec_f64(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+    fn vec_i64(&mut self, v: &[i64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.i64(x);
+        }
+    }
+    fn vec_u64(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u64(x);
+        }
+    }
+}
+
+struct Dec<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+type DecResult<T> = Result<T, CkptError>;
+
+impl<'a> Dec<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Dec { b, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> DecResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.b.len())
+            .ok_or_else(|| CkptError::Corrupt(format!("payload truncated at byte {}", self.pos)))?;
+        let s = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> DecResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u64(&mut self) -> DecResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn i64(&mut self) -> DecResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn f64(&mut self) -> DecResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn bool(&mut self) -> DecResult<bool> {
+        Ok(self.u8()? != 0)
+    }
+    /// Bounds a claimed element count by the bytes actually remaining, so
+    /// a corrupt length prefix errors instead of attempting a huge
+    /// allocation.
+    fn len(&mut self, elem_bytes: usize) -> DecResult<usize> {
+        let n = self.u64()?;
+        let remaining = (self.b.len() - self.pos) as u64;
+        if n.saturating_mul(elem_bytes.max(1) as u64) > remaining {
+            return Err(CkptError::Corrupt(format!(
+                "length prefix {n} exceeds remaining payload"
+            )));
+        }
+        Ok(n as usize)
+    }
+    fn str(&mut self) -> DecResult<String> {
+        let n = self.len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CkptError::Corrupt("non-UTF-8 string".into()))
+    }
+    fn vec_f64(&mut self) -> DecResult<Vec<f64>> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+    fn vec_i64(&mut self) -> DecResult<Vec<i64>> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.i64()).collect()
+    }
+    fn vec_u64(&mut self) -> DecResult<Vec<u64>> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+    fn done(&self) -> DecResult<()> {
+        if self.pos == self.b.len() {
+            Ok(())
+        } else {
+            Err(CkptError::Corrupt(format!(
+                "{} trailing payload bytes",
+                self.b.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn enc_mlp(e: &mut Enc, m: &MlpState) {
+    e.u64(m.layers.len() as u64);
+    for l in &m.layers {
+        e.u64(l.inputs as u64);
+        e.u64(l.outputs as u64);
+        e.vec_f64(&l.weights);
+        e.vec_f64(&l.bias);
+    }
+}
+
+fn dec_mlp(d: &mut Dec<'_>) -> DecResult<MlpState> {
+    let n = d.len(24)?;
+    let mut layers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let inputs = d.u64()? as usize;
+        let outputs = d.u64()? as usize;
+        let weights = d.vec_f64()?;
+        let bias = d.vec_f64()?;
+        if weights.len() != inputs * outputs || bias.len() != outputs {
+            return Err(CkptError::Corrupt("layer shape/parameter mismatch".into()));
+        }
+        layers.push(LayerState {
+            inputs,
+            outputs,
+            weights,
+            bias,
+        });
+    }
+    Ok(MlpState { layers })
+}
+
+fn enc_adam(e: &mut Enc, a: &AdamState) {
+    e.u64(a.t);
+    e.vec_f64(&a.m);
+    e.vec_f64(&a.v);
+}
+
+fn dec_adam(d: &mut Dec<'_>) -> DecResult<AdamState> {
+    Ok(AdamState {
+        t: d.u64()?,
+        m: d.vec_f64()?,
+        v: d.vec_f64()?,
+    })
+}
+
+fn encode(s: &RunSnapshot) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.str(&s.label);
+    e.str(&s.problem);
+    e.u64(s.seed);
+    e.u64(s.budget);
+    e.u64(s.init_len);
+    e.u64(s.round);
+    e.u64(s.sims_used);
+    e.bool(s.critic_ready);
+    for w in s.rng {
+        e.u64(w);
+    }
+    e.u64(s.population.len() as u64);
+    for (x, m) in &s.population {
+        e.vec_f64(x);
+        e.vec_f64(m);
+    }
+    e.u64(s.sim_kinds.len() as u64);
+    for &k in &s.sim_kinds {
+        e.u8(k);
+    }
+    e.u64(s.visible.len() as u64);
+    for v in &s.visible {
+        e.vec_u64(v);
+    }
+    e.u64(s.prev_elite.len() as u64);
+    for x in &s.prev_elite {
+        e.vec_f64(x);
+    }
+    e.u64(s.actors.len() as u64);
+    for a in &s.actors {
+        enc_mlp(&mut e, &a.mlp);
+        enc_adam(&mut e, &a.adam);
+    }
+    e.u64(s.critics.len() as u64);
+    for c in &s.critics {
+        enc_mlp(&mut e, &c.net);
+        enc_adam(&mut e, &c.adam);
+        match &c.scaler {
+            None => e.bool(false),
+            Some(sc) => {
+                e.bool(true);
+                e.vec_f64(&sc.mins);
+                e.vec_f64(&sc.ranges);
+            }
+        }
+    }
+    e.u64(s.cache.len() as u64);
+    for (k, v) in &s.cache {
+        e.vec_i64(k);
+        e.vec_f64(v);
+    }
+    for c in s.counters {
+        e.u64(c);
+    }
+    for t in s.timings {
+        e.f64(t);
+    }
+    e.u64(s.journal_lines.len() as u64);
+    for line in &s.journal_lines {
+        e.str(line);
+    }
+    e.buf
+}
+
+fn decode(payload: &[u8]) -> DecResult<RunSnapshot> {
+    let mut d = Dec::new(payload);
+    let label = d.str()?;
+    let problem = d.str()?;
+    let seed = d.u64()?;
+    let budget = d.u64()?;
+    let init_len = d.u64()?;
+    let round = d.u64()?;
+    let sims_used = d.u64()?;
+    let critic_ready = d.bool()?;
+    let mut rng = [0u64; 4];
+    for w in &mut rng {
+        *w = d.u64()?;
+    }
+    let n = d.len(16)?;
+    let mut population = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = d.vec_f64()?;
+        let m = d.vec_f64()?;
+        population.push((x, m));
+    }
+    let n = d.len(1)?;
+    let mut sim_kinds = Vec::with_capacity(n);
+    for _ in 0..n {
+        sim_kinds.push(d.u8()?);
+    }
+    let n = d.len(8)?;
+    let mut visible = Vec::with_capacity(n);
+    for _ in 0..n {
+        visible.push(d.vec_u64()?);
+    }
+    let n = d.len(8)?;
+    let mut prev_elite = Vec::with_capacity(n);
+    for _ in 0..n {
+        prev_elite.push(d.vec_f64()?);
+    }
+    let n = d.len(8)?;
+    let mut actors = Vec::with_capacity(n);
+    for _ in 0..n {
+        actors.push(ActorCkpt {
+            mlp: dec_mlp(&mut d)?,
+            adam: dec_adam(&mut d)?,
+        });
+    }
+    let n = d.len(8)?;
+    let mut critics = Vec::with_capacity(n);
+    for _ in 0..n {
+        let net = dec_mlp(&mut d)?;
+        let adam = dec_adam(&mut d)?;
+        let scaler = if d.bool()? {
+            Some(ScalerState {
+                mins: d.vec_f64()?,
+                ranges: d.vec_f64()?,
+            })
+        } else {
+            None
+        };
+        critics.push(CriticCkpt { net, adam, scaler });
+    }
+    let n = d.len(16)?;
+    let mut cache = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = d.vec_i64()?;
+        let v = d.vec_f64()?;
+        cache.push((k, v));
+    }
+    let mut counters = [0u64; 8];
+    for c in &mut counters {
+        *c = d.u64()?;
+    }
+    let mut timings = [0f64; 4];
+    for t in &mut timings {
+        *t = d.f64()?;
+    }
+    let n = d.len(8)?;
+    let mut journal_lines = Vec::with_capacity(n);
+    for _ in 0..n {
+        journal_lines.push(d.str()?);
+    }
+    d.done()?;
+    Ok(RunSnapshot {
+        label,
+        problem,
+        seed,
+        budget,
+        init_len,
+        round,
+        sims_used,
+        critic_ready,
+        rng,
+        population,
+        sim_kinds,
+        visible,
+        prev_elite,
+        actors,
+        critics,
+        cache,
+        counters,
+        timings,
+        journal_lines,
+    })
+}
+
+// ------------------------------------------------------------ file I/O
+
+/// Atomically persists a snapshot: write a sibling temp file, `fsync` it,
+/// rename over `path`, `fsync` the parent directory. After any kill point
+/// `path` holds either the previous complete snapshot or this one.
+///
+/// # Errors
+///
+/// Propagates filesystem failures as [`CkptError::Io`].
+pub fn save_snapshot(path: &Path, snap: &RunSnapshot) -> Result<(), CkptError> {
+    let payload = encode(snap);
+    let mut bytes = Vec::with_capacity(28 + payload.len());
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+
+    let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = parent {
+        fs::create_dir_all(dir)?;
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| CkptError::Corrupt("checkpoint path has no file name".into()))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+
+    let mut f = File::create(&tmp)?;
+    f.write_all(&bytes)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = parent {
+        // Make the rename itself durable. Directory fsync is unsupported
+        // on some filesystems; a snapshot then still lands atomically,
+        // just with slightly weaker crash-ordering, so errors are ignored.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Loads and checksum-verifies a snapshot written by [`save_snapshot`].
+///
+/// # Errors
+///
+/// [`CkptError::Io`] on filesystem failure; [`CkptError::Corrupt`] on bad
+/// magic, unsupported version, truncation, checksum mismatch, or a
+/// malformed payload.
+pub fn load_snapshot(path: &Path) -> Result<RunSnapshot, CkptError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 28 {
+        return Err(CkptError::Corrupt(format!(
+            "file too short ({} bytes)",
+            bytes.len()
+        )));
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(CkptError::Corrupt("bad magic".into()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4"));
+    if version != FORMAT_VERSION {
+        return Err(CkptError::Corrupt(format!(
+            "format version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8")) as usize;
+    let expected_total = 28usize
+        .checked_add(payload_len)
+        .ok_or_else(|| CkptError::Corrupt("payload length overflow".into()))?;
+    if bytes.len() != expected_total {
+        return Err(CkptError::Corrupt(format!(
+            "payload length {payload_len} disagrees with file size {}",
+            bytes.len()
+        )));
+    }
+    let payload = &bytes[20..20 + payload_len];
+    let stored = u64::from_le_bytes(bytes[20 + payload_len..].try_into().expect("8"));
+    let actual = fnv1a(payload);
+    if stored != actual {
+        return Err(CkptError::Corrupt(format!(
+            "checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
+        )));
+    }
+    decode(payload)
+}
+
+/// [`load_snapshot`] that maps a missing file to `Ok(None)` — the normal
+/// "first run, nothing to resume" case.
+///
+/// # Errors
+///
+/// As [`load_snapshot`], except `NotFound` which becomes `Ok(None)`.
+pub fn load_if_exists(path: &Path) -> Result<Option<RunSnapshot>, CkptError> {
+    match load_snapshot(path) {
+        Ok(s) => Ok(Some(s)),
+        Err(CkptError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("maopt-ckpt-{}-{name}", std::process::id()))
+    }
+
+    fn sample() -> RunSnapshot {
+        let mlp = MlpState {
+            layers: vec![
+                LayerState {
+                    inputs: 2,
+                    outputs: 3,
+                    weights: vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6],
+                    bias: vec![0.0, 0.25, -0.125],
+                },
+                LayerState {
+                    inputs: 3,
+                    outputs: 1,
+                    weights: vec![1.0, -1.0, 2.0],
+                    bias: vec![f64::MIN_POSITIVE],
+                },
+            ],
+        };
+        let adam = AdamState {
+            t: 42,
+            m: vec![0.5; 10],
+            v: vec![0.25; 10],
+        };
+        RunSnapshot {
+            label: "MA-Opt".into(),
+            problem: "ota-τ".into(), // non-ASCII exercises UTF-8 strings
+            seed: 7,
+            budget: 100,
+            init_len: 20,
+            round: 5,
+            sims_used: 35,
+            critic_ready: true,
+            rng: [1, u64::MAX, 3, 0],
+            population: vec![
+                (vec![0.5, 0.25], vec![1.0, f64::INFINITY, f64::NAN]),
+                (vec![0.1, 0.9], vec![-3.5, 0.0, 2.0]),
+            ],
+            sim_kinds: vec![1, 1, 2],
+            visible: vec![vec![0, 1, 2], vec![0, 7]],
+            prev_elite: vec![vec![0.5, 0.25]],
+            actors: vec![ActorCkpt {
+                mlp: mlp.clone(),
+                adam: adam.clone(),
+            }],
+            critics: vec![
+                CriticCkpt {
+                    net: mlp.clone(),
+                    adam: adam.clone(),
+                    scaler: Some(ScalerState {
+                        mins: vec![-1.0, 0.0],
+                        ranges: vec![2.0, 0.0],
+                    }),
+                },
+                CriticCkpt {
+                    net: mlp,
+                    adam,
+                    scaler: None,
+                },
+            ],
+            cache: vec![(vec![500_000_000_000, i64::MIN], vec![1.5, 2.5])],
+            counters: [35, 3, 32, 2, 1, 0, 1, 0],
+            timings: [1.5, 0.75, 0.5, 0.125],
+            journal_lines: vec!["{\"kind\":\"manifest\"}".into(), "{\"round\":1}".into()],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact_including_nonfinite_floats() {
+        let path = tmp_path("roundtrip.ckpt");
+        let snap = sample();
+        save_snapshot(&path, &snap).unwrap();
+        let back = load_snapshot(&path).unwrap();
+        // NaN breaks PartialEq; compare via bit-exact debug formatting
+        // field by field around it, then the rest structurally.
+        assert_eq!(back.population[0].1[2].to_bits(), f64::NAN.to_bits());
+        let mut a = snap.clone();
+        let mut b = back.clone();
+        a.population[0].1[2] = 0.0;
+        b.population[0].1[2] = 0.0;
+        assert_eq!(a, b);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_is_atomic_over_an_existing_snapshot() {
+        let path = tmp_path("atomic.ckpt");
+        let first = sample();
+        save_snapshot(&path, &first).unwrap();
+        let mut second = sample();
+        second.round = 6;
+        second.journal_lines.push("{\"round\":6}".into());
+        save_snapshot(&path, &second).unwrap();
+        assert_eq!(load_snapshot(&path).unwrap().round, 6);
+        // No temp residue.
+        let tmp = path.with_file_name(format!(
+            "{}.tmp",
+            path.file_name().unwrap().to_string_lossy()
+        ));
+        assert!(!tmp.exists(), "temp file must be renamed away");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn every_truncation_is_detected_never_panics() {
+        let path = tmp_path("trunc.ckpt");
+        save_snapshot(&path, &sample()).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            let p = tmp_path("trunc-cut.ckpt");
+            fs::write(&p, &bytes[..cut]).unwrap();
+            match load_snapshot(&p) {
+                Err(CkptError::Corrupt(_)) => {}
+                Ok(_) => panic!("truncation to {cut} bytes must not verify"),
+                Err(CkptError::Io(e)) => panic!("unexpected io error: {e}"),
+            }
+            let _ = fs::remove_file(&p);
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn every_single_byte_flip_in_payload_is_detected() {
+        let path = tmp_path("flip.ckpt");
+        save_snapshot(&path, &sample()).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        // Flip one byte in the payload region; checksum must catch all.
+        for pos in (20..bytes.len() - 8).step_by(7) {
+            let mut mangled = bytes.clone();
+            mangled[pos] ^= 0xA5;
+            let p = tmp_path("flip-one.ckpt");
+            fs::write(&p, &mangled).unwrap();
+            assert!(
+                matches!(load_snapshot(&p), Err(CkptError::Corrupt(_))),
+                "flip at byte {pos} must fail the checksum"
+            );
+            let _ = fs::remove_file(&p);
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let path = tmp_path("magic.ckpt");
+        save_snapshot(&path, &sample()).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(CkptError::Corrupt(msg)) if msg.contains("magic")
+        ));
+        bytes[0] = b'M';
+        bytes[8] = 99;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(CkptError::Corrupt(msg)) if msg.contains("version")
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_if_exists_maps_missing_to_none() {
+        assert!(load_if_exists(&tmp_path("nonexistent.ckpt"))
+            .unwrap()
+            .is_none());
+        let path = tmp_path("exists.ckpt");
+        save_snapshot(&path, &sample()).unwrap();
+        assert!(load_if_exists(&path).unwrap().is_some());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_length_prefix_errors_without_huge_allocation() {
+        // A payload whose first vector claims u64::MAX elements.
+        let mut e = Enc::default();
+        e.u64(u64::MAX); // label "length"
+        let payload = e.buf;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        let path = tmp_path("hugelen.ckpt");
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(CkptError::Corrupt(msg)) if msg.contains("length prefix")
+        ));
+        let _ = fs::remove_file(&path);
+    }
+}

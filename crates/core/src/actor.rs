@@ -48,6 +48,21 @@ impl Actor {
         self.dim
     }
 
+    /// Captures network weights and optimizer moments for checkpointing.
+    pub(crate) fn ckpt_dump(&self) -> maopt_ckpt::ActorCkpt {
+        maopt_ckpt::ActorCkpt {
+            mlp: self.mlp.state(),
+            adam: self.adam.state(),
+        }
+    }
+
+    /// Restores state captured by [`Actor::ckpt_dump`] into an actor of
+    /// the same architecture.
+    pub(crate) fn ckpt_restore(&mut self, state: &maopt_ckpt::ActorCkpt) {
+        self.mlp.restore(&state.mlp);
+        self.adam.restore(&state.adam);
+    }
+
     /// Proposes an action `Δx` for a single state.
     pub fn act(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.dim, "state length mismatch");

@@ -1,0 +1,166 @@
+//! Core-side face of the engine's fault-injection (chaos) layer: a
+//! [`SizingProblem`] wrapper whose evaluations panic, return non-finite
+//! metrics or stall past the engine deadline on the deterministic
+//! per-design schedule of [`maopt_exec::chaos::ChaosProblem`].
+//!
+//! The schedule is a pure function of the chaos seed and the design
+//! vector, so a reference run, an interrupted run and its resumed
+//! continuation — each with its own fresh [`ChaoticProblem`] instance —
+//! all inject identical faults. Only the per-design attempt state is
+//! in-memory; pair the wrapper with an engine [`maopt_exec::SimCache`] so
+//! designs simulated before a crash never re-enter the injector.
+
+use maopt_exec::chaos::{ChaosConfig, ChaosProblem, ChaosStats};
+use maopt_exec::Evaluate;
+
+use crate::problem::{ParamSpec, SizingProblem, Spec};
+
+/// Adapter exposing an owned [`SizingProblem`] to the engine's
+/// [`Evaluate`] trait (the borrowing [`crate::EngineProblem`] cannot sit
+/// inside an owning wrapper).
+#[derive(Debug)]
+pub struct ProblemEval<P>(pub P);
+
+impl<P: SizingProblem> Evaluate for ProblemEval<P> {
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        self.0.evaluate(x)
+    }
+
+    fn num_metrics(&self) -> usize {
+        self.0.num_metrics()
+    }
+
+    fn failure_metrics(&self) -> Vec<f64> {
+        self.0.failure_metrics()
+    }
+
+    fn is_failure(&self, metrics: &[f64]) -> bool {
+        self.0.is_failure(metrics)
+    }
+}
+
+/// A [`SizingProblem`] with seeded fault injection on every evaluation.
+///
+/// All problem metadata (name, parameters, specs, failure handling)
+/// passes straight through to the wrapped problem; only
+/// [`SizingProblem::evaluate`] goes through the injector, which may panic,
+/// return all-NaN metrics, or sleep past the engine's deadline for the
+/// first [`ChaosConfig::faults_per_design`] attempts of each scheduled
+/// design. Run it on an engine whose
+/// [`maopt_exec::FaultPolicy::max_retries`] covers that budget (and whose
+/// deadline is shorter than [`ChaosConfig::stall`]) and every run
+/// completes with exact, reproducible fault counters.
+#[derive(Debug)]
+pub struct ChaoticProblem<P> {
+    chaos: ChaosProblem<ProblemEval<P>>,
+}
+
+impl<P: SizingProblem> ChaoticProblem<P> {
+    /// Wraps `problem` with the given fault schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a rate is outside `[0, 1]` or the rates sum past 1.
+    pub fn new(problem: P, config: ChaosConfig) -> Self {
+        ChaoticProblem {
+            chaos: ChaosProblem::new(ProblemEval(problem), config),
+        }
+    }
+
+    /// Counts of faults injected so far.
+    pub fn stats(&self) -> ChaosStats {
+        self.chaos.stats()
+    }
+
+    /// The schedule in effect.
+    pub fn config(&self) -> ChaosConfig {
+        self.chaos.config()
+    }
+
+    /// The wrapped problem.
+    pub fn inner(&self) -> &P {
+        &self.chaos.inner().0
+    }
+}
+
+impl<P: SizingProblem> SizingProblem for ChaoticProblem<P> {
+    fn name(&self) -> &str {
+        self.inner().name()
+    }
+
+    fn params(&self) -> &[ParamSpec] {
+        self.inner().params()
+    }
+
+    fn metric_names(&self) -> Vec<String> {
+        self.inner().metric_names()
+    }
+
+    fn specs(&self) -> &[Spec] {
+        self.inner().specs()
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        Evaluate::evaluate(&self.chaos, x)
+    }
+
+    fn failure_metrics(&self) -> Vec<f64> {
+        self.inner().failure_metrics()
+    }
+
+    fn is_failure(&self, metrics: &[f64]) -> bool {
+        self.inner().is_failure(metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use maopt_exec::{EvalEngine, FaultPolicy};
+
+    use super::*;
+    use crate::problems::Sphere;
+
+    #[test]
+    fn metadata_passes_through_and_faults_are_injected() {
+        let chaotic = ChaoticProblem::new(
+            Sphere::new(3),
+            ChaosConfig {
+                seed: 4,
+                panic_rate: 0.5,
+                non_finite_rate: 0.3,
+                stall_rate: 0.0,
+                stall: Duration::ZERO,
+                faults_per_design: 1,
+            },
+        );
+        assert_eq!(chaotic.name(), Sphere::new(3).name());
+        assert_eq!(chaotic.dim(), 3);
+        assert_eq!(
+            SizingProblem::num_metrics(&chaotic),
+            SizingProblem::num_metrics(&Sphere::new(3))
+        );
+
+        let engine = EvalEngine::serial().with_policy(FaultPolicy {
+            max_retries: 1,
+            ..FaultPolicy::default()
+        });
+        let target = crate::EngineProblem(&chaotic);
+        let clean = Sphere::new(3);
+        for i in 0..40 {
+            let x = vec![i as f64 / 40.0; 3];
+            assert_eq!(
+                engine.evaluate_one(&target, &x),
+                SizingProblem::evaluate(&clean, &x),
+                "retries must recover the clean metrics"
+            );
+        }
+        let stats = chaotic.stats();
+        assert!(stats.total() > 0, "rates 0.8 over 40 designs must fire");
+        let snap = engine.telemetry().snapshot();
+        assert_eq!(snap.panics, stats.panics);
+        assert_eq!(snap.non_finite, stats.non_finite);
+        assert_eq!(snap.failures, 0);
+    }
+}

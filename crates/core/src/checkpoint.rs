@@ -1,0 +1,93 @@
+//! Per-run checkpoint policy: where snapshots go, whether to resume from
+//! one, and (for crash testing) when to halt.
+
+use std::path::{Path, PathBuf};
+
+use maopt_ckpt::{load_if_exists, save_snapshot, RunSnapshot};
+
+/// Checkpoint configuration for one optimization run.
+///
+/// Passed to [`crate::MaOpt::run_resumable`]; the optimizer saves an
+/// atomic [`RunSnapshot`] to [`RunCheckpointer::path`] after every
+/// completed round, and — when [`RunCheckpointer::with_resume`] is set —
+/// restores from an existing snapshot before the first round, continuing
+/// bitwise identically to an uninterrupted run.
+#[derive(Debug, Clone)]
+pub struct RunCheckpointer {
+    path: PathBuf,
+    resume: bool,
+    halt_after_round: Option<usize>,
+}
+
+impl RunCheckpointer {
+    /// Checkpoints to `path` (one file per run, atomically overwritten
+    /// each round), without resuming.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        RunCheckpointer {
+            path: path.into(),
+            resume: false,
+            halt_after_round: None,
+        }
+    }
+
+    /// Whether to restore from an existing snapshot at `path` before the
+    /// first round. With no snapshot on disk the run starts fresh.
+    #[must_use]
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Deterministic in-process crash simulation: return from the run
+    /// right after durably saving the checkpoint of round `round`,
+    /// without writing the run-end record — exactly the state a `SIGKILL`
+    /// between rounds leaves behind.
+    #[must_use]
+    pub fn with_halt_after_round(mut self, round: usize) -> Self {
+        self.halt_after_round = Some(round);
+        self
+    }
+
+    /// The snapshot file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether resume was requested.
+    pub fn resume(&self) -> bool {
+        self.resume
+    }
+
+    pub(crate) fn halt_after_round(&self) -> Option<usize> {
+        self.halt_after_round
+    }
+
+    /// The snapshot to resume from, if resuming was requested and one
+    /// exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot exists but fails checksum or schema
+    /// validation — resuming from corrupt state would silently diverge,
+    /// so it is refused loudly. (The atomic save protocol makes this
+    /// unreachable short of external file damage.)
+    pub(crate) fn load_for_resume(&self) -> Option<RunSnapshot> {
+        if !self.resume {
+            return None;
+        }
+        load_if_exists(&self.path)
+            .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", self.path.display()))
+    }
+
+    /// Durably saves `snap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot cannot be persisted: continuing would let
+    /// the run silently outpace its last durable state, breaking the
+    /// crash-recovery contract the caller asked for.
+    pub(crate) fn save(&self, snap: &RunSnapshot) {
+        save_snapshot(&self.path, snap)
+            .unwrap_or_else(|e| panic!("cannot checkpoint to {}: {e}", self.path.display()));
+    }
+}

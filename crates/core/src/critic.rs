@@ -104,6 +104,26 @@ impl Critic {
         self.scaler.as_ref().expect("critic scaler not fitted yet")
     }
 
+    /// Captures weights, optimizer moments and the fitted scaler for
+    /// checkpointing. The scaler travels with the network because
+    /// near-sampling rounds predict through the scaler fitted in the
+    /// *previous* actor round — refitting on resume would diverge.
+    pub(crate) fn ckpt_dump(&self) -> maopt_ckpt::CriticCkpt {
+        maopt_ckpt::CriticCkpt {
+            net: self.mlp.state(),
+            adam: self.adam.state(),
+            scaler: self.scaler.as_ref().map(MinMaxScaler::state),
+        }
+    }
+
+    /// Restores state captured by [`Critic::ckpt_dump`] into a critic of
+    /// the same architecture.
+    pub(crate) fn ckpt_restore(&mut self, state: &maopt_ckpt::CriticCkpt) {
+        self.mlp.restore(&state.net);
+        self.adam.restore(&state.adam);
+        self.scaler = state.scaler.as_ref().map(MinMaxScaler::from_state);
+    }
+
     /// Refits the output scaler to the population's metric ranges. Call once
     /// per optimization iteration before training.
     pub fn refit_scaler(&mut self, pop: &Population) {
@@ -305,6 +325,27 @@ impl CriticEnsemble {
     /// Total trainable parameter count — the memory cost the paper cites.
     pub fn param_count(&self) -> usize {
         self.members.iter().map(|c| c.mlp.param_count()).sum()
+    }
+
+    /// Captures every member's checkpoint state, in member order.
+    pub(crate) fn ckpt_dump(&self) -> Vec<maopt_ckpt::CriticCkpt> {
+        self.members.iter().map(Critic::ckpt_dump).collect()
+    }
+
+    /// Restores state captured by [`CriticEnsemble::ckpt_dump`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the member count disagrees with this ensemble.
+    pub(crate) fn ckpt_restore(&mut self, states: &[maopt_ckpt::CriticCkpt]) {
+        assert_eq!(
+            states.len(),
+            self.members.len(),
+            "checkpointed critic count does not match ensemble"
+        );
+        for (member, state) in self.members.iter_mut().zip(states) {
+            member.ckpt_restore(state);
+        }
     }
 
     /// Refits every member's output scaler.

@@ -35,6 +35,8 @@
 
 mod actor;
 pub mod baselines;
+pub mod chaos;
+mod checkpoint;
 mod critic;
 mod elite;
 pub mod export;
@@ -48,6 +50,7 @@ pub mod runner;
 pub mod trace;
 
 pub use actor::Actor;
+pub use checkpoint::RunCheckpointer;
 pub use critic::{Critic, CriticEnsemble, Surrogate};
 pub use elite::EliteSet;
 pub use fom::{fom, is_feasible, spec_violations, FomConfig};

@@ -13,7 +13,8 @@
 
 use std::time::{Duration, Instant};
 
-use maopt_exec::EvalEngine;
+use maopt_ckpt::RunSnapshot;
+use maopt_exec::{CounterSnapshot, EvalEngine};
 use maopt_obs::json::Json;
 use maopt_obs::{
     ActorRound, EliteStats, Journal, Manifest, NearSamplingRecord, Record, RoundRecord, RunEnd,
@@ -22,6 +23,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::actor::Actor;
+use crate::checkpoint::RunCheckpointer;
 use crate::critic::{CriticEnsemble, Surrogate};
 use crate::elite::EliteSet;
 use crate::fom::FomConfig;
@@ -281,6 +283,34 @@ impl MaOpt {
         engine: &EvalEngine,
         journal: &Journal,
     ) -> RunResult {
+        self.run_resumable(problem, init, budget, engine, journal, None)
+    }
+
+    /// [`MaOpt::run_observed`] with crash-safe checkpointing: with a
+    /// [`RunCheckpointer`], the full optimizer state — RNG stream
+    /// position, simulated population with trace provenance, per-actor
+    /// and critic weights plus Adam moments, the fitted output scaler,
+    /// elite bookkeeping, the simulation cache and the journal lines
+    /// written so far — is atomically persisted after every completed
+    /// round. With resume enabled, a run killed at any instant continues
+    /// from its last durable round and produces a journal byte-identical
+    /// to an uninterrupted run on every non-timing field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` is empty, if a snapshot cannot be persisted or a
+    /// corrupt one is resumed from, or if a resumed snapshot disagrees
+    /// with this configuration (label, seed, budget, problem, actor or
+    /// critic count, or the initial sample set).
+    pub fn run_resumable(
+        &self,
+        problem: &dyn SizingProblem,
+        init: Vec<(Vec<f64>, Vec<f64>)>,
+        budget: usize,
+        engine: &EvalEngine,
+        journal: &Journal,
+        ckpt: Option<&RunCheckpointer>,
+    ) -> RunResult {
         assert!(
             !init.is_empty(),
             "MA-Opt needs a non-empty initial sample set"
@@ -294,32 +324,11 @@ impl MaOpt {
         let m1 = problem.num_metrics();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
 
+        let init_len = init.len();
         let mut pop = Population::new();
         let mut trace = Trace::new();
-        for (x, metrics) in init {
-            let idx = pop.push(x, metrics, &specs, cfg.fom);
-            trace.record_init(pop.fom(idx), pop.feasible(idx), pop.metrics(idx)[0]);
-        }
-        let init_len = pop.len();
 
-        if journal.enabled() {
-            let (version, build) = Manifest::build_info();
-            journal.write(&Record::Manifest(Manifest {
-                label: cfg.label.clone(),
-                problem: problem.name().to_string(),
-                dim: d,
-                num_metrics: m1,
-                seed: cfg.seed,
-                budget,
-                init_size: init_len,
-                jobs: engine.jobs(),
-                version,
-                build,
-                config: config_json(cfg),
-            }));
-        }
-
-        // Networks.
+        // Networks (freshly constructed; overwritten below on resume).
         let mut critic = CriticEnsemble::new(
             cfg.n_critics,
             d,
@@ -352,6 +361,122 @@ impl MaOpt {
         // round's representative elite designs (for the refresh rate).
         let run_counters = engine.telemetry().snapshot();
         let mut prev_elite: Vec<Vec<f64>> = Vec::new();
+
+        // Checkpoint bookkeeping: every journal line written so far (the
+        // snapshot carries them; resume replays them verbatim so the
+        // resumed journal is byte-identical), plus counter/timing bases
+        // accumulated by the run's previous life.
+        let mut journal_lines: Vec<String> = Vec::new();
+        let mut counters_base = CounterSnapshot::default();
+        let mut total_base = Duration::ZERO;
+
+        if let Some(snap) = ckpt.and_then(|c| c.load_for_resume()) {
+            assert_eq!(snap.label, cfg.label, "checkpoint label mismatch");
+            assert_eq!(snap.problem, problem.name(), "checkpoint problem mismatch");
+            assert_eq!(snap.seed, cfg.seed, "checkpoint seed mismatch");
+            assert_eq!(snap.budget as usize, budget, "checkpoint budget mismatch");
+            assert_eq!(
+                snap.init_len as usize, init_len,
+                "checkpoint initial-set size mismatch"
+            );
+            assert_eq!(
+                snap.sim_kinds.len(),
+                snap.population.len() - init_len,
+                "checkpoint provenance does not cover its population"
+            );
+            for (i, (x, _)) in init.iter().enumerate() {
+                assert_eq!(
+                    &snap.population[i].0, x,
+                    "checkpoint initial design {i} disagrees with the provided initial set"
+                );
+            }
+            // Replay the population through the normal push path so FoM
+            // and feasibility are recomputed exactly as during the run.
+            for (i, (x, metrics)) in snap.population.iter().enumerate() {
+                let idx = pop.push(x.clone(), metrics.clone(), &specs, cfg.fom);
+                if i < init_len {
+                    trace.record_init(pop.fom(idx), pop.feasible(idx), pop.metrics(idx)[0]);
+                } else {
+                    let kind = match snap.sim_kinds[i - init_len] {
+                        1 => SimKind::Actor,
+                        2 => SimKind::NearSample,
+                        k => panic!("checkpoint records unknown simulation kind {k}"),
+                    };
+                    trace.record(kind, pop.fom(idx), pop.feasible(idx), pop.metrics(idx)[0]);
+                }
+            }
+            rng = StdRng::from_state(snap.rng);
+            assert_eq!(
+                snap.actors.len(),
+                actors.len(),
+                "checkpointed actor count does not match configuration"
+            );
+            for (actor, state) in actors.iter_mut().zip(&snap.actors) {
+                actor.ckpt_restore(state);
+            }
+            critic.ckpt_restore(&snap.critics);
+            assert_eq!(
+                snap.visible.len(),
+                visible.len(),
+                "checkpointed elite visibility does not match configuration"
+            );
+            visible = snap
+                .visible
+                .iter()
+                .map(|v| v.iter().map(|&i| i as usize).collect())
+                .collect();
+            t = snap.round as usize;
+            sims_used = snap.sims_used as usize;
+            critic_ready = snap.critic_ready;
+            if let Some(cache) = engine.cache() {
+                cache.restore(snap.cache);
+            }
+            counters_base = CounterSnapshot {
+                sims: snap.counters[0],
+                cache_hits: snap.counters[1],
+                cache_misses: snap.counters[2],
+                retries: snap.counters[3],
+                panics: snap.counters[4],
+                timeouts: snap.counters[5],
+                non_finite: snap.counters[6],
+                failures: snap.counters[7],
+            };
+            total_base = Duration::from_secs_f64(snap.timings[0]);
+            timings.training = Duration::from_secs_f64(snap.timings[1]);
+            timings.simulation = Duration::from_secs_f64(snap.timings[2]);
+            timings.near_sampling = Duration::from_secs_f64(snap.timings[3]);
+            prev_elite = snap.prev_elite;
+            for line in &snap.journal_lines {
+                journal.write_raw(line);
+            }
+            journal.flush();
+            journal_lines = snap.journal_lines;
+        } else {
+            for (x, metrics) in init {
+                let idx = pop.push(x, metrics, &specs, cfg.fom);
+                trace.record_init(pop.fom(idx), pop.feasible(idx), pop.metrics(idx)[0]);
+            }
+            if journal.enabled() {
+                let (version, build) = Manifest::build_info();
+                emit(
+                    journal,
+                    &Record::Manifest(Manifest {
+                        label: cfg.label.clone(),
+                        problem: problem.name().to_string(),
+                        dim: d,
+                        num_metrics: m1,
+                        seed: cfg.seed,
+                        budget,
+                        init_size: init_len,
+                        jobs: engine.jobs(),
+                        version,
+                        build,
+                        config: config_json(cfg),
+                    }),
+                    ckpt.and(Some(&mut journal_lines)),
+                );
+            }
+        }
 
         while sims_used < budget {
             t += 1;
@@ -398,19 +523,23 @@ impl MaOpt {
                 }
                 if journal.enabled() {
                     let (spearman, fidelity_n) = critic_fidelity(&critic, &pop, &specs, cfg.fom);
-                    journal.write(&Record::NearSampling(NearSamplingRecord {
-                        round: t,
-                        sims_used,
-                        trigger: "period".to_string(),
-                        n_candidates: cfg.n_samples,
-                        predicted_fom,
-                        simulated_fom,
-                        incumbent_fom,
-                        accepted: simulated_fom < incumbent_fom,
-                        spearman,
-                        fidelity_n,
-                        engine: tm.snapshot().since(&round_counters),
-                    }));
+                    emit(
+                        journal,
+                        &Record::NearSampling(NearSamplingRecord {
+                            round: t,
+                            sims_used,
+                            trigger: "period".to_string(),
+                            n_candidates: cfg.n_samples,
+                            predicted_fom,
+                            simulated_fom,
+                            incumbent_fom,
+                            accepted: simulated_fom < incumbent_fom,
+                            spearman,
+                            fidelity_n,
+                            engine: tm.snapshot().since(&round_counters),
+                        }),
+                        ckpt.and(Some(&mut journal_lines)),
+                    );
                 }
             } else {
                 // ---- Algorithm 1: actor-critic round (N_act simulations). ----
@@ -559,21 +688,25 @@ impl MaOpt {
                             feasible: pushed.get(i).is_some_and(|&idx| pop.feasible(idx)),
                         })
                         .collect();
-                    journal.write(&Record::Round(RoundRecord {
-                        round: t,
-                        sims_used,
-                        best_fom: pop.best().map(|i| pop.fom(i)).expect("non-empty"),
-                        critic_loss: critic_trace.unwrap_or_default(),
-                        actors: actors_obs,
-                        elite: EliteStats {
-                            size: elite_set.len(),
-                            refreshed,
-                            volume: elite_set.bbox_volume(),
-                            diameter: elite_set.bbox_diameter(),
-                            fom_spread: elite_set.fom_spread(),
-                        },
-                        engine: tm.snapshot().since(&round_counters),
-                    }));
+                    emit(
+                        journal,
+                        &Record::Round(RoundRecord {
+                            round: t,
+                            sims_used,
+                            best_fom: pop.best().map(|i| pop.fom(i)).expect("non-empty"),
+                            critic_loss: critic_trace.unwrap_or_default(),
+                            actors: actors_obs,
+                            elite: EliteStats {
+                                size: elite_set.len(),
+                                refreshed,
+                                volume: elite_set.bbox_volume(),
+                                diameter: elite_set.bbox_diameter(),
+                                fom_spread: elite_set.fom_spread(),
+                            },
+                            engine: tm.snapshot().since(&round_counters),
+                        }),
+                        ckpt.and(Some(&mut journal_lines)),
+                    );
                 }
             }
 
@@ -581,22 +714,91 @@ impl MaOpt {
                 .telemetry()
                 .metrics
                 .set_gauge("opt.best_fom", trace.best_fom());
+
+            if let Some(c) = ckpt {
+                let counters =
+                    counters_base.plus(&engine.telemetry().snapshot().since(&run_counters));
+                let snap = RunSnapshot {
+                    label: cfg.label.clone(),
+                    problem: problem.name().to_string(),
+                    seed: cfg.seed,
+                    budget: budget as u64,
+                    init_len: init_len as u64,
+                    round: t as u64,
+                    sims_used: sims_used as u64,
+                    critic_ready,
+                    rng: rng.state(),
+                    population: (0..pop.len())
+                        .map(|i| (pop.design(i).to_vec(), pop.metrics(i).to_vec()))
+                        .collect(),
+                    sim_kinds: trace.entries()[init_len..]
+                        .iter()
+                        .map(|e| match e.kind {
+                            SimKind::Actor => 1u8,
+                            SimKind::NearSample => 2u8,
+                            k => panic!("unexpected {k:?} entry after the initial set"),
+                        })
+                        .collect(),
+                    visible: visible
+                        .iter()
+                        .map(|v| v.iter().map(|&i| i as u64).collect())
+                        .collect(),
+                    prev_elite: prev_elite.clone(),
+                    actors: actors.iter().map(Actor::ckpt_dump).collect(),
+                    critics: critic.ckpt_dump(),
+                    cache: engine.cache().map_or_else(Vec::new, |c| c.entries()),
+                    counters: [
+                        counters.sims,
+                        counters.cache_hits,
+                        counters.cache_misses,
+                        counters.retries,
+                        counters.panics,
+                        counters.timeouts,
+                        counters.non_finite,
+                        counters.failures,
+                    ],
+                    timings: [
+                        (total_base + t_start.elapsed()).as_secs_f64(),
+                        timings.training.as_secs_f64(),
+                        timings.simulation.as_secs_f64(),
+                        timings.near_sampling.as_secs_f64(),
+                    ],
+                    journal_lines: journal_lines.clone(),
+                };
+                // Journal durability before snapshot durability: a crash
+                // between the two leaves a snapshot no newer than the file.
+                journal.flush();
+                c.save(&snap);
+                if c.halt_after_round() == Some(t) {
+                    timings.total = total_base + t_start.elapsed();
+                    return RunResult {
+                        label: cfg.label.clone(),
+                        trace,
+                        population: pop,
+                        timings,
+                    };
+                }
+            }
         }
 
-        timings.total = t_start.elapsed();
+        timings.total = total_base + t_start.elapsed();
 
         if journal.enabled() {
-            journal.write(&Record::RunEnd(RunEnd {
-                rounds: t,
-                sims: sims_used,
-                best_fom: trace.best_fom(),
-                success: pop.best_feasible().is_some(),
-                total_s: timings.total.as_secs_f64(),
-                training_s: timings.training.as_secs_f64(),
-                simulation_s: timings.simulation.as_secs_f64(),
-                near_sampling_s: timings.near_sampling.as_secs_f64(),
-                engine: engine.telemetry().snapshot().since(&run_counters),
-            }));
+            emit(
+                journal,
+                &Record::RunEnd(RunEnd {
+                    rounds: t,
+                    sims: sims_used,
+                    best_fom: trace.best_fom(),
+                    success: pop.best_feasible().is_some(),
+                    total_s: timings.total.as_secs_f64(),
+                    training_s: timings.training.as_secs_f64(),
+                    simulation_s: timings.simulation.as_secs_f64(),
+                    near_sampling_s: timings.near_sampling.as_secs_f64(),
+                    engine: counters_base.plus(&engine.telemetry().snapshot().since(&run_counters)),
+                }),
+                ckpt.and(Some(&mut journal_lines)),
+            );
             journal.flush();
         }
 
@@ -606,6 +808,16 @@ impl MaOpt {
             population: pop,
             timings,
         }
+    }
+}
+
+/// Writes `record` to the journal and, when checkpointing, remembers the
+/// exact line so a resumed run can replay the journal byte-for-byte.
+fn emit(journal: &Journal, record: &Record, lines: Option<&mut Vec<String>>) {
+    let line = record.to_json_line();
+    journal.write_raw(&line);
+    if let Some(lines) = lines {
+        lines.push(line);
     }
 }
 

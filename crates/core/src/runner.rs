@@ -11,6 +11,7 @@ use maopt_obs::{Journal, Manifest, Record, RunEnd};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::checkpoint::RunCheckpointer;
 use crate::maopt::{MaOpt, MaOptConfig, RunResult};
 use crate::problem::{EngineProblem, SizingProblem};
 
@@ -96,6 +97,26 @@ pub trait Optimizer: Send + Sync {
         journal.flush();
         result
     }
+
+    /// Like [`Optimizer::optimize_observed`], additionally persisting
+    /// crash-recovery checkpoints through the given [`RunCheckpointer`]
+    /// (see [`crate::MaOpt::run_resumable`]). The default ignores the
+    /// checkpointer — optimizers without checkpoint support (e.g. the BO
+    /// baseline) simply run un-checkpointed rather than failing.
+    #[allow(clippy::too_many_arguments)]
+    fn optimize_resumable(
+        &self,
+        problem: &dyn SizingProblem,
+        init: &[(Vec<f64>, Vec<f64>)],
+        budget: usize,
+        seed: u64,
+        engine: &EvalEngine,
+        journal: &Journal,
+        ckpt: Option<&RunCheckpointer>,
+    ) -> RunResult {
+        let _ = ckpt;
+        self.optimize_observed(problem, init, budget, seed, engine, journal)
+    }
 }
 
 impl Optimizer for MaOptConfig {
@@ -146,6 +167,23 @@ impl Optimizer for MaOptConfig {
             ..self.clone()
         };
         MaOpt::new(config).run_observed(problem, init.to_vec(), budget, engine, journal)
+    }
+
+    fn optimize_resumable(
+        &self,
+        problem: &dyn SizingProblem,
+        init: &[(Vec<f64>, Vec<f64>)],
+        budget: usize,
+        seed: u64,
+        engine: &EvalEngine,
+        journal: &Journal,
+        ckpt: Option<&RunCheckpointer>,
+    ) -> RunResult {
+        let config = MaOptConfig {
+            seed,
+            ..self.clone()
+        };
+        MaOpt::new(config).run_resumable(problem, init.to_vec(), budget, engine, journal, ckpt)
     }
 }
 
@@ -336,6 +374,43 @@ pub fn run_method_nested(
     engine: &EvalEngine,
     journals: &[Journal],
 ) -> MethodStats {
+    run_method_resumable(
+        optimizer,
+        problem,
+        inits,
+        runs,
+        budget,
+        base_seed,
+        run_engine,
+        engine,
+        journals,
+        &[],
+    )
+}
+
+/// [`run_method_nested`] with crash-safe checkpointing: run `r` persists
+/// its state through `ckpts[r]` after every round and — when that
+/// checkpointer has resume enabled — continues from an existing snapshot.
+/// Runs beyond `ckpts.len()` (and all runs, when `ckpts` is empty) are
+/// un-checkpointed. Per-run results and journals are bitwise identical
+/// (non-timing fields) to an un-checkpointed, uninterrupted run.
+///
+/// # Panics
+///
+/// Panics if `inits.len() < runs`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_method_resumable(
+    optimizer: &dyn Optimizer,
+    problem: &dyn SizingProblem,
+    inits: &[Vec<(Vec<f64>, Vec<f64>)>],
+    runs: usize,
+    budget: usize,
+    base_seed: u64,
+    run_engine: &EvalEngine,
+    engine: &EvalEngine,
+    journals: &[Journal],
+    ckpts: &[RunCheckpointer],
+) -> MethodStats {
     assert!(inits.len() >= runs, "need one initial set per run");
     let disabled = Journal::disabled();
     let before = engine.telemetry().snapshot();
@@ -349,13 +424,14 @@ pub fn run_method_nested(
             if engine.cache().is_some() {
                 run_eng = run_eng.with_cache(Arc::new(SimCache::new()));
             }
-            let result = optimizer.optimize_observed(
+            let result = optimizer.optimize_resumable(
                 problem,
                 &inits[r],
                 budget,
                 base_seed + r as u64,
                 &run_eng,
                 journal,
+                ckpts.get(r),
             );
             engine.telemetry().merge_from(run_eng.telemetry());
             result

@@ -191,6 +191,7 @@ fn transient_faults_are_retried_through_sizing_problem() {
     let engine = EvalEngine::new(1).with_policy(FaultPolicy {
         max_retries: 2,
         deadline: None,
+        ..FaultPolicy::default()
     });
     let out = engine.evaluate_one(&EngineProblem(&p), &[0.25, 0.5]);
     assert_eq!(out, vec![0.75, 0.25], "third attempt succeeds");
@@ -206,6 +207,7 @@ fn exhausted_retries_emit_the_problem_penalty_vector() {
     let engine = EvalEngine::new(1).with_policy(FaultPolicy {
         max_retries: 1,
         deadline: None,
+        ..FaultPolicy::default()
     });
     let out = engine.evaluate_one(&EngineProblem(&p), &[0.1, 0.2]);
     assert_eq!(
@@ -243,6 +245,7 @@ fn evaluation_timeout_is_a_counted_fault() {
     let engine = EvalEngine::new(1).with_policy(FaultPolicy {
         max_retries: 0,
         deadline: Some(Duration::from_millis(1)),
+        ..FaultPolicy::default()
     });
     let out = engine.evaluate_one(&EngineProblem(&p), &[0.3, 0.4]);
     assert_eq!(
@@ -259,6 +262,7 @@ fn engine_problem_panic_is_isolated_and_penalized() {
     let engine = EvalEngine::new(1).with_policy(FaultPolicy {
         max_retries: 0,
         deadline: None,
+        ..FaultPolicy::default()
     });
     let out = engine.evaluate_one(&EngineProblem(&p), &[0.0, 0.0]);
     assert_eq!(out, p.failure_metrics());

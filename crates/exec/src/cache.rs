@@ -96,6 +96,25 @@ impl SimCache {
     pub fn clear(&self) {
         self.map.lock().expect("cache mutex poisoned").clear();
     }
+
+    /// Every `(quantized key, metrics)` entry, sorted by key — a
+    /// deterministic dump for checkpointing.
+    pub fn entries(&self) -> Vec<(Vec<i64>, Vec<f64>)> {
+        let map = self.map.lock().expect("cache mutex poisoned");
+        let mut out: Vec<_> = map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Re-inserts entries dumped by [`SimCache::entries`] (checkpoint
+    /// restore). Existing entries win, matching the first-insert-wins
+    /// policy of [`SimCache::insert`]; hit/miss counters are untouched.
+    pub fn restore(&self, entries: Vec<(Vec<i64>, Vec<f64>)>) {
+        let mut map = self.map.lock().expect("cache mutex poisoned");
+        for (k, v) in entries {
+            map.entry(k).or_insert(v);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +157,29 @@ mod tests {
         c.insert(&[0.5], vec![1.0]);
         c.insert(&[0.5], vec![2.0]);
         assert_eq!(c.get(&[0.5]), Some(vec![1.0]));
+    }
+
+    #[test]
+    fn entries_dump_is_sorted_and_restore_roundtrips() {
+        let c = SimCache::new();
+        c.insert(&[0.9], vec![3.0]);
+        c.insert(&[0.1], vec![1.0]);
+        c.insert(&[0.5], vec![2.0]);
+        let dump = c.entries();
+        assert_eq!(dump.len(), 3);
+        assert!(dump.windows(2).all(|w| w[0].0 < w[1].0), "sorted by key");
+        assert_eq!(dump, c.entries(), "dump is deterministic");
+
+        let fresh = SimCache::new();
+        fresh.restore(dump.clone());
+        assert_eq!(fresh.entries(), dump);
+        assert_eq!(fresh.get(&[0.5]), Some(vec![2.0]));
+
+        // Restore never clobbers a live entry (first-insert-wins).
+        let busy = SimCache::new();
+        busy.insert(&[0.5], vec![42.0]);
+        busy.restore(dump);
+        assert_eq!(busy.get(&[0.5]), Some(vec![42.0]));
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub struct Counters {
     pub panics: AtomicU64,
     /// Evaluations that exceeded the configured deadline.
     pub timeouts: AtomicU64,
+    /// Evaluations that returned a non-finite (NaN/±inf) metric vector.
+    pub non_finite: AtomicU64,
     /// Evaluations that exhausted retries and emitted the penalty vector.
     pub failures: AtomicU64,
 }
@@ -46,6 +48,8 @@ pub struct CounterSnapshot {
     pub panics: u64,
     /// See [`Counters::timeouts`].
     pub timeouts: u64,
+    /// See [`Counters::non_finite`].
+    pub non_finite: u64,
     /// See [`Counters::failures`].
     pub failures: u64,
 }
@@ -64,13 +68,34 @@ impl CounterSnapshot {
             retries: self.retries.saturating_sub(earlier.retries),
             panics: self.panics.saturating_sub(earlier.panics),
             timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+            non_finite: self.non_finite.saturating_sub(earlier.non_finite),
             failures: self.failures.saturating_sub(earlier.failures),
         }
     }
 
-    /// Total faults of any kind.
+    /// Counter-wise sum (`self + earlier`), the inverse of
+    /// [`CounterSnapshot::since`]. A resumed run adds the counters
+    /// accumulated before the crash (stored in its checkpoint) to the
+    /// post-resume deltas so its run-end record matches an uninterrupted
+    /// run's.
+    #[must_use]
+    pub fn plus(&self, other: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            sims: self.sims + other.sims,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            retries: self.retries + other.retries,
+            panics: self.panics + other.panics,
+            timeouts: self.timeouts + other.timeouts,
+            non_finite: self.non_finite + other.non_finite,
+            failures: self.failures + other.failures,
+        }
+    }
+
+    /// Total faulted attempts of any kind (each panicked, timed-out or
+    /// non-finite attempt plus each exhausted retry budget).
     pub fn faults(&self) -> u64 {
-        self.panics + self.timeouts + self.failures
+        self.panics + self.timeouts + self.non_finite + self.failures
     }
 }
 
@@ -188,6 +213,7 @@ impl Telemetry {
             retries: c.retries.load(Ordering::Relaxed),
             panics: c.panics.load(Ordering::Relaxed),
             timeouts: c.timeouts.load(Ordering::Relaxed),
+            non_finite: c.non_finite.load(Ordering::Relaxed),
             failures: c.failures.load(Ordering::Relaxed),
         }
     }
@@ -217,6 +243,7 @@ impl Telemetry {
             (&c.retries, snap.retries),
             (&c.panics, snap.panics),
             (&c.timeouts, snap.timeouts),
+            (&c.non_finite, snap.non_finite),
             (&c.failures, snap.failures),
         ] {
             counter.fetch_add(value, Ordering::Relaxed);
@@ -399,6 +426,24 @@ mod tests {
         // debug panic / release wrap.
         let d = small.since(&big);
         assert_eq!(d, CounterSnapshot::default());
+    }
+
+    #[test]
+    fn non_finite_counts_as_a_fault_and_plus_inverts_since() {
+        let t = Telemetry::new();
+        t.bump(&t.counters.non_finite);
+        let snap = t.snapshot();
+        assert_eq!(snap.non_finite, 1);
+        assert_eq!(snap.faults(), 1, "a non-finite attempt is a fault");
+
+        let base = CounterSnapshot {
+            sims: 7,
+            non_finite: 2,
+            ..CounterSnapshot::default()
+        };
+        let total = base.plus(&snap);
+        assert_eq!(total.non_finite, 3);
+        assert_eq!(total.since(&base), snap, "plus is the inverse of since");
     }
 
     #[test]

@@ -243,6 +243,28 @@ impl Dense {
         }
     }
 
+    /// Overwrites weights and bias from flat slices (checkpoint restore).
+    /// Weight order matches `weights().as_slice()` (row-major, rows =
+    /// outputs), i.e. the same order [`Dense::visit_params_mut`] walks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slice length does not match this layer's shape.
+    pub(crate) fn load_params(&mut self, weights: &[f64], bias: &[f64]) {
+        assert_eq!(
+            weights.len(),
+            self.weights.rows() * self.weights.cols(),
+            "checkpointed weight count does not match layer shape"
+        );
+        assert_eq!(
+            bias.len(),
+            self.bias.len(),
+            "checkpointed bias count does not match layer shape"
+        );
+        self.weights.as_mut_slice().copy_from_slice(weights);
+        self.bias.copy_from_slice(bias);
+    }
+
     /// Visits `(parameter, gradient)` pairs mutably — used by optimizers.
     pub(crate) fn visit_params_mut(&mut self, mut f: impl FnMut(&mut f64, f64)) {
         for (w, g) in self

@@ -41,6 +41,7 @@ mod loss;
 mod mlp;
 mod optimizer;
 mod scaler;
+mod state;
 mod workspace;
 
 pub use activation::Activation;
@@ -49,4 +50,5 @@ pub use loss::{mse_loss, mse_loss_grad, mse_loss_grad_into};
 pub use mlp::Mlp;
 pub use optimizer::{Adam, Sgd};
 pub use scaler::MinMaxScaler;
+pub use state::{AdamState, LayerState, MlpState, ScalerState};
 pub use workspace::Workspace;

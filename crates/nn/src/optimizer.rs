@@ -1,3 +1,4 @@
+use crate::state::AdamState;
 use crate::Mlp;
 
 /// Plain stochastic gradient descent.
@@ -95,6 +96,40 @@ impl Adam {
         self.t = 0;
         self.m.fill(0.0);
         self.v.fill(0.0);
+    }
+
+    /// Captures the optimizer's mutable state (step counter and moment
+    /// estimates) for checkpointing. Hyperparameters (`lr`, betas, eps)
+    /// are construction-time configuration and are not included.
+    pub fn state(&self) -> AdamState {
+        AdamState {
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Adam::state`] into an optimizer
+    /// built for the same network architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checkpointed moment vectors do not match this
+    /// optimizer's parameter count.
+    pub fn restore(&mut self, state: &AdamState) {
+        assert_eq!(
+            state.m.len(),
+            self.m.len(),
+            "checkpointed Adam state does not match network size"
+        );
+        assert_eq!(
+            state.v.len(),
+            self.v.len(),
+            "checkpointed Adam state does not match network size"
+        );
+        self.t = state.t;
+        self.m.copy_from_slice(&state.m);
+        self.v.copy_from_slice(&state.v);
     }
 
     /// Applies one Adam update using the gradients accumulated in `mlp`.

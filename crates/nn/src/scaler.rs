@@ -76,6 +76,32 @@ impl MinMaxScaler {
         self.mins.len()
     }
 
+    /// Captures the fitted parameters for checkpointing.
+    pub fn state(&self) -> crate::state::ScalerState {
+        crate::state::ScalerState {
+            mins: self.mins.clone(),
+            ranges: self.ranges.clone(),
+        }
+    }
+
+    /// Rebuilds a scaler from parameters captured by
+    /// [`MinMaxScaler::state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mins` and `ranges` have different lengths.
+    pub fn from_state(state: &crate::state::ScalerState) -> Self {
+        assert_eq!(
+            state.mins.len(),
+            state.ranges.len(),
+            "scaler state columns mismatch"
+        );
+        MinMaxScaler {
+            mins: state.mins.clone(),
+            ranges: state.ranges.clone(),
+        }
+    }
+
     /// Scales a matrix into the unit box.
     ///
     /// Values outside the fitted range extrapolate linearly (they are not

@@ -89,6 +89,18 @@ impl Journal {
         }
     }
 
+    /// Appends one pre-serialized JSONL line verbatim. Used by
+    /// checkpoint resume to replay the lines of a prior run's journal
+    /// byte-for-byte before new rounds append. No-op when disabled;
+    /// I/O errors are swallowed like [`Journal::write`].
+    pub fn write_raw(&self, line: &str) {
+        if let Some(inner) = &self.inner {
+            if let Ok(mut w) = inner.writer.lock() {
+                let _ = writeln!(w, "{line}");
+            }
+        }
+    }
+
     /// Flushes buffered lines to disk.
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
@@ -140,23 +152,42 @@ impl From<std::io::Error> for JournalError {
 }
 
 /// Loads every record of a journal file, in order. Blank lines are
-/// skipped; any malformed line aborts the load with its line number.
+/// skipped; a malformed *interior* line aborts the load with its line
+/// number. A malformed **final** line is skipped with a warning on
+/// stderr instead: a crash mid-append leaves exactly one torn line at
+/// the tail, and readers (report renderers, resume diffs) must treat
+/// such a journal as "everything up to the crash" rather than refuse
+/// it wholesale.
 ///
 /// # Errors
 ///
 /// Returns [`JournalError::Io`] on read failure and
-/// [`JournalError::Parse`] on the first malformed line.
+/// [`JournalError::Parse`] on a malformed line that is not the final
+/// non-blank line.
 pub fn read_journal(path: impl AsRef<Path>) -> Result<Vec<Record>, JournalError> {
+    let path = path.as_ref();
     let reader = BufReader::new(File::open(path)?);
+    let mut lines = Vec::new();
+    for line in reader.lines() {
+        lines.push(line?);
+    }
+    let last_nonblank = lines.iter().rposition(|l| !l.trim().is_empty());
     let mut out = Vec::new();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
+    for (idx, line) in lines.iter().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let record =
-            Record::parse(&line).map_err(|msg| JournalError::Parse { line: idx + 1, msg })?;
-        out.push(record);
+        match Record::parse(line) {
+            Ok(record) => out.push(record),
+            Err(msg) if Some(idx) == last_nonblank => {
+                eprintln!(
+                    "warning: {}: skipping torn final journal line {} ({msg})",
+                    path.display(),
+                    idx + 1
+                );
+            }
+            Err(msg) => return Err(JournalError::Parse { line: idx + 1, msg }),
+        }
     }
     Ok(out)
 }
@@ -238,17 +269,52 @@ mod tests {
     }
 
     #[test]
-    fn malformed_line_reports_line_number() {
+    fn malformed_interior_line_reports_line_number() {
         let path = tmp_path("badline.jsonl");
         std::fs::write(
             &path,
-            format!("{}\n\nnot json\n", manifest().to_json_line()),
+            format!(
+                "{}\n\nnot json\n{}\n",
+                manifest().to_json_line(),
+                run_end().to_json_line()
+            ),
         )
         .unwrap();
         match read_journal(&path) {
             Err(JournalError::Parse { line, .. }) => assert_eq!(line, 3),
             other => panic!("expected parse error, got {other:?}"),
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped_not_fatal() {
+        // A crash mid-append truncates the last line; with or without a
+        // trailing newline the reader must keep everything before it.
+        for (name, tail) in [
+            ("torn-cut.jsonl", "{\"kind\":\"run_en"),
+            ("torn-nl.jsonl", "not json\n"),
+            ("torn-blank.jsonl", "{}\n\n\n"),
+        ] {
+            let path = tmp_path(name);
+            std::fs::write(&path, format!("{}\n{tail}", manifest().to_json_line())).unwrap();
+            let records = read_journal(&path).unwrap_or_else(|e| {
+                panic!("torn tail {name} must not be fatal: {e}");
+            });
+            assert_eq!(records, vec![manifest()], "case {name}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn write_raw_replays_lines_verbatim() {
+        let path = tmp_path("raw.jsonl");
+        let j = Journal::create(&path).unwrap();
+        j.write_raw(&manifest().to_json_line());
+        j.write(&run_end());
+        j.flush();
+        let records = read_journal(&path).unwrap();
+        assert_eq!(records, vec![manifest(), run_end()]);
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -432,6 +432,7 @@ fn counters_to_json(c: &CounterSnapshot) -> Json {
         ("retries", Json::num_u(c.retries)),
         ("panics", Json::num_u(c.panics)),
         ("timeouts", Json::num_u(c.timeouts)),
+        ("non_finite", Json::num_u(c.non_finite)),
         ("failures", Json::num_u(c.failures)),
     ])
 }
@@ -444,6 +445,12 @@ fn counters_from_json(v: &Json) -> Result<CounterSnapshot, String> {
         retries: u64_field(v, "retries")?,
         panics: u64_field(v, "panics")?,
         timeouts: u64_field(v, "timeouts")?,
+        // Absent in journals written before the counter existed.
+        non_finite: if field(v, "non_finite").is_ok() {
+            u64_field(v, "non_finite")?
+        } else {
+            0
+        },
         failures: u64_field(v, "failures")?,
     })
 }
@@ -575,6 +582,7 @@ mod tests {
             retries: 1,
             panics: 0,
             timeouts: 0,
+            non_finite: 2,
             failures: 0,
         }
     }
