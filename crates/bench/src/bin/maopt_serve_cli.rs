@@ -1,0 +1,249 @@
+//! Command-line client for a running `maopt-serve` daemon, plus an
+//! offline `report` command that renders a daemon state directory's job
+//! journals with the `maopt-report` machinery.
+//!
+//! ```text
+//! maopt-serve-cli [--addr HOST:PORT] submit --tenant T --problem P
+//!                 [--method M] [--budget N] [--init N] [--seed N] [--quick]
+//! maopt-serve-cli [--addr HOST:PORT] status|cancel|subscribe <job>
+//! maopt-serve-cli [--addr HOST:PORT] list|stats|shutdown
+//! maopt-serve-cli report <state-dir> [--out FILE] [--csv FILE]
+//! ```
+//!
+//! The daemon address comes from `--addr`, else `MAOPT_SERVE_ADDR`
+//! (a malformed value is a descriptive error, never a silent
+//! fallback), else the `addr` file a daemon writes into its state
+//! directory when `--state-dir` is given.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use maopt_bench::obs_report::{collect_journal_paths, load_journals, render_csv, render_markdown};
+use maopt_obs::json::Json;
+use maopt_serve::{addr_from_env, Client, JobSpec};
+
+const USAGE: &str = "usage: maopt-serve-cli [--addr HOST:PORT | --state-dir DIR] <command>\n       \
+     commands: submit --tenant T --problem P [--method M] [--budget N] [--init N] [--seed N] [--quick]\n                 \
+     status <job> | cancel <job> | subscribe <job> | list | stats | shutdown\n                 \
+     report <state-dir> [--out FILE] [--csv FILE]";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("maopt-serve-cli: {msg}");
+    ExitCode::from(1)
+}
+
+/// Resolves the daemon address: `--addr`, else `MAOPT_SERVE_ADDR`, else
+/// the `addr` file under `--state-dir`.
+fn resolve_addr(addr: Option<String>, state_dir: Option<&PathBuf>) -> Result<String, String> {
+    if let Some(a) = addr {
+        return Ok(a);
+    }
+    if let Some(a) = addr_from_env()? {
+        return Ok(a.to_string());
+    }
+    if let Some(dir) = state_dir {
+        let file = dir.join("addr");
+        return match std::fs::read_to_string(&file) {
+            Ok(text) => Ok(text.trim().to_string()),
+            Err(e) => Err(format!(
+                "no daemon address: could not read {} ({e}); is the daemon running?",
+                file.display()
+            )),
+        };
+    }
+    Err("no daemon address: pass --addr, set MAOPT_SERVE_ADDR, or pass --state-dir".into())
+}
+
+fn connect(addr: Option<String>, state_dir: Option<&PathBuf>) -> Result<Client, String> {
+    let addr = resolve_addr(addr, state_dir)?;
+    Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+}
+
+/// One row of `list` output; the submission spec is nested under `spec`.
+fn job_line(job: &Json) -> String {
+    let s = |k: &str| job.get(k).and_then(Json::as_str).unwrap_or("-").to_string();
+    let spec = |k: &str| {
+        job.get("spec")
+            .and_then(|spec| spec.get(k))
+            .and_then(Json::as_str)
+            .unwrap_or("-")
+            .to_string()
+    };
+    let sims = job.get("sims").and_then(Json::as_u64).unwrap_or(0);
+    let fom = job
+        .get("best_fom")
+        .and_then(Json::as_f64)
+        .map_or("-".into(), |v| format!("{v:.4}"));
+    format!(
+        "{:<8} {:<10} {:<9} {:<14} {:<8} sims {:<6} best_fom {}",
+        s("id"),
+        spec("tenant"),
+        s("status"),
+        spec("problem"),
+        spec("method"),
+        sims,
+        fom
+    )
+}
+
+fn submit_cmd(client: &mut Client, args: &[String]) -> Result<(), String> {
+    let mut spec = JobSpec {
+        tenant: String::new(),
+        problem: String::new(),
+        method: "ma-opt".into(),
+        budget: 100,
+        init_size: 10,
+        seed: 1,
+        quick: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut need = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--tenant" => spec.tenant = need("--tenant")?,
+            "--problem" => spec.problem = need("--problem")?,
+            "--method" => spec.method = need("--method")?,
+            "--budget" => {
+                spec.budget = need("--budget")?
+                    .parse()
+                    .map_err(|e| format!("budget: {e}"))?;
+            }
+            "--init" => {
+                spec.init_size = need("--init")?.parse().map_err(|e| format!("init: {e}"))?;
+            }
+            "--seed" => spec.seed = need("--seed")?.parse().map_err(|e| format!("seed: {e}"))?,
+            "--quick" => spec.quick = true,
+            other => return Err(format!("unknown submit argument: {other}")),
+        }
+    }
+    if spec.tenant.is_empty() || spec.problem.is_empty() {
+        return Err("submit needs at least --tenant and --problem".into());
+    }
+    let id = client.submit(&spec).map_err(|e| e.to_string())?;
+    println!("{id}");
+    Ok(())
+}
+
+fn report_cmd(args: &[String]) -> Result<(), String> {
+    let mut state_dir: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut csv: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().map(PathBuf::from),
+            "--csv" => csv = it.next().map(PathBuf::from),
+            other => state_dir = Some(PathBuf::from(other)),
+        }
+    }
+    let state_dir = state_dir.ok_or("report needs a daemon state directory")?;
+    // Jobs journal under <state-dir>/jobs/job-<n>/journal.jsonl; accept a
+    // bare jobs directory (or any journal tree) too.
+    let root = if state_dir.join("jobs").is_dir() {
+        state_dir.join("jobs")
+    } else {
+        state_dir.clone()
+    };
+    let paths = collect_journal_paths(std::slice::from_ref(&root)).map_err(|e| e.to_string())?;
+    if paths.is_empty() {
+        return Err(format!("no .jsonl journals under {}", root.display()));
+    }
+    let journals = load_journals(&paths)?;
+    let md = render_markdown(&journals);
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &md)
+                .map_err(|e| format!("could not write {}: {e}", path.display()))?;
+            println!("report written to {}", path.display());
+        }
+        None => print!("{md}"),
+    }
+    if let Some(path) = &csv {
+        std::fs::write(path, render_csv(&journals))
+            .map_err(|e| format!("could not write {}: {e}", path.display()))?;
+        println!("per-round CSV written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut state_dir: Option<PathBuf> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" if rest.is_empty() => addr = it.next(),
+            "--state-dir" if rest.is_empty() => state_dir = it.next().map(PathBuf::from),
+            _ => rest.push(a),
+        }
+    }
+    let Some(cmd) = rest.first().cloned() else {
+        return Err(USAGE.into());
+    };
+    let args = &rest[1..];
+    let need_id =
+        || -> Result<&String, String> { args.first().ok_or(format!("{cmd} needs a job id")) };
+    match cmd.as_str() {
+        "report" => report_cmd(args),
+        "submit" => submit_cmd(&mut connect(addr, state_dir.as_ref())?, args),
+        "status" => {
+            let job = connect(addr, state_dir.as_ref())?
+                .status(need_id()?)
+                .map_err(|e| e.to_string())?;
+            println!("{job}");
+            Ok(())
+        }
+        "cancel" => {
+            connect(addr, state_dir.as_ref())?
+                .cancel(need_id()?)
+                .map_err(|e| e.to_string())?;
+            println!("canceled");
+            Ok(())
+        }
+        "subscribe" => {
+            let status = connect(addr, state_dir.as_ref())?
+                .subscribe(need_id()?, |line| println!("{line}"))
+                .map_err(|e| e.to_string())?;
+            eprintln!("job finished: {status}");
+            Ok(())
+        }
+        "list" => {
+            for job in connect(addr, state_dir.as_ref())?
+                .list()
+                .map_err(|e| e.to_string())?
+            {
+                println!("{}", job_line(&job));
+            }
+            Ok(())
+        }
+        "stats" => {
+            let stats = connect(addr, state_dir.as_ref())?
+                .stats()
+                .map_err(|e| e.to_string())?;
+            println!("{stats}");
+            Ok(())
+        }
+        "shutdown" => {
+            connect(addr, state_dir.as_ref())?
+                .shutdown()
+                .map_err(|e| e.to_string())?;
+            println!("daemon draining");
+            Ok(())
+        }
+        "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}

@@ -25,6 +25,10 @@
 //!   round; with `--resume`, runs continue from an existing snapshot, so
 //!   a killed invocation rerun with the same arguments produces journals
 //!   byte-identical (non-timing fields) to an uninterrupted one.
+//!   With a checkpoint directory set, SIGTERM / SIGINT drain gracefully:
+//!   every in-flight run stops at its next round boundary with its
+//!   journal flushed and its checkpoint durable, and the process exits 0
+//!   — rerunning with `--resume` continues where the signal landed.
 //! * `--chaos-seed N`: deterministic fault injection — a seeded fraction
 //!   of simulations panic, return NaN metrics, or stall past the engine
 //!   deadline before succeeding on retry. Results stay identical to the
@@ -33,6 +37,7 @@
 //!   retry budget (engine `failures` counter), for CI gating.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -48,6 +53,7 @@ use maopt_core::{RunCheckpointer, SizingProblem};
 use maopt_exec::chaos::ChaosConfig;
 use maopt_exec::{EvalEngine, FaultPolicy, SimCache, Telemetry};
 use maopt_obs::{EngineRecord, Journal, Record};
+use maopt_serve::{install_signal_flag, signal_flag};
 
 struct Args {
     circuit: String,
@@ -258,13 +264,21 @@ fn run_circuit(
         // With --checkpoint-dir, run r persists its state after every round
         // to DIR/<circuit>/<method>/run<r>.ckpt; --resume continues each run
         // from an existing snapshot instead of restarting it.
+        // With a checkpoint directory, each checkpointer also carries the
+        // process signal flag: SIGTERM/SIGINT stop every run at its next
+        // round boundary, exactly as a kill between rounds would.
+        let stop = signal_flag();
         let ckpts: Vec<RunCheckpointer> = match &args.checkpoint_dir {
             Some(dir) => {
                 let method_dir = dir.join(key).join(method.name());
                 (0..p.runs)
                     .map(|r| {
-                        RunCheckpointer::new(method_dir.join(format!("run{r}.ckpt")))
-                            .with_resume(args.resume)
+                        let c = RunCheckpointer::new(method_dir.join(format!("run{r}.ckpt")))
+                            .with_resume(args.resume);
+                        match &stop {
+                            Some(flag) => c.with_stop_flag(Arc::clone(flag)),
+                            None => c,
+                        }
                     })
                     .collect()
             }
@@ -285,6 +299,22 @@ fn run_circuit(
             &ckpts,
         );
         let elapsed = t0.elapsed();
+        // Graceful drain: the signal handler raised the flag, every run
+        // stopped at a round boundary with journal flushed + checkpoint
+        // durable. Close the journal writers and exit 0 — the partial
+        // stats above are not reported.
+        if stop.as_ref().is_some_and(|f| f.load(Ordering::SeqCst)) {
+            drop(journals);
+            let where_ = args
+                .checkpoint_dir
+                .as_deref()
+                .unwrap_or_else(|| Path::new("."));
+            println!(
+                "\nsignal received: runs checkpointed under {}; rerun with --resume to continue",
+                where_.display()
+            );
+            std::process::exit(0);
+        }
         if let Some(dir) = &method_dir {
             write_engine_record(dir, &method.name(), &engine, &spans_before, &stats);
         }
@@ -457,6 +487,12 @@ fn dispatch<P: SizingProblem>(
 
 fn main() {
     let args = parse_args();
+    // Checkpointing runs can afford a graceful drain: SIGTERM/SIGINT
+    // become "stop at the next round boundary, flush, exit 0" instead of
+    // the default mid-write kill.
+    if args.checkpoint_dir.is_some() {
+        let _ = install_signal_flag();
+    }
     let t0 = Instant::now();
     let mut failures = 0u64;
     if matches!(args.circuit.as_str(), "ota" | "all") {

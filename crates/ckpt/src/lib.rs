@@ -493,25 +493,71 @@ fn decode(payload: &[u8]) -> DecResult<RunSnapshot> {
 
 // ------------------------------------------------------------ file I/O
 
-/// Atomically persists a snapshot: write a sibling temp file, `fsync` it,
-/// rename over `path`, `fsync` the parent directory. After any kill point
-/// `path` holds either the previous complete snapshot or this one.
+/// `create_dir_all` followed by a best-effort fsync of every directory
+/// that had to be created (plus the pre-existing ancestor the chain
+/// hangs off), so a freshly made state directory survives power loss as
+/// reliably as the files renamed into it.
+fn create_dir_all_durable(dir: &Path) -> std::io::Result<()> {
+    let mut missing: Vec<&Path> = Vec::new();
+    let mut probe = Some(dir);
+    while let Some(d) = probe {
+        if d.as_os_str().is_empty() || d.exists() {
+            break;
+        }
+        missing.push(d);
+        probe = d.parent();
+    }
+    fs::create_dir_all(dir)?;
+    // Sync parents-first (the Vec is child-first), ending with the
+    // surviving ancestor that now records the first new entry. Directory
+    // fsync is unsupported on some filesystems; errors are ignored just
+    // like the post-rename parent fsync below.
+    if let Some(anchor) = missing.last().and_then(|d| d.parent()) {
+        if !anchor.as_os_str().is_empty() {
+            if let Ok(f) = File::open(anchor) {
+                let _ = f.sync_all();
+            }
+        }
+    }
+    for d in missing.iter().rev() {
+        if let Ok(f) = File::open(d) {
+            let _ = f.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Atomically persists a tagged payload: `magic` (8 bytes) + `version`
+/// (u32 LE) + payload length (u64 LE) + payload + FNV-1a-64 checksum,
+/// written to a sibling temp file, `fsync`ed, renamed over `path`, then
+/// the parent directory is `fsync`ed so the rename itself survives power
+/// loss. After any kill point `path` holds either the previous complete
+/// file or this one, never a torn mix.
+///
+/// [`save_snapshot`] is this with the `MAOPTCKP` tag and the binary
+/// snapshot codec; other subsystems (the serve daemon's job-queue
+/// manifest) reuse the same durable path with their own magic.
 ///
 /// # Errors
 ///
-/// Propagates filesystem failures as [`CkptError::Io`].
-pub fn save_snapshot(path: &Path, snap: &RunSnapshot) -> Result<(), CkptError> {
-    let payload = encode(snap);
+/// Propagates filesystem failures as [`CkptError::Io`]; a `path` without
+/// a file name is [`CkptError::Corrupt`].
+pub fn save_tagged(
+    path: &Path,
+    magic: &[u8; 8],
+    version: u32,
+    payload: &[u8],
+) -> Result<(), CkptError> {
     let mut bytes = Vec::with_capacity(28 + payload.len());
-    bytes.extend_from_slice(MAGIC);
-    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(magic);
+    bytes.extend_from_slice(&version.to_le_bytes());
     bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    bytes.extend_from_slice(&payload);
-    bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes.extend_from_slice(&fnv1a(payload).to_le_bytes());
 
     let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
     if let Some(dir) = parent {
-        fs::create_dir_all(dir)?;
+        create_dir_all_durable(dir)?;
     }
     let file_name = path
         .file_name()
@@ -527,7 +573,7 @@ pub fn save_snapshot(path: &Path, snap: &RunSnapshot) -> Result<(), CkptError> {
     fs::rename(&tmp, path)?;
     if let Some(dir) = parent {
         // Make the rename itself durable. Directory fsync is unsupported
-        // on some filesystems; a snapshot then still lands atomically,
+        // on some filesystems; the file then still lands atomically,
         // just with slightly weaker crash-ordering, so errors are ignored.
         if let Ok(d) = File::open(dir) {
             let _ = d.sync_all();
@@ -536,14 +582,14 @@ pub fn save_snapshot(path: &Path, snap: &RunSnapshot) -> Result<(), CkptError> {
     Ok(())
 }
 
-/// Loads and checksum-verifies a snapshot written by [`save_snapshot`].
+/// Loads and checksum-verifies a payload written by [`save_tagged`] with
+/// the same `magic` and `version`.
 ///
 /// # Errors
 ///
 /// [`CkptError::Io`] on filesystem failure; [`CkptError::Corrupt`] on bad
-/// magic, unsupported version, truncation, checksum mismatch, or a
-/// malformed payload.
-pub fn load_snapshot(path: &Path) -> Result<RunSnapshot, CkptError> {
+/// magic, unsupported version, truncation, or checksum mismatch.
+pub fn load_tagged(path: &Path, magic: &[u8; 8], version: u32) -> Result<Vec<u8>, CkptError> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
     if bytes.len() < 28 {
@@ -552,13 +598,13 @@ pub fn load_snapshot(path: &Path) -> Result<RunSnapshot, CkptError> {
             bytes.len()
         )));
     }
-    if &bytes[..8] != MAGIC {
+    if &bytes[..8] != magic {
         return Err(CkptError::Corrupt("bad magic".into()));
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4"));
-    if version != FORMAT_VERSION {
+    let stored_version = u32::from_le_bytes(bytes[8..12].try_into().expect("4"));
+    if stored_version != version {
         return Err(CkptError::Corrupt(format!(
-            "format version {version} (this build reads {FORMAT_VERSION})"
+            "format version {stored_version} (this build reads {version})"
         )));
     }
     let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8")) as usize;
@@ -571,15 +617,56 @@ pub fn load_snapshot(path: &Path) -> Result<RunSnapshot, CkptError> {
             bytes.len()
         )));
     }
-    let payload = &bytes[20..20 + payload_len];
     let stored = u64::from_le_bytes(bytes[20 + payload_len..].try_into().expect("8"));
-    let actual = fnv1a(payload);
+    bytes.truncate(20 + payload_len);
+    bytes.drain(..20);
+    let actual = fnv1a(&bytes);
     if stored != actual {
         return Err(CkptError::Corrupt(format!(
             "checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
         )));
     }
-    decode(payload)
+    Ok(bytes)
+}
+
+/// [`load_tagged`] that maps a missing file to `Ok(None)`.
+///
+/// # Errors
+///
+/// As [`load_tagged`], except `NotFound` which becomes `Ok(None)`.
+pub fn load_tagged_if_exists(
+    path: &Path,
+    magic: &[u8; 8],
+    version: u32,
+) -> Result<Option<Vec<u8>>, CkptError> {
+    match load_tagged(path, magic, version) {
+        Ok(b) => Ok(Some(b)),
+        Err(CkptError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Atomically persists a snapshot via [`save_tagged`]: write a sibling
+/// temp file, `fsync` it, rename over `path`, `fsync` the parent
+/// directory. After any kill point `path` holds either the previous
+/// complete snapshot or this one.
+///
+/// # Errors
+///
+/// Propagates filesystem failures as [`CkptError::Io`].
+pub fn save_snapshot(path: &Path, snap: &RunSnapshot) -> Result<(), CkptError> {
+    save_tagged(path, MAGIC, FORMAT_VERSION, &encode(snap))
+}
+
+/// Loads and checksum-verifies a snapshot written by [`save_snapshot`].
+///
+/// # Errors
+///
+/// [`CkptError::Io`] on filesystem failure; [`CkptError::Corrupt`] on bad
+/// magic, unsupported version, truncation, checksum mismatch, or a
+/// malformed payload.
+pub fn load_snapshot(path: &Path) -> Result<RunSnapshot, CkptError> {
+    decode(&load_tagged(path, MAGIC, FORMAT_VERSION)?)
 }
 
 /// [`load_snapshot`] that maps a missing file to `Ok(None)` — the normal
@@ -795,5 +882,41 @@ mod tests {
             Err(CkptError::Corrupt(msg)) if msg.contains("length prefix")
         ));
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tagged_payload_roundtrip_rejects_foreign_magic() {
+        let path = tmp_path("tagged.bin");
+        let payload = br#"{"jobs":[],"next_id":1}"#;
+        save_tagged(&path, b"MAOPTJBQ", 2, payload).unwrap();
+        assert_eq!(
+            load_tagged(&path, b"MAOPTJBQ", 2).unwrap(),
+            payload.to_vec()
+        );
+        // A snapshot reader must not accept a job-queue manifest and
+        // vice versa, even though both share the container format.
+        assert!(matches!(
+            load_tagged(&path, MAGIC, FORMAT_VERSION),
+            Err(CkptError::Corrupt(msg)) if msg.contains("magic")
+        ));
+        assert!(matches!(
+            load_tagged(&path, b"MAOPTJBQ", 3),
+            Err(CkptError::Corrupt(msg)) if msg.contains("version")
+        ));
+        assert!(
+            load_tagged_if_exists(&tmp_path("no-such.bin"), b"MAOPTJBQ", 2)
+                .unwrap()
+                .is_none()
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tagged_save_creates_nested_state_dirs() {
+        let root = tmp_path("nested-state");
+        let path = root.join("a/b/queue.bin");
+        save_tagged(&path, b"MAOPTJBQ", 1, b"x").unwrap();
+        assert_eq!(load_tagged(&path, b"MAOPTJBQ", 1).unwrap(), b"x".to_vec());
+        let _ = fs::remove_dir_all(&root);
     }
 }

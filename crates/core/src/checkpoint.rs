@@ -2,6 +2,8 @@
 //! one, and (for crash testing) when to halt.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use maopt_ckpt::{load_if_exists, save_snapshot, RunSnapshot};
 
@@ -17,6 +19,7 @@ pub struct RunCheckpointer {
     path: PathBuf,
     resume: bool,
     halt_after_round: Option<usize>,
+    stop_flag: Option<Arc<AtomicBool>>,
 }
 
 impl RunCheckpointer {
@@ -27,6 +30,7 @@ impl RunCheckpointer {
             path: path.into(),
             resume: false,
             halt_after_round: None,
+            stop_flag: None,
         }
     }
 
@@ -60,6 +64,25 @@ impl RunCheckpointer {
 
     pub(crate) fn halt_after_round(&self) -> Option<usize> {
         self.halt_after_round
+    }
+
+    /// Cooperative shutdown: when `flag` becomes `true`, the run returns
+    /// early at the next round boundary, *after* durably checkpointing
+    /// that round and without writing the run-end record — the same
+    /// resumable state [`RunCheckpointer::with_halt_after_round`]
+    /// produces, but triggered externally (SIGTERM handlers, a daemon's
+    /// cancel path) instead of at a predetermined round.
+    #[must_use]
+    pub fn with_stop_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.stop_flag = Some(flag);
+        self
+    }
+
+    /// Whether an attached stop flag has been raised.
+    pub fn stop_requested(&self) -> bool {
+        self.stop_flag
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::SeqCst))
     }
 
     /// The snapshot to resume from, if resuming was requested and one

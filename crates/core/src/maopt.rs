@@ -769,7 +769,11 @@ impl MaOpt {
                 // between the two leaves a snapshot no newer than the file.
                 journal.flush();
                 c.save(&snap);
-                if c.halt_after_round() == Some(t) {
+                // Both exits leave the same on-disk state a SIGKILL
+                // between rounds would: a durable snapshot of round `t`
+                // and a journal without a run-end record, resumable
+                // bitwise-identically.
+                if c.halt_after_round() == Some(t) || c.stop_requested() {
                     timings.total = total_base + t_start.elapsed();
                     return RunResult {
                         label: cfg.label.clone(),

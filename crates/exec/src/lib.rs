@@ -175,19 +175,51 @@ pub struct EvalEngine {
 impl Default for EvalEngine {
     /// An engine sized by, in order of precedence:
     ///
-    /// 1. the `MAOPT_JOBS` environment variable, when it parses as an
-    ///    integer (clamped to at least 1),
+    /// 1. the `MAOPT_JOBS` environment variable, when set (clamped to at
+    ///    least 1),
     /// 2. [`std::thread::available_parallelism`],
     /// 3. a single worker, when neither source is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when `MAOPT_JOBS` is set but
+    /// malformed (see [`jobs_from_env`]). A typo'd override silently
+    /// falling back to the core count is a misconfiguration that would
+    /// otherwise go unnoticed until a determinism diff fails.
     fn default() -> Self {
-        let jobs = std::env::var("MAOPT_JOBS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .map(|v| v.max(1))
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-            });
+        let jobs = match jobs_from_env() {
+            Ok(Some(jobs)) => jobs,
+            Ok(None) => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            Err(msg) => panic!("{msg}"),
+        };
         EvalEngine::new(jobs)
+    }
+}
+
+/// Parses the `MAOPT_JOBS` worker-count override from the environment.
+///
+/// Returns `Ok(None)` when the variable is unset or blank, and
+/// `Ok(Some(jobs))` (clamped to at least 1) when it parses as an
+/// unsigned integer.
+///
+/// # Errors
+///
+/// Returns a descriptive message — naming the variable and the
+/// offending value — when the variable is set but not a valid integer,
+/// instead of silently falling back to auto-detection.
+pub fn jobs_from_env() -> Result<Option<usize>, String> {
+    let Ok(raw) = std::env::var("MAOPT_JOBS") else {
+        return Ok(None);
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(v) => Ok(Some(v.max(1))),
+        Err(e) => Err(format!(
+            "invalid MAOPT_JOBS value {raw:?}: {e} (expected a non-negative integer, e.g. MAOPT_JOBS=4)"
+        )),
     }
 }
 
@@ -251,6 +283,14 @@ impl EvalEngine {
     /// The attached cache, if any.
     pub fn cache(&self) -> Option<&Arc<SimCache>> {
         self.cache.as_ref()
+    }
+
+    /// The persistent worker pool, when the engine has more than one
+    /// worker. Long-lived callers (the serve daemon's scheduler) use
+    /// this to run their own fan-out on the same threads that evaluate
+    /// simulations, instead of spawning a second pool.
+    pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
     }
 
     /// Runs `f` over `items` on the persistent worker pool and returns
@@ -810,9 +850,21 @@ mod tests {
         assert_eq!(EvalEngine::default().jobs(), 3);
         std::env::set_var("MAOPT_JOBS", "0");
         assert_eq!(EvalEngine::default().jobs(), 1, "clamped to >= 1");
+        std::env::set_var("MAOPT_JOBS", "  ");
+        assert!(EvalEngine::default().jobs() >= 1, "blank value = unset");
         std::env::set_var("MAOPT_JOBS", "not-a-number");
-        assert!(EvalEngine::default().jobs() >= 1, "falls back");
+        let err = jobs_from_env().expect_err("malformed value must be rejected");
+        assert!(
+            err.contains("MAOPT_JOBS") && err.contains("not-a-number"),
+            "error names the variable and offending value: {err}"
+        );
+        let panicked = std::panic::catch_unwind(EvalEngine::default);
+        assert!(
+            panicked.is_err(),
+            "default engine refuses malformed MAOPT_JOBS"
+        );
         std::env::remove_var("MAOPT_JOBS");
+        assert_eq!(jobs_from_env(), Ok(None));
         assert!(EvalEngine::default().jobs() >= 1);
     }
 

@@ -33,9 +33,11 @@ pub mod journal;
 pub mod json;
 pub mod record;
 pub mod stats;
+pub mod tail;
 
 pub use journal::{read_journal, Journal, JournalError};
 pub use record::{
     ActorRound, EliteStats, EngineRecord, Manifest, NearSamplingRecord, Record, RoundRecord,
     RunEnd, SCHEMA_VERSION,
 };
+pub use tail::JournalTail;

@@ -1,0 +1,139 @@
+//! Incremental journal tailing: follow an append-only JSONL file as it
+//! grows, yielding only complete lines.
+//!
+//! The serve daemon's `subscribe` command streams a job's journal to
+//! clients while the optimizer is still appending to it. A plain
+//! `BufReader::lines` loop would hand out the torn final line of an
+//! in-flight append; [`JournalTail`] instead remembers its byte offset
+//! and only yields data up to the last `\n`, so every returned string is
+//! a complete journal line. Poll [`JournalTail::poll`] after each
+//! flush/interval; it returns the new complete lines since the previous
+//! call.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Follows one journal file, yielding complete lines incrementally.
+///
+/// Tolerates the file not existing yet (the job may not have started):
+/// [`JournalTail::poll`] simply returns no lines until it appears.
+#[derive(Debug)]
+pub struct JournalTail {
+    path: PathBuf,
+    offset: u64,
+    partial: Vec<u8>,
+}
+
+impl JournalTail {
+    /// A tail positioned at the start of `path` (which need not exist
+    /// yet); the first [`JournalTail::poll`] returns every complete line
+    /// written so far.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        JournalTail {
+            path: path.into(),
+            offset: 0,
+            partial: Vec::new(),
+        }
+    }
+
+    /// The tailed file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Byte offset of the next unread data (including any buffered
+    /// partial line).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Reads and returns every *complete* line appended since the last
+    /// poll. A trailing fragment without a newline is buffered and
+    /// returned once its terminator arrives. A missing file yields no
+    /// lines; a file that shrank below the current offset (truncated and
+    /// recreated) restarts the tail from the beginning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures other than `NotFound`.
+    pub fn poll(&mut self) -> std::io::Result<Vec<String>> {
+        let mut file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let len = file.metadata()?.len();
+        if len < self.offset {
+            self.offset = 0;
+            self.partial.clear();
+        }
+        if len == self.offset {
+            return Ok(Vec::new());
+        }
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut fresh = Vec::with_capacity((len - self.offset) as usize);
+        file.take(len - self.offset).read_to_end(&mut fresh)?;
+        self.offset += fresh.len() as u64;
+        self.partial.extend_from_slice(&fresh);
+
+        let mut lines = Vec::new();
+        let mut start = 0usize;
+        while let Some(nl) = self.partial[start..].iter().position(|&b| b == b'\n') {
+            let end = start + nl;
+            lines.push(String::from_utf8_lossy(&self.partial[start..end]).into_owned());
+            start = end + 1;
+        }
+        self.partial.drain(..start);
+        Ok(lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("maopt-obs-tail-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn missing_file_yields_nothing() {
+        let mut tail = JournalTail::new(tmp_path("absent.jsonl"));
+        assert!(tail.poll().unwrap().is_empty());
+        assert_eq!(tail.offset(), 0);
+    }
+
+    #[test]
+    fn yields_only_complete_lines_across_polls() {
+        let path = tmp_path("grow.jsonl");
+        let mut f = File::create(&path).unwrap();
+        let mut tail = JournalTail::new(&path);
+
+        write!(f, "{{\"a\":1}}\n{{\"b\":").unwrap();
+        f.flush().unwrap();
+        assert_eq!(tail.poll().unwrap(), vec!["{\"a\":1}".to_string()]);
+
+        // Torn line completes plus a new one arrives.
+        write!(f, "2}}\n{{\"c\":3}}\n").unwrap();
+        f.flush().unwrap();
+        assert_eq!(
+            tail.poll().unwrap(),
+            vec!["{\"b\":2}".to_string(), "{\"c\":3}".to_string()]
+        );
+        assert!(tail.poll().unwrap().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_file_restarts_from_beginning() {
+        let path = tmp_path("trunc.jsonl");
+        std::fs::write(&path, "one\ntwo\n").unwrap();
+        let mut tail = JournalTail::new(&path);
+        assert_eq!(tail.poll().unwrap(), vec!["one", "two"]);
+        std::fs::write(&path, "x\n").unwrap();
+        assert_eq!(tail.poll().unwrap(), vec!["x"]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

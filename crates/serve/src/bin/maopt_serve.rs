@@ -1,0 +1,143 @@
+//! The `maopt-serve` daemon binary.
+//!
+//! ```text
+//! maopt-serve --state-dir DIR [--addr HOST:PORT] [--slots N]
+//!             [--max-pending N] [--tenant-quota N] [--jobs N]
+//! ```
+//!
+//! The listen address defaults to `127.0.0.1:0` (ephemeral; the bound
+//! address is printed and written to `<state-dir>/addr`) and can be
+//! overridden by `--addr` or the `MAOPT_SERVE_ADDR` environment
+//! variable — a malformed value is a startup error, never a silent
+//! fallback. SIGTERM/SIGINT drain gracefully: running jobs checkpoint
+//! at their next round boundary, the queue manifest is persisted, and
+//! the process exits 0.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use maopt_exec::EvalEngine;
+use maopt_serve::{addr_from_env, install_signal_flag, QueueLimits, ServeConfig, Server};
+
+struct Args {
+    state_dir: PathBuf,
+    addr: Option<String>,
+    slots: usize,
+    max_pending: usize,
+    tenant_quota: usize,
+    jobs: Option<usize>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: maopt-serve --state-dir DIR [--addr HOST:PORT] [--slots N] \
+         [--max-pending N] [--tenant-quota N] [--jobs N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        state_dir: PathBuf::new(),
+        addr: None,
+        slots: 2,
+        max_pending: 64,
+        tenant_quota: 2,
+        jobs: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut have_state_dir = false;
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--state-dir" => {
+                args.state_dir = PathBuf::from(value("--state-dir"));
+                have_state_dir = true;
+            }
+            "--addr" => args.addr = Some(value("--addr")),
+            "--slots" => args.slots = parse_num(&value("--slots"), "--slots"),
+            "--max-pending" => {
+                args.max_pending = parse_num(&value("--max-pending"), "--max-pending")
+            }
+            "--tenant-quota" => {
+                args.tenant_quota = parse_num(&value("--tenant-quota"), "--tenant-quota");
+            }
+            "--jobs" => args.jobs = Some(parse_num(&value("--jobs"), "--jobs")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    if !have_state_dir {
+        eprintln!("error: --state-dir is required");
+        usage()
+    }
+    args
+}
+
+fn parse_num(v: &str, name: &str) -> usize {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("error: {name} expects a non-negative integer, got {v:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let env_addr = match addr_from_env() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let addr = args
+        .addr
+        .or(env_addr)
+        .unwrap_or_else(|| "127.0.0.1:0".into());
+
+    // Engine sizing mirrors `reproduce`: --jobs beats MAOPT_JOBS beats
+    // auto-detection; a malformed MAOPT_JOBS is a startup error (the
+    // EvalEngine::default panic), not a silent fallback.
+    let engine = match args.jobs {
+        Some(j) => EvalEngine::new(j),
+        None => EvalEngine::default(),
+    };
+
+    let stop = install_signal_flag();
+    let cfg = ServeConfig {
+        addr,
+        state_dir: args.state_dir,
+        slots: args.slots,
+        limits: QueueLimits {
+            max_pending: args.max_pending,
+            tenant_quota: args.tenant_quota,
+        },
+        poll_ms: 20,
+    };
+    let server = match Server::bind(cfg, engine, stop) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot start daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("maopt-serve listening on {addr}"),
+        Err(e) => eprintln!("warning: cannot query listen address: {e}"),
+    }
+    if let Err(e) = server.run() {
+        eprintln!("error: daemon failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("maopt-serve drained and stopped");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,236 @@
+//! A blocking client for the framed protocol, used by
+//! `maopt-serve-cli` and the integration tests.
+
+use std::io;
+use std::net::TcpStream;
+
+use maopt_obs::json::Json;
+
+use crate::job::JobSpec;
+use crate::protocol::{read_frame, write_frame, FrameError};
+
+/// One connection to a running daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// A server-side refusal: the daemon answered `ok: false`.
+#[derive(Debug)]
+pub struct ServerError {
+    /// HTTP-flavoured status code (400 bad request, 404 unknown job,
+    /// 409 conflict, 429 queue full, 500 internal).
+    pub code: u64,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server error {}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Frame(FrameError),
+    /// The daemon refused the request.
+    Server(ServerError),
+    /// The daemon closed the connection before answering.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Server(e) => write!(f, "{e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Frame(FrameError::Io(e))
+    }
+}
+
+fn check_ok(response: Json) -> Result<Json, ClientError> {
+    if response.get("ok").and_then(Json::as_bool) == Some(true) {
+        return Ok(response);
+    }
+    Err(ClientError::Server(ServerError {
+        code: response.get("code").and_then(Json::as_u64).unwrap_or(500),
+        message: response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unspecified server error")
+            .to_string(),
+    }))
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7171"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Sends one request frame and reads one response frame.
+    ///
+    /// # Errors
+    ///
+    /// Framing/transport failures, [`ClientError::Disconnected`] on EOF,
+    /// and [`ClientError::Server`] when the daemon answers `ok: false`.
+    pub fn request(&mut self, msg: &Json) -> Result<Json, ClientError> {
+        write_frame(&mut self.stream, msg)?;
+        match read_frame(&mut self.stream)? {
+            Some(response) => check_ok(response),
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// Submits a job; returns its `"job-<n>"` name.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`]; a full queue is a code-429
+    /// [`ClientError::Server`].
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<String, ClientError> {
+        let mut msg = spec.to_json();
+        if let Json::Obj(m) = &mut msg {
+            m.insert("cmd".into(), Json::Str("submit".into()));
+        }
+        let response = self.request(&msg)?;
+        response
+            .get("id")
+            .and_then(Json::as_str)
+            .map(String::from)
+            .ok_or(ClientError::Disconnected)
+    }
+
+    /// Fetches one job's record.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn status(&mut self, id: &str) -> Result<Json, ClientError> {
+        let response = self.request(&Json::obj(vec![
+            ("cmd", Json::Str("status".into())),
+            ("id", Json::Str(id.into())),
+        ]))?;
+        response
+            .get("job")
+            .cloned()
+            .ok_or(ClientError::Disconnected)
+    }
+
+    /// Cancels a pending or running job.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`]; already-terminal jobs are a code-409
+    /// refusal.
+    pub fn cancel(&mut self, id: &str) -> Result<(), ClientError> {
+        self.request(&Json::obj(vec![
+            ("cmd", Json::Str("cancel".into())),
+            ("id", Json::Str(id.into())),
+        ]))
+        .map(|_| ())
+    }
+
+    /// Lists every job the daemon knows.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn list(&mut self) -> Result<Vec<Json>, ClientError> {
+        let response = self.request(&Json::obj(vec![("cmd", Json::Str("list".into()))]))?;
+        Ok(response
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .to_vec())
+    }
+
+    /// Fetches scheduler statistics (slot usage, per-tenant depths and
+    /// peaks).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::obj(vec![("cmd", Json::Str("stats".into()))]))
+    }
+
+    /// Asks the daemon to shut down gracefully (checkpoint + drain).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&Json::obj(vec![("cmd", Json::Str("shutdown".into()))]))
+            .map(|_| ())
+    }
+
+    /// Streams a job's journal, invoking `on_line` per complete line,
+    /// until the job ends; returns the final status string.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus a refusal frame mid-stream.
+    pub fn subscribe(
+        &mut self,
+        id: &str,
+        mut on_line: impl FnMut(&str),
+    ) -> Result<String, ClientError> {
+        write_frame(
+            &mut self.stream,
+            &Json::obj(vec![
+                ("cmd", Json::Str("subscribe".into())),
+                ("id", Json::Str(id.into())),
+            ]),
+        )?;
+        loop {
+            let Some(frame) = read_frame(&mut self.stream)? else {
+                return Err(ClientError::Disconnected);
+            };
+            if frame.get("ok").is_some() {
+                check_ok(frame)?; // a refusal (404/400) ends the stream
+                continue;
+            }
+            match frame.get("event").and_then(Json::as_str) {
+                Some("line") => {
+                    if let Some(line) = frame.get("line").and_then(Json::as_str) {
+                        on_line(line);
+                    }
+                }
+                Some("end") => {
+                    return Ok(frame
+                        .get("status")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_string());
+                }
+                _ => return Err(ClientError::Disconnected),
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Job model: what a tenant submits and how its lifecycle is recorded.
+
+use std::fmt;
+
+use maopt_obs::json::Json;
+
+/// What a client submits: one sizing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Tenant identity (quota accounting key). Free-form, non-empty.
+    pub tenant: String,
+    /// Problem name resolved by [`crate::registry::build_problem`],
+    /// e.g. `"sphere:3"` or `"ota"`.
+    pub problem: String,
+    /// Method name resolved by [`crate::registry::build_method`],
+    /// e.g. `"ma-opt"` or `"dnn-opt"`.
+    pub method: String,
+    /// Simulation budget (post-init).
+    pub budget: usize,
+    /// Initial random-sample count.
+    pub init_size: usize,
+    /// RNG seed; jobs are deterministic given the spec.
+    pub seed: u64,
+    /// Shrink network/training sizes for fast smoke jobs.
+    pub quick: bool,
+}
+
+impl JobSpec {
+    /// Serializes the spec as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("tenant", Json::Str(self.tenant.clone())),
+            ("problem", Json::Str(self.problem.clone())),
+            ("method", Json::Str(self.method.clone())),
+            ("budget", Json::num_u(self.budget as u64)),
+            ("init", Json::num_u(self.init_size as u64)),
+            ("seed", Json::num_u(self.seed)),
+            ("quick", Json::Bool(self.quick)),
+        ])
+    }
+
+    /// Parses a spec from a JSON object (a `submit` request or a queue
+    /// manifest entry).
+    ///
+    /// # Errors
+    ///
+    /// Names the first missing or ill-typed field.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field {k:?}"));
+        let tenant = field("tenant")?
+            .as_str()
+            .ok_or("field \"tenant\" must be a string")?
+            .to_string();
+        if tenant.is_empty() {
+            return Err("field \"tenant\" must be non-empty".into());
+        }
+        Ok(JobSpec {
+            tenant,
+            problem: field("problem")?
+                .as_str()
+                .ok_or("field \"problem\" must be a string")?
+                .to_string(),
+            method: field("method")?
+                .as_str()
+                .ok_or("field \"method\" must be a string")?
+                .to_string(),
+            budget: field("budget")?
+                .as_usize()
+                .ok_or("field \"budget\" must be a non-negative integer")?,
+            init_size: field("init")?
+                .as_usize()
+                .ok_or("field \"init\" must be a non-negative integer")?,
+            seed: field("seed")?
+                .as_u64()
+                .ok_or("field \"seed\" must be a non-negative integer")?,
+            quick: v.get("quick").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+}
+
+/// Where a job is in its lifecycle.
+///
+/// ```text
+/// Pending ──▶ Running ──▶ Done
+///    ▲           │  └───▶ Failed
+///    │(shutdown) │
+///    └───────────┤
+///    Canceled ◀──┴── (cancel, from Pending or Running)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Queued (or checkpointed mid-run awaiting a restart).
+    Pending,
+    /// Currently occupying a scheduler slot.
+    Running,
+    /// Finished its full budget.
+    Done,
+    /// Spec failed to resolve or the run errored.
+    Failed,
+    /// Cancelled by a client.
+    Canceled,
+}
+
+impl JobStatus {
+    /// Wire name, also used in the queue manifest.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Pending => "pending",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Canceled => "canceled",
+        }
+    }
+
+    /// Inverse of [`JobStatus::as_str`].
+    ///
+    /// # Errors
+    ///
+    /// On an unknown status name.
+    pub fn parse(s: &str) -> Result<JobStatus, String> {
+        match s {
+            "pending" => Ok(JobStatus::Pending),
+            "running" => Ok(JobStatus::Running),
+            "done" => Ok(JobStatus::Done),
+            "failed" => Ok(JobStatus::Failed),
+            "canceled" => Ok(JobStatus::Canceled),
+            other => Err(format!("unknown job status {other:?}")),
+        }
+    }
+
+    /// Whether the job can never run again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Failed | JobStatus::Canceled
+        )
+    }
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One job's durable record: spec, lifecycle state, and (when finished)
+/// a result summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Queue-assigned identity, monotonically increasing.
+    pub id: u64,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Lifecycle state.
+    pub status: JobStatus,
+    /// Best figure-of-merit, once finished.
+    pub best_fom: Option<f64>,
+    /// Whether any design met every spec, once finished.
+    pub success: Option<bool>,
+    /// Simulations consumed so far.
+    pub sims: u64,
+    /// Failure reason, when [`JobStatus::Failed`].
+    pub error: Option<String>,
+}
+
+impl JobRecord {
+    /// The client-facing job name, `"job-<id>"`.
+    pub fn name(&self) -> String {
+        format!("job-{}", self.id)
+    }
+
+    /// Parses `"job-<id>"` (or a bare integer) back to an id.
+    ///
+    /// # Errors
+    ///
+    /// On anything else.
+    pub fn parse_name(name: &str) -> Result<u64, String> {
+        let digits = name.strip_prefix("job-").unwrap_or(name);
+        digits
+            .parse::<u64>()
+            .map_err(|_| format!("invalid job id {name:?} (expected \"job-<n>\")"))
+    }
+
+    /// Serializes the record as a JSON object (wire + manifest form).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id", Json::Str(self.name())),
+            ("spec", self.spec.to_json()),
+            ("status", Json::Str(self.status.as_str().into())),
+            ("sims", Json::num_u(self.sims)),
+        ];
+        if let Some(f) = self.best_fom {
+            pairs.push(("best_fom", Json::Num(f)));
+        }
+        if let Some(s) = self.success {
+            pairs.push(("success", Json::Bool(s)));
+        }
+        if let Some(e) = &self.error {
+            pairs.push(("error", Json::Str(e.clone())));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Inverse of [`JobRecord::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Names the first missing or ill-typed field.
+    pub fn from_json(v: &Json) -> Result<JobRecord, String> {
+        let id = JobRecord::parse_name(
+            v.get("id")
+                .and_then(Json::as_str)
+                .ok_or("missing field \"id\"")?,
+        )?;
+        let spec = JobSpec::from_json(v.get("spec").ok_or("missing field \"spec\"")?)?;
+        let status = JobStatus::parse(
+            v.get("status")
+                .and_then(Json::as_str)
+                .ok_or("missing field \"status\"")?,
+        )?;
+        Ok(JobRecord {
+            id,
+            spec,
+            status,
+            best_fom: v.get("best_fom").and_then(Json::as_f64),
+            success: v.get("success").and_then(Json::as_bool),
+            sims: v.get("sims").and_then(Json::as_u64).unwrap_or(0),
+            error: v.get("error").and_then(Json::as_str).map(String::from),
+        })
+    }
+}

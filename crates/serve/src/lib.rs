@@ -1,0 +1,46 @@
+//! `maopt-serve`: a durable multi-tenant sizing daemon over the
+//! pool/checkpoint/journal stack.
+//!
+//! The ROADMAP north-star is a production *service*, not a one-shot
+//! CLI: sizing is a workload users submit repeatedly. This crate turns
+//! the primitives of PRs 1–5 into that service:
+//!
+//! * a hand-rolled, length-prefixed JSON **wire protocol** over
+//!   `TcpListener` ([`protocol`]) — offline-friendly, zero new
+//!   dependencies, reusing `maopt-obs`'s hermetic JSON parser;
+//! * a **durable job queue** ([`queue`]) persisted through the
+//!   `maopt-ckpt` atomic-write path (`MAOPTJBQ` manifests next to
+//!   `MAOPTCKP` snapshots), with admission control (bounded pending
+//!   queue → 429-style reject), per-tenant concurrency quotas, and fair
+//!   round-robin scheduling;
+//! * a **scheduler + accept loop** ([`server`]) multiplexing jobs onto
+//!   the run-level [`maopt_exec::WorkerPool`] fan-out; a SIGKILLed
+//!   daemon restarts with its queue intact and resumes every in-flight
+//!   job from its round checkpoint, producing journals byte-identical
+//!   (non-timing fields) to uninterrupted runs;
+//! * **graceful shutdown** ([`shutdown`]): SIGTERM/SIGINT raise a flag
+//!   that checkpoints in-flight jobs at their next round boundary,
+//!   flushes journals, and exits 0;
+//! * a blocking **client** ([`client`]) for `maopt-serve-cli` and
+//!   tests, including live journal streaming via `subscribe`.
+//!
+//! Signal registration is the crate's single `unsafe` block
+//! (`signal(2)` through the libc `std` already links); everything else
+//! is safe Rust.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod job;
+pub mod protocol;
+pub mod queue;
+pub mod registry;
+pub mod server;
+pub mod shutdown;
+
+pub use client::{Client, ClientError, ServerError};
+pub use job::{JobRecord, JobSpec, JobStatus};
+pub use protocol::{decode_frame, encode_frame, read_frame, write_frame, FrameError, MAX_FRAME};
+pub use queue::{AdmissionError, JobQueue, QueueLimits};
+pub use server::{addr_from_env, ServeConfig, Server};
+pub use shutdown::{install_signal_flag, reset_signal_flag, signal_flag};

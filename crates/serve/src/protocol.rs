@@ -1,0 +1,166 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Grammar (all integers little-endian):
+//!
+//! ```text
+//! frame   := len u32 LE | payload (len bytes)
+//! payload := one JSON document, UTF-8
+//! ```
+//!
+//! A connection is a sequence of frames in each direction. Frames are
+//! capped at [`MAX_FRAME`] bytes: a peer announcing a larger length is
+//! rejected before any allocation, so a corrupt or hostile length
+//! prefix cannot balloon memory. Truncation (EOF inside a frame) is a
+//! clean [`FrameError::Truncated`], never a panic; EOF *between* frames
+//! is the normal end of a conversation.
+//!
+//! The payload codec is `maopt-obs`'s hermetic [`Json`] — the same
+//! parser that reads run journals — so the daemon adds no dependencies.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use maopt_obs::json::Json;
+
+/// Maximum frame payload size in bytes (1 MiB).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Why a frame failed to encode, decode, read or write.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying transport failure.
+    Io(std::io::Error),
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversize {
+        /// The announced payload length.
+        len: usize,
+    },
+    /// The stream ended inside a frame (mid-prefix or mid-payload).
+    Truncated {
+        /// How many payload-or-prefix bytes were still expected.
+        missing: usize,
+    },
+    /// The payload is not valid UTF-8 JSON.
+    Malformed(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::Oversize { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::Truncated { missing } => {
+                write!(
+                    f,
+                    "stream truncated inside a frame ({missing} bytes missing)"
+                )
+            }
+            FrameError::Malformed(msg) => write!(f, "malformed frame payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Serializes one message to its framed byte representation.
+///
+/// # Errors
+///
+/// [`FrameError::Oversize`] when the serialized payload exceeds
+/// [`MAX_FRAME`].
+pub fn encode_frame(msg: &Json) -> Result<Vec<u8>, FrameError> {
+    let payload = msg.to_string();
+    if payload.len() > MAX_FRAME {
+        return Err(FrameError::Oversize { len: payload.len() });
+    }
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload.as_bytes());
+    Ok(out)
+}
+
+/// Decodes one frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when `buf` does not yet hold a complete frame
+/// (more bytes must arrive), and `Ok(Some((msg, consumed)))` once it
+/// does, where `consumed` is the total frame size to drain.
+///
+/// # Errors
+///
+/// [`FrameError::Oversize`] on a length prefix beyond [`MAX_FRAME`]
+/// (detected before the payload arrives); [`FrameError::Malformed`] on
+/// a payload that is not UTF-8 JSON.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Json, usize)>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4")) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversize { len });
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let payload = std::str::from_utf8(&buf[4..4 + len])
+        .map_err(|e| FrameError::Malformed(format!("invalid UTF-8: {e}")))?;
+    let msg = Json::parse(payload).map_err(FrameError::Malformed)?;
+    Ok(Some((msg, 4 + len)))
+}
+
+/// Writes one framed message and flushes the transport.
+///
+/// # Errors
+///
+/// As [`encode_frame`], plus transport failures.
+pub fn write_frame(w: &mut impl Write, msg: &Json) -> Result<(), FrameError> {
+    let bytes = encode_frame(msg)?;
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one framed message. `Ok(None)` is a clean EOF at a frame
+/// boundary — the peer hung up between messages.
+///
+/// # Errors
+///
+/// [`FrameError::Truncated`] on EOF inside a frame, plus the
+/// [`decode_frame`] and transport errors.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Json>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut prefix[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => return Err(FrameError::Truncated { missing: 4 - got }),
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversize { len });
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..])? {
+            0 => {
+                return Err(FrameError::Truncated {
+                    missing: len - filled,
+                })
+            }
+            n => filled += n,
+        }
+    }
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| FrameError::Malformed(format!("invalid UTF-8: {e}")))?;
+    Ok(Some(Json::parse(text).map_err(FrameError::Malformed)?))
+}

@@ -1,0 +1,113 @@
+//! Name → problem / method resolution for submitted jobs.
+//!
+//! Problems: `sphere:<d>`, `toy:<d>`, `rosenbrock:<d>` (synthetic, for
+//! smoke jobs and tests) and the paper's circuits `ota`, `tia`, `ldo`.
+//! Methods: `ma-opt`, `ma-opt1`, `ma-opt2`, `dnn-opt`; the `quick` flag
+//! shrinks networks and training loops for sub-second smoke jobs.
+
+use maopt_circuits::{LdoRegulator, ThreeStageTia, TwoStageOta};
+use maopt_core::problems::{ConstrainedToy, RosenbrockDisk, Sphere};
+use maopt_core::{MaOptConfig, SizingProblem};
+
+/// Resolves a problem name.
+///
+/// # Errors
+///
+/// A descriptive message listing the accepted grammar on an unknown
+/// name or malformed dimension suffix.
+pub fn build_problem(name: &str) -> Result<Box<dyn SizingProblem>, String> {
+    let (base, dim) = match name.split_once(':') {
+        Some((base, d)) => {
+            let dim = d.parse::<usize>().map_err(|_| {
+                format!("invalid dimension {d:?} in problem {name:?} (expected e.g. \"sphere:3\")")
+            })?;
+            if dim == 0 {
+                return Err(format!("problem {name:?} needs a dimension >= 1"));
+            }
+            (base, Some(dim))
+        }
+        None => (name, None),
+    };
+    match (base, dim) {
+        ("sphere", Some(d)) => Ok(Box::new(Sphere::new(d))),
+        ("toy", Some(d)) => Ok(Box::new(ConstrainedToy::new(d))),
+        ("rosenbrock", Some(d)) => Ok(Box::new(RosenbrockDisk::new(d))),
+        ("ota", None) => Ok(Box::new(TwoStageOta::new())),
+        ("tia", None) => Ok(Box::new(ThreeStageTia::new())),
+        ("ldo", None) => Ok(Box::new(LdoRegulator::new())),
+        _ => Err(format!(
+            "unknown problem {name:?} (expected sphere:<d>, toy:<d>, rosenbrock:<d>, ota, tia, or ldo)"
+        )),
+    }
+}
+
+/// Resolves a method name into a seeded [`MaOptConfig`].
+///
+/// # Errors
+///
+/// A descriptive message listing the accepted names on an unknown one.
+pub fn build_method(name: &str, seed: u64, quick: bool) -> Result<MaOptConfig, String> {
+    let cfg = match name {
+        "ma-opt" => MaOptConfig::ma_opt(seed),
+        "ma-opt1" => MaOptConfig::ma_opt1(seed),
+        "ma-opt2" => MaOptConfig::ma_opt2(seed),
+        "dnn-opt" => MaOptConfig::dnn_opt(seed),
+        other => {
+            return Err(format!(
+                "unknown method {other:?} (expected ma-opt, ma-opt1, ma-opt2, or dnn-opt)"
+            ))
+        }
+    };
+    Ok(if quick {
+        MaOptConfig {
+            hidden: vec![16, 16],
+            critic_steps: 15,
+            actor_steps: 8,
+            n_samples: 100,
+            ..cfg
+        }
+    } else {
+        cfg
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn problem_names_resolve_with_dims() {
+        assert_eq!(build_problem("sphere:3").unwrap().dim(), 3);
+        assert_eq!(build_problem("toy:2").unwrap().dim(), 2);
+        assert_eq!(build_problem("rosenbrock:4").unwrap().dim(), 4);
+        assert!(build_problem("ota").is_ok());
+        assert!(build_problem("tia").is_ok());
+        assert!(build_problem("ldo").is_ok());
+    }
+
+    #[test]
+    fn bad_problem_names_are_descriptive() {
+        for (name, needle) in [
+            ("sphere", "unknown problem"),
+            ("sphere:x", "invalid dimension"),
+            ("sphere:0", "dimension >= 1"),
+            ("ota:3", "unknown problem"),
+            ("warp", "unknown problem"),
+        ] {
+            let err = build_problem(name).map(|_| ()).unwrap_err();
+            assert!(err.contains(needle), "{name}: {err}");
+        }
+    }
+
+    #[test]
+    fn methods_resolve_and_quick_shrinks() {
+        let full = build_method("ma-opt", 7, false).unwrap();
+        assert_eq!(full.seed, 7);
+        assert_eq!(full.hidden, vec![100, 100]);
+        let quick = build_method("ma-opt", 7, true).unwrap();
+        assert_eq!(quick.hidden, vec![16, 16]);
+        assert!(build_method("sgd", 0, false)
+            .unwrap_err()
+            .contains("unknown method"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Graceful-shutdown signal handling without a libc dependency.
+//!
+//! The daemon (and `reproduce --checkpoint-dir`) must turn SIGTERM /
+//! SIGINT into "checkpoint, flush, exit 0" instead of dying mid-write.
+//! The workspace is hermetic, so rather than pulling in `libc` or
+//! `signal-hook`, this registers a handler through the `signal(2)` C
+//! entry point that `std` already links. The handler only stores a
+//! relaxed-free `AtomicBool` — the one async-signal-safe thing a Rust
+//! handler can do — and every consumer polls the flag at a safe point
+//! (round boundaries, scheduler ticks).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+#[cfg(unix)]
+mod imp {
+    use std::os::raw::c_int;
+
+    pub const SIGINT: c_int = 2;
+    pub const SIGTERM: c_int = 15;
+
+    extern "C" {
+        /// POSIX `signal(2)`; `std` links libc, so no new dependency.
+        pub fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    pub extern "C" fn on_signal(_signum: c_int) {
+        // Only an atomic store: allocation, locks and I/O are all
+        // forbidden inside a signal handler.
+        if let Some(flag) = super::FLAG.get() {
+            flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+}
+
+/// Installs SIGTERM + SIGINT handlers (idempotently) and returns the
+/// shared flag they raise. On non-Unix targets the flag is returned
+/// without any handler — callers degrade to stop-on-request-only.
+pub fn install_signal_flag() -> Arc<AtomicBool> {
+    let flag = FLAG.get_or_init(|| Arc::new(AtomicBool::new(false)));
+    #[cfg(unix)]
+    {
+        // SAFETY: `signal` is the POSIX registration call; the handler
+        // passed is a valid `extern "C" fn(c_int)` for the process
+        // lifetime and touches only an atomic.
+        unsafe {
+            imp::signal(imp::SIGINT, imp::on_signal as *const () as usize);
+            imp::signal(imp::SIGTERM, imp::on_signal as *const () as usize);
+        }
+    }
+    Arc::clone(flag)
+}
+
+/// The installed flag, if [`install_signal_flag`] ran; for code that
+/// wants to poll without forcing installation.
+pub fn signal_flag() -> Option<Arc<AtomicBool>> {
+    FLAG.get().cloned()
+}
+
+/// Test hook: lower the flag (signals are process-global, and tests
+/// that raise it must not poison later tests in the same binary).
+pub fn reset_signal_flag() {
+    if let Some(flag) = FLAG.get() {
+        flag.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_is_shared_and_raisable() {
+        let a = install_signal_flag();
+        let b = install_signal_flag();
+        assert!(!a.load(Ordering::SeqCst));
+        b.store(true, Ordering::SeqCst);
+        assert!(a.load(Ordering::SeqCst), "both handles view one flag");
+        reset_signal_flag();
+        assert!(!a.load(Ordering::SeqCst));
+    }
+}

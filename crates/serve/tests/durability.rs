@@ -1,0 +1,258 @@
+//! End-to-end daemon durability: SIGKILL the daemon with two tenants'
+//! jobs in flight, restart it over the same state directory, and
+//! require every job to finish with a journal byte-identical
+//! (non-timing fields) to an uninterrupted daemon's. Plus the graceful
+//! half: SIGTERM checkpoints, drains, exits 0, and leaves no torn
+//! journal line.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use maopt_obs::json::Json;
+use maopt_obs::Record;
+use maopt_serve::{Client, JobSpec};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("maopt-serve-dur-{}-{name}", std::process::id()))
+}
+
+fn spec(tenant: &str, seed: u64, budget: usize) -> JobSpec {
+    JobSpec {
+        tenant: tenant.into(),
+        problem: "sphere:2".into(),
+        method: "ma-opt2".into(),
+        budget,
+        init_size: 6,
+        seed,
+        quick: true,
+    }
+}
+
+fn spawn_daemon(state_dir: &Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_maopt-serve"))
+        .args([
+            "--state-dir",
+            state_dir.to_str().unwrap(),
+            "--slots",
+            "2",
+            "--jobs",
+            "2",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon")
+}
+
+/// Waits for `<state_dir>/addr` (written after bind) and connects.
+fn connect(state_dir: &Path, child: &mut Child) -> Client {
+    let addr_file = state_dir.join("addr");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(&addr_file) {
+            if let Ok(client) = Client::connect(addr.trim()) {
+                return client;
+            }
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("daemon exited before accepting connections: {status}");
+        }
+        assert!(Instant::now() < deadline, "daemon never became reachable");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn wait_done(client: &mut Client, id: &str, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let job = client.status(id).expect("status");
+        match job.get("status").and_then(Json::as_str) {
+            Some("done") => return,
+            Some("failed") => panic!("job {id} failed: {job}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished: {job}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Journal lines with run-end timing fields (outside the byte-identity
+/// contract) zeroed; everything else byte-for-byte.
+fn normalized_lines(path: &Path) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+        .lines()
+        .map(|line| match Record::parse(line) {
+            Ok(Record::RunEnd(mut end)) => {
+                end.total_s = 0.0;
+                end.training_s = 0.0;
+                end.simulation_s = 0.0;
+                end.near_sampling_s = 0.0;
+                Record::RunEnd(end).to_json_line()
+            }
+            _ => line.to_string(),
+        })
+        .collect()
+}
+
+fn journal_path(state_dir: &Path, id: &str) -> PathBuf {
+    state_dir.join("jobs").join(id).join("journal.jsonl")
+}
+
+const JOBS: &[(&str, u64, usize)] = &[("alice", 11, 40), ("bob", 22, 40)];
+
+/// Runs both jobs on a fresh daemon to completion and returns their ids.
+fn run_reference(state_dir: &Path) -> Vec<String> {
+    let mut child = spawn_daemon(state_dir);
+    let mut client = connect(state_dir, &mut child);
+    let ids: Vec<String> = JOBS
+        .iter()
+        .map(|(t, s, b)| client.submit(&spec(t, *s, *b)).expect("submit"))
+        .collect();
+    for id in &ids {
+        wait_done(&mut client, id, Duration::from_secs(300));
+    }
+    client.shutdown().expect("shutdown");
+    drop(client);
+    let status = child.wait().expect("wait");
+    assert!(status.success(), "reference daemon exit: {status}");
+    ids
+}
+
+#[test]
+fn sigkilled_daemon_restarts_and_finishes_byte_identical_jobs() {
+    let dir = tmp_dir("sigkill");
+    let _ = std::fs::remove_dir_all(&dir);
+    let ref_dir = dir.join("reference");
+    let crash_dir = dir.join("crashed");
+
+    let ref_ids = run_reference(&ref_dir);
+
+    // Same submissions against a daemon we SIGKILL once both tenants'
+    // jobs have a round checkpoint on disk — both in flight, mid-run.
+    let mut child = spawn_daemon(&crash_dir);
+    let mut client = connect(&crash_dir, &mut child);
+    let ids: Vec<String> = JOBS
+        .iter()
+        .map(|(t, s, b)| client.submit(&spec(t, *s, *b)).expect("submit"))
+        .collect();
+    assert_eq!(ids, ref_ids, "same submission order, same ids");
+
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let interrupted = loop {
+        let both_checkpointed = ids
+            .iter()
+            .all(|id| crash_dir.join("jobs").join(id).join("run.ckpt").exists());
+        let both_done = ids.iter().all(|id| {
+            client
+                .status(id)
+                .ok()
+                .and_then(|j| j.get("status").and_then(Json::as_str).map(String::from))
+                == Some("done".into())
+        });
+        if both_checkpointed && !both_done {
+            child.kill().expect("SIGKILL");
+            child.wait().expect("wait");
+            break true;
+        }
+        if both_done {
+            // Outran the poll loop: weaker, but restart must still be a
+            // no-op that preserves the journals below.
+            break false;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "jobs never checkpointed nor finished"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    drop(client);
+
+    // Restart over the same state directory: the queue manifest demotes
+    // the killed jobs to pending and each resumes from its checkpoint.
+    let mut child2 = spawn_daemon(&crash_dir);
+    let mut client2 = connect(&crash_dir, &mut child2);
+    for id in &ids {
+        wait_done(&mut client2, id, Duration::from_secs(300));
+    }
+    client2.shutdown().expect("shutdown");
+    let status = child2.wait().expect("wait");
+    assert!(status.success(), "restarted daemon exit: {status}");
+
+    for id in &ids {
+        assert_eq!(
+            normalized_lines(&journal_path(&ref_dir, id)),
+            normalized_lines(&journal_path(&crash_dir, id)),
+            "journal of {id} must be byte-identical (non-timing fields) \
+             after SIGKILL + restart (interrupted mid-flight: {interrupted})"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigterm_drains_gracefully_without_torn_journal_lines() {
+    let dir = tmp_dir("sigterm");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut child = spawn_daemon(&dir);
+    let mut client = connect(&dir, &mut child);
+    // One long job per tenant so SIGTERM lands mid-run.
+    let ids: Vec<String> = [("alice", 31u64), ("bob", 32)]
+        .iter()
+        .map(|(t, s)| client.submit(&spec(t, *s, 400)).expect("submit"))
+        .collect();
+
+    // Wait until both are checkpointing (first round boundary reached).
+    let deadline = Instant::now() + Duration::from_secs(300);
+    while !ids
+        .iter()
+        .all(|id| dir.join("jobs").join(id).join("run.ckpt").exists())
+    {
+        assert!(Instant::now() < deadline, "jobs never checkpointed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // SIGTERM (std's Child::kill is SIGKILL; go through kill(1)).
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill -TERM");
+    assert!(term.success());
+    let status = child.wait().expect("wait");
+    assert!(
+        status.success(),
+        "graceful shutdown must exit 0, got {status}"
+    );
+    drop(client);
+
+    // No torn line: every journal line of every job parses strictly.
+    // (read_journal tolerates a torn tail, so check line-by-line.)
+    for id in &ids {
+        let text = std::fs::read_to_string(journal_path(&dir, id)).expect("journal");
+        for (i, line) in text.lines().enumerate() {
+            Record::parse(line)
+                .unwrap_or_else(|e| panic!("torn/invalid line {} in {id}'s journal: {e}", i + 1));
+        }
+        assert!(
+            text.ends_with('\n') || text.is_empty(),
+            "journal of {id} ends mid-line"
+        );
+    }
+
+    // The drained jobs restart from their checkpoints and finish.
+    let mut child2 = spawn_daemon(&dir);
+    let mut client2 = connect(&dir, &mut child2);
+    for id in &ids {
+        let job = client2.status(id).expect("status");
+        let st = job.get("status").and_then(Json::as_str).unwrap_or("?");
+        assert!(
+            st == "pending" || st == "running" || st == "done",
+            "drained job {id} must be resumable, is {st}"
+        );
+    }
+    client2.shutdown().expect("shutdown");
+    assert!(child2.wait().expect("wait").success());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,163 @@
+//! Property tests for the wire protocol's framing layer: round-trips
+//! are lossless, oversize frames are rejected before allocation, and a
+//! torn / truncated / mangled stream is a clean typed error — never a
+//! panic.
+
+use std::io::Cursor;
+
+use maopt_obs::json::Json;
+use maopt_serve::protocol::{
+    decode_frame, encode_frame, read_frame, write_frame, FrameError, MAX_FRAME,
+};
+use proptest::prelude::*;
+
+/// A deterministic, moderately nested JSON message derived from test
+/// case parameters.
+fn message(tag: u64, depth: usize, text_len: usize) -> Json {
+    let text: String = (0..text_len)
+        .map(|i| char::from(b'a' + ((tag as usize + i) % 26) as u8))
+        .collect();
+    let mut v = Json::obj(vec![
+        ("cmd", Json::Str("submit".into())),
+        ("tag", Json::num_u(tag)),
+        ("text", Json::Str(text)),
+        ("flag", Json::Bool(tag.is_multiple_of(2))),
+        ("nothing", Json::Null),
+    ]);
+    for _ in 0..depth {
+        v = Json::obj(vec![
+            ("inner", v),
+            ("arr", Json::Arr(vec![Json::num_u(tag)])),
+        ]);
+    }
+    v
+}
+
+proptest! {
+    /// encode → decode is the identity, and decode reports the exact
+    /// frame length consumed.
+    #[test]
+    fn roundtrip_is_lossless(tag in 0u64..u64::MAX, depth in 0usize..4, text_len in 0usize..200) {
+        let msg = message(tag, depth, text_len);
+        let bytes = encode_frame(&msg).expect("well under MAX_FRAME");
+        let (decoded, consumed) = decode_frame(&bytes)
+            .expect("own encoding must decode")
+            .expect("complete frame");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Any strict prefix of a valid frame is "need more bytes", never an
+    /// error or a panic — the incremental-decode contract.
+    #[test]
+    fn prefix_is_incomplete_not_error(tag in 0u64..u64::MAX, text_len in 0usize..120, cut_frac in 0.0f64..1.0) {
+        let bytes = encode_frame(&message(tag, 1, text_len)).unwrap();
+        let cut = (((bytes.len() - 1) as f64) * cut_frac) as usize;
+        prop_assert!(matches!(decode_frame(&bytes[..cut]), Ok(None)),
+            "prefix of {cut}/{} bytes must ask for more", bytes.len());
+    }
+
+    /// Back-to-back frames decode in order, each reporting its own
+    /// consumed length.
+    #[test]
+    fn concatenated_frames_decode_in_order(a in 0u64..1000, b in 0u64..1000, text_len in 0usize..60) {
+        let m1 = message(a, 0, text_len);
+        let m2 = message(b, 2, text_len / 2);
+        let mut bytes = encode_frame(&m1).unwrap();
+        let first_len = bytes.len();
+        bytes.extend_from_slice(&encode_frame(&m2).unwrap());
+        let (d1, c1) = decode_frame(&bytes).unwrap().unwrap();
+        prop_assert_eq!(c1, first_len);
+        prop_assert_eq!(d1, m1);
+        let (d2, c2) = decode_frame(&bytes[c1..]).unwrap().unwrap();
+        prop_assert_eq!(c1 + c2, bytes.len());
+        prop_assert_eq!(d2, m2);
+    }
+
+    /// A length prefix beyond MAX_FRAME is rejected from the prefix
+    /// alone — before any payload arrives or is allocated.
+    #[test]
+    fn oversize_prefix_rejected_immediately(excess in 1u64..u64::from(u32::MAX) - MAX_FRAME as u64) {
+        let len = (MAX_FRAME as u64 + excess) as u32;
+        let bytes = len.to_le_bytes();
+        prop_assert!(matches!(decode_frame(&bytes), Err(FrameError::Oversize { .. })));
+        let mut cursor = Cursor::new(bytes.to_vec());
+        prop_assert!(matches!(read_frame(&mut cursor), Err(FrameError::Oversize { .. })));
+    }
+
+    /// Reading a stream cut mid-frame is a clean Truncated error; cut at
+    /// a frame boundary it is a clean end-of-conversation.
+    #[test]
+    fn torn_stream_is_clean_error(tag in 0u64..u64::MAX, text_len in 0usize..120, cut_frac in 0.0f64..1.0) {
+        let msg = message(tag, 1, text_len);
+        let bytes = encode_frame(&msg).unwrap();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let mut cursor = Cursor::new(bytes[..cut].to_vec());
+        match read_frame(&mut cursor) {
+            Ok(Some(decoded)) => {
+                prop_assert_eq!(cut, bytes.len(), "full frame only at full length");
+                prop_assert_eq!(decoded, msg);
+            }
+            Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only at a frame boundary"),
+            Err(FrameError::Truncated { missing }) => {
+                prop_assert!(cut > 0 && cut < bytes.len());
+                prop_assert_eq!(missing, if cut < 4 { 4 - cut } else { bytes.len() - cut });
+            }
+            Err(e) => prop_assert!(false, "unexpected error kind: {e}"),
+        }
+    }
+
+    /// Corrupting the payload bytes of a frame never panics the decoder:
+    /// it either still parses (the corruption hit redundant whitespace /
+    /// produced different-but-valid JSON) or reports Malformed.
+    #[test]
+    fn mangled_payload_never_panics(tag in 0u64..u64::MAX, pos_frac in 0.0f64..1.0, new_byte in 0u64..256) {
+        let mut bytes = encode_frame(&message(tag, 1, 40)).unwrap();
+        let payload_len = bytes.len() - 4;
+        let pos = 4 + ((payload_len.saturating_sub(1) as f64) * pos_frac) as usize;
+        bytes[pos] = new_byte as u8;
+        match decode_frame(&bytes) {
+            Ok(Some((_, consumed))) => prop_assert_eq!(consumed, bytes.len()),
+            Ok(None) => prop_assert!(false, "complete frame cannot ask for more bytes"),
+            Err(FrameError::Malformed(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error kind: {e}"),
+        }
+    }
+}
+
+#[test]
+fn oversize_payload_refused_at_encode() {
+    let big = "x".repeat(MAX_FRAME + 1);
+    let msg = Json::Str(big);
+    assert!(matches!(
+        encode_frame(&msg),
+        Err(FrameError::Oversize { .. })
+    ));
+    // Writing also refuses, leaving the sink untouched.
+    let mut sink = Vec::new();
+    assert!(matches!(
+        write_frame(&mut sink, &msg),
+        Err(FrameError::Oversize { .. })
+    ));
+    assert!(sink.is_empty());
+}
+
+#[test]
+fn write_then_read_over_a_buffer() {
+    let msgs = [
+        Json::obj(vec![("cmd", Json::Str("list".into()))]),
+        Json::obj(vec![
+            ("cmd", Json::Str("status".into())),
+            ("id", Json::Str("job-3".into())),
+        ]),
+    ];
+    let mut buf = Vec::new();
+    for m in &msgs {
+        write_frame(&mut buf, m).unwrap();
+    }
+    let mut cursor = Cursor::new(buf);
+    for m in &msgs {
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), *m);
+    }
+    assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+}
