@@ -8,6 +8,7 @@
 //!                   [--fail-on-regression]
 //! maopt-report bench-diff <baseline.json> <candidate.json> [--time-tol F]
 //!                   [--fail-on-regression]
+//! maopt-report trace <trace.jsonl> [--out FILE] [--top K]
 //! ```
 //!
 //! Paths may be journal files or directories (walked recursively for
@@ -15,7 +16,10 @@
 //! offending file and line; `diff`/`bench-diff` with
 //! `--fail-on-regression` exit with status 1 when a regression exceeds
 //! tolerance. `bench-diff` compares criterion JSON reports (see
-//! `BENCH_kernels.json`) instead of run journals.
+//! `BENCH_kernels.json`) instead of run journals. `trace` reads a
+//! flight-recorder artifact written by `reproduce --trace-dir`, prints
+//! the worker-utilization / phase-latency report, and with `--out`
+//! writes the Chrome/Perfetto `trace_event` JSON for `ui.perfetto.dev`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,10 +28,12 @@ use maopt_bench::bench_diff::{bench_diff, load_bench_file};
 use maopt_bench::obs_report::{
     collect_journal_paths, diff, load_journals, render_csv, render_markdown,
 };
+use maopt_bench::trace_report::{render_perfetto, render_utilization};
 
 const USAGE: &str = "usage: maopt-report render <paths...> [--out FILE] [--csv FILE]\n       \
      maopt-report diff <baseline> <candidate> [--fom-tol F] [--time-tol F] [--fail-on-regression]\n       \
-     maopt-report bench-diff <baseline.json> <candidate.json> [--time-tol F] [--fail-on-regression]";
+     maopt-report bench-diff <baseline.json> <candidate.json> [--time-tol F] [--fail-on-regression]\n       \
+     maopt-report trace <trace.jsonl> [--out FILE] [--top K]";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("maopt-report: {msg}");
@@ -160,12 +166,49 @@ fn bench_diff_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn trace_cmd(args: &[String]) -> ExitCode {
+    let mut input: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut top = 5usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().map(PathBuf::from),
+            "--top" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) => top = v,
+                _ => return fail("--top needs a non-negative integer"),
+            },
+            other if input.is_none() => input = Some(PathBuf::from(other)),
+            other => return fail(&format!("unexpected argument {other:?}\n{USAGE}")),
+        }
+    }
+    let Some(input) = input else {
+        return fail(USAGE);
+    };
+    let data = match maopt_obs::read_trace(&input) {
+        Ok(d) => d,
+        Err(e) => return fail(&e),
+    };
+    print!("{}", render_utilization(&data, top));
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, render_perfetto(&data)) {
+            return fail(&format!("could not write {}: {e}", path.display()));
+        }
+        println!(
+            "\nPerfetto trace written to {} (open at ui.perfetto.dev)",
+            path.display()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("render") => render_cmd(&args[1..]),
         Some("diff") => diff_cmd(&args[1..]),
         Some("bench-diff") => bench_diff_cmd(&args[1..]),
+        Some("trace") => trace_cmd(&args[1..]),
         Some("--help" | "-h") => {
             println!("{USAGE}");
             ExitCode::SUCCESS

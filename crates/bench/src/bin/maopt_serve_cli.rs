@@ -7,8 +7,13 @@
 //!                 [--method M] [--budget N] [--init N] [--seed N] [--quick]
 //! maopt-serve-cli [--addr HOST:PORT] status|cancel|subscribe <job>
 //! maopt-serve-cli [--addr HOST:PORT] list|stats|shutdown
+//! maopt-serve-cli [--addr HOST:PORT] metrics [--check]
 //! maopt-serve-cli report <state-dir> [--out FILE] [--csv FILE]
 //! ```
+//!
+//! `metrics` prints the daemon's Prometheus text exposition (suitable
+//! for a textfile-collector scrape); `--check` additionally runs the
+//! exposition through the format lint and fails on any violation.
 //!
 //! The daemon address comes from `--addr`, else `MAOPT_SERVE_ADDR`
 //! (a malformed value is a descriptive error, never a silent
@@ -25,6 +30,7 @@ use maopt_serve::{addr_from_env, Client, JobSpec};
 const USAGE: &str = "usage: maopt-serve-cli [--addr HOST:PORT | --state-dir DIR] <command>\n       \
      commands: submit --tenant T --problem P [--method M] [--budget N] [--init N] [--seed N] [--quick]\n                 \
      status <job> | cancel <job> | subscribe <job> | list | stats | shutdown\n                 \
+     metrics [--check]\n                 \
      report <state-dir> [--out FILE] [--csv FILE]";
 
 fn fail(msg: &str) -> ExitCode {
@@ -224,6 +230,22 @@ fn run() -> Result<(), String> {
                 .stats()
                 .map_err(|e| e.to_string())?;
             println!("{stats}");
+            Ok(())
+        }
+        "metrics" => {
+            let check = match args {
+                [] => false,
+                [flag] if flag == "--check" => true,
+                other => return Err(format!("unknown metrics arguments: {other:?}\n{USAGE}")),
+            };
+            let text = connect(addr, state_dir.as_ref())?
+                .metrics()
+                .map_err(|e| e.to_string())?;
+            if check {
+                maopt_exec::prom::lint(&text)
+                    .map_err(|e| format!("exposition failed the format lint: {e}"))?;
+            }
+            print!("{text}");
             Ok(())
         }
         "shutdown" => {

@@ -51,7 +51,7 @@ use maopt_core::chaos::ChaoticProblem;
 use maopt_core::runner::{make_initial_sets_nested, run_method_resumable, MethodStats};
 use maopt_core::{RunCheckpointer, SizingProblem};
 use maopt_exec::chaos::ChaosConfig;
-use maopt_exec::{EvalEngine, FaultPolicy, SimCache, Telemetry};
+use maopt_exec::{EvalEngine, FaultPolicy, SimCache, Telemetry, TraceRecorder};
 use maopt_obs::{EngineRecord, Journal, Record};
 use maopt_serve::{install_signal_flag, signal_flag};
 
@@ -63,6 +63,7 @@ struct Args {
     tables_only: bool,
     out: PathBuf,
     journal_dir: Option<PathBuf>,
+    trace_dir: Option<PathBuf>,
     checkpoint_dir: Option<PathBuf>,
     resume: bool,
     chaos_seed: Option<u64>,
@@ -78,6 +79,7 @@ fn parse_args() -> Args {
         tables_only: false,
         out: PathBuf::from("results"),
         journal_dir: None,
+        trace_dir: None,
         checkpoint_dir: None,
         resume: false,
         chaos_seed: None,
@@ -137,6 +139,9 @@ fn parse_args() -> Args {
                     it.next().expect("--journal-dir needs a value"),
                 ))
             }
+            "--trace-dir" => {
+                args.trace_dir = Some(PathBuf::from(it.next().expect("--trace-dir needs a value")))
+            }
             "--checkpoint-dir" => {
                 args.checkpoint_dir = Some(PathBuf::from(
                     it.next().expect("--checkpoint-dir needs a value"),
@@ -156,7 +161,7 @@ fn parse_args() -> Args {
                 println!(
                     "usage: reproduce [--circuit ota|tia|ldo|all] [--quick] [--runs N] \
                      [--budget N] [--init N] [--seed N] [--jobs N] [--run-jobs N] \
-                     [--tables-only] [--out DIR] [--journal-dir DIR] \
+                     [--tables-only] [--out DIR] [--journal-dir DIR] [--trace-dir DIR] \
                      [--checkpoint-dir DIR] [--resume] [--chaos-seed N] [--fail-on-faults]"
                 );
                 std::process::exit(0);
@@ -226,7 +231,16 @@ fn run_circuit(
     // methods ride on earlier ones and skew the measured-runtime column.
     // A second, separate pool fans the independent repetitions out when
     // --run-jobs asks for it (two distinct pools nest without deadlock).
-    let mut engine = EvalEngine::new(args.jobs).with_telemetry(Arc::new(Telemetry::new()));
+    // With --trace-dir, a flight recorder rides on the circuit engine's
+    // telemetry: every worker records span/counter events into its own
+    // ring buffer, drained to DIR/<circuit>.trace.jsonl after the
+    // comparison. Journal bytes are unaffected — timing lives only here.
+    let tracer = args.trace_dir.as_ref().map(|_| TraceRecorder::new());
+    let mut telemetry = Telemetry::new();
+    if let Some(tr) = &tracer {
+        telemetry = telemetry.with_tracer(Arc::clone(tr));
+    }
+    let mut engine = EvalEngine::new(args.jobs).with_telemetry(Arc::new(telemetry));
     if args.chaos_seed.is_some() {
         engine = engine.with_policy(chaos_policy());
     }
@@ -401,8 +415,11 @@ fn run_circuit(
         "engine phase times ({} jobs, summed across workers):",
         engine.jobs()
     );
-    for (phase, dur) in engine.telemetry().spans() {
-        println!("  {phase:>24}: {dur:?}");
+    for stat in engine.telemetry().span_stats() {
+        println!(
+            "  {:>24}: {:?} over {} calls",
+            stat.name, stat.total, stat.count
+        );
     }
     let snap = engine.telemetry().snapshot();
     println!(
@@ -415,6 +432,19 @@ fn run_circuit(
             "chaos: {} panics, {} non-finite, {} timeouts absorbed; {} evaluations failed",
             snap.panics, snap.non_finite, snap.timeouts, snap.failures
         );
+    }
+    if let (Some(dir), Some(tr)) = (&args.trace_dir, &tracer) {
+        let path = dir.join(format!("{key}.trace.jsonl"));
+        let write = std::fs::create_dir_all(dir)
+            .map_err(|e| e.to_string())
+            .and_then(|()| tr.write_jsonl(&path).map_err(|e| e.to_string()));
+        match write {
+            Ok(()) => println!(
+                "flight-recorder trace written to {} (render with `maopt-report trace`)",
+                path.display()
+            ),
+            Err(e) => eprintln!("could not write trace {}: {e}", path.display()),
+        }
     }
     all_stats.iter().map(|s| s.exec.failures).sum()
 }

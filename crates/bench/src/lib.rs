@@ -21,6 +21,7 @@ pub mod bench_diff;
 pub mod obs_report;
 pub mod report;
 pub mod runtime_model;
+pub mod trace_report;
 
 use maopt_bo::BoOptimizer;
 use maopt_core::runner::Optimizer;

@@ -1,0 +1,325 @@
+//! Renders a flight-recorder trace ([`maopt_obs::TraceData`]) into the
+//! Chrome/Perfetto `trace_event` JSON format plus a human-readable
+//! utilization report.
+//!
+//! The Perfetto export is the [JSON trace event format]: one `"X"`
+//! (complete) event per span, `"i"` per instant marker, `"C"` per
+//! counter sample, and `"M"` metadata events naming each thread.
+//! Timestamps and durations are microseconds (the format's native
+//! unit), derived from the recorder's nanosecond clock.
+//!
+//! The utilization report answers the questions a timeline makes you
+//! scroll for: per-worker busy fraction and longest idle gap, per-phase
+//! latency percentiles (p50/p95/p99 through the same fixed log-bucket
+//! histogram the metrics registry uses, so numbers agree with a live
+//! `metrics` scrape), and the top-K slowest simulations with their
+//! design provenance hashes.
+//!
+//! [JSON trace event format]:
+//! https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use maopt_exec::{MetricSnapshot, MetricsRegistry};
+use maopt_obs::json::Json;
+use maopt_obs::{TraceData, TraceEvent, TraceEventKind};
+
+/// Renders the trace as Chrome/Perfetto `trace_event` JSON (the
+/// `{"traceEvents": [...]}` object form).
+#[must_use]
+pub fn render_perfetto(data: &TraceData) -> String {
+    let mut events = Vec::new();
+    for thread in &data.threads {
+        events.push(Json::obj(vec![
+            ("name", Json::Str("thread_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::num_u(1)),
+            ("tid", Json::num_u(u64::from(thread.tid))),
+            (
+                "args",
+                Json::obj(vec![("name", Json::Str(thread.label.clone()))]),
+            ),
+        ]));
+    }
+    for event in &data.events {
+        let ts_us = event.t_ns as f64 / 1000.0;
+        let mut pairs = vec![
+            ("name", Json::Str(event.name.clone())),
+            ("pid", Json::num_u(1)),
+            ("tid", Json::num_u(u64::from(event.tid))),
+            ("ts", Json::Num(ts_us)),
+        ];
+        match &event.kind {
+            TraceEventKind::Span { dur_ns } => {
+                pairs.push(("ph", Json::Str("X".into())));
+                pairs.push(("dur", Json::Num(*dur_ns as f64 / 1000.0)));
+                if let Some(arg) = event.arg {
+                    pairs.push((
+                        "args",
+                        Json::obj(vec![("design", Json::Str(format!("{arg:016x}")))]),
+                    ));
+                }
+            }
+            TraceEventKind::Instant => {
+                pairs.push(("ph", Json::Str("i".into())));
+                pairs.push(("s", Json::Str("t".into())));
+                if let Some(arg) = event.arg {
+                    pairs.push((
+                        "args",
+                        Json::obj(vec![("design", Json::Str(format!("{arg:016x}")))]),
+                    ));
+                }
+            }
+            TraceEventKind::Counter { value } => {
+                pairs.push(("ph", Json::Str("C".into())));
+                pairs.push(("args", Json::obj(vec![("value", Json::Num(*value))])));
+            }
+        }
+        events.push(Json::obj(pairs));
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ms".into())),
+    ])
+    .to_string()
+}
+
+/// Busy union and longest idle gap of one thread's spans inside
+/// `window`: overlapping spans are merged before summing, so nested or
+/// concurrent spans on one thread never count twice.
+fn busy_and_idle(mut spans: Vec<(u64, u64)>, window: (u64, u64)) -> (u64, u64) {
+    spans.sort_unstable();
+    let mut busy = 0u64;
+    let mut longest_idle = 0u64;
+    let mut cursor = window.0;
+    for (start, end) in spans {
+        let start = start.max(window.0);
+        let end = end.min(window.1);
+        if end <= cursor {
+            continue;
+        }
+        if start > cursor {
+            longest_idle = longest_idle.max(start - cursor);
+        }
+        busy += end - start.max(cursor);
+        cursor = cursor.max(end);
+    }
+    if window.1 > cursor {
+        longest_idle = longest_idle.max(window.1 - cursor);
+    }
+    (busy, longest_idle)
+}
+
+fn fmt_dur_ns(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Renders the utilization report: per-thread busy fractions, per-phase
+/// latency percentiles, and the `top_k` slowest `sim` spans with their
+/// design hashes. Returns a fixed note for a trace with no events.
+#[must_use]
+pub fn render_utilization(data: &TraceData, top_k: usize) -> String {
+    let Some(window) = data.window_ns() else {
+        return "trace contains no events\n".to_string();
+    };
+    let span_total = (window.1 - window.0).max(1);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace window: {} ({} events, {} threads)\n",
+        fmt_dur_ns(window.1 - window.0),
+        data.events.len(),
+        data.threads.len()
+    );
+
+    // ---- per-thread utilization ------------------------------------
+    let mut by_tid: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+    for event in &data.events {
+        if let TraceEventKind::Span { .. } = event.kind {
+            by_tid
+                .entry(event.tid)
+                .or_default()
+                .push((event.t_ns, event.end_ns()));
+        }
+    }
+    out.push_str("| thread | spans | busy | longest idle | dropped |\n");
+    out.push_str("|---|---:|---:|---:|---:|\n");
+    for thread in &data.threads {
+        let spans = by_tid.remove(&thread.tid).unwrap_or_default();
+        let n = spans.len();
+        let (busy, idle) = busy_and_idle(spans, window);
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.1}% | {} | {} |",
+            data.thread_label(thread.tid),
+            n,
+            100.0 * busy as f64 / span_total as f64,
+            fmt_dur_ns(idle),
+            thread.dropped
+        );
+    }
+
+    // ---- per-phase latency percentiles -----------------------------
+    // The same fixed log-bucket histogram as the live registry, so a
+    // trace report and a `metrics` scrape quote comparable quantiles.
+    let registry = MetricsRegistry::new();
+    let mut calls: BTreeMap<&str, u64> = BTreeMap::new();
+    for event in &data.events {
+        if let TraceEventKind::Span { dur_ns } = event.kind {
+            registry.observe(&event.name, dur_ns as f64 / 1e9);
+            *calls.entry(event.name.as_str()).or_default() += 1;
+        }
+    }
+    out.push_str("\n| phase | calls | p50 | p95 | p99 |\n");
+    out.push_str("|---|---:|---:|---:|---:|\n");
+    for metric in registry.snapshot() {
+        let MetricSnapshot::Histogram(h) = metric else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} |",
+            h.name,
+            calls.get(h.name.as_str()).copied().unwrap_or(0),
+            fmt_dur_ns((h.quantile(0.5) * 1e9) as u64),
+            fmt_dur_ns((h.quantile(0.95) * 1e9) as u64),
+            fmt_dur_ns((h.quantile(0.99) * 1e9) as u64),
+        );
+    }
+
+    // ---- slowest simulations ---------------------------------------
+    let mut sims: Vec<&TraceEvent> = data
+        .events
+        .iter()
+        .filter(|e| e.name == "sim" && matches!(e.kind, TraceEventKind::Span { .. }))
+        .collect();
+    sims.sort_by_key(|e| {
+        std::cmp::Reverse(match e.kind {
+            TraceEventKind::Span { dur_ns } => dur_ns,
+            _ => 0,
+        })
+    });
+    if !sims.is_empty() {
+        let k = top_k.max(1).min(sims.len());
+        let _ = writeln!(out, "\ntop {k} slowest simulations:");
+        out.push_str("\n| rank | duration | thread | design |\n");
+        out.push_str("|---:|---:|---|---|\n");
+        for (rank, event) in sims[..k].iter().enumerate() {
+            let TraceEventKind::Span { dur_ns } = event.kind else {
+                continue;
+            };
+            let design = event
+                .arg
+                .map_or_else(|| "-".to_string(), |h| format!("{h:016x}"));
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} |",
+                rank + 1,
+                fmt_dur_ns(dur_ns),
+                data.thread_label(event.tid),
+                design
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maopt_obs::parse_trace;
+
+    fn sample() -> TraceData {
+        parse_trace(concat!(
+            "{\"trace\":\"maopt\",\"version\":1}\n",
+            "{\"kind\":\"thread\",\"tid\":0,\"label\":\"main\",\"dropped\":0}\n",
+            "{\"kind\":\"thread\",\"tid\":1,\"label\":\"maopt-pool1-w0\",\"dropped\":3}\n",
+            "{\"kind\":\"span\",\"tid\":0,\"name\":\"simulation\",\"t_ns\":0,\"dur_ns\":1000}\n",
+            "{\"kind\":\"span\",\"tid\":1,\"name\":\"sim\",\"t_ns\":100,\"dur_ns\":400,\"arg\":255}\n",
+            "{\"kind\":\"span\",\"tid\":1,\"name\":\"sim\",\"t_ns\":600,\"dur_ns\":100,\"arg\":16}\n",
+            "{\"kind\":\"instant\",\"tid\":1,\"name\":\"fault:panic\",\"t_ns\":550}\n",
+            "{\"kind\":\"counter\",\"tid\":0,\"name\":\"exec.pool.queue_depth\",\"t_ns\":50,\"value\":2}\n",
+        ))
+        .expect("sample parses")
+    }
+
+    #[test]
+    fn perfetto_export_is_valid_json_with_all_phases() {
+        let text = render_perfetto(&sample());
+        let doc = Json::parse(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 2 thread_name metadata + 3 spans + 1 instant + 1 counter.
+        assert_eq!(events.len(), 7);
+        let phs: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        assert_eq!(phs.iter().filter(|p| **p == "M").count(), 2);
+        assert_eq!(phs.iter().filter(|p| **p == "X").count(), 3);
+        assert_eq!(phs.iter().filter(|p| **p == "i").count(), 1);
+        assert_eq!(phs.iter().filter(|p| **p == "C").count(), 1);
+        // Spans carry microsecond timestamps and the design hash.
+        let sim = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("sim"))
+            .unwrap();
+        assert_eq!(sim.get("ts").and_then(Json::as_f64), Some(0.1));
+        assert_eq!(sim.get("dur").and_then(Json::as_f64), Some(0.4));
+        assert_eq!(
+            sim.get("args")
+                .and_then(|a| a.get("design"))
+                .and_then(Json::as_str),
+            Some("00000000000000ff")
+        );
+    }
+
+    #[test]
+    fn busy_union_merges_overlaps_and_finds_idle_gaps() {
+        // Overlapping spans [0,10) and [5,15) are 15 busy, not 20; the
+        // gap to 30 is the longest idle.
+        let (busy, idle) = busy_and_idle(vec![(0, 10), (5, 15)], (0, 30));
+        assert_eq!(busy, 15);
+        assert_eq!(idle, 15);
+        let (busy, idle) = busy_and_idle(vec![], (0, 100));
+        assert_eq!(busy, 0);
+        assert_eq!(idle, 100);
+    }
+
+    #[test]
+    fn utilization_report_names_workers_phases_and_slow_sims() {
+        let report = render_utilization(&sample(), 1);
+        assert!(report.contains("| maopt-pool1-w0 | 2 | 50.0%"), "{report}");
+        assert!(report.contains("| 3 |"), "dropped count shown: {report}");
+        assert!(report.contains("| sim | 2 |"), "per-phase calls: {report}");
+        assert!(report.contains("top 1 slowest simulations"), "{report}");
+        assert!(
+            report.contains("00000000000000ff"),
+            "slowest sim keeps its design hash: {report}"
+        );
+        assert!(
+            !report.contains("0000000000000010"),
+            "top-1 excludes the faster sim: {report}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_renders_a_note_not_a_panic() {
+        let data = parse_trace("{\"trace\":\"maopt\",\"version\":1}\n").unwrap();
+        assert_eq!(render_utilization(&data, 5), "trace contains no events\n");
+        let doc = Json::parse(&render_perfetto(&data)).unwrap();
+        assert_eq!(
+            doc.get("traceEvents")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(0)
+        );
+    }
+}

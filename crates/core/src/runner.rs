@@ -6,7 +6,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use maopt_exec::{CounterSnapshot, EvalEngine, SimCache, Telemetry};
+use maopt_exec::{CounterSnapshot, EvalEngine, SimCache};
 use maopt_obs::{Journal, Manifest, Record, RunEnd};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -353,11 +353,13 @@ pub fn run_method_observed(
 /// `base_seed + r`, so per-run results — and every non-timing field of
 /// the per-run journals — are bitwise identical for any worker count at
 /// either level. To keep that true for the journals' engine counter
-/// deltas, every run executes on a clone of `engine` carrying a fresh
-/// [`Telemetry`] (and a fresh [`SimCache`] when `engine` has one, at the
-/// cost of cross-run cache sharing); the per-run telemetry is merged back
-/// into `engine`'s sink after each run, so aggregate accounting is
-/// preserved.
+/// deltas, every run executes on a clone of `engine` carrying an
+/// *isolated* [`maopt_exec::Telemetry`] — fresh counters and metrics,
+/// but the same flight recorder when one is attached, so tracing never
+/// perturbs journal bytes — and a fresh [`SimCache`] when `engine` has
+/// one, at the cost of cross-run cache sharing. The per-run telemetry is
+/// merged back into `engine`'s sink after each run, so aggregate
+/// accounting is preserved.
 ///
 /// # Panics
 ///
@@ -420,7 +422,12 @@ pub fn run_method_resumable(
             .span(&format!("method:{}", optimizer.name()));
         run_engine.map((0..runs).collect(), |_, r| {
             let journal = journals.get(r).unwrap_or(&disabled);
-            let mut run_eng = engine.clone().with_telemetry(Arc::new(Telemetry::new()));
+            // Isolated telemetry: fresh counters per run (journal counter
+            // deltas stay independent of sibling runs) while the flight
+            // recorder, when attached, keeps one global timeline.
+            let mut run_eng = engine
+                .clone()
+                .with_telemetry(Arc::new(engine.telemetry().isolated()));
             if engine.cache().is_some() {
                 run_eng = run_eng.with_cache(Arc::new(SimCache::new()));
             }

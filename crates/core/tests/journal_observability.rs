@@ -2,10 +2,14 @@
 //! produce a schema-valid journal, and journaling must not perturb the
 //! optimization itself.
 
+use std::sync::Arc;
+
 use maopt_core::problems::ConstrainedToy;
-use maopt_core::runner::{make_initial_sets, run_method_observed, sample_initial_set};
+use maopt_core::runner::{
+    make_initial_sets, run_method_observed, run_method_resumable, sample_initial_set,
+};
 use maopt_core::{MaOpt, MaOptConfig};
-use maopt_exec::EvalEngine;
+use maopt_exec::{EvalEngine, Telemetry, TraceRecorder};
 use maopt_obs::{read_journal, Journal, Record};
 
 fn tiny(cfg: MaOptConfig) -> MaOptConfig {
@@ -135,4 +139,89 @@ fn run_method_observed_writes_one_journal_per_run_and_matches_plain() {
         assert_eq!(m.seed, 500 + r as u64, "run r gets seed base + r");
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Journal lines with the `run_end` timing fields (explicitly outside the
+/// byte-identity contract) zeroed; every other line is kept verbatim.
+fn normalized_lines(path: &std::path::Path) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .unwrap()
+        .lines()
+        .map(|line| match Record::parse(line) {
+            Ok(Record::RunEnd(mut end)) => {
+                end.total_s = 0.0;
+                end.training_s = 0.0;
+                end.simulation_s = 0.0;
+                end.near_sampling_s = 0.0;
+                Record::RunEnd(end).to_json_line()
+            }
+            _ => line.to_string(),
+        })
+        .collect()
+}
+
+#[test]
+fn traced_run_journals_are_byte_identical_to_untraced() {
+    // The flight recorder must stay entirely outside the journal
+    // contract: attaching a tracer to the engine changes not a single
+    // non-timing journal byte, even with pool workers recording spans.
+    let problem = ConstrainedToy::new(2);
+    let inits = make_initial_sets(&problem, 2, 15, 77);
+    let opt = tiny(MaOptConfig::ma_opt2(77));
+
+    let run = |tracer: Option<Arc<TraceRecorder>>, tag: &str| -> Vec<Vec<String>> {
+        let mut telemetry = Telemetry::new();
+        if let Some(tr) = tracer {
+            telemetry = telemetry.with_tracer(tr);
+        }
+        let engine = EvalEngine::new(2).with_telemetry(Arc::new(telemetry));
+        let run_engine = EvalEngine::serial();
+        let dir = tmp_dir(&format!("traced-{tag}"));
+        let journals: Vec<Journal> = (0..2)
+            .map(|r| Journal::create(dir.join(format!("run{r}.jsonl"))).unwrap())
+            .collect();
+        run_method_resumable(
+            &opt,
+            &problem,
+            &inits,
+            2,
+            8,
+            600,
+            &run_engine,
+            &engine,
+            &journals,
+            &[],
+        );
+        drop(journals);
+        let lines = (0..2)
+            .map(|r| normalized_lines(&dir.join(format!("run{r}.jsonl"))))
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        lines
+    };
+
+    let tracer = TraceRecorder::new();
+    let traced = run(Some(Arc::clone(&tracer)), "on");
+    let untraced = run(None, "off");
+    assert_eq!(
+        traced, untraced,
+        "tracing must not perturb journal bytes (non-timing fields)"
+    );
+
+    // And the recorder did actually see the run: spans from the method
+    // phases and per-simulation spans from the workers.
+    let snapshot = tracer.snapshot();
+    let names: Vec<&str> = snapshot
+        .threads
+        .iter()
+        .flat_map(|t| t.events.iter().map(|e| e.name.as_str()))
+        .collect();
+    assert!(
+        names.contains(&"sim"),
+        "worker simulation spans recorded: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.starts_with("method:")),
+        "method phase span recorded: {names:?}"
+    );
 }

@@ -35,6 +35,23 @@ pub fn quantize(x: &[f64]) -> Vec<i64> {
         .collect()
 }
 
+/// FNV-1a hash of the quantized design vector — the same identity the
+/// cache keys on. Trace events from `evaluate_one` carry this hash as
+/// provenance, so a tail-latency simulation in a trace can be matched
+/// back to the design that caused it without putting coordinates in
+/// the trace.
+#[must_use]
+pub fn design_hash(x: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for q in quantize(x) {
+        for byte in q.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
 /// Thread-safe memo table from quantized design vectors to metric vectors.
 #[derive(Debug, Default)]
 pub struct SimCache {

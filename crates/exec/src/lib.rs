@@ -26,15 +26,18 @@ pub mod cache;
 pub mod chaos;
 pub mod metrics;
 pub mod pool;
+pub mod prom;
 pub mod queue;
 pub mod telemetry;
+pub mod trace;
 
-pub use cache::{quantize, SimCache};
+pub use cache::{design_hash, quantize, SimCache};
 pub use chaos::{ChaosConfig, ChaosProblem, ChaosStats};
 pub use metrics::{HistogramSnapshot, MetricSnapshot, MetricsRegistry};
 pub use pool::WorkerPool;
 pub use queue::BoundedQueue;
-pub use telemetry::{CounterSnapshot, Telemetry};
+pub use telemetry::{CounterSnapshot, SpanStat, Telemetry};
+pub use trace::{TraceRecorder, TraceSnapshot};
 
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
@@ -304,7 +307,10 @@ impl EvalEngine {
     /// calling thread — which is also what makes same-engine nesting
     /// deadlock-free. Each executed task bumps a per-worker task counter
     /// (`exec.pool.worker<k>.tasks`) and the enqueue loop samples an
-    /// `exec.pool.queue_depth` gauge into [`Telemetry::metrics`].
+    /// `exec.pool.queue_depth` gauge into [`Telemetry::metrics`] (and,
+    /// when a flight recorder is attached, a trace counter of the same
+    /// name); after the batch the pool's lifetime high-watermark lands
+    /// in the `exec.pool.queue_depth_peak` gauge.
     ///
     /// # Panics
     ///
@@ -334,6 +340,7 @@ impl EvalEngine {
         let (tx, rx) = mpsc::channel::<(usize, R)>();
         let f = &f;
         let metrics = &self.telemetry.metrics;
+        let tracer = self.telemetry.tracer();
         let scope_result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             pool.scope(|scope| {
                 for (i, item) in items.into_iter().enumerate() {
@@ -342,7 +349,11 @@ impl EvalEngine {
                         metrics.inc(pool.worker_metric_name(w), 1);
                         let _ = tx.send((i, f(i, item)));
                     });
-                    metrics.set_gauge("exec.pool.queue_depth", pool.queue_len() as f64);
+                    let depth = pool.queue_len() as f64;
+                    metrics.set_gauge("exec.pool.queue_depth", depth);
+                    if let Some(tr) = tracer {
+                        tr.counter("exec.pool.queue_depth", depth);
+                    }
                 }
             })
         }));
@@ -351,6 +362,7 @@ impl EvalEngine {
             self.telemetry.bump(&self.telemetry.counters.panics);
             std::panic::resume_unwind(payload);
         }
+        metrics.set_gauge("exec.pool.queue_depth_peak", pool.queue_depth_peak() as f64);
 
         let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
         for (i, r) in rx {
@@ -411,10 +423,17 @@ impl EvalEngine {
             t.bump(&t.counters.cache_misses);
         }
 
+        // Trace provenance: each attempt's span/fault event carries the
+        // design hash, so the tail of the latency distribution can be
+        // matched back to designs. Computed once, only when tracing.
+        let tracer = t.tracer();
+        let hash = tracer.map(|_| cache::design_hash(x));
+
         let mut attempt: u32 = 0;
         loop {
             t.bump(&t.counters.sims);
             let start = Instant::now();
+            let trace_t0 = tracer.map(|tr| tr.now_ns());
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| problem.evaluate(x)));
             let fault = match outcome {
                 Err(_) => {
@@ -440,14 +459,25 @@ impl EvalEngine {
                         if let Some(cache) = &self.cache {
                             cache.insert(x, metrics.clone());
                         }
-                        t.metrics
-                            .observe("exec.sim_seconds", start.elapsed().as_secs_f64());
+                        let elapsed = start.elapsed();
+                        if let Some(tr) = tracer {
+                            tr.span(
+                                "sim",
+                                trace_t0.unwrap_or(0),
+                                elapsed.as_nanos() as u64,
+                                hash,
+                            );
+                        }
+                        t.metrics.observe("exec.sim_seconds", elapsed.as_secs_f64());
                         return metrics;
                     }
                 }
             };
 
             let kind = fault.expect("non-faulting attempts return above");
+            if let Some(tr) = tracer {
+                tr.instant(&format!("fault:{}", kind.label()), hash);
+            }
             t.event(
                 "fault",
                 &[

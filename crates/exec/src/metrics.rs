@@ -370,6 +370,53 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_merges_lose_no_histogram_observation() {
+        // The per-run isolation pattern in practice: N writers each fill
+        // a private registry and merge into one shared target while the
+        // others are still merging. Counts, sums and buckets must all
+        // survive exactly.
+        let target = MetricsRegistry::new();
+        const WRITERS: usize = 8;
+        const OBS_PER_WRITER: usize = 500;
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let target = &target;
+                s.spawn(move || {
+                    let local = MetricsRegistry::new();
+                    for i in 0..OBS_PER_WRITER {
+                        // Values spread over several decades so many
+                        // buckets participate in the merge.
+                        local.observe("lat", (w * OBS_PER_WRITER + i + 1) as f64 * 1e-3);
+                        local.inc("obs", 1);
+                    }
+                    local.observe("lat", f64::NAN);
+                    target.merge_from(&local);
+                });
+            }
+        });
+        let snap = target.snapshot();
+        let MetricSnapshot::Histogram(h) = snap.iter().find(|m| m.name() == "lat").unwrap() else {
+            panic!("lat should be a histogram");
+        };
+        let total = (WRITERS * OBS_PER_WRITER) as u64;
+        assert_eq!(h.count, total, "every valid observation merged");
+        assert_eq!(h.invalid, WRITERS as u64, "every invalid one counted");
+        assert_eq!(h.buckets.iter().map(|(_, n)| n).sum::<u64>(), total);
+        let expected_sum: f64 = (1..=total).map(|i| i as f64 * 1e-3).sum();
+        assert!(
+            (h.sum - expected_sum).abs() < 1e-6,
+            "{} vs {expected_sum}",
+            h.sum
+        );
+        assert_eq!(h.min, 1e-3);
+        assert_eq!(h.max, total as f64 * 1e-3);
+        match snap.iter().find(|m| m.name() == "obs").unwrap() {
+            MetricSnapshot::Counter { value, .. } => assert_eq!(*value, total),
+            other => panic!("obs should be a counter: {other:?}"),
+        }
+    }
+
+    #[test]
     fn extreme_values_clamp_into_edge_buckets() {
         let r = MetricsRegistry::new();
         r.observe("h", 1e-30);

@@ -26,7 +26,7 @@
 
 use std::any::Any;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
@@ -121,6 +121,14 @@ pub struct WorkerPool {
     /// Precomputed metric names (`exec.pool.worker<k>.tasks`), so hot
     /// paths can tag metrics with worker ids without per-task formatting.
     worker_metric_names: Vec<String>,
+    /// Exact count of tasks enqueued but not yet started (incremented at
+    /// spawn, decremented by the worker when it picks the task up; the
+    /// `Arc` lets queued tasks carry the decrement).
+    depth: Arc<AtomicUsize>,
+    /// Lifetime high-watermark of `depth` — the `queue_depth_peak`
+    /// companion to the instantaneous [`WorkerPool::queue_len`] gauge,
+    /// answering "did producers ever actually back up?" after the fact.
+    peak_depth: AtomicUsize,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -129,6 +137,7 @@ impl std::fmt::Debug for WorkerPool {
             .field("id", &self.id)
             .field("workers", &self.workers)
             .field("queue_len", &self.queue.len())
+            .field("queue_depth_peak", &self.queue_depth_peak())
             .finish()
     }
 }
@@ -171,6 +180,8 @@ impl WorkerPool {
             worker_metric_names: (0..workers)
                 .map(|w| format!("exec.pool.worker{w}.tasks"))
                 .collect(),
+            depth: Arc::new(AtomicUsize::new(0)),
+            peak_depth: AtomicUsize::new(0),
         })
     }
 
@@ -182,6 +193,15 @@ impl WorkerPool {
     /// Tasks currently queued (not yet picked up by a worker).
     pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Highest number of tasks that have ever been queued at once over
+    /// the pool's lifetime. The instantaneous [`WorkerPool::queue_len`]
+    /// gauge only shows backlog if it is sampled at the right moment;
+    /// this watermark answers "did producers ever back up, and how far"
+    /// after the fact.
+    pub fn queue_depth_peak(&self) -> usize {
+        self.peak_depth.load(Ordering::Relaxed)
     }
 
     /// Whether the calling thread is one of this pool's workers. Used by
@@ -280,7 +300,14 @@ impl<'env> Scope<'_, 'env> {
 
         self.state.add_one();
         let state = Arc::clone(&self.state);
+        let depth = Arc::clone(&self.pool.depth);
+        // Count the task as queued from just before the (possibly
+        // blocking) push until a worker picks it up; the watermark is
+        // exact, not a sampled approximation.
+        let queued = depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.pool.peak_depth.fetch_max(queued, Ordering::Relaxed);
         let task: Box<dyn FnOnce(usize) + Send + 'env> = Box::new(move |w: usize| {
+            depth.fetch_sub(1, Ordering::Relaxed);
             if state.cancelled.load(Ordering::Acquire) {
                 // Consume `f` *before* signalling completion: its drop
                 // may touch `'env` data, which is only guaranteed alive
@@ -306,6 +333,7 @@ impl<'env> Scope<'_, 'env> {
             // The queue only closes when the pool is dropped, which
             // cannot race a live scope holding an `Arc` to it; treat a
             // rejected push as a bug rather than silently losing work.
+            self.pool.depth.fetch_sub(1, Ordering::Relaxed);
             self.state.finish_one();
             panic!("worker pool queue closed while a scope was active");
         }
@@ -434,6 +462,39 @@ mod tests {
         assert_eq!(counts.len(), 2);
         assert_eq!(counts.iter().sum::<u64>(), 32);
         assert!(pool.worker_metric_name(0).contains("worker0"));
+    }
+
+    #[test]
+    fn queue_depth_peak_tracks_the_high_watermark() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.queue_depth_peak(), 0, "fresh pool has no backlog");
+        // Park both workers so every further spawn must queue; the
+        // producer then provably backs up to a known depth.
+        let gate = Arc::new(AtomicBool::new(false));
+        pool.scope(|scope| {
+            for _ in 0..2 {
+                let gate = Arc::clone(&gate);
+                scope.spawn(move |_w| {
+                    while !gate.load(Ordering::Acquire) {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    }
+                });
+            }
+            for _ in 0..3 {
+                scope.spawn(|_w| {});
+            }
+            gate.store(true, Ordering::Release);
+        });
+        // At least the three no-op tasks were queued at once (the two
+        // parked-worker tasks may still have been in the FIFO too).
+        let peak = pool.queue_depth_peak();
+        assert!(
+            (3..=5).contains(&peak),
+            "three tasks were queued behind parked workers: peak {peak}"
+        );
+        // The watermark is a lifetime maximum: an idle pool keeps it.
+        pool.scope(|scope| scope.spawn(|_w| {}));
+        assert!(pool.queue_depth_peak() >= peak);
     }
 
     #[test]

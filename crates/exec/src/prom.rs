@@ -1,0 +1,442 @@
+//! Prometheus text exposition: rendering and a format lint.
+//!
+//! [`Exposition`] collects samples grouped into metric families (one
+//! `# TYPE` line per family, however many labelled samples it has) and
+//! renders the version-0.0.4 text format a Prometheus scrape endpoint
+//! speaks. Histograms from [`crate::MetricsRegistry`] render as
+//! *summaries* — the registry's fixed log buckets answer quantile
+//! queries directly ([`crate::HistogramSnapshot::quantile`]), so the
+//! exposition carries p50/p95/p99 plus `_sum`/`_count` instead of two
+//! dozen `_bucket` lines per metric.
+//!
+//! [`lint`] is the consumer-side check: the serve CLI's
+//! `metrics --check` and the CI smoke job run every scrape through it,
+//! so a malformed name, label or value fails loudly instead of being
+//! silently dropped by a real scraper.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::HistogramSnapshot;
+
+/// Quantiles a histogram summary exposes.
+const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")];
+
+/// Maps an internal dotted metric name (`serve.job_seconds`) to a valid
+/// Prometheus metric name (`serve_job_seconds`): every character
+/// outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit is
+/// prefixed with `_`.
+#[must_use]
+pub fn sanitize_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for (i, ch) in raw.chars().enumerate() {
+        let ok =
+            ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (i > 0 && ch.is_ascii_digit());
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok || ch.is_ascii_digit() { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format (`\` `"` and
+/// newline).
+fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` sample value (`+Inf` / `-Inf` / `NaN` spellings per
+/// the exposition format).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a `{label="value",...}` block (empty string for no labels).
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// One metric family: a fixed kind and its accumulated sample lines.
+struct Family {
+    kind: &'static str,
+    samples: Vec<String>,
+}
+
+/// Collects samples into families and renders the text exposition.
+/// Sample order within a family is insertion order; families render
+/// sorted by name. A family's kind is fixed by the first sample
+/// (mirroring [`crate::MetricsRegistry`]'s kind-conflict rule: later
+/// mismatched adds still land, under the first kind's `# TYPE`).
+#[derive(Default)]
+pub struct Exposition {
+    families: BTreeMap<String, Family>,
+}
+
+impl Exposition {
+    /// An empty exposition.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn family(&mut self, name: &str, kind: &'static str) -> &mut Family {
+        self.families
+            .entry(sanitize_name(name))
+            .or_insert_with(|| Family {
+                kind,
+                samples: Vec::new(),
+            })
+    }
+
+    /// Adds one counter sample.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let line = format!(
+            "{}{} {}",
+            sanitize_name(name),
+            label_block(labels),
+            fmt_value(value)
+        );
+        self.family(name, "counter").samples.push(line);
+    }
+
+    /// Adds one gauge sample.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let line = format!(
+            "{}{} {}",
+            sanitize_name(name),
+            label_block(labels),
+            fmt_value(value)
+        );
+        self.family(name, "gauge").samples.push(line);
+    }
+
+    /// Adds one histogram as a summary: p50/p95/p99 quantile samples
+    /// plus `_sum` and `_count`.
+    pub fn summary(&mut self, name: &str, labels: &[(&str, &str)], h: &HistogramSnapshot) {
+        let base = sanitize_name(name);
+        let mut lines = Vec::with_capacity(QUANTILES.len() + 2);
+        for (q, q_label) in QUANTILES {
+            let mut with_q: Vec<(&str, &str)> = labels.to_vec();
+            with_q.push(("quantile", q_label));
+            lines.push(format!(
+                "{base}{} {}",
+                label_block(&with_q),
+                fmt_value(h.quantile(q))
+            ));
+        }
+        lines.push(format!(
+            "{base}_sum{} {}",
+            label_block(labels),
+            fmt_value(h.sum)
+        ));
+        lines.push(format!(
+            "{base}_count{} {}",
+            label_block(labels),
+            h.count + h.invalid
+        ));
+        self.family(name, "summary").samples.extend(lines);
+    }
+
+    /// Renders the full exposition (ends with a newline when non-empty).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, family) in &self.families {
+            out.push_str(&format!("# TYPE {name} {}\n", family.kind));
+            for line in &family.samples {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Is `name` a valid Prometheus metric name?
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Is `name` a valid label name?
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses one sample line, returning the metric name on success.
+fn lint_sample(line: &str) -> Result<String, String> {
+    let (name_end, rest) = match line.find(['{', ' ']) {
+        Some(i) => (i, &line[i..]),
+        None => return Err(format!("sample has no value: {line:?}")),
+    };
+    let name = &line[..name_end];
+    if !valid_metric_name(name) {
+        return Err(format!("invalid metric name {name:?} in {line:?}"));
+    }
+    let value_part = if let Some(labels) = rest.strip_prefix('{') {
+        // Walk the label block respecting quoted values.
+        let mut chars = labels.char_indices();
+        let mut end = None;
+        'outer: while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    while let Some((_, c)) = chars.next() {
+                        match c {
+                            '\\' => {
+                                let _ = chars.next();
+                            }
+                            '"' => continue 'outer,
+                            _ => {}
+                        }
+                    }
+                    return Err(format!("unterminated label value in {line:?}"));
+                }
+                '}' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label block in {line:?}"))?;
+        for pair in split_label_pairs(&labels[..end]) {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("label without '=' in {line:?}"))?;
+            if !valid_label_name(k) {
+                return Err(format!("invalid label name {k:?} in {line:?}"));
+            }
+            if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+                return Err(format!("unquoted label value {v:?} in {line:?}"));
+            }
+        }
+        &labels[end + 1..]
+    } else {
+        rest
+    };
+    let mut fields = value_part.split_whitespace();
+    let value = fields
+        .next()
+        .ok_or_else(|| format!("sample has no value: {line:?}"))?;
+    let value_ok = matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok();
+    if !value_ok {
+        return Err(format!("unparseable sample value {value:?} in {line:?}"));
+    }
+    // At most one optional trailing field (the timestamp).
+    if let Some(ts) = fields.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("unparseable timestamp {ts:?} in {line:?}"));
+        }
+    }
+    if fields.next().is_some() {
+        return Err(format!("trailing garbage in {line:?}"));
+    }
+    Ok(name.to_string())
+}
+
+/// Splits `a="b",c="d"` into pairs, respecting commas inside quotes.
+fn split_label_pairs(block: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in block.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                out.push(block[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = block[start..].trim();
+    if !last.is_empty() {
+        out.push(last);
+    }
+    out
+}
+
+/// Lints a text exposition: every line must be empty, a well-formed
+/// `# HELP`/`# TYPE` comment, or a parseable sample; `# TYPE` must name
+/// a known metric type, must not repeat, and must precede its family's
+/// samples.
+///
+/// # Errors
+///
+/// The first violation, with the offending line quoted.
+pub fn lint(text: &str) -> Result<(), String> {
+    const TYPES: [&str; 5] = ["counter", "gauge", "histogram", "summary", "untyped"];
+    let mut typed: BTreeMap<String, &str> = BTreeMap::new();
+    let mut sampled: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                    return Err(format!("malformed TYPE line: {line:?}"));
+                };
+                if !valid_metric_name(name) {
+                    return Err(format!("TYPE names invalid metric {name:?}"));
+                }
+                if !TYPES.contains(&kind) {
+                    return Err(format!("unknown metric type {kind:?} in {line:?}"));
+                }
+                if typed.contains_key(name) {
+                    return Err(format!("duplicate TYPE for {name:?}"));
+                }
+                if sampled.iter().any(|s| family_of(s) == name) {
+                    return Err(format!("TYPE for {name:?} appears after its samples"));
+                }
+                typed.insert(name.to_string(), "seen");
+            } else if !comment.starts_with("HELP ") && !comment.is_empty() {
+                // Other comments are legal; only HELP/TYPE have structure.
+            }
+            continue;
+        }
+        sampled.push(lint_sample(line)?);
+    }
+    Ok(())
+}
+
+/// The family a sample belongs to: its name minus a summary/histogram
+/// suffix.
+fn family_of(sample_name: &str) -> &str {
+    for suffix in ["_sum", "_count", "_bucket"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    sample_name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::MetricSnapshot;
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize_name("serve.job_seconds"), "serve_job_seconds");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn exposition_groups_labelled_samples_under_one_type_line() {
+        let mut e = Exposition::new();
+        e.gauge("maopt.pending", &[("tenant", "alice")], 2.0);
+        e.gauge("maopt.pending", &[("tenant", "bob")], 1.0);
+        e.counter("maopt.sims_total", &[], 14.0);
+        let text = e.render();
+        assert_eq!(
+            text.matches("# TYPE maopt_pending gauge").count(),
+            1,
+            "{text}"
+        );
+        assert!(text.contains("maopt_pending{tenant=\"alice\"} 2"));
+        assert!(text.contains("maopt_pending{tenant=\"bob\"} 1"));
+        assert!(text.contains("maopt_sims_total 14"));
+        lint(&text).expect("rendered exposition lints clean");
+    }
+
+    #[test]
+    fn summary_carries_quantiles_sum_and_count() {
+        let r = MetricsRegistry::new();
+        for i in 1..=100 {
+            r.observe("lat", f64::from(i));
+        }
+        let snap = r.snapshot();
+        let MetricSnapshot::Histogram(h) = &snap[0] else {
+            panic!("histogram expected");
+        };
+        let mut e = Exposition::new();
+        e.summary("maopt.lat_seconds", &[("tenant", "t0")], h);
+        let text = e.render();
+        assert!(text.contains("# TYPE maopt_lat_seconds summary"));
+        assert!(text.contains("maopt_lat_seconds{tenant=\"t0\",quantile=\"0.5\"}"));
+        assert!(text.contains("maopt_lat_seconds{tenant=\"t0\",quantile=\"0.99\"}"));
+        assert!(text.contains("maopt_lat_seconds_sum{tenant=\"t0\"} 5050"));
+        assert!(text.contains("maopt_lat_seconds_count{tenant=\"t0\"} 100"));
+        lint(&text).expect("summary lints clean");
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_lint_accepts_them() {
+        let mut e = Exposition::new();
+        e.gauge("g", &[("tenant", "we\"ird\\name\nx")], 1.0);
+        let text = e.render();
+        assert!(text.contains("tenant=\"we\\\"ird\\\\name\\nx\""));
+        lint(&text).expect("escaped labels lint clean");
+    }
+
+    #[test]
+    fn lint_rejects_malformed_expositions() {
+        for (bad, why) in [
+            (
+                "metric 1.0\nmetric 2.0\n# TYPE metric gauge\n",
+                "TYPE after samples",
+            ),
+            ("# TYPE m wat\nm 1\n", "unknown type"),
+            ("# TYPE m gauge\n# TYPE m gauge\nm 1\n", "duplicate TYPE"),
+            ("1bad 3.0\n", "bad name"),
+            ("m{x=\"unterminated} 1\n", "unterminated label"),
+            ("m{x=y} 1\n", "unquoted label value"),
+            ("m not-a-number\n", "bad value"),
+            ("m 1 2 3\n", "trailing garbage"),
+        ] {
+            assert!(lint(bad).is_err(), "lint should reject {why}: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn lint_accepts_special_values_timestamps_and_comments() {
+        let text = "# HELP m the m metric\n# TYPE m gauge\nm +Inf\nm{a=\"b\"} NaN 1700000000\n\n# free comment\nuntyped_metric 4\n";
+        lint(text).expect("valid exposition");
+    }
+}

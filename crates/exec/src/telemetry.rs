@@ -7,7 +7,7 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Monotonic event counters. All increments are relaxed atomics — the
@@ -113,6 +113,25 @@ impl fmt::Display for CounterSnapshot {
     }
 }
 
+/// Accumulated wall time and call count of one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SpanTotal {
+    total: Duration,
+    count: u64,
+}
+
+/// A point-in-time copy of one phase's span statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Phase name.
+    pub name: String,
+    /// Accumulated wall time across all spans of this phase (a work
+    /// measure: overlapping spans from concurrent workers add up).
+    pub total: Duration,
+    /// How many spans of this phase completed.
+    pub count: u64,
+}
+
 /// Telemetry sink shared by everything an [`crate::EvalEngine`] runs.
 pub struct Telemetry {
     /// Event counters.
@@ -121,8 +140,9 @@ pub struct Telemetry {
     /// the engine and anything running on it, so exec-level and
     /// optimizer-level metrics land in one sink.
     pub metrics: crate::metrics::MetricsRegistry,
-    spans: Mutex<BTreeMap<String, Duration>>,
+    spans: Mutex<BTreeMap<String, SpanTotal>>,
     events: Option<Mutex<BufWriter<File>>>,
+    tracer: Option<Arc<crate::trace::TraceRecorder>>,
     origin: Instant,
 }
 
@@ -142,6 +162,7 @@ impl Default for Telemetry {
             metrics: crate::metrics::MetricsRegistry::new(),
             spans: Mutex::new(BTreeMap::new()),
             events: None,
+            tracer: None,
             origin: Instant::now(),
         }
     }
@@ -171,8 +192,37 @@ impl Telemetry {
             metrics: crate::metrics::MetricsRegistry::new(),
             spans: Mutex::new(BTreeMap::new()),
             events: Some(Mutex::new(BufWriter::new(file))),
+            tracer: None,
             origin: Instant::now(),
         })
+    }
+
+    /// Attaches a flight recorder: every span this telemetry records
+    /// (and every trace site on engines using it) also lands in the
+    /// recorder's per-thread ring buffers. See [`crate::trace`] for the
+    /// determinism boundary — traces never enter run journals.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<crate::trace::TraceRecorder>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn tracer(&self) -> Option<&Arc<crate::trace::TraceRecorder>> {
+        self.tracer.as_ref()
+    }
+
+    /// A fresh telemetry sharing this one's flight recorder but nothing
+    /// else. This is what per-run telemetry isolation must use instead
+    /// of [`Telemetry::new`]: counters, spans and metrics stay
+    /// per-run (so journal contents cannot depend on concurrent runs),
+    /// while the timeline — which is timing-only and outside the
+    /// journal contract — stays global to the traced process.
+    #[must_use]
+    pub fn isolated(&self) -> Telemetry {
+        let mut fresh = Telemetry::new();
+        fresh.tracer = self.tracer.clone();
+        fresh
     }
 
     /// Starts a wall-time span for `phase`; the elapsed time accumulates
@@ -184,23 +234,69 @@ impl Telemetry {
             telemetry: self,
             phase: phase.to_string(),
             start: Instant::now(),
+            trace_t0: self.tracer.as_ref().map(|tr| tr.now_ns()),
+            arg: None,
         }
+    }
+
+    /// Like [`Telemetry::span`], with a payload recorded on the trace
+    /// event (e.g. a round index or design hash) — ignored when no
+    /// flight recorder is attached.
+    pub fn span_n(&self, phase: &str, arg: u64) -> SpanGuard<'_> {
+        let mut guard = self.span(phase);
+        guard.arg = Some(arg);
+        guard
     }
 
     /// Poison-tolerant: [`SpanGuard`]s drop during panic unwinding on
     /// pool workers, and a lost span (or a double panic aborting the
     /// process) would be strictly worse than reading through the poison
     /// — the map of accumulated durations is valid at every point.
+    ///
+    /// Each span end also observes the phase's latency into the
+    /// `exec.phase_seconds.<phase>` histogram, so per-phase percentiles
+    /// come for free wherever the metrics registry is dumped. (Metrics
+    /// never enter run journals — only counter snapshots do — so this
+    /// stays outside the byte-identity contract.)
     fn end_span(&self, phase: String, elapsed: Duration) {
+        self.metrics.observe(
+            &format!("exec.phase_seconds.{phase}"),
+            elapsed.as_secs_f64(),
+        );
+        self.add_span(phase, elapsed, 1);
+    }
+
+    /// Adds to a phase's running total without the per-call histogram
+    /// observation — the merge path, where `other`'s histograms arrive
+    /// through the metrics merge instead.
+    fn add_span(&self, phase: String, elapsed: Duration, count: u64) {
         let mut spans = self.spans.lock().unwrap_or_else(PoisonError::into_inner);
-        *spans.entry(phase).or_default() += elapsed;
+        let entry = spans.entry(phase).or_default();
+        entry.total += elapsed;
+        entry.count += count;
     }
 
     /// Accumulated per-phase wall time, sorted by phase name.
     /// Poison-tolerant for the same reason as span recording.
     pub fn spans(&self) -> Vec<(String, Duration)> {
+        self.span_stats()
+            .into_iter()
+            .map(|s| (s.name, s.total))
+            .collect()
+    }
+
+    /// Accumulated per-phase wall time *and call counts*, sorted by
+    /// phase name.
+    pub fn span_stats(&self) -> Vec<SpanStat> {
         let spans = self.spans.lock().unwrap_or_else(PoisonError::into_inner);
-        spans.iter().map(|(k, v)| (k.clone(), *v)).collect()
+        spans
+            .iter()
+            .map(|(name, t)| SpanStat {
+                name: name.clone(),
+                total: t.total,
+                count: t.count,
+            })
+            .collect()
     }
 
     /// A point-in-time copy of the counters.
@@ -248,8 +344,8 @@ impl Telemetry {
         ] {
             counter.fetch_add(value, Ordering::Relaxed);
         }
-        for (phase, elapsed) in other.spans() {
-            self.end_span(phase, elapsed);
+        for stat in other.span_stats() {
+            self.add_span(stat.name, stat.total, stat.count);
         }
         self.metrics.merge_from(&other.metrics);
     }
@@ -328,12 +424,20 @@ pub struct SpanGuard<'a> {
     telemetry: &'a Telemetry,
     phase: String,
     start: Instant,
+    /// Recorder-relative start timestamp, captured iff tracing.
+    trace_t0: Option<u64>,
+    /// Optional payload for the trace event ([`Telemetry::span_n`]).
+    arg: Option<u64>,
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        if let (Some(tracer), Some(t0)) = (&self.telemetry.tracer, self.trace_t0) {
+            tracer.span(&self.phase, t0, elapsed.as_nanos() as u64, self.arg);
+        }
         self.telemetry
-            .end_span(std::mem::take(&mut self.phase), self.start.elapsed());
+            .end_span(std::mem::take(&mut self.phase), elapsed);
     }
 }
 
@@ -444,6 +548,72 @@ mod tests {
         let total = base.plus(&snap);
         assert_eq!(total.non_finite, 3);
         assert_eq!(total.since(&base), snap, "plus is the inverse of since");
+    }
+
+    #[test]
+    fn span_stats_count_calls_and_merge_adds_counts() {
+        let t = Telemetry::new();
+        for _ in 0..3 {
+            let _s = t.span("train");
+        }
+        {
+            let _s = t.span("sim");
+        }
+        let stats = t.span_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!((stats[0].name.as_str(), stats[0].count), ("sim", 1));
+        assert_eq!((stats[1].name.as_str(), stats[1].count), ("train", 3));
+
+        let target = Telemetry::new();
+        {
+            let _s = target.span("train");
+        }
+        target.merge_from(&t);
+        let merged = target.span_stats();
+        let train = merged.iter().find(|s| s.name == "train").unwrap();
+        assert_eq!(train.count, 4, "merge adds call counts");
+        // Phase latency histograms record one observation per *real*
+        // span end; the merge path must not double-observe.
+        let metrics = target.metrics.snapshot();
+        let hist = metrics
+            .iter()
+            .find_map(|m| match m {
+                crate::MetricSnapshot::Histogram(h) if h.name == "exec.phase_seconds.train" => {
+                    Some(h)
+                }
+                _ => None,
+            })
+            .expect("per-phase latency histogram");
+        assert_eq!(hist.count + hist.invalid, 4, "{hist:?}");
+    }
+
+    #[test]
+    fn isolated_shares_only_the_tracer() {
+        let tracer = crate::trace::TraceRecorder::new();
+        let parent = Telemetry::new().with_tracer(Arc::clone(&tracer));
+        let child = parent.isolated();
+        child.bump(&child.counters.sims);
+        {
+            let _s = child.span_n("round", 7);
+        }
+        assert_eq!(parent.snapshot().sims, 0, "counters are isolated");
+        assert!(parent.spans().is_empty(), "spans are isolated");
+        let snap = tracer.snapshot();
+        assert_eq!(snap.len(), 1, "the trace timeline is shared");
+        let ev = &snap.threads[0].events[0];
+        assert_eq!(ev.name, "round");
+        assert_eq!(ev.arg, Some(7));
+        assert!(matches!(ev.kind, crate::trace::TraceEventKind::Span { .. }));
+    }
+
+    #[test]
+    fn untraced_telemetry_records_no_trace_events() {
+        let t = Telemetry::new();
+        assert!(t.tracer().is_none());
+        {
+            let _s = t.span("phase");
+        }
+        assert_eq!(t.span_stats()[0].count, 1);
     }
 
     #[test]

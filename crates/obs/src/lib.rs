@@ -34,6 +34,7 @@ pub mod json;
 pub mod record;
 pub mod stats;
 pub mod tail;
+pub mod trace;
 
 pub use journal::{read_journal, Journal, JournalError};
 pub use record::{
@@ -41,3 +42,4 @@ pub use record::{
     RunEnd, SCHEMA_VERSION,
 };
 pub use tail::JournalTail;
+pub use trace::{parse_trace, read_trace, TraceData, TraceEvent, TraceEventKind, TraceThread};

@@ -136,4 +136,64 @@ mod tests {
         assert_eq!(tail.poll().unwrap(), vec!["x"]);
         let _ = std::fs::remove_file(&path);
     }
+
+    #[test]
+    fn truncation_mid_line_restarts_and_buffers_the_torn_tail() {
+        // A crash-recovery tool may truncate a journal *inside* a line.
+        // The tail must restart, yield only the lines that are complete
+        // in the truncated file, and hold the torn remainder until its
+        // terminator is appended.
+        let path = tmp_path("trunc-mid.jsonl");
+        std::fs::write(&path, "one\ntwo\nthree\n").unwrap();
+        let mut tail = JournalTail::new(&path);
+        assert_eq!(tail.poll().unwrap(), vec!["one", "two", "three"]);
+
+        // Truncate to "one\ntw" — mid-way through the second line.
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(6).unwrap();
+        drop(f);
+        assert_eq!(
+            tail.poll().unwrap(),
+            vec!["one"],
+            "only the complete prefix of the truncated file is replayed"
+        );
+
+        // The torn "tw" completes on the next append — no byte is lost
+        // and nothing is duplicated.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        write!(f, "o-again\nfour\n").unwrap();
+        drop(f);
+        assert_eq!(tail.poll().unwrap(), vec!["two-again", "four"]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_never_fuses_a_stale_partial_with_new_content() {
+        // A partial line buffered from *before* a truncation must be
+        // discarded with the truncated bytes, not glued onto whatever is
+        // written afterwards.
+        let path = tmp_path("trunc-stale.jsonl");
+        std::fs::write(&path, "{\"a\":1}\n{\"b\":").unwrap();
+        let mut tail = JournalTail::new(&path);
+        assert_eq!(tail.poll().unwrap(), vec!["{\"a\":1}"]);
+
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(0).unwrap();
+        drop(f);
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        writeln!(f, "{{\"x\":9}}").unwrap();
+        drop(f);
+        assert_eq!(
+            tail.poll().unwrap(),
+            vec!["{\"x\":9}"],
+            "stale partial {{\"b\": must not prefix the new line"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
 }

@@ -1,0 +1,289 @@
+//! Reader for the flight-recorder trace artifact
+//! ([`maopt_exec::TraceRecorder::write_jsonl`]).
+//!
+//! The artifact is JSONL: a header line, one `thread` line per
+//! recording thread, then `span` / `instant` / `counter` event lines
+//! (see the writer's docs for the exact grammar). Like the journal
+//! reader, this reader is hermetic (the [`crate::json`] parser) and
+//! torn-tail tolerant: a process killed mid-write leaves a partial
+//! final line, which is ignored rather than failing the whole trace —
+//! a flight recorder exists precisely for runs that ended badly.
+
+use std::path::Path;
+
+use crate::json::Json;
+
+/// One recording thread, from a `thread` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceThread {
+    /// Trace-local thread id.
+    pub tid: u32,
+    /// OS thread name at registration (e.g. `maopt-pool1-w0`).
+    pub label: String,
+    /// Events the ring overwrote before the drain.
+    pub dropped: u64,
+}
+
+/// Kind-specific payload of a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEventKind {
+    /// A completed span.
+    Span {
+        /// Span duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A point-in-time marker (e.g. `fault:panic`).
+    Instant,
+    /// A sampled counter value.
+    Counter {
+        /// The sampled value.
+        value: f64,
+    },
+}
+
+/// One event line of the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// The recording thread's trace-local id.
+    pub tid: u32,
+    /// Event name (span phase, marker name, or counter name).
+    pub name: String,
+    /// Nanoseconds since recorder creation (span start for spans).
+    pub t_ns: u64,
+    /// Optional payload (e.g. the design hash `evaluate_one` attaches).
+    pub arg: Option<u64>,
+    /// Kind-specific data.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// The event's end time: `t_ns + dur_ns` for spans, `t_ns` otherwise.
+    #[must_use]
+    pub fn end_ns(&self) -> u64 {
+        match self.kind {
+            TraceEventKind::Span { dur_ns } => self.t_ns + dur_ns,
+            _ => self.t_ns,
+        }
+    }
+}
+
+/// A fully loaded trace artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceData {
+    /// Schema version from the header line.
+    pub version: u64,
+    /// Recording threads, as declared in the artifact.
+    pub threads: Vec<TraceThread>,
+    /// All events, in file order (monotone `t_ns` within each thread).
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceData {
+    /// The `[min start, max end]` window covered by the events, or
+    /// `None` for an empty trace.
+    #[must_use]
+    pub fn window_ns(&self) -> Option<(u64, u64)> {
+        let start = self.events.iter().map(|e| e.t_ns).min()?;
+        let end = self.events.iter().map(TraceEvent::end_ns).max()?;
+        Some((start, end))
+    }
+
+    /// The label of thread `tid` (`thread-<tid>` when undeclared).
+    #[must_use]
+    pub fn thread_label(&self, tid: u32) -> String {
+        self.threads
+            .iter()
+            .find(|t| t.tid == tid)
+            .map_or_else(|| format!("thread-{tid}"), |t| t.label.clone())
+    }
+}
+
+fn need_u64(obj: &Json, key: &str, line_no: usize) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("trace line {line_no}: missing or non-integer {key:?}"))
+}
+
+/// Parses trace artifact text (see [`read_trace`] for the file form).
+///
+/// # Errors
+///
+/// A descriptive message on a missing/foreign header, an unparseable
+/// non-final line, an unknown record kind, or a record missing its
+/// required fields. A torn *final* line is tolerated.
+pub fn parse_trace(text: &str) -> Result<TraceData, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty trace file")?;
+    let header = Json::parse(header).map_err(|e| format!("trace header: {e}"))?;
+    if header.get("trace").and_then(Json::as_str) != Some("maopt") {
+        return Err("not a maopt trace (header lacks \"trace\":\"maopt\")".into());
+    }
+    let version = header.get("version").and_then(Json::as_u64).unwrap_or(0);
+    if version != 1 {
+        return Err(format!("unsupported trace version {version}"));
+    }
+
+    let total_lines = text.lines().count();
+    let ends_complete = text.ends_with('\n');
+    let mut threads = Vec::new();
+    let mut events = Vec::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = match Json::parse(line) {
+            Ok(obj) => obj,
+            // The final line of a torn write parses as garbage; every
+            // earlier line must be sound.
+            Err(_) if i + 1 == total_lines && !ends_complete => break,
+            Err(e) => return Err(format!("trace line {}: {e}", i + 1)),
+        };
+        let line_no = i + 1;
+        let kind = obj
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("trace line {line_no}: missing \"kind\""))?;
+        match kind {
+            "thread" => {
+                threads.push(TraceThread {
+                    tid: need_u64(&obj, "tid", line_no)? as u32,
+                    label: obj
+                        .get("label")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unnamed")
+                        .to_string(),
+                    dropped: obj.get("dropped").and_then(Json::as_u64).unwrap_or(0),
+                });
+            }
+            "span" | "instant" | "counter" => {
+                let event_kind = match kind {
+                    "span" => TraceEventKind::Span {
+                        dur_ns: need_u64(&obj, "dur_ns", line_no)?,
+                    },
+                    "instant" => TraceEventKind::Instant,
+                    _ => TraceEventKind::Counter {
+                        value: obj
+                            .get("value")
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| format!("trace line {line_no}: missing \"value\""))?,
+                    },
+                };
+                events.push(TraceEvent {
+                    tid: need_u64(&obj, "tid", line_no)? as u32,
+                    name: obj
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("trace line {line_no}: missing \"name\""))?
+                        .to_string(),
+                    t_ns: need_u64(&obj, "t_ns", line_no)?,
+                    arg: obj.get("arg").and_then(Json::as_u64),
+                    kind: event_kind,
+                });
+            }
+            other => {
+                return Err(format!("trace line {line_no}: unknown kind {other:?}"));
+            }
+        }
+    }
+    Ok(TraceData {
+        version,
+        threads,
+        events,
+    })
+}
+
+/// Loads and parses a trace artifact from disk.
+///
+/// # Errors
+///
+/// I/O failures (with the path named) and every [`parse_trace`] error.
+pub fn read_trace(path: &Path) -> Result<TraceData, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read trace {}: {e}", path.display()))?;
+    parse_trace(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"trace\":\"maopt\",\"version\":1}\n",
+        "{\"kind\":\"thread\",\"tid\":0,\"label\":\"main\",\"dropped\":0}\n",
+        "{\"kind\":\"thread\",\"tid\":1,\"label\":\"maopt-pool1-w0\",\"dropped\":2}\n",
+        "{\"kind\":\"span\",\"tid\":1,\"name\":\"sim\",\"t_ns\":100,\"dur_ns\":50,\"arg\":77}\n",
+        "{\"kind\":\"instant\",\"tid\":1,\"name\":\"fault:panic\",\"t_ns\":160}\n",
+        "{\"kind\":\"counter\",\"tid\":0,\"name\":\"depth\",\"t_ns\":90,\"value\":3}\n",
+    );
+
+    #[test]
+    fn parses_threads_and_all_event_kinds() {
+        let data = parse_trace(SAMPLE).unwrap();
+        assert_eq!(data.version, 1);
+        assert_eq!(data.threads.len(), 2);
+        assert_eq!(data.threads[1].label, "maopt-pool1-w0");
+        assert_eq!(data.threads[1].dropped, 2);
+        assert_eq!(data.events.len(), 3);
+        assert_eq!(
+            data.events[0],
+            TraceEvent {
+                tid: 1,
+                name: "sim".into(),
+                t_ns: 100,
+                arg: Some(77),
+                kind: TraceEventKind::Span { dur_ns: 50 },
+            }
+        );
+        assert_eq!(data.events[0].end_ns(), 150);
+        assert_eq!(data.events[1].kind, TraceEventKind::Instant);
+        assert_eq!(data.events[2].kind, TraceEventKind::Counter { value: 3.0 });
+        assert_eq!(data.window_ns(), Some((90, 160)));
+        assert_eq!(data.thread_label(1), "maopt-pool1-w0");
+        assert_eq!(data.thread_label(9), "thread-9");
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_torn_middle_is_not() {
+        let torn_tail = format!("{SAMPLE}{{\"kind\":\"span\",\"tid\":0,\"na");
+        let data = parse_trace(&torn_tail).expect("torn tail tolerated");
+        assert_eq!(data.events.len(), 3, "complete events all load");
+
+        let torn_middle = SAMPLE.replace(
+            "{\"kind\":\"instant\",\"tid\":1,\"name\":\"fault:panic\",\"t_ns\":160}",
+            "{\"kind\":\"instant\",\"tid",
+        );
+        assert!(
+            parse_trace(&torn_middle).is_err(),
+            "mid-file corruption fails"
+        );
+    }
+
+    #[test]
+    fn rejects_foreign_headers_and_unknown_kinds() {
+        assert!(parse_trace("").is_err());
+        assert!(parse_trace("{\"not\":\"a trace\"}\n").is_err());
+        assert!(parse_trace("{\"trace\":\"maopt\",\"version\":9}\n").is_err());
+        let unknown = format!("{SAMPLE}{{\"kind\":\"warp\",\"tid\":0}}\n");
+        let err = parse_trace(&unknown).unwrap_err();
+        assert!(err.contains("unknown kind"), "{err}");
+    }
+
+    #[test]
+    fn roundtrips_the_writer_artifact() {
+        let dir = std::env::temp_dir().join(format!("maopt-obs-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let tr = maopt_exec::TraceRecorder::new();
+        let t0 = tr.now_ns();
+        tr.span("simulation", t0, 500, Some(42));
+        tr.counter("exec.pool.queue_depth", 2.0);
+        tr.write_jsonl(&path).unwrap();
+        let data = read_trace(&path).unwrap();
+        assert_eq!(data.threads.len(), 1);
+        assert_eq!(data.events.len(), 2);
+        assert_eq!(data.events[0].name, "simulation");
+        assert_eq!(data.events[0].arg, Some(42));
+        assert_eq!(data.events[0].kind, TraceEventKind::Span { dur_ns: 500 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

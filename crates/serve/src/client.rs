@@ -180,6 +180,22 @@ impl Client {
         self.request(&Json::obj(vec![("cmd", Json::Str("stats".into()))]))
     }
 
+    /// Fetches the daemon's Prometheus text exposition (format 0.0.4):
+    /// queue gauges, engine counters, and per-phase / per-tenant latency
+    /// summaries.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let response = self.request(&Json::obj(vec![("cmd", Json::Str("metrics".into()))]))?;
+        response
+            .get("metrics")
+            .and_then(Json::as_str)
+            .map(String::from)
+            .ok_or(ClientError::Disconnected)
+    }
+
     /// Asks the daemon to shut down gracefully (checkpoint + drain).
     ///
     /// # Errors

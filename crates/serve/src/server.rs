@@ -20,12 +20,21 @@
 //!
 //! ## Durability + determinism
 //!
-//! Each job runs on a clone of the base engine with a fresh
-//! [`Telemetry`] and a fresh [`SimCache`], so its journal's counter
-//! deltas are independent of co-scheduled jobs; given the same spec,
-//! a job's journal is byte-identical (non-timing fields) whether the
-//! daemon ran uninterrupted, was SIGKILLed and restarted, or was
+//! Each job runs on a clone of the base engine with an isolated
+//! [`maopt_exec::Telemetry`] (fresh counters; the shared flight
+//! recorder, when attached) and a fresh [`SimCache`], so its journal's
+//! counter deltas are independent of co-scheduled jobs; given the same
+//! spec, a job's journal is byte-identical (non-timing fields) whether
+//! the daemon ran uninterrupted, was SIGKILLed and restarted, or was
 //! gracefully drained and restarted.
+//!
+//! ## Metrics
+//!
+//! The `metrics` command renders the daemon's live state — queue
+//! gauges, engine counters, and per-phase / per-tenant latency
+//! summaries — as Prometheus text exposition (format 0.0.4) built by
+//! [`maopt_exec::prom::Exposition`]. Scrapes read shared state under
+//! the same lock as every other command; they never touch job journals.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -38,7 +47,7 @@ use std::time::Duration;
 
 use maopt_core::runner::{sample_initial_set_with, Optimizer};
 use maopt_core::{RunCheckpointer, RunResult};
-use maopt_exec::{EvalEngine, SimCache, Telemetry};
+use maopt_exec::{EvalEngine, SimCache};
 use maopt_obs::json::Json;
 use maopt_obs::{Journal, JournalTail};
 
@@ -357,7 +366,19 @@ fn run_job(shared: &Arc<Shared>, id: u64, flag: &Arc<AtomicBool>) {
             None => return,
         }
     };
+    let t0 = std::time::Instant::now();
     let outcome = execute(shared, id, &spec, flag);
+    // Wall-clock job latency, per daemon and per tenant. These land in
+    // the daemon engine's registry (scraped by `metrics`), never in job
+    // journals — journals embed counter deltas only, so timing stays
+    // outside the bitwise contract.
+    let elapsed = t0.elapsed().as_secs_f64();
+    let metrics = &shared.engine.telemetry().metrics;
+    metrics.observe("serve.job_seconds", elapsed);
+    metrics.observe(
+        &format!("serve.tenant.{}.job_seconds", spec.tenant),
+        elapsed,
+    );
 
     let mut st = shared.state.lock().expect("state lock");
     st.flags.remove(&id);
@@ -401,13 +422,15 @@ fn execute(
     let method = build_method(&spec.method, spec.seed, spec.quick)?;
     let dir = shared.job_dir(id);
 
-    // Fresh telemetry + cache per job: counter deltas in this job's
-    // journal are then independent of co-scheduled jobs, which is what
-    // makes journals byte-identical across daemon restarts.
+    // Isolated telemetry + fresh cache per job: counter deltas in this
+    // job's journal are then independent of co-scheduled jobs, which is
+    // what makes journals byte-identical across daemon restarts. The
+    // flight recorder, when one is attached to the daemon engine, is
+    // shared so all jobs land on one timeline.
     let engine = shared
         .engine
         .clone()
-        .with_telemetry(Arc::new(Telemetry::new()))
+        .with_telemetry(Arc::new(shared.engine.telemetry().isolated()))
         .with_cache(Arc::new(SimCache::new()));
     let init = sample_initial_set_with(problem.as_ref(), spec.init_size, spec.seed, &engine);
     let journal = Journal::create(dir.join("journal.jsonl"))
@@ -483,6 +506,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
             "cancel" => handle_cancel(shared, &request),
             "list" => handle_list(shared),
             "stats" => handle_stats(shared),
+            "metrics" => handle_metrics(shared),
             "shutdown" => {
                 shared.stop.store(true, Ordering::SeqCst);
                 ok(vec![])
@@ -601,6 +625,106 @@ fn handle_stats(shared: &Arc<Shared>) -> Json {
         ("peak_running", Json::num_u(st.peak_running as u64)),
         ("tenants", Json::Arr(tenants)),
     ])
+}
+
+/// Renders the daemon's live state as one Prometheus text exposition
+/// (format 0.0.4) inside the usual framed-JSON response; the CLI
+/// unwraps the `"metrics"` string and prints it verbatim.
+fn handle_metrics(shared: &Arc<Shared>) -> Json {
+    ok(vec![("metrics", Json::Str(render_metrics(shared)))])
+}
+
+/// Builds the exposition: queue/scheduler gauges, engine counters, and
+/// per-phase / per-tenant latency summaries from the shared registry.
+fn render_metrics(shared: &Arc<Shared>) -> String {
+    use maopt_exec::prom::Exposition;
+    use maopt_exec::MetricSnapshot;
+
+    let mut e = Exposition::new();
+    {
+        let st = shared.state.lock().expect("state lock");
+        e.gauge("maopt_serve_slots", &[], shared.cfg.slots as f64);
+        e.gauge("maopt_serve_peak_running", &[], st.peak_running as f64);
+        for status in [
+            JobStatus::Pending,
+            JobStatus::Running,
+            JobStatus::Done,
+            JobStatus::Failed,
+            JobStatus::Canceled,
+        ] {
+            e.gauge(
+                "maopt_serve_jobs",
+                &[("status", status.as_str())],
+                st.queue.count_status(status) as f64,
+            );
+        }
+        for (tenant, peak) in &st.peak_tenant_running {
+            e.gauge(
+                "maopt_serve_tenant_peak_running",
+                &[("tenant", tenant)],
+                *peak as f64,
+            );
+        }
+    }
+
+    let telemetry = shared.engine.telemetry();
+    let c = telemetry.snapshot();
+    for (name, v) in [
+        ("sims", c.sims),
+        ("cache_hits", c.cache_hits),
+        ("cache_misses", c.cache_misses),
+        ("retries", c.retries),
+        ("panics", c.panics),
+        ("timeouts", c.timeouts),
+        ("non_finite", c.non_finite),
+        ("failures", c.failures),
+    ] {
+        e.counter(&format!("maopt_exec_{name}_total"), &[], v as f64);
+    }
+
+    for metric in telemetry.metrics.snapshot() {
+        // Internal dotted names carry their dimension in the name; the
+        // exposition moves it into a label so one family aggregates
+        // across tenants / phases / workers.
+        let raw = metric.name().to_string();
+        let (name, label): (String, Option<(&str, String)>) =
+            if let Some(rest) = raw.strip_prefix("serve.tenant.") {
+                match rest.rsplit_once('.') {
+                    Some((tenant, leaf)) => (
+                        format!("maopt_serve_tenant_{leaf}"),
+                        Some(("tenant", tenant.to_string())),
+                    ),
+                    None => (format!("maopt_serve_tenant_{rest}"), None),
+                }
+            } else if let Some(rest) = raw.strip_prefix("exec.phase_seconds.") {
+                (
+                    "maopt_exec_phase_seconds".to_string(),
+                    Some(("phase", rest.to_string())),
+                )
+            } else if let Some(worker) = raw
+                .strip_prefix("exec.pool.worker")
+                .and_then(|r| r.strip_suffix(".tasks"))
+            {
+                (
+                    "maopt_exec_pool_worker_tasks".to_string(),
+                    Some(("worker", worker.to_string())),
+                )
+            } else {
+                (format!("maopt_{raw}"), None)
+            };
+        let labels: Vec<(&str, &str)> = label
+            .as_ref()
+            .map(|(k, v)| vec![(*k, v.as_str())])
+            .unwrap_or_default();
+        match metric {
+            MetricSnapshot::Counter { value, .. } => {
+                e.counter(&format!("{name}_total"), &labels, value as f64);
+            }
+            MetricSnapshot::Gauge { value, .. } => e.gauge(&name, &labels, value),
+            MetricSnapshot::Histogram(h) => e.summary(&name, &labels, &h),
+        }
+    }
+    e.render()
 }
 
 /// Streams a job's journal lines as `{"event":"line","line":...}`

@@ -275,3 +275,64 @@ fn subscribe_streams_the_journal_live() {
     daemon.handle.join().expect("join").expect("clean");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn metrics_exposition_lints_and_carries_tenant_latency() {
+    let dir = tmp_dir("metrics");
+    let _ = std::fs::remove_dir_all(&dir);
+    let daemon = start(&dir, 2, QueueLimits::default());
+    let mut client = Client::connect(&daemon.addr).expect("connect");
+
+    // A scrape of an idle daemon is already well-formed.
+    let idle = client.metrics().expect("idle scrape");
+    maopt_exec::prom::lint(&idle).expect("idle exposition lints clean");
+    assert!(idle.contains("maopt_serve_slots 2"), "{idle}");
+    assert!(idle.contains("maopt_serve_jobs{status=\"pending\"} 0"));
+
+    let id = client.submit(&spec("alice", 11, 8)).expect("submit");
+    wait_status(&mut client, &id, "done", Duration::from_secs(60));
+
+    let text = client.metrics().expect("scrape");
+    maopt_exec::prom::lint(&text).expect("exposition lints clean");
+    assert!(
+        text.contains("maopt_serve_jobs{status=\"done\"} 1"),
+        "done gauge reflects the finished job:\n{text}"
+    );
+    assert!(
+        text.contains("# TYPE maopt_serve_tenant_job_seconds summary"),
+        "per-tenant latency summary present:\n{text}"
+    );
+    assert!(
+        text.contains("maopt_serve_tenant_job_seconds_count{tenant=\"alice\"} 1"),
+        "alice's one job observed:\n{text}"
+    );
+    assert!(
+        text.contains("maopt_serve_job_seconds_count 1"),
+        "daemon-wide latency observed:\n{text}"
+    );
+    // Engine counters merged back from the job engine.
+    let sims_line = text
+        .lines()
+        .find(|l| l.starts_with("maopt_exec_sims_total"))
+        .expect("sims counter exported");
+    let sims: f64 = sims_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        sims >= 8.0,
+        "at least the job's budget of sims: {sims_line}"
+    );
+    // Phase latency summaries arrive with the phase as a label.
+    assert!(
+        text.contains("maopt_exec_phase_seconds{phase=\"simulation\",quantile=\"0.5\"}")
+            || text.contains("maopt_exec_phase_seconds{phase=\"near_sampling\",quantile=\"0.5\"}"),
+        "phase summary present:\n{text}"
+    );
+
+    daemon.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    daemon.handle.join().expect("join").expect("clean");
+    let _ = std::fs::remove_dir_all(&dir);
+}
