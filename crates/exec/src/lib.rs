@@ -434,7 +434,14 @@ impl EvalEngine {
             t.bump(&t.counters.sims);
             let start = Instant::now();
             let trace_t0 = tracer.map(|tr| tr.now_ns());
-            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| problem.evaluate(x)));
+            let outcome = {
+                // Expose the recorder to the layers below (the simulator
+                // emits sim.assemble/factor/solve sub-phase spans through
+                // it); the guard restores the previous value even when
+                // the evaluation panics.
+                let _ambient = trace::set_ambient(tracer.cloned());
+                std::panic::catch_unwind(AssertUnwindSafe(|| problem.evaluate(x)))
+            };
             let fault = match outcome {
                 Err(_) => {
                     t.bump(&t.counters.panics);

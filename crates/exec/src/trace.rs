@@ -422,6 +422,53 @@ pub struct TraceEvent {
     pub kind: TraceEventKind,
 }
 
+// ---------------------------------------------------------------------------
+// Ambient recorder
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// The recorder of the evaluation currently running on this thread,
+    /// installed by the executor around `Problem::evaluate` so lower
+    /// layers (e.g. the simulator in `maopt-sim`) can attach sub-phase
+    /// spans without a dependency edge back onto the telemetry plumbing.
+    static AMBIENT: std::cell::RefCell<Option<Arc<TraceRecorder>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Returns the recorder installed for the evaluation currently running
+/// on this thread, if any (see [`set_ambient`]).
+///
+/// `maopt-sim` uses this to emit `sim.assemble` / `sim.factor` /
+/// `sim.solve` spans into the same flight recorder as the surrounding
+/// `sim` span. When tracing is off this is a thread-local read returning
+/// `None`.
+pub fn ambient() -> Option<Arc<TraceRecorder>> {
+    AMBIENT.with(|slot| slot.borrow().clone())
+}
+
+/// Installs `rec` as this thread's ambient recorder for the lifetime of
+/// the returned guard. The previous value is restored when the guard
+/// drops — including during unwinding, so a panicking evaluation never
+/// leaks its recorder into the next one scheduled on the same worker.
+pub fn set_ambient(rec: Option<Arc<TraceRecorder>>) -> AmbientGuard {
+    let prev = AMBIENT.with(|slot| std::mem::replace(&mut *slot.borrow_mut(), rec));
+    AmbientGuard { prev }
+}
+
+/// RAII guard restoring the previously-installed ambient recorder; see
+/// [`set_ambient`].
+#[derive(Debug)]
+pub struct AmbientGuard {
+    prev: Option<Arc<TraceRecorder>>,
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        AMBIENT.with(|slot| *slot.borrow_mut() = prev);
+    }
+}
+
 /// Kind-specific payload of a [`TraceEvent`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEventKind {
@@ -442,6 +489,36 @@ pub enum TraceEventKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ambient_recorder_nests_and_restores() {
+        assert!(ambient().is_none());
+        let outer = TraceRecorder::new();
+        let guard = set_ambient(Some(Arc::clone(&outer)));
+        assert!(Arc::ptr_eq(&ambient().unwrap(), &outer));
+        {
+            let inner = TraceRecorder::new();
+            let _g2 = set_ambient(Some(Arc::clone(&inner)));
+            assert!(Arc::ptr_eq(&ambient().unwrap(), &inner));
+        }
+        assert!(Arc::ptr_eq(&ambient().unwrap(), &outer));
+        drop(guard);
+        assert!(ambient().is_none());
+    }
+
+    #[test]
+    fn ambient_recorder_survives_panic_unwind() {
+        let rec = TraceRecorder::new();
+        let _guard = set_ambient(Some(Arc::clone(&rec)));
+        let caught = std::panic::catch_unwind(|| {
+            let inner = TraceRecorder::new();
+            let _g = set_ambient(Some(inner));
+            panic!("boom");
+        });
+        assert!(caught.is_err());
+        // The panicking scope's guard restored the outer recorder.
+        assert!(Arc::ptr_eq(&ambient().unwrap(), &rec));
+    }
 
     #[test]
     fn spans_instants_and_counters_roundtrip() {

@@ -17,6 +17,9 @@
 //! * [`kernels`]: allocation-free `_into` variants of the dense
 //!   products with a fixed reduction order — the zero-allocation hot
 //!   path of the neural-network stack (see DESIGN.md §8).
+//! * [`sparse`]: CSC sparse matrices and a deterministic sparse LU with a
+//!   symbolic factorization computed once per sparsity pattern — the fast
+//!   MNA solver path (see DESIGN.md §13).
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@ mod error;
 pub mod kernels;
 mod lu;
 mod mat;
+pub mod sparse;
 pub mod stats;
 pub mod vec_ops;
 
@@ -51,3 +55,4 @@ pub use complex::Complex;
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use mat::Mat;
+pub use sparse::{SparseLu, SparseMat, SparseScalar, SparsityPattern, SymbolicLu};

@@ -43,45 +43,35 @@ impl Lu {
     pub fn new(mut a: Mat) -> Result<Self, LinalgError> {
         let n = a.require_square()?;
         let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
-
-        for k in 0..n {
-            // Partial pivoting: bring the largest |entry| in column k to row k.
-            let mut p = k;
-            let mut max = a[(k, k)].abs();
-            for i in (k + 1)..n {
-                let v = a[(i, k)].abs();
-                if v > max {
-                    max = v;
-                    p = i;
-                }
-            }
-            if max < PIVOT_EPS || !max.is_finite() {
-                return Err(LinalgError::Singular { pivot: k });
-            }
-            if p != k {
-                for j in 0..n {
-                    let tmp = a[(k, j)];
-                    a[(k, j)] = a[(p, j)];
-                    a[(p, j)] = tmp;
-                }
-                perm.swap(k, p);
-                sign = -sign;
-            }
-            let pivot = a[(k, k)];
-            for i in (k + 1)..n {
-                let factor = a[(i, k)] / pivot;
-                a[(i, k)] = factor;
-                if factor != 0.0 {
-                    for j in (k + 1)..n {
-                        let akj = a[(k, j)];
-                        a[(i, j)] -= factor * akj;
-                    }
-                }
-            }
-        }
-
+        let sign = eliminate(&mut a, &mut perm)?;
         Ok(Lu { lu: a, perm, sign })
+    }
+
+    /// An empty (0×0) factorization, usable as a reusable workspace for
+    /// [`Lu::refactor_from`].
+    pub fn empty() -> Lu {
+        Lu {
+            lu: Mat::default(),
+            perm: Vec::new(),
+            sign: 1.0,
+        }
+    }
+
+    /// Re-factors `a` into this workspace, reusing the existing buffers:
+    /// after warm-up this performs no heap allocation, eliminating the
+    /// per-Newton-iteration `Lu::new(jac.clone())` churn on the dense path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Lu::new`]. On error the workspace holds no valid
+    /// factorization; call [`Lu::refactor_from`] again before solving.
+    pub fn refactor_from(&mut self, a: &Mat) -> Result<(), LinalgError> {
+        let n = a.require_square()?;
+        self.lu.copy_from(a);
+        self.perm.clear();
+        self.perm.extend(0..n);
+        self.sign = eliminate(&mut self.lu, &mut self.perm)?;
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -104,8 +94,30 @@ impl Lu {
                 found: format!("length {}", b.len()),
             });
         }
+        let mut x = Vec::with_capacity(n);
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` into a reusable output buffer (cleared and refilled;
+    /// no allocation once `x` has capacity `self.dim()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    // Index form mirrors the textbook forward/backward substitution.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("rhs of length {n}"),
+                found: format!("length {}", b.len()),
+            });
+        }
         // Apply permutation, then forward substitution with unit-lower L.
-        let mut x: Vec<f64> = self.perm.iter().map(|&pi| b[pi]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&pi| b[pi]));
         for i in 1..n {
             let mut sum = x[i];
             for j in 0..i {
@@ -121,7 +133,7 @@ impl Lu {
             }
             x[i] = sum / self.lu[(i, i)];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `A·X = B` column by column.
@@ -166,6 +178,49 @@ impl Lu {
     pub fn inverse(&self) -> Result<Mat, LinalgError> {
         self.solve_mat(&Mat::identity(self.dim()))
     }
+}
+
+/// In-place partial-pivoting elimination shared by [`Lu::new`] and
+/// [`Lu::refactor_from`]. Returns the permutation sign.
+fn eliminate(a: &mut Mat, perm: &mut [usize]) -> Result<f64, LinalgError> {
+    let n = perm.len();
+    let mut sign = 1.0;
+    for k in 0..n {
+        // Partial pivoting: bring the largest |entry| in column k to row k.
+        let mut p = k;
+        let mut max = a[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = a[(i, k)].abs();
+            if v > max {
+                max = v;
+                p = i;
+            }
+        }
+        if max < PIVOT_EPS || !max.is_finite() {
+            return Err(LinalgError::Singular { pivot: k });
+        }
+        if p != k {
+            for j in 0..n {
+                let tmp = a[(k, j)];
+                a[(k, j)] = a[(p, j)];
+                a[(p, j)] = tmp;
+            }
+            perm.swap(k, p);
+            sign = -sign;
+        }
+        let pivot = a[(k, k)];
+        for i in (k + 1)..n {
+            let factor = a[(i, k)] / pivot;
+            a[(i, k)] = factor;
+            if factor != 0.0 {
+                for j in (k + 1)..n {
+                    let akj = a[(k, j)];
+                    a[(i, j)] -= factor * akj;
+                }
+            }
+        }
+    }
+    Ok(sign)
 }
 
 #[cfg(test)]
@@ -250,6 +305,36 @@ mod tests {
         let b = Mat::from_rows(&[&[2.0, 4.0], &[8.0, 12.0]]);
         let x = Lu::new(a).unwrap().solve_mat(&b).unwrap();
         assert_eq!(x, Mat::from_rows(&[&[1.0, 2.0], &[2.0, 3.0]]));
+    }
+
+    #[test]
+    fn refactor_from_matches_new_bitwise() {
+        let a = Mat::from_rows(&[&[0.0, 1.0, 2.0], &[3.0, -4.0, 0.5], &[1.0, 1.0, 9.0]]);
+        let fresh = Lu::new(a.clone()).unwrap();
+        let mut ws = Lu::empty();
+        // Warm the workspace on a different matrix first, then refactor.
+        ws.refactor_from(&Mat::identity(3)).unwrap();
+        ws.refactor_from(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x0 = fresh.solve(&b).unwrap();
+        let mut x1 = Vec::new();
+        ws.solve_into(&b, &mut x1).unwrap();
+        assert_eq!(x0, x1, "workspace refactor must be bitwise-identical");
+        assert_eq!(fresh.det().to_bits(), ws.det().to_bits());
+    }
+
+    #[test]
+    fn refactor_from_reports_singular_and_recovers() {
+        let mut ws = Lu::empty();
+        let singular = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            ws.refactor_from(&singular),
+            Err(LinalgError::Singular { .. })
+        ));
+        ws.refactor_from(&Mat::identity(2)).unwrap();
+        let mut x = Vec::new();
+        ws.solve_into(&[5.0, 6.0], &mut x).unwrap();
+        assert_eq!(x, vec![5.0, 6.0]);
     }
 
     #[test]

@@ -1,0 +1,754 @@
+//! Sparse (compressed-sparse-column) matrices and a deterministic sparse LU.
+//!
+//! This is the solver behind the fast MNA path in `maopt-sim`. The design
+//! splits factorization into two phases:
+//!
+//! * **Symbolic** ([`SymbolicLu::analyze`]): computed *once per sparsity
+//!   pattern*. Picks a deterministic row permutation via maximum bipartite
+//!   matching so every diagonal entry of `P·A` is structurally nonzero (MNA
+//!   matrices have structurally zero diagonals on voltage-source branch
+//!   rows), then runs a bitset fill analysis under the **fixed natural column
+//!   order** to obtain the filled pattern `F = L + U`. No numeric values are
+//!   consulted, so the result is a pure function of the pattern and can be
+//!   cached and shared (`Arc`) across Newton iterations, homotopy sweeps,
+//!   designs, and runs.
+//! * **Numeric** ([`SparseLu::factor`]): left-looking column factorization
+//!   into preallocated storage aligned with the symbolic pattern. No
+//!   allocation, no pivot search, no data-dependent ordering — the floating
+//!   point operation sequence is identical for every matrix sharing the
+//!   pattern, which is what makes journals bitwise-reproducible across
+//!   designs and thread counts.
+//!
+//! Because the elimination order is fixed, a matrix that *would* factor under
+//! partial pivoting can still hit a tiny pivot here; callers detect
+//! [`LinalgError::Singular`] and fall back to the dense pivoting solver
+//! ([`crate::Lu`] / [`crate::CLu`]). The factorization is generic over
+//! [`SparseScalar`] so the AC/noise analyses reuse the *same* symbolic
+//! object for the complex system `G + jωC`.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use std::sync::Arc;
+
+use crate::{Complex, LinalgError};
+
+/// Pivots with magnitude below this are treated as singular (matches
+/// [`crate::Lu`]).
+const PIVOT_EPS: f64 = 1e-300;
+
+/// Scalar types the sparse factorization works over (`f64` and [`Complex`]).
+pub trait SparseScalar:
+    Copy
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + std::fmt::Debug
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Magnitude used for pivot admissibility checks.
+    fn magnitude(self) -> f64;
+}
+
+impl SparseScalar for f64 {
+    const ZERO: f64 = 0.0;
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+}
+
+impl SparseScalar for Complex {
+    const ZERO: Complex = Complex::ZERO;
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+}
+
+/// The set of structurally-nonzero positions of a square matrix, stored in
+/// compressed-sparse-column (CSC) form with rows sorted within each column.
+///
+/// Building a pattern is deterministic: entries are sorted by `(col, row)`
+/// and deduplicated, so any insertion order yields the same pattern (and the
+/// same slot numbering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsityPattern {
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+}
+
+impl SparsityPattern {
+    /// Builds a pattern for an `n × n` matrix from an arbitrary list of
+    /// `(row, col)` positions. Duplicates are merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn from_entries(n: usize, entries: &[(usize, usize)]) -> SparsityPattern {
+        let mut sorted: Vec<(usize, usize)> = entries
+            .iter()
+            .map(|&(r, c)| {
+                assert!(r < n && c < n, "entry ({r},{c}) out of range for n={n}");
+                (c, r)
+            })
+            .collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut col_ptr = vec![0usize; n + 1];
+        let mut row_idx = Vec::with_capacity(sorted.len());
+        for &(c, r) in &sorted {
+            col_ptr[c + 1] += 1;
+            row_idx.push(r);
+        }
+        for c in 0..n {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        SparsityPattern {
+            n,
+            col_ptr,
+            row_idx,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of structural nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Slot range of column `j` in the value array.
+    pub fn col_range(&self, j: usize) -> std::ops::Range<usize> {
+        self.col_ptr[j]..self.col_ptr[j + 1]
+    }
+
+    /// Row indices of column `j`, ascending.
+    pub fn rows_of(&self, j: usize) -> &[usize] {
+        &self.row_idx[self.col_range(j)]
+    }
+
+    /// Value-array slot of entry `(r, c)`, if it is in the pattern.
+    pub fn slot(&self, r: usize, c: usize) -> Option<usize> {
+        let range = self.col_range(c);
+        let rows = &self.row_idx[range.clone()];
+        rows.binary_search(&r).ok().map(|k| range.start + k)
+    }
+}
+
+/// A square sparse matrix: an [`Arc`]-shared [`SparsityPattern`] plus a flat
+/// value array. Assembly writes values through precomputed slots
+/// ([`SparsityPattern::slot`]) so the hot loop is flat indexed stores.
+#[derive(Debug, Clone)]
+pub struct SparseMat<T = f64> {
+    pattern: Arc<SparsityPattern>,
+    vals: Vec<T>,
+}
+
+impl<T: SparseScalar> SparseMat<T> {
+    /// An all-zero matrix over `pattern`.
+    pub fn zeros(pattern: Arc<SparsityPattern>) -> SparseMat<T> {
+        let nnz = pattern.nnz();
+        SparseMat {
+            pattern,
+            vals: vec![T::ZERO; nnz],
+        }
+    }
+
+    /// The shared pattern.
+    pub fn pattern(&self) -> &Arc<SparsityPattern> {
+        &self.pattern
+    }
+
+    /// Resets every stored value to zero (pattern unchanged, no allocation).
+    pub fn fill_zero(&mut self) {
+        self.vals.fill(T::ZERO);
+    }
+
+    /// The flat value array, slot-indexed.
+    pub fn values(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Mutable flat value array, slot-indexed.
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.vals
+    }
+
+    /// Adds `v` at entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(r, c)` is not in the pattern.
+    pub fn add(&mut self, r: usize, c: usize, v: T) {
+        let slot = self
+            .pattern
+            .slot(r, c)
+            .unwrap_or_else(|| panic!("entry ({r},{c}) not in sparsity pattern"));
+        self.vals[slot] += v;
+    }
+
+    /// Dense matrix-vector product (test/debug helper).
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.pattern.n, "matvec dimension mismatch");
+        let mut y = vec![T::ZERO; self.pattern.n];
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == T::ZERO {
+                continue;
+            }
+            for p in self.pattern.col_range(j) {
+                y[self.pattern.row_idx[p]] += self.vals[p] * xj;
+            }
+        }
+        y
+    }
+}
+
+/// Symbolic sparse LU: row permutation + filled pattern `F = L + U`,
+/// computed once per [`SparsityPattern`] and shared across all numeric
+/// factorizations of matrices with that pattern.
+#[derive(Debug)]
+pub struct SymbolicLu {
+    n: usize,
+    /// `row_perm[i]` = original row placed at permuted position `i`.
+    row_perm: Vec<usize>,
+    /// `row_perm_inv[orig]` = permuted position of original row `orig`.
+    row_perm_inv: Vec<usize>,
+    /// Filled pattern of `P·A` (CSC, rows ascending; includes the diagonal).
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    /// Position of the diagonal entry within each column of the fill.
+    diag_ptr: Vec<usize>,
+}
+
+impl SymbolicLu {
+    /// Analyzes `pattern`: finds a deterministic row permutation giving a
+    /// structurally nonzero diagonal (maximum bipartite matching,
+    /// diagonal-preferring) and the fill pattern of the pivot-free
+    /// elimination in natural column order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if the matrix is *structurally*
+    /// singular (no perfect matching exists).
+    pub fn analyze(pattern: &SparsityPattern) -> Result<SymbolicLu, LinalgError> {
+        let n = pattern.n;
+        // --- 1. structural diagonal via maximum bipartite matching -------
+        // match_col[r] = column matched to original row r (or NONE).
+        const NONE: usize = usize::MAX;
+        let mut match_col = vec![NONE; n];
+        // Prefer the identity assignment where the diagonal is structural:
+        // deterministic and keeps node rows in place.
+        for (j, mc) in match_col.iter_mut().enumerate() {
+            if pattern.slot(j, j).is_some() && *mc == NONE {
+                *mc = j;
+            }
+        }
+        let mut visited = vec![false; n];
+        for j in 0..n {
+            if match_col.contains(&j) {
+                continue; // already matched in the diagonal pass
+            }
+            visited.fill(false);
+            if !augment(pattern, j, &mut match_col, &mut visited) {
+                return Err(LinalgError::Singular { pivot: j });
+            }
+        }
+        // row_perm: permuted position j holds the original row matched to
+        // column j.
+        let mut row_perm = vec![NONE; n];
+        for (orig_row, &col) in match_col.iter().enumerate() {
+            debug_assert_ne!(col, NONE);
+            row_perm[col] = orig_row;
+        }
+        let mut row_perm_inv = vec![NONE; n];
+        for (pos, &orig) in row_perm.iter().enumerate() {
+            row_perm_inv[orig] = pos;
+        }
+
+        // --- 2. bitset fill analysis in natural column order -------------
+        let words = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words];
+        for j in 0..n {
+            let base = j * words;
+            for &r in pattern.rows_of(j) {
+                let pr = row_perm_inv[r];
+                bits[base + pr / 64] |= 1u64 << (pr % 64);
+            }
+            debug_assert!(
+                bits[base + j / 64] & (1u64 << (j % 64)) != 0,
+                "matching must give a structural diagonal"
+            );
+        }
+        // Right-looking symbolic elimination: when column j contains row k
+        // (k < j), it absorbs column k's sub-diagonal rows.
+        for k in 0..n {
+            let kw = k / 64;
+            let kb = k % 64;
+            // Mask selecting bits strictly greater than k within word kw.
+            let high_mask = if kb == 63 { 0 } else { !0u64 << (kb + 1) };
+            for j in (k + 1)..n {
+                let jb = j * words;
+                if bits[jb + kw] & (1u64 << kb) == 0 {
+                    continue;
+                }
+                let kbase = k * words;
+                bits[jb + kw] |= bits[kbase + kw] & high_mask;
+                for w in (kw + 1)..words {
+                    bits[jb + w] |= bits[kbase + w];
+                }
+            }
+        }
+        // --- 3. gather the filled CSC pattern -----------------------------
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut row_idx = Vec::new();
+        let mut diag_ptr = vec![0usize; n];
+        col_ptr.push(0);
+        for (j, dp) in diag_ptr.iter_mut().enumerate() {
+            let base = j * words;
+            for w in 0..words {
+                let mut word = bits[base + w];
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    let row = w * 64 + bit;
+                    if row == j {
+                        *dp = row_idx.len();
+                    }
+                    row_idx.push(row);
+                    word &= word - 1;
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        Ok(SymbolicLu {
+            n,
+            row_perm,
+            row_perm_inv,
+            col_ptr,
+            row_idx,
+            diag_ptr,
+        })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Structural nonzeros of `L + U` (fill included).
+    pub fn factor_nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// `row_perm[i]` = original row placed at permuted position `i`.
+    pub fn row_perm(&self) -> &[usize] {
+        &self.row_perm
+    }
+}
+
+/// Depth-first augmenting-path search for the bipartite matching. Iteration
+/// order over `pattern.rows_of` is ascending, so the matching is
+/// deterministic.
+fn augment(
+    pattern: &SparsityPattern,
+    col: usize,
+    match_col: &mut [usize],
+    visited: &mut [bool],
+) -> bool {
+    for &r in pattern.rows_of(col) {
+        if visited[r] {
+            continue;
+        }
+        visited[r] = true;
+        let prev = match_col[r];
+        if prev == usize::MAX || augment(pattern, prev, match_col, visited) {
+            match_col[r] = col;
+            return true;
+        }
+    }
+    false
+}
+
+/// Numeric sparse LU over a shared [`SymbolicLu`]. Owns preallocated factor
+/// storage and a dense scatter workspace; [`SparseLu::factor`] and
+/// [`SparseLu::solve_into`] perform no heap allocation after construction.
+#[derive(Debug, Clone)]
+pub struct SparseLu<T = f64> {
+    sym: Arc<SymbolicLu>,
+    /// Values aligned with `sym.row_idx`: U on/above the diagonal,
+    /// L multipliers below (unit diagonal implicit).
+    vals: Vec<T>,
+    /// Dense scatter workspace, length `n`, kept all-zero between calls.
+    work: Vec<T>,
+    factored: bool,
+}
+
+impl<T: SparseScalar> SparseLu<T> {
+    /// An unfactored solver bound to `sym`.
+    pub fn new(sym: Arc<SymbolicLu>) -> SparseLu<T> {
+        let nnz = sym.factor_nnz();
+        let n = sym.n;
+        SparseLu {
+            sym,
+            vals: vec![T::ZERO; nnz],
+            work: vec![T::ZERO; n],
+            factored: false,
+        }
+    }
+
+    /// The shared symbolic factorization.
+    pub fn sym(&self) -> &Arc<SymbolicLu> {
+        &self.sym
+    }
+
+    /// Numerically factors `a` (which must share the pattern the symbolic
+    /// analysis was computed from) using the fixed elimination order.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `a` has a different dimension.
+    /// * [`LinalgError::Singular`] if a pivot is non-finite or its magnitude
+    ///   underflows; callers typically fall back to the dense pivoting
+    ///   solver in that case.
+    pub fn factor(&mut self, a: &SparseMat<T>) -> Result<(), LinalgError> {
+        let n = self.sym.n;
+        if a.pattern.n != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("{n}x{n} matrix"),
+                found: format!("{0}x{0}", a.pattern.n),
+            });
+        }
+        self.factored = false;
+        let sym = &*self.sym;
+        let work = &mut self.work;
+        let vals = &mut self.vals;
+        for j in 0..n {
+            // Scatter permuted column j of A into the dense workspace. The
+            // fill pattern is a superset of the input pattern, and `work` is
+            // all-zero here, so plain stores suffice.
+            for p in a.pattern.col_range(j) {
+                work[sym.row_perm_inv[a.pattern.row_idx[p]]] = a.vals[p];
+            }
+            // Left-looking update: for each U entry (row k < j, ascending),
+            // subtract its multiple of column k's L.
+            let col = sym.col_ptr[j]..sym.col_ptr[j + 1];
+            let diag = sym.diag_ptr[j];
+            for p in col.start..diag {
+                let k = sym.row_idx[p];
+                let ukj = work[k];
+                vals[p] = ukj;
+                if ukj != T::ZERO {
+                    for q in (sym.diag_ptr[k] + 1)..sym.col_ptr[k + 1] {
+                        work[sym.row_idx[q]] -= vals[q] * ukj;
+                    }
+                }
+            }
+            let pivot = work[j];
+            let mag = pivot.magnitude();
+            if !mag.is_finite() || mag < PIVOT_EPS {
+                // Leave the workspace clean for the next attempt: every row
+                // written this iteration lies in F-column j.
+                for q in col.clone() {
+                    work[sym.row_idx[q]] = T::ZERO;
+                }
+                return Err(LinalgError::Singular { pivot: j });
+            }
+            vals[diag] = pivot;
+            for q in (diag + 1)..col.end {
+                vals[q] = work[sym.row_idx[q]] / pivot;
+            }
+            // Clear exactly the rows of F-column j: the fill rule guarantees
+            // every row written this iteration is in this set.
+            for q in col {
+                work[sym.row_idx[q]] = T::ZERO;
+            }
+        }
+        self.factored = true;
+        Ok(())
+    }
+
+    /// Solves `A·x = b` into `x` (cleared and refilled; no allocation once
+    /// `x` has capacity `n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on a wrong-length rhs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no successful [`SparseLu::factor`] call preceded.
+    pub fn solve_into(&self, b: &[T], x: &mut Vec<T>) -> Result<(), LinalgError> {
+        assert!(self.factored, "SparseLu::solve_into before factor()");
+        let n = self.sym.n;
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("rhs of length {n}"),
+                found: format!("length {}", b.len()),
+            });
+        }
+        x.clear();
+        x.extend(self.sym.row_perm.iter().map(|&pi| b[pi]));
+        // Forward substitution with unit-lower L (column-oriented).
+        for j in 0..n {
+            let xj = x[j];
+            if xj == T::ZERO {
+                continue;
+            }
+            for q in (self.sym.diag_ptr[j] + 1)..self.sym.col_ptr[j + 1] {
+                x[self.sym.row_idx[q]] -= self.vals[q] * xj;
+            }
+        }
+        // Back substitution with U (column-oriented).
+        for j in (0..n).rev() {
+            let xj = x[j] / self.vals[self.sym.diag_ptr[j]];
+            x[j] = xj;
+            if xj == T::ZERO {
+                continue;
+            }
+            for q in self.sym.col_ptr[j]..self.sym.diag_ptr[j] {
+                x[self.sym.row_idx[q]] -= self.vals[q] * xj;
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience wrapper around [`SparseLu::solve_into`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SparseLu::solve_into`].
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, LinalgError> {
+        let mut x = Vec::with_capacity(b.len());
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CLu, CMat, Lu, Mat};
+
+    fn dense_of(m: &SparseMat<f64>) -> Mat {
+        let n = m.pattern().n();
+        let mut d = Mat::zeros(n, n);
+        for j in 0..n {
+            for p in m.pattern().col_range(j) {
+                d[(m.pattern().row_idx[p], j)] = m.values()[p];
+            }
+        }
+        d
+    }
+
+    fn pattern_of_dense(n: usize, entries: &[(usize, usize, f64)]) -> SparseMat<f64> {
+        let pat: Vec<(usize, usize)> = entries.iter().map(|&(r, c, _)| (r, c)).collect();
+        let pattern = Arc::new(SparsityPattern::from_entries(n, &pat));
+        let mut m = SparseMat::zeros(pattern);
+        for &(r, c, v) in entries {
+            m.add(r, c, v);
+        }
+        m
+    }
+
+    #[test]
+    fn pattern_dedups_and_sorts() {
+        let p = SparsityPattern::from_entries(3, &[(2, 0), (0, 0), (2, 0), (1, 2)]);
+        assert_eq!(p.nnz(), 3);
+        assert_eq!(p.rows_of(0), &[0, 2]);
+        assert_eq!(p.rows_of(1), &[] as &[usize]);
+        assert_eq!(p.rows_of(2), &[1]);
+        assert_eq!(p.slot(2, 0), Some(1));
+        assert_eq!(p.slot(1, 0), None);
+    }
+
+    #[test]
+    fn pattern_independent_of_insertion_order() {
+        let a = SparsityPattern::from_entries(4, &[(0, 0), (3, 1), (1, 1), (2, 2)]);
+        let b = SparsityPattern::from_entries(4, &[(2, 2), (1, 1), (0, 0), (3, 1), (1, 1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn factor_solve_matches_dense() {
+        // Asymmetric sparse system with off-diagonal structure.
+        let m = pattern_of_dense(
+            4,
+            &[
+                (0, 0, 4.0),
+                (0, 1, -1.0),
+                (1, 0, -2.0),
+                (1, 1, 5.0),
+                (1, 3, 1.0),
+                (2, 2, 3.0),
+                (2, 0, 0.5),
+                (3, 3, 2.0),
+                (3, 1, -0.25),
+            ],
+        );
+        let sym = Arc::new(SymbolicLu::analyze(m.pattern()).unwrap());
+        let mut lu = SparseLu::<f64>::new(sym);
+        lu.factor(&m).unwrap();
+        let b = [1.0, -2.0, 3.0, 0.5];
+        let x = lu.solve(&b).unwrap();
+        let xd = Lu::new(dense_of(&m)).unwrap().solve(&b).unwrap();
+        for (a, b) in x.iter().zip(&xd) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_structural_diagonal_is_handled() {
+        // MNA-style: voltage source branch row has a zero diagonal.
+        //   [ g   1 ] [v]   [0]
+        //   [ 1   0 ] [i] = [V]
+        let m = pattern_of_dense(2, &[(0, 0, 1e-3), (0, 1, 1.0), (1, 0, 1.0)]);
+        let sym = Arc::new(SymbolicLu::analyze(m.pattern()).unwrap());
+        let mut lu = SparseLu::<f64>::new(sym);
+        lu.factor(&m).unwrap();
+        let x = lu.solve(&[0.0, 1.8]).unwrap();
+        assert!((x[0] - 1.8).abs() < 1e-12);
+        assert!((x[1] + 1.8e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn structurally_singular_detected_at_analysis() {
+        // Column 1 and column 2 both only touch row 0: no perfect matching.
+        let p = SparsityPattern::from_entries(3, &[(0, 0), (0, 1), (0, 2), (1, 0), (2, 0)]);
+        assert!(matches!(
+            SymbolicLu::analyze(&p),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn numerically_singular_detected_at_factor() {
+        // Structurally fine, numerically rank-1.
+        let m = pattern_of_dense(2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 4.0)]);
+        let sym = Arc::new(SymbolicLu::analyze(m.pattern()).unwrap());
+        let mut lu = SparseLu::<f64>::new(sym);
+        assert!(matches!(lu.factor(&m), Err(LinalgError::Singular { .. })));
+        // Workspace stays clean: a subsequent factor of a good matrix works.
+        let good = pattern_of_dense(2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 5.0)]);
+        let sym2 = Arc::new(SymbolicLu::analyze(good.pattern()).unwrap());
+        let mut lu2: SparseLu<f64> = SparseLu::new(sym2);
+        lu2.factor(&good).unwrap();
+        let x = lu2.solve(&[5.0, 12.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+        // And the original workspace is reusable too (same structure).
+        lu.factor(&good).unwrap();
+    }
+
+    #[test]
+    fn refactor_reuses_symbolic_across_value_changes() {
+        let pattern = Arc::new(SparsityPattern::from_entries(
+            3,
+            &[(0, 0), (1, 1), (2, 2), (0, 2), (2, 0), (1, 0)],
+        ));
+        let sym = Arc::new(SymbolicLu::analyze(&pattern).unwrap());
+        let mut lu = SparseLu::<f64>::new(Arc::clone(&sym));
+        let mut m: SparseMat<f64> = SparseMat::zeros(Arc::clone(&pattern));
+        for scale in [1.0, 2.5, -3.0] {
+            m.fill_zero();
+            m.add(0, 0, 2.0 * scale);
+            m.add(1, 1, 3.0 * scale);
+            m.add(2, 2, 4.0 * scale);
+            m.add(0, 2, 1.0);
+            m.add(2, 0, -1.0);
+            m.add(1, 0, 0.5);
+            lu.factor(&m).unwrap();
+            let b = [1.0, 2.0, 3.0];
+            let x = lu.solve(&b).unwrap();
+            let y = m.matvec(&x);
+            for (yi, bi) in y.iter().zip(&b) {
+                assert!((yi - bi).abs() < 1e-12);
+            }
+        }
+        assert_eq!(Arc::strong_count(&sym), 2);
+    }
+
+    #[test]
+    fn complex_factor_matches_dense_clu() {
+        let n = 3;
+        let entries = [
+            (0, 0, Complex::new(2.0, 1.0)),
+            (0, 1, Complex::new(0.0, -0.5)),
+            (1, 1, Complex::new(3.0, 0.0)),
+            (1, 2, Complex::new(1.0, 1.0)),
+            (2, 0, Complex::new(0.5, 0.0)),
+            (2, 2, Complex::new(-1.0, 2.0)),
+        ];
+        let pat: Vec<(usize, usize)> = entries.iter().map(|&(r, c, _)| (r, c)).collect();
+        let pattern = Arc::new(SparsityPattern::from_entries(n, &pat));
+        let mut m: SparseMat<Complex> = SparseMat::zeros(Arc::clone(&pattern));
+        let mut d = CMat::zeros(n, n);
+        for &(r, c, v) in &entries {
+            m.add(r, c, v);
+            d[(r, c)] += v;
+        }
+        let sym = Arc::new(SymbolicLu::analyze(&pattern).unwrap());
+        let mut lu: SparseLu<Complex> = SparseLu::new(sym);
+        lu.factor(&m).unwrap();
+        let b = [Complex::new(1.0, 0.0), Complex::new(0.0, 1.0), Complex::ONE];
+        let x = lu.solve(&b).unwrap();
+        let xd = CLu::new(d).unwrap().solve(&b).unwrap();
+        for (a, b) in x.iter().zip(&xd) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn larger_random_sparse_agrees_with_dense() {
+        // Deterministic xorshift-built band+scatter matrix at n = 60.
+        let n = 60;
+        let mut seed = 0x243F6A8885A308D3u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) - 0.5
+        };
+        let mut entries: Vec<(usize, usize, f64)> = Vec::new();
+        for i in 0..n {
+            entries.push((i, i, 6.0 + next()));
+            if i + 1 < n {
+                entries.push((i, i + 1, next()));
+                entries.push((i + 1, i, next()));
+            }
+            let far = (i * 7 + 3) % n;
+            if far != i {
+                entries.push((i, far, next()));
+            }
+        }
+        let m = pattern_of_dense(n, &entries);
+        let sym = Arc::new(SymbolicLu::analyze(m.pattern()).unwrap());
+        assert!(sym.factor_nnz() < n * n / 2, "fill should stay sparse-ish");
+        let mut lu = SparseLu::<f64>::new(sym);
+        lu.factor(&m).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = lu.solve(&b).unwrap();
+        let xd = Lu::new(dense_of(&m)).unwrap().solve(&b).unwrap();
+        for (a, bb) in x.iter().zip(&xd) {
+            assert!((a - bb).abs() < 1e-9, "{a} vs {bb}");
+        }
+    }
+
+    #[test]
+    fn solve_into_reuses_buffer_and_checks_len() {
+        let m = pattern_of_dense(2, &[(0, 0, 2.0), (1, 1, 4.0)]);
+        let sym = Arc::new(SymbolicLu::analyze(m.pattern()).unwrap());
+        let mut lu = SparseLu::<f64>::new(sym);
+        lu.factor(&m).unwrap();
+        let mut x = Vec::new();
+        lu.solve_into(&[2.0, 8.0], &mut x).unwrap();
+        assert_eq!(x, vec![1.0, 2.0]);
+        lu.solve_into(&[4.0, 8.0], &mut x).unwrap();
+        assert_eq!(x, vec![2.0, 2.0]);
+        assert!(lu.solve_into(&[1.0], &mut x).is_err());
+    }
+}

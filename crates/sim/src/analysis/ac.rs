@@ -5,7 +5,10 @@ use maopt_linalg::{CLu, CMat, Complex};
 
 use crate::analysis::dc::DcOp;
 use crate::circuit::{Circuit, Element, Node};
-use crate::mna::{cap_list, CapSpec, Layout};
+use crate::mna::{cap_list, CStamp, CapSpec, Layout};
+use crate::mosfet::MosOp;
+use crate::probe::Probe;
+use crate::solver::{CSparseWs, SolverKind};
 use crate::SimError;
 
 /// Builds a logarithmically spaced frequency grid.
@@ -79,18 +82,20 @@ impl AcSweep {
 ///
 /// Shared by the AC and noise analyses. Independent sources contribute
 /// nothing to the matrix (their excitations go in the right-hand side).
-pub(crate) fn build_ac_matrix(
+/// Like the resistive assembly, the stamp call sequence is a pure function
+/// of circuit structure (`omega` and the operating point only affect
+/// values), so the complex slot replay in the sparse path is sound.
+pub(crate) fn assemble_ac(
     ckt: &Circuit,
     layout: &Layout,
-    op: &DcOp,
+    mos_ops: &[MosOp],
     caps: &[CapSpec],
     omega: f64,
-) -> CMat {
-    let n = layout.n_unknowns;
-    let mut a = CMat::zeros(n, n);
-    let add = |a: &mut CMat, r: Node, c: Node, v: Complex| {
+    a: &mut dyn CStamp,
+) {
+    let add = |a: &mut dyn CStamp, r: Node, c: Node, v: Complex| {
         if let (Some(ri), Some(ci)) = (r.unknown(), c.unknown()) {
-            a[(ri, ci)] += v;
+            a.add(ri, ci, v);
         }
     };
 
@@ -101,10 +106,10 @@ pub(crate) fn build_ac_matrix(
                 a: na, b: nb, ohms, ..
             } => {
                 let g = Complex::from_real(1.0 / ohms);
-                add(&mut a, *na, *na, g);
-                add(&mut a, *na, *nb, -g);
-                add(&mut a, *nb, *na, -g);
-                add(&mut a, *nb, *nb, g);
+                add(a, *na, *na, g);
+                add(a, *na, *nb, -g);
+                add(a, *nb, *na, -g);
+                add(a, *nb, *nb, g);
             }
             Element::Capacitor { .. } => {} // handled via `caps` below
             Element::Inductor {
@@ -116,25 +121,25 @@ pub(crate) fn build_ac_matrix(
                 // Branch row: v_a − v_b − jωL·i = 0.
                 let k = layout.branch_of[ei].expect("inductor branch");
                 if let Some(ai) = na.unknown() {
-                    a[(ai, k)] += Complex::ONE;
-                    a[(k, ai)] += Complex::ONE;
+                    a.add(ai, k, Complex::ONE);
+                    a.add(k, ai, Complex::ONE);
                 }
                 if let Some(bi) = nb.unknown() {
-                    a[(bi, k)] -= Complex::ONE;
-                    a[(k, bi)] -= Complex::ONE;
+                    a.add(bi, k, -Complex::ONE);
+                    a.add(k, bi, -Complex::ONE);
                 }
-                a[(k, k)] -= Complex::new(0.0, omega * henries);
+                a.add(k, k, -Complex::new(0.0, omega * henries));
             }
             Element::Isource { .. } => {}
             Element::Vsource { p, n: nn, .. } => {
                 let k = layout.branch_of[ei].expect("vsource branch");
                 if let Some(pi) = p.unknown() {
-                    a[(pi, k)] += Complex::ONE;
-                    a[(k, pi)] += Complex::ONE;
+                    a.add(pi, k, Complex::ONE);
+                    a.add(k, pi, Complex::ONE);
                 }
                 if let Some(ni) = nn.unknown() {
-                    a[(ni, k)] -= Complex::ONE;
-                    a[(k, ni)] -= Complex::ONE;
+                    a.add(ni, k, -Complex::ONE);
+                    a.add(k, ni, -Complex::ONE);
                 }
             }
             Element::Vcvs {
@@ -147,18 +152,18 @@ pub(crate) fn build_ac_matrix(
             } => {
                 let k = layout.branch_of[ei].expect("vcvs branch");
                 if let Some(pi) = p.unknown() {
-                    a[(pi, k)] += Complex::ONE;
-                    a[(k, pi)] += Complex::ONE;
+                    a.add(pi, k, Complex::ONE);
+                    a.add(k, pi, Complex::ONE);
                 }
                 if let Some(ni) = nn.unknown() {
-                    a[(ni, k)] -= Complex::ONE;
-                    a[(k, ni)] -= Complex::ONE;
+                    a.add(ni, k, -Complex::ONE);
+                    a.add(k, ni, -Complex::ONE);
                 }
                 if let Some(ci) = cp.unknown() {
-                    a[(k, ci)] -= Complex::from_real(*gain);
+                    a.add(k, ci, -Complex::from_real(*gain));
                 }
                 if let Some(ci) = cn.unknown() {
-                    a[(k, ci)] += Complex::from_real(*gain);
+                    a.add(k, ci, Complex::from_real(*gain));
                 }
             }
             Element::Vccs {
@@ -170,21 +175,21 @@ pub(crate) fn build_ac_matrix(
                 ..
             } => {
                 let g = Complex::from_real(*gm);
-                add(&mut a, *p, *cp, g);
-                add(&mut a, *p, *cn, -g);
-                add(&mut a, *nn, *cp, -g);
-                add(&mut a, *nn, *cn, g);
+                add(a, *p, *cp, g);
+                add(a, *p, *cn, -g);
+                add(a, *nn, *cp, -g);
+                add(a, *nn, *cn, g);
             }
             Element::Mosfet { d, g, s, b, .. } => {
-                let mop = &op.mos_ops[mos_ord];
+                let mop = &mos_ops[mos_ord];
                 mos_ord += 1;
                 // i_d = gm·v_gs + gds·v_ds + gmbs·v_bs
                 let dvs = -(mop.gm + mop.gds + mop.gmbs);
                 for (row, sign) in [(*d, 1.0), (*s, -1.0)] {
-                    add(&mut a, row, *d, Complex::from_real(sign * mop.gds));
-                    add(&mut a, row, *g, Complex::from_real(sign * mop.gm));
-                    add(&mut a, row, *s, Complex::from_real(sign * dvs));
-                    add(&mut a, row, *b, Complex::from_real(sign * mop.gmbs));
+                    add(a, row, *d, Complex::from_real(sign * mop.gds));
+                    add(a, row, *g, Complex::from_real(sign * mop.gm));
+                    add(a, row, *s, Complex::from_real(sign * dvs));
+                    add(a, row, *b, Complex::from_real(sign * mop.gmbs));
                 }
             }
         }
@@ -193,16 +198,30 @@ pub(crate) fn build_ac_matrix(
     // Capacitors: jωC admittance.
     for c in caps {
         let y = Complex::new(0.0, omega * c.farads);
-        add(&mut a, c.a, c.a, y);
-        add(&mut a, c.a, c.b, -y);
-        add(&mut a, c.b, c.a, -y);
-        add(&mut a, c.b, c.b, y);
+        add(a, c.a, c.a, y);
+        add(a, c.a, c.b, -y);
+        add(a, c.b, c.a, -y);
+        add(a, c.b, c.b, y);
     }
 
     // A touch of gmin keeps structurally-floating small-signal nodes solvable.
     for i in 0..layout.n_node_unknowns {
-        a[(i, i)] += Complex::from_real(1e-12);
+        a.add(i, i, Complex::from_real(1e-12));
     }
+}
+
+/// Dense convenience wrapper over [`assemble_ac`] (debug cross-check path
+/// and the noise analysis' dense fallback).
+pub(crate) fn build_ac_matrix(
+    ckt: &Circuit,
+    layout: &Layout,
+    op: &DcOp,
+    caps: &[CapSpec],
+    omega: f64,
+) -> CMat {
+    let n = layout.n_unknowns;
+    let mut a = CMat::zeros(n, n);
+    assemble_ac(ckt, layout, &op.mos_ops, caps, omega, &mut a);
     a
 }
 
@@ -234,6 +253,9 @@ pub(crate) fn ac_excitation(ckt: &Circuit, layout: &Layout) -> Vec<Complex> {
 #[derive(Debug, Clone)]
 pub struct AcAnalysis {
     freqs: Vec<f64>,
+    /// Linear-solver backend; one complex numeric refactor per frequency
+    /// over the shared per-topology symbolic on the sparse path.
+    pub solver: SolverKind,
 }
 
 impl AcAnalysis {
@@ -251,12 +273,21 @@ impl AcAnalysis {
             freqs.iter().all(|&f| f > 0.0),
             "AC frequencies must be positive"
         );
-        AcAnalysis { freqs }
+        AcAnalysis {
+            freqs,
+            solver: SolverKind::Auto,
+        }
     }
 
     /// Log-spaced grid from `f_start` to `f_stop`.
     pub fn log(f_start: f64, f_stop: f64, points_per_decade: usize) -> Self {
         AcAnalysis::new(log_freqs(f_start, f_stop, points_per_decade))
+    }
+
+    /// Selects the linear-solver backend.
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
     }
 
     /// Runs the sweep around the given operating point.
@@ -268,14 +299,32 @@ impl AcAnalysis {
         let layout = Layout::new(ckt);
         let caps = cap_list(ckt);
         let b = ac_excitation(ckt, &layout);
+        let probe = Probe::current();
+        let mut sparse = CSparseWs::new(self.solver, ckt, &layout);
+        let mut xbuf: Vec<Complex> = Vec::new();
         let mut sols = Vec::with_capacity(self.freqs.len());
         for &f in &self.freqs {
             let omega = 2.0 * std::f64::consts::PI * f;
+            if let Some(ws) = sparse.as_mut() {
+                if ws.factor_at(ckt, &layout, &op.mos_ops, &caps, omega, &probe) {
+                    let t = probe.start();
+                    ws.lu.solve_into(&b, &mut xbuf)?;
+                    probe.span(crate::probe::SPAN_SOLVE, t);
+                    sols.push(xbuf.clone());
+                    continue;
+                }
+                // The pivot-free factorization hit a tiny pivot at this
+                // frequency: fall through to the dense pivoting solver.
+            }
+            let t = probe.start();
             let a = build_ac_matrix(ckt, &layout, op, &caps, omega);
             let lu = CLu::new(a).map_err(|_| SimError::SingularMatrix {
                 analysis: format!("ac @ {f} Hz"),
             })?;
+            probe.span(crate::probe::SPAN_FACTOR, t);
+            let t = probe.start();
             sols.push(lu.solve(&b)?);
+            probe.span(crate::probe::SPAN_SOLVE, t);
         }
         Ok(AcSweep {
             freqs: self.freqs.clone(),

@@ -1,11 +1,13 @@
 //! DC operating-point analysis: Newton–Raphson over the MNA residual with
 //! gmin stepping and source stepping as convergence aids.
 
-use maopt_linalg::{Lu, Mat};
-
 use crate::circuit::{Circuit, Element, ElementId, Node};
-use crate::mna::{assemble_resistive, Layout};
+use crate::mna::{
+    assemble_resistive, eval_mosfets_batched, Layout, MosEvalScratch, MosOpsMode, SlotStamp,
+};
 use crate::mosfet::MosOp;
+use crate::probe::Probe;
+use crate::solver::{solve_newton_system, JacView, SolverKind, SolverWs};
 use crate::SimError;
 
 /// Configuration for the DC solve.
@@ -22,6 +24,8 @@ pub struct DcAnalysis {
     pub step_limit: f64,
     /// Residual gmin left in place during the final solve (0 disables).
     pub final_gmin: f64,
+    /// Linear-solver backend for the Newton systems.
+    pub solver: SolverKind,
 }
 
 impl Default for DcAnalysis {
@@ -31,8 +35,22 @@ impl Default for DcAnalysis {
             vtol: 1e-9,
             step_limit: 0.6,
             final_gmin: 1e-12,
+            solver: SolverKind::Auto,
         }
     }
+}
+
+/// Reusable per-solve buffers: residual, RHS, Newton step, batched
+/// MOSFET staging, and the factor workspace. Allocated once per
+/// [`DcAnalysis::run_at_time`] call and reused across every Newton
+/// iteration of every continuation stage.
+struct DcScratch {
+    f: Vec<f64>,
+    neg_f: Vec<f64>,
+    delta: Vec<f64>,
+    mos: MosEvalScratch,
+    mos_ops: Vec<MosOp>,
+    solver: SolverWs,
 }
 
 /// A converged DC operating point.
@@ -45,6 +63,7 @@ pub struct DcOp {
     pub(crate) x: Vec<f64>,
     pub(crate) layout: Layout,
     pub(crate) mos_ops: Vec<MosOp>,
+    pub(crate) newton_iters: usize,
 }
 
 impl DcOp {
@@ -84,6 +103,14 @@ impl DcOp {
     /// The raw solution vector (node voltages then branch currents).
     pub fn unknowns(&self) -> &[f64] {
         &self.x
+    }
+
+    /// Total Newton iterations spent across all continuation stages.
+    ///
+    /// Identical for the sparse and dense solver backends on the same
+    /// circuit (the agreement tests assert this).
+    pub fn newton_iterations(&self) -> usize {
+        self.newton_iters
     }
 }
 
@@ -130,16 +157,47 @@ impl DcAnalysis {
             None => vec![0.0; n],
         };
 
+        let probe = Probe::current();
+        let mut ws = DcScratch {
+            f: vec![0.0; n],
+            neg_f: Vec::with_capacity(n),
+            delta: Vec::with_capacity(n),
+            mos: MosEvalScratch::default(),
+            mos_ops: Vec::with_capacity(layout.mos_elems.len()),
+            solver: SolverWs::new(self.solver, ckt, &layout),
+        };
+        let mut iters = 0usize;
+
         // Stage 1: direct Newton from the guess.
-        if let Ok(x) = self.newton(ckt, &layout, x0.clone(), self.final_gmin, 1.0, time) {
-            return Ok(self.finish(ckt, &layout, x, time));
+        if let Ok(x) = self.newton(
+            ckt,
+            &layout,
+            &mut ws,
+            &probe,
+            x0.clone(),
+            self.final_gmin,
+            1.0,
+            time,
+            &mut iters,
+        ) {
+            return Ok(self.finish(ckt, &layout, &mut ws, x, iters));
         }
 
         // Stage 2: gmin stepping.
         let mut x = x0.clone();
         let mut ok = true;
         for gmin in [1e-2, 1e-4, 1e-6, 1e-8, 1e-10, self.final_gmin.max(1e-12)] {
-            match self.newton(ckt, &layout, x.clone(), gmin, 1.0, time) {
+            match self.newton(
+                ckt,
+                &layout,
+                &mut ws,
+                &probe,
+                x.clone(),
+                gmin,
+                1.0,
+                time,
+                &mut iters,
+            ) {
                 Ok(next) => x = next,
                 Err(_) => {
                     ok = false;
@@ -148,7 +206,7 @@ impl DcAnalysis {
             }
         }
         if ok {
-            return Ok(self.finish(ckt, &layout, x, time));
+            return Ok(self.finish(ckt, &layout, &mut ws, x, iters));
         }
 
         // Stage 3: source stepping at a safe gmin, then relax gmin.
@@ -156,53 +214,90 @@ impl DcAnalysis {
         for k in 1..=10 {
             let scale = k as f64 / 10.0;
             x = self
-                .newton(ckt, &layout, x, 1e-9, scale, time)
+                .newton(
+                    ckt, &layout, &mut ws, &probe, x, 1e-9, scale, time, &mut iters,
+                )
                 .map_err(|_| SimError::NoConvergence {
                     analysis: format!("dc (source stepping at scale {scale})"),
                     iterations: self.max_iter,
                 })?;
         }
         let x = self
-            .newton(ckt, &layout, x, self.final_gmin.max(1e-12), 1.0, time)
+            .newton(
+                ckt,
+                &layout,
+                &mut ws,
+                &probe,
+                x,
+                self.final_gmin.max(1e-12),
+                1.0,
+                time,
+                &mut iters,
+            )
             .map_err(|_| SimError::NoConvergence {
                 analysis: "dc".into(),
                 iterations: self.max_iter,
             })?;
-        Ok(self.finish(ckt, &layout, x, time))
+        Ok(self.finish(ckt, &layout, &mut ws, x, iters))
     }
 
     /// One Newton solve at fixed gmin / source scale.
+    #[allow(clippy::too_many_arguments)]
     fn newton(
         &self,
         ckt: &Circuit,
         layout: &Layout,
+        ws: &mut DcScratch,
+        probe: &Probe,
         mut x: Vec<f64>,
         gmin: f64,
         source_scale: f64,
         time: Option<f64>,
+        iters: &mut usize,
     ) -> Result<Vec<f64>, SimError> {
-        let n = layout.n_unknowns;
-        let mut f = vec![0.0; n];
-        let mut jac = Mat::zeros(n, n);
         for _ in 0..self.max_iter {
-            f.iter_mut().for_each(|v| *v = 0.0);
-            jac.fill_zero();
-            assemble_resistive(
-                ckt,
-                layout,
-                &x,
-                gmin,
-                source_scale,
-                time,
-                &mut f,
-                &mut jac,
-                None,
-            );
-            let lu = Lu::new(jac.clone()).map_err(|_| SimError::SingularMatrix {
-                analysis: "dc".into(),
-            })?;
-            let neg_f: Vec<f64> = f.iter().map(|v| -v).collect();
-            let delta = lu.solve(&neg_f)?;
+            *iters += 1;
+            let DcScratch {
+                f,
+                neg_f,
+                delta,
+                mos,
+                mos_ops,
+                solver,
+            } = ws;
+            let mut assemble = |f: &mut [f64], jac: JacView<'_>| {
+                f.fill(0.0);
+                eval_mosfets_batched(ckt, layout, &x, mos, mos_ops);
+                match jac {
+                    JacView::Dense(m) => assemble_resistive(
+                        ckt,
+                        layout,
+                        &x,
+                        gmin,
+                        source_scale,
+                        time,
+                        f,
+                        m,
+                        MosOpsMode::Precomputed(mos_ops.as_slice()),
+                    ),
+                    JacView::Sparse { vals, topo } => {
+                        let mut st = SlotStamp::new(vals, &topo.resistive_slots);
+                        assemble_resistive(
+                            ckt,
+                            layout,
+                            &x,
+                            gmin,
+                            source_scale,
+                            time,
+                            f,
+                            &mut st,
+                            MosOpsMode::Precomputed(mos_ops.as_slice()),
+                        );
+                        st.finish();
+                    }
+                }
+            };
+            solve_newton_system(solver, "dc", probe, f, neg_f, delta, &mut assemble)?;
             let max_step = delta.iter().fold(0.0_f64, |m, d| m.max(d.abs()));
             if !max_step.is_finite() {
                 return Err(SimError::NoConvergence {
@@ -215,7 +310,7 @@ impl DcAnalysis {
             } else {
                 1.0
             };
-            for (xi, di) in x.iter_mut().zip(&delta) {
+            for (xi, di) in x.iter_mut().zip(delta.iter()) {
                 *xi += alpha * di;
             }
             if alpha == 1.0 && max_step < self.vtol {
@@ -228,27 +323,24 @@ impl DcAnalysis {
         })
     }
 
-    /// Final assembly at the solution to harvest MOSFET operating points.
-    fn finish(&self, ckt: &Circuit, layout: &Layout, x: Vec<f64>, time: Option<f64>) -> DcOp {
-        let n = layout.n_unknowns;
-        let mut f = vec![0.0; n];
-        let mut jac = Mat::zeros(n, n);
+    /// Harvests the MOSFET operating points at the solution (a pure
+    /// function of `x` — bitwise-identical to what an assembly at the
+    /// solution would have produced).
+    fn finish(
+        &self,
+        ckt: &Circuit,
+        layout: &Layout,
+        ws: &mut DcScratch,
+        x: Vec<f64>,
+        iters: usize,
+    ) -> DcOp {
         let mut mos_ops = Vec::with_capacity(layout.mos_elems.len());
-        assemble_resistive(
-            ckt,
-            layout,
-            &x,
-            0.0,
-            1.0,
-            time,
-            &mut f,
-            &mut jac,
-            Some(&mut mos_ops),
-        );
+        eval_mosfets_batched(ckt, layout, &x, &mut ws.mos, &mut mos_ops);
         DcOp {
             x,
             layout: layout.clone(),
             mos_ops,
+            newton_iters: iters,
         }
     }
 }

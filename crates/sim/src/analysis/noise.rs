@@ -19,6 +19,8 @@ use crate::analysis::ac::build_ac_matrix;
 use crate::analysis::dc::DcOp;
 use crate::circuit::{Circuit, Element, Node};
 use crate::mna::{cap_list, Layout};
+use crate::probe::{Probe, SPAN_FACTOR, SPAN_SOLVE};
+use crate::solver::{CSparseWs, SolverKind};
 use crate::{SimError, KT};
 
 /// One contributor to the integrated output noise.
@@ -72,6 +74,8 @@ fn integrate_trapezoid(f: &[f64], y: &[f64]) -> f64 {
 #[derive(Debug, Clone)]
 pub struct NoiseAnalysis {
     freqs: Vec<f64>,
+    /// Linear-solver backend for the per-frequency factorizations.
+    pub solver: SolverKind,
 }
 
 impl NoiseAnalysis {
@@ -89,7 +93,16 @@ impl NoiseAnalysis {
             freqs.windows(2).all(|w| w[0] < w[1]),
             "noise frequency grid must be strictly increasing"
         );
-        NoiseAnalysis { freqs }
+        NoiseAnalysis {
+            freqs,
+            solver: SolverKind::Auto,
+        }
+    }
+
+    /// Selects the linear-solver backend.
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
     }
 
     /// Log-spaced grid from `f_start` to `f_stop`.
@@ -167,23 +180,55 @@ impl NoiseAnalysis {
         let mut contrib_power = vec![0.0; sources.len()];
         let mut psd_per_source = vec![vec![0.0; self.freqs.len()]; sources.len()];
 
+        let probe = Probe::current();
+        let mut ws = CSparseWs::new(self.solver, ckt, &layout);
+        let mut rhs = vec![Complex::ZERO; n];
+        let mut xbuf: Vec<Complex> = Vec::with_capacity(n);
+
         for (fi, &f) in self.freqs.iter().enumerate() {
             let omega = 2.0 * std::f64::consts::PI * f;
-            let a = build_ac_matrix(ckt, &layout, op, &caps, omega);
-            let lu = CLu::new(a).map_err(|_| SimError::SingularMatrix {
-                analysis: format!("noise @ {f} Hz"),
-            })?;
+            // Factor once per frequency; every noise source is then just an
+            // extra right-hand side against the same factorization.
+            let sparse_ok = ws
+                .as_mut()
+                .is_some_and(|w| w.factor_at(ckt, &layout, &op.mos_ops, &caps, omega, &probe));
+            let dense_lu = if sparse_ok {
+                None
+            } else {
+                let t = probe.start();
+                let a = build_ac_matrix(ckt, &layout, op, &caps, omega);
+                let lu = CLu::new(a).map_err(|_| SimError::SingularMatrix {
+                    analysis: format!("noise @ {f} Hz"),
+                })?;
+                probe.span(SPAN_FACTOR, t);
+                Some(lu)
+            };
             for (si, src) in sources.iter().enumerate() {
                 // Unit current injected from b into a (sign irrelevant: |H|²).
-                let mut rhs = vec![Complex::ZERO; n];
-                if let Some(ai) = src.a.unknown() {
-                    rhs[ai] += Complex::ONE;
+                let ai = src.a.unknown();
+                let bi = src.b.unknown();
+                if let Some(i) = ai {
+                    rhs[i] += Complex::ONE;
                 }
-                if let Some(bi) = src.b.unknown() {
-                    rhs[bi] -= Complex::ONE;
+                if let Some(i) = bi {
+                    rhs[i] -= Complex::ONE;
                 }
-                let x = lu.solve(&rhs)?;
-                let h2 = x[out_idx].norm_sqr();
+                let t = probe.start();
+                let h2 = match (&dense_lu, ws.as_mut()) {
+                    (Some(lu), _) => lu.solve(&rhs)?[out_idx].norm_sqr(),
+                    (None, Some(w)) => {
+                        w.lu.solve_into(&rhs, &mut xbuf)?;
+                        xbuf[out_idx].norm_sqr()
+                    }
+                    (None, None) => unreachable!("no factorization for this frequency"),
+                };
+                probe.span(SPAN_SOLVE, t);
+                if let Some(i) = ai {
+                    rhs[i] = Complex::ZERO;
+                }
+                if let Some(i) = bi {
+                    rhs[i] = Complex::ZERO;
+                }
                 let s = (src.psd)(f);
                 psd_total[fi] += h2 * s;
                 psd_per_source[si][fi] = h2 * s;

@@ -2,11 +2,15 @@
 //! full Newton solve per timestep and automatic step halving on
 //! non-convergence.
 
-use maopt_linalg::{Lu, Mat};
-
 use crate::analysis::dc::{DcAnalysis, DcOp};
 use crate::circuit::{Circuit, Node};
-use crate::mna::{assemble_resistive, cap_list, ind_list, CapSpec, IndSpec, Layout};
+use crate::mna::{
+    assemble_resistive, cap_list, eval_mosfets_batched, ind_list, stamp_reactive, CapSpec, IndSpec,
+    Layout, MosEvalScratch, MosOpsMode, SlotStamp,
+};
+use crate::mosfet::MosOp;
+use crate::probe::Probe;
+use crate::solver::{solve_newton_system, JacView, SolverKind, SolverWs};
 use crate::SimError;
 
 /// Integration method for the capacitor companion models.
@@ -33,6 +37,19 @@ pub struct TranAnalysis {
     pub max_newton: usize,
     /// Maximum number of consecutive step halvings before giving up.
     pub max_halvings: usize,
+    /// Linear-solver backend for the per-timestep Newton systems.
+    pub solver: SolverKind,
+}
+
+/// Reusable per-run buffers shared by every Newton iteration of every
+/// timestep (mirrors the DC scratch — see `DcScratch`).
+struct TranScratch {
+    f: Vec<f64>,
+    neg_f: Vec<f64>,
+    delta: Vec<f64>,
+    mos: MosEvalScratch,
+    mos_ops: Vec<MosOp>,
+    solver: SolverWs,
 }
 
 impl TranAnalysis {
@@ -49,12 +66,19 @@ impl TranAnalysis {
             method: Integrator::Trapezoidal,
             max_newton: 60,
             max_halvings: 14,
+            solver: SolverKind::Auto,
         }
     }
 
     /// Selects the integration method.
     pub fn with_method(mut self, method: Integrator) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Selects the linear-solver backend.
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
         self
     }
 
@@ -109,16 +133,23 @@ impl TranAnalysis {
         let mut h = self.dt;
         let h_min = self.dt / 2f64.powi(self.max_halvings as i32);
 
-        let mut f = vec![0.0; n];
-        let mut jac = Mat::zeros(n, n);
+        let probe = Probe::current();
+        let mut ws = TranScratch {
+            f: vec![0.0; n],
+            neg_f: Vec::with_capacity(n),
+            delta: Vec::with_capacity(n),
+            mos: MosEvalScratch::default(),
+            mos_ops: Vec::with_capacity(layout.mos_elems.len()),
+            solver: SolverWs::new(self.solver, ckt, &layout),
+        };
 
         while t < self.t_stop - 1e-18 {
             let h_eff = h.min(self.t_stop - t);
             let t_next = t + h_eff;
 
             match self.newton_step(
-                ckt, &layout, &caps, &inds, &x, &cap_v, &cap_i, &ind_i, &ind_v, t_next, h_eff,
-                &mut f, &mut jac,
+                ckt, &layout, &caps, &inds, &mut ws, &probe, &x, &cap_v, &cap_i, &ind_i, &ind_v,
+                t_next, h_eff,
             ) {
                 Ok(x_next) => {
                     // Update capacitor companion state.
@@ -175,6 +206,8 @@ impl TranAnalysis {
         layout: &Layout,
         caps: &[CapSpec],
         inds: &[IndSpec],
+        ws: &mut TranScratch,
+        probe: &Probe,
         x_prev: &[f64],
         cap_v: &[f64],
         cap_i: &[f64],
@@ -182,68 +215,80 @@ impl TranAnalysis {
         ind_v: &[f64],
         t_next: f64,
         h: f64,
-        f: &mut [f64],
-        jac: &mut Mat,
     ) -> Result<Vec<f64>, SimError> {
         let mut x = x_prev.to_vec();
         for _ in 0..self.max_newton {
-            f.iter_mut().for_each(|v| *v = 0.0);
-            jac.fill_zero();
-            assemble_resistive(ckt, layout, &x, 1e-12, 1.0, Some(t_next), f, jac, None);
-
-            // Capacitor companion models.
-            for (k, c) in caps.iter().enumerate() {
-                let v = vdiff(&x, c);
-                let (geq, ieq) = match self.method {
-                    Integrator::Trapezoidal => {
-                        let geq = 2.0 * c.farads / h;
-                        (geq, -geq * cap_v[k] - cap_i[k])
+            let TranScratch {
+                f,
+                neg_f,
+                delta,
+                mos,
+                mos_ops,
+                solver,
+            } = ws;
+            let mut assemble = |f: &mut [f64], jac: JacView<'_>| {
+                f.fill(0.0);
+                eval_mosfets_batched(ckt, layout, &x, mos, mos_ops);
+                match jac {
+                    JacView::Dense(m) => {
+                        assemble_resistive(
+                            ckt,
+                            layout,
+                            &x,
+                            1e-12,
+                            1.0,
+                            Some(t_next),
+                            f,
+                            m,
+                            MosOpsMode::Precomputed(mos_ops.as_slice()),
+                        );
+                        stamp_reactive(
+                            caps,
+                            inds,
+                            self.method,
+                            h,
+                            &x,
+                            cap_v,
+                            cap_i,
+                            ind_i,
+                            ind_v,
+                            f,
+                            m,
+                        );
                     }
-                    Integrator::BackwardEuler => {
-                        let geq = c.farads / h;
-                        (geq, -geq * cap_v[k])
-                    }
-                };
-                let i = geq * v + ieq;
-                if let Some(ai) = c.a.unknown() {
-                    f[ai] += i;
-                    jac[(ai, ai)] += geq;
-                    if let Some(bi) = c.b.unknown() {
-                        jac[(ai, bi)] -= geq;
+                    JacView::Sparse { vals, topo } => {
+                        let mut st = SlotStamp::new(&mut *vals, &topo.resistive_slots);
+                        assemble_resistive(
+                            ckt,
+                            layout,
+                            &x,
+                            1e-12,
+                            1.0,
+                            Some(t_next),
+                            f,
+                            &mut st,
+                            MosOpsMode::Precomputed(mos_ops.as_slice()),
+                        );
+                        st.finish();
+                        let mut st = SlotStamp::new(vals, &topo.reactive_slots);
+                        stamp_reactive(
+                            caps,
+                            inds,
+                            self.method,
+                            h,
+                            &x,
+                            cap_v,
+                            cap_i,
+                            ind_i,
+                            ind_v,
+                            f,
+                            &mut st,
+                        );
+                        st.finish();
                     }
                 }
-                if let Some(bi) = c.b.unknown() {
-                    f[bi] -= i;
-                    jac[(bi, bi)] += geq;
-                    if let Some(ai) = c.a.unknown() {
-                        jac[(bi, ai)] -= geq;
-                    }
-                }
-            }
-
-            // Inductor companion models, correcting the DC short stamped by
-            // the resistive assembly: v − (αL/h)·i + rhs = 0 with α = 2
-            // (trap) or 1 (BE).
-            for (k, l) in inds.iter().enumerate() {
-                let (geq, rhs) = match self.method {
-                    Integrator::Trapezoidal => {
-                        let geq = 2.0 * l.henries / h;
-                        (geq, geq * ind_i[k] + ind_v[k])
-                    }
-                    Integrator::BackwardEuler => {
-                        let geq = l.henries / h;
-                        (geq, geq * ind_i[k])
-                    }
-                };
-                f[l.branch] += -geq * x[l.branch] + rhs;
-                jac[(l.branch, l.branch)] -= geq;
-            }
-
-            let lu = Lu::new(jac.clone()).map_err(|_| SimError::SingularMatrix {
-                analysis: "tran".into(),
-            })?;
-            let neg_f: Vec<f64> = f.iter().map(|v| -v).collect();
-            let delta = lu.solve(&neg_f)?;
+            };
+            solve_newton_system(solver, "tran", probe, f, neg_f, delta, &mut assemble)?;
             let max_step = delta.iter().fold(0.0_f64, |m, d| m.max(d.abs()));
             if !max_step.is_finite() {
                 return Err(SimError::NoConvergence {
@@ -257,7 +302,7 @@ impl TranAnalysis {
             } else {
                 1.0
             };
-            for (xi, di) in x.iter_mut().zip(&delta) {
+            for (xi, di) in x.iter_mut().zip(delta.iter()) {
                 *xi += alpha * di;
             }
             if alpha == 1.0 && max_step < 1e-9 {

@@ -237,6 +237,33 @@ impl Circuit {
         self.node_names.len()
     }
 
+    /// Structural fingerprint of the circuit: element kinds and node
+    /// incidence only — no values, names, or geometry. Every design of one
+    /// circuit family (same netlist, different component values) shares
+    /// the key, which keys the per-topology sparse-solver cache in
+    /// `crate::topology`. Compared exactly (no hashing collisions).
+    pub(crate) fn structure_key(&self) -> Vec<u32> {
+        let mut key = Vec::with_capacity(1 + self.elements.len() * 5);
+        key.push(self.node_count() as u32);
+        let mut push = |tag: u32, nodes: &[Node]| {
+            key.push(tag);
+            key.extend(nodes.iter().map(|n| n.0 as u32));
+        };
+        for e in &self.elements {
+            match e {
+                Element::Resistor { a, b, .. } => push(0, &[*a, *b]),
+                Element::Capacitor { a, b, .. } => push(1, &[*a, *b]),
+                Element::Inductor { a, b, .. } => push(2, &[*a, *b]),
+                Element::Vsource { p, n, .. } => push(3, &[*p, *n]),
+                Element::Isource { p, n, .. } => push(4, &[*p, *n]),
+                Element::Mosfet { d, g, s, b, .. } => push(5, &[*d, *g, *s, *b]),
+                Element::Vcvs { p, n, cp, cn, .. } => push(6, &[*p, *n, *cp, *cn]),
+                Element::Vccs { p, n, cp, cn, .. } => push(7, &[*p, *n, *cp, *cn]),
+            }
+        }
+        key
+    }
+
     /// All nodes in creation order, starting with ground.
     pub fn nodes(&self) -> Vec<Node> {
         (0..self.node_names.len()).map(Node).collect()

@@ -47,13 +47,19 @@ mod circuit;
 mod error;
 mod mna;
 mod mosfet;
+mod mosfet_batch;
 mod netlist;
+mod probe;
+mod solver;
+mod topology;
 mod waveform;
 
 pub use circuit::{Circuit, Element, ElementId, MosInstance, Node};
 pub use error::SimError;
 pub use mosfet::{nmos_180nm, pmos_180nm, MosModel, MosOp, MosPolarity, MosRegion};
+pub use mosfet_batch::{DesignPoint, MosBatch};
 pub use netlist::{parse_netlist, parse_value};
+pub use solver::SolverKind;
 pub use waveform::Waveform;
 
 /// Boltzmann constant × 300 K, in joules (used by noise analysis).

@@ -8,10 +8,12 @@
 //! KCL sums (current leaving a node is positive) and branch voltage
 //! equations, and Newton solves `J·Δx = −f`.
 
-use maopt_linalg::Mat;
+use maopt_linalg::{CMat, Complex, Mat};
 
+use crate::analysis::tran::Integrator;
 use crate::circuit::{Circuit, Element, Node};
 use crate::mosfet::MosOp;
+use crate::mosfet_batch::{DesignPoint, MosBatch};
 
 /// Index map of the MNA unknown vector.
 #[derive(Debug, Clone)]
@@ -57,6 +59,148 @@ pub(crate) fn volt(x: &[f64], n: Node) -> f64 {
         Some(i) => x[i],
         None => 0.0,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Stamp targets
+// ---------------------------------------------------------------------------
+//
+// The assembly routines write Jacobian entries through the `Stamp` trait
+// (`CStamp` for the complex AC system) instead of a concrete matrix. Three
+// backends exist:
+//
+// * `Mat` / `CMat` — the dense debug path, exactly the old behavior;
+// * `StampCollector` / `CStampCollector` — record the `(row, col)` call
+//   sequence once per topology (values discarded) to build the cached
+//   `SparsityPattern` and stamp-slot maps in `crate::topology`;
+// * `SlotStamp` / `CSlotStamp` — replay a collected sequence as flat
+//   `vals[slot] += v` writes into a CSC value array; the hot path.
+//
+// For the slot replay to be sound the stamp sequence must be a pure
+// function of circuit *structure* (never of values, bias, time, or step
+// size). This is why the gmin stamp below is unconditional and why every
+// data-dependent quantity only affects stamped *values*.
+
+/// Write target of the real-valued assembly routines.
+pub(crate) trait Stamp {
+    /// Adds `v` at `(r, c)` of the Jacobian.
+    fn add(&mut self, r: usize, c: usize, v: f64);
+}
+
+impl Stamp for Mat {
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        self[(r, c)] += v;
+    }
+}
+
+/// Records the `(row, col)` stamp sequence of an assembly (values are
+/// discarded). Used once per topology to build the sparsity pattern and
+/// the slot maps.
+#[derive(Debug, Default)]
+pub(crate) struct StampCollector {
+    pub entries: Vec<(usize, usize)>,
+}
+
+impl Stamp for StampCollector {
+    fn add(&mut self, r: usize, c: usize, _v: f64) {
+        self.entries.push((r, c));
+    }
+}
+
+/// Replays a collected stamp sequence as flat writes into a CSC value
+/// array: the k-th `add` call lands in `vals[slots[k]]`.
+pub(crate) struct SlotStamp<'a> {
+    vals: &'a mut [f64],
+    slots: &'a [u32],
+    cursor: usize,
+}
+
+impl<'a> SlotStamp<'a> {
+    pub fn new(vals: &'a mut [f64], slots: &'a [u32]) -> SlotStamp<'a> {
+        SlotStamp {
+            vals,
+            slots,
+            cursor: 0,
+        }
+    }
+
+    /// Asserts the assembly made exactly as many stamps as were collected
+    /// at topology-build time — any drift means the stamp sequence is not
+    /// the pure function of structure the slot replay relies on.
+    pub fn finish(self) {
+        assert_eq!(self.cursor, self.slots.len(), "stamp sequence drift");
+    }
+}
+
+impl Stamp for SlotStamp<'_> {
+    fn add(&mut self, _r: usize, _c: usize, v: f64) {
+        self.vals[self.slots[self.cursor] as usize] += v;
+        self.cursor += 1;
+    }
+}
+
+/// Write target of the complex (AC) assembly; see [`Stamp`].
+pub(crate) trait CStamp {
+    /// Adds `v` at `(r, c)` of the complex system matrix.
+    fn add(&mut self, r: usize, c: usize, v: Complex);
+}
+
+impl CStamp for CMat {
+    fn add(&mut self, r: usize, c: usize, v: Complex) {
+        self[(r, c)] += v;
+    }
+}
+
+/// Complex twin of [`StampCollector`].
+#[derive(Debug, Default)]
+pub(crate) struct CStampCollector {
+    pub entries: Vec<(usize, usize)>,
+}
+
+impl CStamp for CStampCollector {
+    fn add(&mut self, r: usize, c: usize, _v: Complex) {
+        self.entries.push((r, c));
+    }
+}
+
+/// Complex twin of [`SlotStamp`].
+pub(crate) struct CSlotStamp<'a> {
+    vals: &'a mut [Complex],
+    slots: &'a [u32],
+    cursor: usize,
+}
+
+impl<'a> CSlotStamp<'a> {
+    pub fn new(vals: &'a mut [Complex], slots: &'a [u32]) -> CSlotStamp<'a> {
+        CSlotStamp {
+            vals,
+            slots,
+            cursor: 0,
+        }
+    }
+
+    /// See [`SlotStamp::finish`].
+    pub fn finish(self) {
+        assert_eq!(self.cursor, self.slots.len(), "stamp sequence drift");
+    }
+}
+
+impl CStamp for CSlotStamp<'_> {
+    fn add(&mut self, _r: usize, _c: usize, v: Complex) {
+        self.vals[self.slots[self.cursor] as usize] += v;
+        self.cursor += 1;
+    }
+}
+
+/// How the resistive assembly obtains MOSFET operating points.
+#[derive(Debug)]
+pub(crate) enum MosOpsMode<'a> {
+    /// Evaluate each device inline while assembling (used by the topology
+    /// collection pass and the standalone assembly tests).
+    Inline,
+    /// Use precomputed operating points, in `layout.mos_elems` order — the
+    /// batched hot path (see [`eval_mosfets_batched`]).
+    Precomputed(&'a [MosOp]),
 }
 
 /// A capacitance extracted from the netlist (explicit capacitors plus the
@@ -150,8 +294,9 @@ fn source_value(dc: f64, waveform: &Option<crate::Waveform>, time: Option<f64>, 
 /// Assembles the resistive (memoryless) part of the system into `f`/`jac`,
 /// which must be pre-zeroed with dimension `layout.n_unknowns`.
 ///
-/// When `mos_ops` is provided it is filled with the operating point of each
-/// MOSFET in `layout.mos_elems` order.
+/// The stamp call sequence on `jac` is a pure function of the circuit
+/// structure (see the `Stamp` module comment); all value dependence is in
+/// the stamped numbers.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn assemble_resistive(
     ckt: &Circuit,
@@ -161,8 +306,8 @@ pub(crate) fn assemble_resistive(
     source_scale: f64,
     time: Option<f64>,
     f: &mut [f64],
-    jac: &mut Mat,
-    mut mos_ops: Option<&mut Vec<MosOp>>,
+    jac: &mut dyn Stamp,
+    mos_ops: MosOpsMode<'_>,
 ) {
     // Convenience closures over the optional ground row/col.
     let add_f = |f: &mut [f64], n: Node, v: f64| {
@@ -170,12 +315,13 @@ pub(crate) fn assemble_resistive(
             f[i] += v;
         }
     };
-    let add_j = |jac: &mut Mat, r: Node, c: Node, v: f64| {
+    let add_j = |jac: &mut dyn Stamp, r: Node, c: Node, v: f64| {
         if let (Some(ri), Some(ci)) = (r.unknown(), c.unknown()) {
-            jac[(ri, ci)] += v;
+            jac.add(ri, ci, v);
         }
     };
 
+    let mut mos_ord = 0usize;
     for (ei, e) in ckt.elements().iter().enumerate() {
         match e {
             Element::Resistor { a, b, ohms, .. } => {
@@ -198,12 +344,12 @@ pub(crate) fn assemble_resistive(
                 add_f(f, *b, -ib);
                 f[k] += volt(x, *a) - volt(x, *b);
                 if let Some(ai) = a.unknown() {
-                    jac[(ai, k)] += 1.0;
-                    jac[(k, ai)] += 1.0;
+                    jac.add(ai, k, 1.0);
+                    jac.add(k, ai, 1.0);
                 }
                 if let Some(bi) = b.unknown() {
-                    jac[(bi, k)] -= 1.0;
-                    jac[(k, bi)] -= 1.0;
+                    jac.add(bi, k, -1.0);
+                    jac.add(k, bi, -1.0);
                 }
             }
             Element::Isource {
@@ -223,12 +369,12 @@ pub(crate) fn assemble_resistive(
                 add_f(f, *n, -ib);
                 f[k] += (volt(x, *p) - volt(x, *n)) - v;
                 if let Some(pi) = p.unknown() {
-                    jac[(pi, k)] += 1.0;
-                    jac[(k, pi)] += 1.0;
+                    jac.add(pi, k, 1.0);
+                    jac.add(k, pi, 1.0);
                 }
                 if let Some(ni) = n.unknown() {
-                    jac[(ni, k)] -= 1.0;
-                    jac[(k, ni)] -= 1.0;
+                    jac.add(ni, k, -1.0);
+                    jac.add(k, ni, -1.0);
                 }
             }
             Element::Vcvs {
@@ -240,18 +386,18 @@ pub(crate) fn assemble_resistive(
                 add_f(f, *n, -ib);
                 f[k] += (volt(x, *p) - volt(x, *n)) - gain * (volt(x, *cp) - volt(x, *cn));
                 if let Some(pi) = p.unknown() {
-                    jac[(pi, k)] += 1.0;
-                    jac[(k, pi)] += 1.0;
+                    jac.add(pi, k, 1.0);
+                    jac.add(k, pi, 1.0);
                 }
                 if let Some(ni) = n.unknown() {
-                    jac[(ni, k)] -= 1.0;
-                    jac[(k, ni)] -= 1.0;
+                    jac.add(ni, k, -1.0);
+                    jac.add(k, ni, -1.0);
                 }
                 if let Some(ci) = cp.unknown() {
-                    jac[(k, ci)] -= gain;
+                    jac.add(k, ci, -*gain);
                 }
                 if let Some(ci) = cn.unknown() {
-                    jac[(k, ci)] += gain;
+                    jac.add(k, ci, *gain);
                 }
             }
             Element::Vccs {
@@ -268,15 +414,19 @@ pub(crate) fn assemble_resistive(
             Element::Mosfet {
                 d, g, s, b, inst, ..
             } => {
-                let op = inst.model.eval(
-                    volt(x, *d),
-                    volt(x, *g),
-                    volt(x, *s),
-                    volt(x, *b),
-                    inst.w,
-                    inst.l,
-                    inst.m,
-                );
+                let op = match &mos_ops {
+                    MosOpsMode::Precomputed(ops) => ops[mos_ord],
+                    MosOpsMode::Inline => inst.model.eval(
+                        volt(x, *d),
+                        volt(x, *g),
+                        volt(x, *s),
+                        volt(x, *b),
+                        inst.w,
+                        inst.l,
+                        inst.m,
+                    ),
+                };
+                mos_ord += 1;
                 add_f(f, *d, op.id);
                 add_f(f, *s, -op.id);
                 let dvs = -(op.gm + op.gds + op.gmbs);
@@ -286,19 +436,142 @@ pub(crate) fn assemble_resistive(
                     add_j(jac, row, *s, sign * dvs);
                     add_j(jac, row, *b, sign * op.gmbs);
                 }
-                if let Some(ops) = mos_ops.as_deref_mut() {
-                    ops.push(op);
-                }
             }
         }
     }
 
-    // gmin from every node to ground stabilises floating nodes.
-    if gmin > 0.0 {
-        for i in 0..layout.n_node_unknowns {
-            f[i] += gmin * x[i];
-            jac[(i, i)] += gmin;
+    // gmin from every node to ground stabilises floating nodes. Stamped
+    // unconditionally (adding 0.0 when gmin is 0.0) so the stamp sequence
+    // does not depend on the gmin value.
+    for i in 0..layout.n_node_unknowns {
+        f[i] += gmin * x[i];
+        jac.add(i, i, gmin);
+    }
+}
+
+/// Evaluates every MOSFET of the circuit at `x` via the batched SoA
+/// evaluator, filling `out` in `layout.mos_elems` order (the order
+/// [`MosOpsMode::Precomputed`] expects).
+///
+/// Consecutive devices sharing one model card are evaluated as one batch,
+/// amortizing the per-card precompute; results are bitwise-identical to
+/// inline evaluation.
+pub(crate) fn eval_mosfets_batched(
+    ckt: &Circuit,
+    layout: &Layout,
+    x: &[f64],
+    scratch: &mut MosEvalScratch,
+    out: &mut Vec<MosOp>,
+) {
+    out.clear();
+    let elems = ckt.elements();
+    let mos = &layout.mos_elems;
+    let inst_of = |ei: usize| match &elems[ei] {
+        Element::Mosfet { inst, .. } => inst,
+        _ => unreachable!("mos_elems indexes MOSFETs"),
+    };
+    let mut i = 0;
+    while i < mos.len() {
+        let first = inst_of(mos[i]);
+        let mut j = i + 1;
+        while j < mos.len() && inst_of(mos[j]).model == first.model {
+            j += 1;
         }
+        scratch.pts.clear();
+        for &ei in &mos[i..j] {
+            if let Element::Mosfet {
+                d, g, s, b, inst, ..
+            } = &elems[ei]
+            {
+                scratch.pts.push(DesignPoint {
+                    vd: volt(x, *d),
+                    vg: volt(x, *g),
+                    vs: volt(x, *s),
+                    vb: volt(x, *b),
+                    w: inst.w,
+                    l: inst.l,
+                    m: inst.m,
+                });
+            }
+        }
+        first
+            .model
+            .eval_batch_into(&scratch.pts, &mut scratch.soa, out);
+        i = j;
+    }
+}
+
+/// Reusable buffers for [`eval_mosfets_batched`].
+#[derive(Debug, Default)]
+pub(crate) struct MosEvalScratch {
+    pts: Vec<DesignPoint>,
+    soa: MosBatch,
+}
+
+/// Stamps the transient companion models (capacitors and inductors) on top
+/// of the resistive assembly. Shared by the transient Newton loop and the
+/// topology collection pass; like [`assemble_resistive`], its stamp
+/// sequence is a pure function of circuit structure.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stamp_reactive(
+    caps: &[CapSpec],
+    inds: &[IndSpec],
+    method: Integrator,
+    h: f64,
+    x: &[f64],
+    cap_v: &[f64],
+    cap_i: &[f64],
+    ind_i: &[f64],
+    ind_v: &[f64],
+    f: &mut [f64],
+    jac: &mut dyn Stamp,
+) {
+    // Capacitor companion models.
+    for (k, c) in caps.iter().enumerate() {
+        let v = volt(x, c.a) - volt(x, c.b);
+        let (geq, ieq) = match method {
+            Integrator::Trapezoidal => {
+                let geq = 2.0 * c.farads / h;
+                (geq, -geq * cap_v[k] - cap_i[k])
+            }
+            Integrator::BackwardEuler => {
+                let geq = c.farads / h;
+                (geq, -geq * cap_v[k])
+            }
+        };
+        let i = geq * v + ieq;
+        if let Some(ai) = c.a.unknown() {
+            f[ai] += i;
+            jac.add(ai, ai, geq);
+            if let Some(bi) = c.b.unknown() {
+                jac.add(ai, bi, -geq);
+            }
+        }
+        if let Some(bi) = c.b.unknown() {
+            f[bi] -= i;
+            jac.add(bi, bi, geq);
+            if let Some(ai) = c.a.unknown() {
+                jac.add(bi, ai, -geq);
+            }
+        }
+    }
+
+    // Inductor companion models, correcting the DC short stamped by the
+    // resistive assembly: v − (αL/h)·i + rhs = 0 with α = 2 (trap) or
+    // 1 (BE).
+    for (k, l) in inds.iter().enumerate() {
+        let (geq, rhs) = match method {
+            Integrator::Trapezoidal => {
+                let geq = 2.0 * l.henries / h;
+                (geq, geq * ind_i[k] + ind_v[k])
+            }
+            Integrator::BackwardEuler => {
+                let geq = l.henries / h;
+                (geq, geq * ind_i[k])
+            }
+        };
+        f[l.branch] += -geq * x[l.branch] + rhs;
+        jac.add(l.branch, l.branch, -geq);
     }
 }
 
@@ -359,7 +632,17 @@ mod tests {
         let x = [2.0, -2e-3];
         let mut f = vec![0.0; 2];
         let mut jac = Mat::zeros(2, 2);
-        assemble_resistive(&ckt, &layout, &x, 0.0, 1.0, None, &mut f, &mut jac, None);
+        assemble_resistive(
+            &ckt,
+            &layout,
+            &x,
+            0.0,
+            1.0,
+            None,
+            &mut f,
+            &mut jac,
+            MosOpsMode::Inline,
+        );
         assert!(f.iter().all(|r| r.abs() < 1e-15), "residual {f:?}");
     }
 
@@ -373,7 +656,17 @@ mod tests {
         let x = [0.0];
         let mut f = vec![0.0; 1];
         let mut jac = Mat::zeros(1, 1);
-        assemble_resistive(&ckt, &layout, &x, 0.0, 0.5, None, &mut f, &mut jac, None);
+        assemble_resistive(
+            &ckt,
+            &layout,
+            &x,
+            0.0,
+            0.5,
+            None,
+            &mut f,
+            &mut jac,
+            MosOpsMode::Inline,
+        );
         // Half the current is injected into node a.
         assert!((f[0] + 0.5e-3).abs() < 1e-18);
     }
@@ -398,7 +691,7 @@ mod tests {
             Some(0.0),
             &mut f,
             &mut jac,
-            None,
+            MosOpsMode::Inline,
         );
         // Branch equation: (0 − 0) − 5 = −5
         assert!((f[1] + 5.0).abs() < 1e-15);

@@ -1,0 +1,174 @@
+//! Structure-of-arrays batched MOSFET evaluation.
+//!
+//! Every MA-Opt round evaluates the same handful of devices at thousands
+//! of near-sampling candidate biases, and within one Newton solve the
+//! same model card is evaluated once per device per iteration. Batching
+//! restructures that loop:
+//!
+//! 1. **Per-card precompute.** [`MosModel::pre`] hoists the card-level
+//!    constants (`√φ`, `n·vt`) out of the lane loop — one `sqrt` per
+//!    batch instead of one per device.
+//! 2. **SoA staging.** Terminal voltages and the per-device `beta`/`λ`
+//!    are laid out in parallel arrays ([`MosBatch`]), so the lane loop
+//!    reads contiguously and the branch-free arithmetic between the
+//!    region branches auto-vectorizes.
+//! 3. **Bitwise identity.** Each lane runs the *same* `eval_lane` kernel
+//!    as the scalar [`MosModel::eval`], so batched operating points are
+//!    bitwise-identical to scalar ones — the determinism contract of the
+//!    run journals is untouched by which path produced an op.
+
+use crate::mosfet::{eval_lane, MosModel, MosOp};
+
+/// One device-evaluation request: circuit-frame terminal voltages plus
+/// geometry. A batch is a `&[DesignPoint]` sharing one model card.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// Drain node voltage, volts.
+    pub vd: f64,
+    /// Gate node voltage, volts.
+    pub vg: f64,
+    /// Source node voltage, volts.
+    pub vs: f64,
+    /// Bulk node voltage, volts.
+    pub vb: f64,
+    /// Channel width, meters.
+    pub w: f64,
+    /// Channel length, meters.
+    pub l: f64,
+    /// Device multiplier.
+    pub m: f64,
+}
+
+/// Reusable structure-of-arrays staging buffers for batched evaluation.
+///
+/// Create once, pass to [`MosModel::eval_batch_into`] repeatedly; the
+/// buffers grow to the largest batch seen and are never reallocated
+/// afterwards.
+#[derive(Debug, Default, Clone)]
+pub struct MosBatch {
+    vd: Vec<f64>,
+    vg: Vec<f64>,
+    vs: Vec<f64>,
+    vb: Vec<f64>,
+    beta: Vec<f64>,
+    lambda: Vec<f64>,
+}
+
+impl MosBatch {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> MosBatch {
+        MosBatch::default()
+    }
+
+    /// Stages `points` into the parallel arrays, computing the
+    /// per-device `beta`/`λ` in the same pass.
+    fn load(&mut self, model: &MosModel, points: &[DesignPoint]) {
+        self.vd.clear();
+        self.vg.clear();
+        self.vs.clear();
+        self.vb.clear();
+        self.beta.clear();
+        self.lambda.clear();
+        for p in points {
+            self.vd.push(p.vd);
+            self.vg.push(p.vg);
+            self.vs.push(p.vs);
+            self.vb.push(p.vb);
+            self.beta.push(model.kp * (p.w / p.l) * p.m);
+            self.lambda.push(model.lambda(p.l));
+        }
+    }
+}
+
+impl MosModel {
+    /// Evaluates a batch of design points against this model card,
+    /// appending one [`MosOp`] per point to `out` (in order).
+    ///
+    /// Results are bitwise-identical to calling [`MosModel::eval`] per
+    /// point; `ws` provides reusable staging buffers so steady-state
+    /// evaluation allocates nothing.
+    pub fn eval_batch_into(&self, points: &[DesignPoint], ws: &mut MosBatch, out: &mut Vec<MosOp>) {
+        let pre = self.pre();
+        ws.load(self, points);
+        out.reserve(points.len());
+        for i in 0..points.len() {
+            out.push(eval_lane(
+                &pre,
+                ws.beta[i],
+                ws.lambda[i],
+                ws.vd[i],
+                ws.vg[i],
+                ws.vs[i],
+                ws.vb[i],
+            ));
+        }
+    }
+
+    /// Convenience wrapper over [`MosModel::eval_batch_into`] returning a
+    /// fresh vector.
+    pub fn eval_batch(&self, points: &[DesignPoint]) -> Vec<MosOp> {
+        let mut ws = MosBatch::new();
+        let mut out = Vec::with_capacity(points.len());
+        self.eval_batch_into(points, &mut ws, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mosfet::{nmos_180nm, pmos_180nm};
+
+    fn grid_points() -> Vec<DesignPoint> {
+        let mut pts = Vec::new();
+        for &vd in &[-0.2, 0.0, 0.05, 0.9, 1.8] {
+            for &vg in &[0.0, 0.4, 0.8, 1.2, 1.8] {
+                for &(vs, vb) in &[(0.0, 0.0), (0.3, 0.0), (0.0, -0.9)] {
+                    pts.push(DesignPoint {
+                        vd,
+                        vg,
+                        vs,
+                        vb,
+                        w: 10e-6,
+                        l: 0.5e-6,
+                        m: 2.0,
+                    });
+                }
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise() {
+        for model in [nmos_180nm(), pmos_180nm()] {
+            let pts = grid_points();
+            let batched = model.eval_batch(&pts);
+            assert_eq!(batched.len(), pts.len());
+            for (p, op) in pts.iter().zip(&batched) {
+                let scalar = model.eval(p.vd, p.vg, p.vs, p.vb, p.w, p.l, p.m);
+                // PartialEq on MosOp compares every f64 field exactly.
+                assert_eq!(*op, scalar, "batch/scalar mismatch at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_batch_into_appends_and_reuses_buffers() {
+        let model = nmos_180nm();
+        let pts = grid_points();
+        let mut ws = MosBatch::new();
+        let mut out = Vec::new();
+        model.eval_batch_into(&pts[..3], &mut ws, &mut out);
+        model.eval_batch_into(&pts[3..6], &mut ws, &mut out);
+        assert_eq!(out.len(), 6);
+        let all = model.eval_batch(&pts[..6]);
+        assert_eq!(out, all);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let model = nmos_180nm();
+        assert!(model.eval_batch(&[]).is_empty());
+    }
+}

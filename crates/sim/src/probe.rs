@@ -1,0 +1,50 @@
+//! Solver sub-phase tracing: `sim.assemble` / `sim.factor` / `sim.solve`
+//! spans emitted into the ambient flight recorder.
+//!
+//! `maopt-exec` installs the active `TraceRecorder` in a thread-local
+//! around each `Problem::evaluate` call (see `maopt_exec::trace::ambient`);
+//! the analyses capture it once per run through [`Probe::current`] and
+//! emit one span per Newton-iteration phase. With tracing off every probe
+//! call is a branch on `None`, and tracing never feeds back into the
+//! computation, so journal byte-identity is unaffected.
+
+use std::sync::Arc;
+
+use maopt_exec::trace::TraceRecorder;
+
+/// Span name for system assembly (device eval + stamping).
+pub(crate) const SPAN_ASSEMBLE: &str = "sim.assemble";
+/// Span name for the LU factorization.
+pub(crate) const SPAN_FACTOR: &str = "sim.factor";
+/// Span name for the triangular solves.
+pub(crate) const SPAN_SOLVE: &str = "sim.solve";
+
+/// Handle to the ambient trace recorder; all methods are no-ops when
+/// tracing is off.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Probe {
+    rec: Option<Arc<TraceRecorder>>,
+}
+
+impl Probe {
+    /// Captures the recorder of the evaluation currently running on this
+    /// thread (if any).
+    pub fn current() -> Probe {
+        Probe {
+            rec: maopt_exec::trace::ambient(),
+        }
+    }
+
+    /// Timestamp for a span about to start (0 when disabled).
+    pub fn start(&self) -> u64 {
+        self.rec.as_ref().map_or(0, |r| r.now_ns())
+    }
+
+    /// Closes a span opened at `t0`.
+    pub fn span(&self, name: &str, t0: u64) {
+        if let Some(r) = &self.rec {
+            let now = r.now_ns();
+            r.span(name, t0, now.saturating_sub(t0), None);
+        }
+    }
+}

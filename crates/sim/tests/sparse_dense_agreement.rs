@@ -1,0 +1,235 @@
+//! Property-based agreement tests between the sparse (symbolic-reuse) and
+//! dense (partial-pivoting) solver backends.
+//!
+//! The sparse path must be a pure performance optimization: same
+//! solutions to tight tolerance, the *same* Newton iteration counts
+//! (the trajectories may differ in last-bit rounding, but convergence
+//! behaviour must match), and identical error surfacing on singular
+//! systems.
+
+use maopt_sim::analysis::ac::AcAnalysis;
+use maopt_sim::analysis::dc::DcAnalysis;
+use maopt_sim::analysis::noise::NoiseAnalysis;
+use maopt_sim::analysis::tran::TranAnalysis;
+use maopt_sim::{nmos_180nm, pmos_180nm, Circuit, MosInstance, SolverKind};
+use proptest::prelude::*;
+
+fn dc(kind: SolverKind) -> DcAnalysis {
+    let mut a = DcAnalysis::new();
+    a.solver = kind;
+    a
+}
+
+/// Max abs difference between two solution vectors.
+fn max_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// A randomized common-source amplifier with resistive load, source
+/// degeneration and a feedback resistor — nonlinear enough to need real
+/// Newton iterations.
+fn amplifier(rd: f64, rs: f64, rf: f64, w_um: f64, vg: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let g = ckt.node("g");
+    let d = ckt.node("d");
+    let s = ckt.node("s");
+    ckt.vsource("VDD", vdd, Circuit::GROUND, 1.8);
+    ckt.vsource("VG", g, Circuit::GROUND, vg);
+    ckt.resistor("RD", vdd, d, rd);
+    ckt.resistor("RS", s, Circuit::GROUND, rs);
+    ckt.resistor("RF", d, g, rf);
+    ckt.capacitor("CL", d, Circuit::GROUND, 1e-12);
+    ckt.mosfet(
+        "M1",
+        d,
+        g,
+        s,
+        Circuit::GROUND,
+        MosInstance {
+            model: nmos_180nm(),
+            w: w_um * 1e-6,
+            l: 0.5e-6,
+            m: 1.0,
+        },
+    );
+    ckt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DC: same solution (tight tolerance) and the same Newton iteration
+    /// count on a nonlinear amplifier.
+    #[test]
+    fn dc_agrees_on_amplifier(
+        rd in 1e3f64..50e3,
+        rs in 100.0f64..5e3,
+        rf in 10e3f64..1e6,
+        w_um in 1.0f64..50.0,
+        vg in 0.4f64..1.4,
+    ) {
+        let ckt = amplifier(rd, rs, rf, w_um, vg);
+        let sp = dc(SolverKind::Sparse).run(&ckt).unwrap();
+        let de = dc(SolverKind::Dense).run(&ckt).unwrap();
+        prop_assert!(
+            max_diff(sp.unknowns(), de.unknowns()) < 1e-9,
+            "solutions diverge: {:?}",
+            max_diff(sp.unknowns(), de.unknowns())
+        );
+        prop_assert_eq!(sp.newton_iterations(), de.newton_iterations());
+    }
+
+    /// DC: linear networks agree essentially to machine precision.
+    #[test]
+    fn dc_agrees_on_linear_ladder(
+        r1 in 1.0f64..1e5,
+        r2 in 1.0f64..1e5,
+        r3 in 1.0f64..1e5,
+        v in -5.0f64..5.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let c = ckt.node("c");
+        ckt.vsource("V1", a, Circuit::GROUND, v);
+        ckt.resistor("R1", a, b, r1);
+        ckt.resistor("R2", b, c, r2);
+        ckt.resistor("R3", c, Circuit::GROUND, r3);
+        let sp = dc(SolverKind::Sparse).run(&ckt).unwrap();
+        let de = dc(SolverKind::Dense).run(&ckt).unwrap();
+        prop_assert!(max_diff(sp.unknowns(), de.unknowns()) < 1e-10 * (1.0 + v.abs()));
+        prop_assert_eq!(sp.newton_iterations(), de.newton_iterations());
+    }
+
+    /// AC: both backends produce the same transfer function.
+    #[test]
+    fn ac_agrees_on_inverter(
+        wn in 1.0f64..20.0,
+        wp in 2.0f64..40.0,
+        fmul in 0.0f64..6.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, Circuit::GROUND, 1.8);
+        ckt.vsource_ac("VIN", inp, Circuit::GROUND, 0.9, 1.0);
+        ckt.capacitor("CL", out, Circuit::GROUND, 10e-15);
+        ckt.mosfet("MP", out, inp, vdd, vdd,
+            MosInstance { model: pmos_180nm(), w: wp * 1e-6, l: 0.18e-6, m: 1.0 });
+        ckt.mosfet("MN", out, inp, Circuit::GROUND, Circuit::GROUND,
+            MosInstance { model: nmos_180nm(), w: wn * 1e-6, l: 0.18e-6, m: 1.0 });
+        let freq = 10f64.powf(fmul + 3.0);
+        let op = dc(SolverKind::Sparse).run(&ckt).unwrap();
+        let sp = AcAnalysis::new(vec![freq]).with_solver(SolverKind::Sparse)
+            .run(&ckt, &op).unwrap();
+        let de = AcAnalysis::new(vec![freq]).with_solver(SolverKind::Dense)
+            .run(&ckt, &op).unwrap();
+        let (vs, vd) = (sp.voltage(0, out), de.voltage(0, out));
+        prop_assert!((vs - vd).abs() < 1e-9 * (1.0 + vd.abs()),
+            "AC gain diverges: {vs:?} vs {vd:?}");
+    }
+
+    /// Noise: identical spectra from both backends.
+    #[test]
+    fn noise_agrees_on_rc(r in 100.0f64..1e5, c_pf in 0.1f64..100.0) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor("R1", a, Circuit::GROUND, r);
+        ckt.capacitor("C1", a, Circuit::GROUND, c_pf * 1e-12);
+        let op = dc(SolverKind::Sparse).run(&ckt).unwrap();
+        let sp = NoiseAnalysis::log(10.0, 1e8, 5).with_solver(SolverKind::Sparse)
+            .run(&ckt, &op, a).unwrap();
+        let de = NoiseAnalysis::log(10.0, 1e8, 5).with_solver(SolverKind::Dense)
+            .run(&ckt, &op, a).unwrap();
+        for (s, d) in sp.psd().iter().zip(de.psd()) {
+            prop_assert!((s - d).abs() <= 1e-9 * d.abs().max(1e-30));
+        }
+    }
+
+    /// Transient: the full waveform agrees point-for-point (same accepted
+    /// timesteps, near-identical voltages).
+    #[test]
+    fn tran_agrees_on_rc(r_k in 0.5f64..10.0, c_nf in 0.1f64..5.0) {
+        let r = r_k * 1e3;
+        let c = c_nf * 1e-9;
+        let tau = r * c;
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.vsource("V1", vin, Circuit::GROUND, 1.0);
+        ckt.resistor("R1", vin, out, r);
+        ckt.capacitor("C1", out, Circuit::GROUND, c);
+        let sp = TranAnalysis::new(2.0 * tau, tau / 50.0)
+            .with_solver(SolverKind::Sparse).run(&ckt).unwrap();
+        let de = TranAnalysis::new(2.0 * tau, tau / 50.0)
+            .with_solver(SolverKind::Dense).run(&ckt).unwrap();
+        prop_assert_eq!(sp.times(), de.times(), "accepted steps must match");
+        let (vs, vd) = (sp.voltage(out), de.voltage(out));
+        for (s, d) in vs.iter().zip(&vd) {
+            prop_assert!((s - d).abs() < 1e-9);
+        }
+    }
+}
+
+/// A floating node (no DC path anywhere) is singular for both backends,
+/// and both report it through the same error variant.
+#[test]
+fn singular_circuit_fails_identically() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource("V1", a, Circuit::GROUND, 1.0);
+    ckt.resistor("R1", a, Circuit::GROUND, 1e3);
+    // `b` is only touched by a capacitor pair: no DC path to anywhere.
+    ckt.capacitor("C1", b, a, 1e-12);
+    ckt.capacitor("C2", b, Circuit::GROUND, 1e-12);
+    let no_gmin = |kind| {
+        let mut an = dc(kind);
+        // gmin normally rescues floating nodes; disable it to hit the
+        // singular path.
+        an.final_gmin = 0.0;
+        an.run(&ckt)
+    };
+    let sp = no_gmin(SolverKind::Sparse);
+    let de = no_gmin(SolverKind::Dense);
+    match (&sp, &de) {
+        (Ok(s), Ok(d)) => {
+            // gmin stepping may still save it; then both must agree.
+            assert!(max_diff(s.unknowns(), d.unknowns()) < 1e-9);
+        }
+        (Err(es), Err(ed)) => {
+            assert_eq!(
+                std::mem::discriminant(es),
+                std::mem::discriminant(ed),
+                "error kinds differ: {es:?} vs {ed:?}"
+            );
+        }
+        _ => panic!("backends disagree on solvability: {sp:?} vs {de:?}"),
+    }
+}
+
+/// Two voltage sources forcing the same node to different values make the
+/// system unsolvable; both backends must fail, with the same error kind.
+#[test]
+fn vsource_loop_fails_identically() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    ckt.vsource("V1", a, Circuit::GROUND, 1.0);
+    ckt.vsource("V2", a, Circuit::GROUND, 2.0);
+    ckt.resistor("R1", a, Circuit::GROUND, 1e3);
+    let sp = dc(SolverKind::Sparse).run(&ckt);
+    let de = dc(SolverKind::Dense).run(&ckt);
+    assert!(
+        sp.is_err(),
+        "conflicting sources must not converge (sparse)"
+    );
+    assert!(de.is_err(), "conflicting sources must not converge (dense)");
+    assert_eq!(
+        std::mem::discriminant(&sp.unwrap_err()),
+        std::mem::discriminant(&de.unwrap_err())
+    );
+}

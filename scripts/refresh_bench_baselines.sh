@@ -4,11 +4,14 @@
 #
 #   scripts/refresh_bench_baselines.sh [--quick]
 #
-# Runs the kernels bench suite once with CRITERION_JSON enabled, then
-# splits the report into the two baseline files CI diffs against:
+# Runs the kernels and sim bench suites once with CRITERION_JSON
+# enabled, then splits the reports into the baseline files CI diffs
+# against:
 #
 #   results/BENCH_kernels_baseline.json   — kernels / mlp / critic groups
 #   results/BENCH_parallel_baseline.json  — gemm_tiled / pool groups
+#   results/BENCH_sim_baseline.json       — sim group (sparse vs dense MNA,
+#                                           batched MOSFET eval)
 #
 # Baselines are machine-dependent; refresh them on the machine class CI
 # runs on (or rely on the wide --time-tol the CI jobs pass).
@@ -21,15 +24,17 @@ if [[ "${1:-}" == "--quick" ]]; then
 fi
 
 tmp=$(mktemp /tmp/bench_kernels.XXXXXX.json)
-trap 'rm -f "$tmp"' EXIT
+tmp_sim=$(mktemp /tmp/bench_sim.XXXXXX.json)
+trap 'rm -f "$tmp" "$tmp_sim"' EXIT
 
 MAOPT_BENCH_QUICK=${quick} CRITERION_JSON="$tmp" cargo bench -p maopt-bench --bench kernels
+MAOPT_BENCH_QUICK=${quick} CRITERION_JSON="$tmp_sim" cargo bench -p maopt-bench --bench sim
 
-# The criterion stub writes one benchmark record per line, so the report
+# The criterion stub writes one benchmark record per line, so a report
 # can be split into per-group baselines with grep.
 split_groups() {
-    local out=$1
-    shift
+    local src=$1 out=$2
+    shift 2
     {
         echo '{'
         echo '  "benchmarks": ['
@@ -37,7 +42,7 @@ split_groups() {
         lines=$(grep -E "\"name\": \"($(
             IFS='|'
             echo "$*"
-        ))/" "$tmp")
+        ))/" "$src")
         # Strip the trailing comma of the last record to stay valid JSON.
         printf '%s\n' "$lines" | sed '$ s/,$//'
         echo '  ]'
@@ -45,8 +50,10 @@ split_groups() {
     } >"$out"
 }
 
-split_groups results/BENCH_kernels_baseline.json kernels mlp critic
-split_groups results/BENCH_parallel_baseline.json gemm_tiled pool
+split_groups "$tmp" results/BENCH_kernels_baseline.json kernels mlp critic
+split_groups "$tmp" results/BENCH_parallel_baseline.json gemm_tiled pool
+split_groups "$tmp_sim" results/BENCH_sim_baseline.json sim
 
 echo "wrote results/BENCH_kernels_baseline.json"
 echo "wrote results/BENCH_parallel_baseline.json"
+echo "wrote results/BENCH_sim_baseline.json"
