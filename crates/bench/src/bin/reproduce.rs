@@ -51,7 +51,7 @@ use maopt_core::chaos::ChaoticProblem;
 use maopt_core::runner::{make_initial_sets_nested, run_method_resumable, MethodStats};
 use maopt_core::{RunCheckpointer, SizingProblem};
 use maopt_exec::chaos::ChaosConfig;
-use maopt_exec::{EvalEngine, FaultPolicy, SimCache, Telemetry, TraceRecorder};
+use maopt_exec::{EvalEngine, FaultPolicy, MetricSnapshot, SimCache, Telemetry, TraceRecorder};
 use maopt_obs::{EngineRecord, Journal, Record};
 use maopt_serve::{install_signal_flag, signal_flag};
 
@@ -299,6 +299,7 @@ fn run_circuit(
             None => Vec::new(),
         };
         let spans_before = engine.telemetry().spans();
+        let newton_before = newton_iters_totals(&engine);
         let t0 = Instant::now();
         let stats = run_method_resumable(
             method.as_ref(),
@@ -332,6 +333,14 @@ fn run_circuit(
         if let Some(dir) = &method_dir {
             write_engine_record(dir, &method.name(), &engine, &spans_before, &stats);
         }
+        // Mean Newton iterations per DC solve attributable to this method:
+        // the circuit engine's `sim.newton_iters` histogram delta. This is
+        // the headline warm-starting metric — OP reuse shows up here long
+        // before it moves wall-clock on a debug build.
+        let newton_after = newton_iters_totals(&engine);
+        let d_solves = newton_after.0 - newton_before.0;
+        let newton_mean =
+            (d_solves > 0).then(|| (newton_after.1 - newton_before.1) / d_solves as f64);
         let n_actors = match method.name().as_str() {
             "BO" | "DNN-Opt" => 1,
             _ => 3,
@@ -343,11 +352,14 @@ fn run_circuit(
             .sum::<f64>()
             / stats.runs.max(1) as f64;
         println!(
-            "  {:>8}: success {}  log10(aFoM) {:+.2}  wall {:?}  [{}]",
+            "  {:>8}: success {}  log10(aFoM) {:+.2}  wall {:?}  newton/sim {}  [{}]",
             stats.name,
             stats.success_rate(),
             stats.log10_avg_fom_or_neg_inf(),
             elapsed,
+            newton_mean
+                .map(|n| format!("{n:.1}"))
+                .unwrap_or_else(|| "-".into()),
             stats.exec
         );
         rows.push(TableRow {
@@ -360,6 +372,7 @@ fn run_circuit(
             sims: stats.exec.sims,
             cache_hits: stats.exec.cache_hits,
             retries: stats.exec.retries,
+            newton_iters: newton_mean,
         });
         all_stats.push(stats);
     }
@@ -384,11 +397,11 @@ fn run_circuit(
     // seven columns; the engine-telemetry columns are appended after).
     let mut table_csv = String::from(
         "method,successes,runs,min_target,log10_avg_fom,measured_s,modeled_h,\
-         sims,cache_hits,cache_misses,retries,faults\n",
+         sims,cache_hits,cache_misses,retries,faults,newton_iters_per_sim\n",
     );
     for (row, stats) in rows.iter().zip(&all_stats) {
         table_csv.push_str(&format!(
-            "{},{},{},{},{:.4},{:.2},{:.3},{},{},{},{},{}\n",
+            "{},{},{},{},{:.4},{:.2},{:.3},{},{},{},{},{},{}\n",
             row.method,
             stats.successes,
             stats.runs,
@@ -402,7 +415,10 @@ fn run_circuit(
             stats.exec.cache_hits,
             stats.exec.cache_misses,
             stats.exec.retries,
-            stats.exec.faults()
+            stats.exec.faults(),
+            row.newton_iters
+                .map(|n| format!("{n:.2}"))
+                .unwrap_or_default()
         ));
     }
     let table_path = args.out.join(format!("table_{key}.csv"));
@@ -447,6 +463,21 @@ fn run_circuit(
         }
     }
     all_stats.iter().map(|s| s.exec.failures).sum()
+}
+
+/// The engine's cumulative `sim.newton_iters` histogram as `(count, sum)`
+/// — per-method means come from before/after deltas.
+fn newton_iters_totals(engine: &EvalEngine) -> (u64, f64) {
+    engine
+        .telemetry()
+        .metrics
+        .snapshot()
+        .iter()
+        .find_map(|m| match m {
+            MetricSnapshot::Histogram(h) if h.name == "sim.newton_iters" => Some((h.count, h.sum)),
+            _ => None,
+        })
+        .unwrap_or((0, 0.0))
 }
 
 /// Writes the per-method engine aggregate — span deltas attributable to

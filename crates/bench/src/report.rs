@@ -52,6 +52,10 @@ pub struct TableRow {
     pub cache_hits: u64,
     /// Faulted-evaluation re-attempts.
     pub retries: u64,
+    /// Mean Newton iterations per DC solve (`sim.newton_iters` histogram
+    /// delta attributable to this method); `None` when the problem never
+    /// touched the simulator.
+    pub newton_iters: Option<f64>,
 }
 
 /// Formats a comparison table (paper Tables II / IV / VI), extended with
@@ -61,7 +65,7 @@ pub fn comparison_table(title: &str, target_label: &str, rows: &[TableRow]) -> S
     let _ = writeln!(out, "{title}");
     let _ = writeln!(
         out,
-        "{:>10} | {:>8} | {:>14} | {:>12} | {:>11} | {:>10} | {:>6} | {:>6} | {:>7}",
+        "{:>10} | {:>8} | {:>14} | {:>12} | {:>11} | {:>10} | {:>6} | {:>6} | {:>7} | {:>7}",
         "method",
         "success",
         target_label,
@@ -70,17 +74,22 @@ pub fn comparison_table(title: &str, target_label: &str, rows: &[TableRow]) -> S
         "modeled(h)",
         "sims",
         "hits",
-        "retries"
+        "retries",
+        "nwt/sim"
     );
-    let _ = writeln!(out, "{}", "-".repeat(106));
+    let _ = writeln!(out, "{}", "-".repeat(116));
     for r in rows {
         let target = r
             .min_target
             .map(|t| format!("{t:.3}"))
             .unwrap_or_else(|| "-".to_string());
+        let newton = r
+            .newton_iters
+            .map(|n| format!("{n:.1}"))
+            .unwrap_or_else(|| "-".to_string());
         let _ = writeln!(
             out,
-            "{:>10} | {:>8} | {:>14} | {:>12.2} | {:>11.1} | {:>10.2} | {:>6} | {:>6} | {:>7}",
+            "{:>10} | {:>8} | {:>14} | {:>12.2} | {:>11.1} | {:>10.2} | {:>6} | {:>6} | {:>7} | {:>7}",
             r.method,
             r.success,
             target,
@@ -89,7 +98,8 @@ pub fn comparison_table(title: &str, target_label: &str, rows: &[TableRow]) -> S
             r.modeled_h,
             r.sims,
             r.cache_hits,
-            r.retries
+            r.retries,
+            newton
         );
     }
     out
@@ -241,11 +251,13 @@ mod tests {
             sims: 2100,
             cache_hits: 40,
             retries: 1,
+            newton_iters: Some(9.4),
         }];
         let t = comparison_table("Table II", "min power (mW)", &rows);
         assert!(t.contains("MA-Opt"));
         assert!(t.contains("0.737"));
         assert!(t.contains("-2.92"));
+        assert!(t.contains("9.4"), "mean Newton iterations column");
         let empty = comparison_table(
             "T",
             "x",

@@ -195,6 +195,37 @@ pub fn render_utilization(data: &TraceData, top_k: usize) -> String {
         );
     }
 
+    // ---- warm vs cold DC solves ------------------------------------
+    // The simulator wraps each DC solve in a `sim.dc.{warm,fallback,cold}`
+    // span keyed by the warm-start outcome, so a trace shows directly how
+    // much Newton time operating-point reuse saved — and how much the
+    // rescue path cost when a seed went hostile.
+    let mut dc_outcomes: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for event in &data.events {
+        if let TraceEventKind::Span { dur_ns } = event.kind {
+            if let Some(outcome) = event.name.strip_prefix("sim.dc.") {
+                let slot = dc_outcomes.entry(outcome).or_default();
+                slot.0 += 1;
+                slot.1 += dur_ns;
+            }
+        }
+    }
+    if !dc_outcomes.is_empty() {
+        out.push_str("\nDC solves by warm-start outcome:\n\n");
+        out.push_str("| outcome | solves | total | mean |\n");
+        out.push_str("|---|---:|---:|---:|\n");
+        for (outcome, (n, total)) in &dc_outcomes {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} |",
+                outcome,
+                n,
+                fmt_dur_ns(*total),
+                fmt_dur_ns(total / n.max(&1))
+            );
+        }
+    }
+
     // ---- slowest simulations ---------------------------------------
     let mut sims: Vec<&TraceEvent> = data
         .events
@@ -308,6 +339,30 @@ mod tests {
             !report.contains("0000000000000010"),
             "top-1 excludes the faster sim: {report}"
         );
+    }
+
+    #[test]
+    fn utilization_report_breaks_out_warm_vs_cold_dc_solves() {
+        let data = parse_trace(concat!(
+            "{\"trace\":\"maopt\",\"version\":1}\n",
+            "{\"kind\":\"thread\",\"tid\":0,\"label\":\"main\",\"dropped\":0}\n",
+            "{\"kind\":\"span\",\"tid\":0,\"name\":\"sim.dc.warm\",\"t_ns\":0,\"dur_ns\":1000}\n",
+            "{\"kind\":\"span\",\"tid\":0,\"name\":\"sim.dc.warm\",\"t_ns\":2000,\"dur_ns\":3000}\n",
+            "{\"kind\":\"span\",\"tid\":0,\"name\":\"sim.dc.cold\",\"t_ns\":6000,\"dur_ns\":8000}\n",
+            "{\"kind\":\"span\",\"tid\":0,\"name\":\"sim.dc.fallback\",\"t_ns\":15000,\"dur_ns\":500}\n",
+        ))
+        .unwrap();
+        let report = render_utilization(&data, 1);
+        assert!(
+            report.contains("DC solves by warm-start outcome"),
+            "{report}"
+        );
+        assert!(report.contains("| warm | 2 |"), "{report}");
+        assert!(report.contains("| cold | 1 |"), "{report}");
+        assert!(report.contains("| fallback | 1 |"), "{report}");
+        // A trace without DC spans omits the section entirely.
+        let plain = render_utilization(&sample(), 1);
+        assert!(!plain.contains("warm-start outcome"), "{plain}");
     }
 
     #[test]

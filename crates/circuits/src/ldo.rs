@@ -15,13 +15,13 @@
 //! < 0.1 %/V, four transient settling times < 35 µs (load steps
 //! 0.1 µA ↔ 150 mA, line steps 2.0 V ↔ 3.3 V), PSRR > 60 dB.
 
-use maopt_core::{ParamSpec, SizingProblem, Spec};
+use maopt_core::{OpState, ParamSpec, SizingProblem, Spec};
 use maopt_sim::analysis::ac::AcAnalysis;
 use maopt_sim::analysis::dc::DcAnalysis;
 use maopt_sim::analysis::tran::{Integrator, TranAnalysis};
 use maopt_sim::{nmos_180nm, pmos_180nm, Circuit, ElementId, MosInstance, SimError, Waveform};
 
-use crate::util::{ff, kohm, um, windowed_settling_abs};
+use crate::util::{ff, kohm, slot, um, windowed_settling_abs};
 
 const VIN_NOM: f64 = 3.3;
 const VIN_LOW: f64 = 2.0;
@@ -275,11 +275,23 @@ impl LdoRegulator {
     }
 
     fn try_evaluate(&self, x: &[f64]) -> Result<Vec<f64>, SimError> {
+        self.try_evaluate_seeded(x, None).map(|(m, _)| m)
+    }
+
+    /// Full evaluation with an optional advisory operating-point seed. Only
+    /// the *nominal* DC solve (slot 0) takes a cross-design seed — every
+    /// corner and transient solve already warm-starts from the nominal
+    /// solution of *this* design, which dominates any cross-design seed.
+    fn try_evaluate_seeded(
+        &self,
+        x: &[f64],
+        seed: Option<&OpState>,
+    ) -> Result<(Vec<f64>, OpState), SimError> {
         let s = self.sizing(x);
 
         // Nominal operating point: quiescent current and V_OUT.
         let (ckt, vin_src, _) = self.build(&s, VIN_NOM, I_LOAD_NOM, false);
-        let op = DcAnalysis::new().run(&ckt)?;
+        let op = DcAnalysis::new().run_seeded(&ckt, None, slot(seed, 0))?;
         let vout_n = ckt.find_node("vout").expect("vout node");
         let vout = op.voltage(vout_n);
         let supplied = op.branch_current(vin_src).expect("vin branch").abs();
@@ -319,9 +331,13 @@ impl LdoRegulator {
         let tv_up = self.settling(&s, TranMode::LineUp, &guess)?;
         let tv_dn = self.settling(&s, TranMode::LineDown, &guess)?;
 
-        Ok(vec![
-            iq, vout, load_reg, line_reg, tl_up, tl_dn, tv_up, tv_dn, psrr,
-        ])
+        let state = OpState {
+            slots: vec![op.unknowns().to_vec()],
+        };
+        Ok((
+            vec![iq, vout, load_reg, line_reg, tl_up, tl_dn, tv_up, tv_dn, psrr],
+            state,
+        ))
     }
 }
 
@@ -367,6 +383,13 @@ impl SizingProblem for LdoRegulator {
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         self.try_evaluate(x)
             .unwrap_or_else(|_| self.failure_metrics())
+    }
+
+    fn evaluate_seeded(&self, x: &[f64], seed: Option<&OpState>) -> (Vec<f64>, Option<OpState>) {
+        match self.try_evaluate_seeded(x, seed) {
+            Ok((m, state)) => (m, Some(state)),
+            Err(_) => (Self::failure_metrics(self), None),
+        }
     }
 
     fn failure_metrics(&self) -> Vec<f64> {

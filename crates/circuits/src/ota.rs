@@ -18,7 +18,7 @@
 //! PSRR > 80 dB, phase margin > 60°, settling < 100 ns, UGF > 30 MHz,
 //! output swing > 1.5 V, integrated output noise < 30 mV rms.
 
-use maopt_core::{ParamSpec, SizingProblem, Spec};
+use maopt_core::{OpState, ParamSpec, SizingProblem, Spec};
 use maopt_sim::analysis::ac::AcAnalysis;
 use maopt_sim::analysis::dc::DcAnalysis;
 use maopt_sim::analysis::measure::Bode;
@@ -26,7 +26,7 @@ use maopt_sim::analysis::noise::NoiseAnalysis;
 use maopt_sim::analysis::tran::TranAnalysis;
 use maopt_sim::{nmos_180nm, pmos_180nm, Circuit, MosInstance, SimError, Waveform};
 
-use crate::util::{ff, kohm, um, windowed_settling};
+use crate::util::{ff, kohm, slot, um, windowed_settling};
 
 const VDD: f64 = 1.8;
 const VCM: f64 = 0.9;
@@ -324,11 +324,24 @@ impl TwoStageOta {
     }
 
     fn try_evaluate(&self, x: &[f64]) -> Result<Vec<f64>, SimError> {
+        self.try_evaluate_seeded(x, None).map(|(m, _)| m)
+    }
+
+    /// Full evaluation with an optional advisory operating-point seed from a
+    /// reference design of the same topology. The three Newton solves map to
+    /// seed slots 0 (main bench), 1 (buffer at t = 0) and 2 (noise bench);
+    /// the returned [`OpState`] records this design's converged solutions in
+    /// the same slot order.
+    fn try_evaluate_seeded(
+        &self,
+        x: &[f64],
+        seed: Option<&OpState>,
+    ) -> Result<(Vec<f64>, OpState), SimError> {
         let s = self.sizing(x);
 
         // --- Main testbench: DC op (power, swing) + three AC runs. ---
         let ckt_dm = self.build_main(&s, AcMode::Differential);
-        let op = DcAnalysis::new().run(&ckt_dm)?;
+        let op = DcAnalysis::new().run_seeded(&ckt_dm, None, slot(seed, 0))?;
         let out = ckt_dm.find_node("out").expect("out node");
 
         let vdd_src = ckt_dm.find_element("VDD").expect("VDD");
@@ -365,19 +378,28 @@ impl TwoStageOta {
 
         // --- Buffer testbench: settling + output noise. ---
         let ckt_step = self.build_buffer(&s, true);
-        let tran = TranAnalysis::new(400e-9, 1e-9).run(&ckt_step)?;
+        let op_step = DcAnalysis::new().run_seeded(&ckt_step, Some(0.0), slot(seed, 1))?;
+        let tran = TranAnalysis::new(400e-9, 1e-9).run_from(&ckt_step, &op_step)?;
         let out_b = ckt_step.find_node("out").expect("out node");
         let settling = windowed_settling(&tran, out_b, T_STEP, 0.01);
 
         let ckt_noise = self.build_buffer(&s, false);
-        let op_n = DcAnalysis::new().run(&ckt_noise)?;
+        let op_n = DcAnalysis::new().run_seeded(&ckt_noise, None, slot(seed, 2))?;
         let noise = NoiseAnalysis::log(1.0, 1e8, 4)
             .run(&ckt_noise, &op_n, ckt_noise.find_node("out").expect("out"))?
             .output_rms();
 
-        Ok(vec![
-            power, gain_db, ugf, pm, cmrr, psrr, settling, swing, noise,
-        ])
+        let state = OpState {
+            slots: vec![
+                op.unknowns().to_vec(),
+                op_step.unknowns().to_vec(),
+                op_n.unknowns().to_vec(),
+            ],
+        };
+        Ok((
+            vec![power, gain_db, ugf, pm, cmrr, psrr, settling, swing, noise],
+            state,
+        ))
     }
 }
 
@@ -424,6 +446,13 @@ impl SizingProblem for TwoStageOta {
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         self.try_evaluate(x)
             .unwrap_or_else(|_| self.failure_metrics())
+    }
+
+    fn evaluate_seeded(&self, x: &[f64], seed: Option<&OpState>) -> (Vec<f64>, Option<OpState>) {
+        match self.try_evaluate_seeded(x, seed) {
+            Ok((m, state)) => (m, Some(state)),
+            Err(_) => (Self::failure_metrics(self), None),
+        }
     }
 
     fn failure_metrics(&self) -> Vec<f64> {

@@ -21,14 +21,14 @@
 //! −3 dB bandwidth of the closed-loop transimpedance — the standard TIA
 //! bandwidth figure (documented substitution, `DESIGN.md`).
 
-use maopt_core::{ParamSpec, SizingProblem, Spec};
+use maopt_core::{OpState, ParamSpec, SizingProblem, Spec};
 use maopt_sim::analysis::ac::AcAnalysis;
 use maopt_sim::analysis::dc::DcAnalysis;
 use maopt_sim::analysis::measure::Bode;
 use maopt_sim::analysis::noise::NoiseAnalysis;
 use maopt_sim::{nmos_180nm, pmos_180nm, Circuit, MosInstance, SimError};
 
-use crate::util::{ff, kohm, um};
+use crate::util::{ff, kohm, slot, um};
 
 const VDD: f64 = 1.8;
 const IREF: f64 = 20e-6;
@@ -154,9 +154,19 @@ impl ThreeStageTia {
     }
 
     fn try_evaluate(&self, x: &[f64]) -> Result<Vec<f64>, SimError> {
+        self.try_evaluate_seeded(x, None).map(|(m, _)| m)
+    }
+
+    /// Full evaluation with an optional advisory operating-point seed from a
+    /// reference design; the single Newton solve is seed slot 0.
+    fn try_evaluate_seeded(
+        &self,
+        x: &[f64],
+        seed: Option<&OpState>,
+    ) -> Result<(Vec<f64>, OpState), SimError> {
         let s = self.sizing(x);
         let ckt = self.build(&s);
-        let op = DcAnalysis::new().run(&ckt)?;
+        let op = DcAnalysis::new().run_seeded(&ckt, None, slot(seed, 0))?;
         let out = ckt.find_node("out").expect("out node");
 
         let vdd_src = ckt.find_element("VDD").expect("VDD");
@@ -181,7 +191,10 @@ impl ThreeStageTia {
             1.0
         };
 
-        Ok(vec![power, zt_db, bw, in_noise])
+        let state = OpState {
+            slots: vec![op.unknowns().to_vec()],
+        };
+        Ok((vec![power, zt_db, bw, in_noise], state))
     }
 }
 
@@ -222,6 +235,13 @@ impl SizingProblem for ThreeStageTia {
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         self.try_evaluate(x)
             .unwrap_or_else(|_| self.failure_metrics())
+    }
+
+    fn evaluate_seeded(&self, x: &[f64], seed: Option<&OpState>) -> (Vec<f64>, Option<OpState>) {
+        match self.try_evaluate_seeded(x, seed) {
+            Ok((m, state)) => (m, Some(state)),
+            Err(_) => (Self::failure_metrics(self), None),
+        }
     }
 
     fn failure_metrics(&self) -> Vec<f64> {

@@ -46,6 +46,16 @@ pub fn windowed_settling_abs(res: &TranResult, node: Node, t_start: f64, band: f
     (settle - t_start).max(0.0)
 }
 
+/// The `i`-th solve slot of an advisory operating-point seed, if present.
+///
+/// Testbenches number their Newton solves (slot 0, 1, …) and a reference
+/// design's [`maopt_core::OpState`] carries one converged solution vector
+/// per slot. A missing seed or missing slot simply yields `None` — the
+/// solver then runs its cold continuation ladder.
+pub fn slot(seed: Option<&maopt_core::OpState>, i: usize) -> Option<&[f64]> {
+    seed.and_then(|s| s.slots.get(i)).map(|v| v.as_slice())
+}
+
 /// Converts micrometres to metres.
 pub fn um(x: f64) -> f64 {
     x * 1e-6

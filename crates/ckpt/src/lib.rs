@@ -40,7 +40,8 @@ use std::path::Path;
 use maopt_nn::{AdamState, LayerState, MlpState, ScalerState};
 
 /// Current snapshot format version; bumped on any payload layout change.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 appended the operating-point store (warm-start seeds).
+pub const FORMAT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 8] = b"MAOPTCKP";
 
@@ -113,6 +114,11 @@ pub struct RunSnapshot {
     pub timings: [f64; 4],
     /// Journal lines written so far, replayed verbatim on resume.
     pub journal_lines: Vec<String>,
+    /// Operating-point store entries (quantized design key → converged
+    /// solution vectors, one per solve slot), **in insertion order** — the
+    /// store's FIFO eviction order must survive resume so a resumed run
+    /// evicts identically to an uninterrupted one.
+    pub op_store: Vec<(Vec<i64>, Vec<Vec<f64>>)>,
 }
 
 /// Why a snapshot failed to save or load.
@@ -385,6 +391,14 @@ fn encode(s: &RunSnapshot) -> Vec<u8> {
     for line in &s.journal_lines {
         e.str(line);
     }
+    e.u64(s.op_store.len() as u64);
+    for (k, slots) in &s.op_store {
+        e.vec_i64(k);
+        e.u64(slots.len() as u64);
+        for slot in slots {
+            e.vec_f64(slot);
+        }
+    }
     e.buf
 }
 
@@ -467,6 +481,17 @@ fn decode(payload: &[u8]) -> DecResult<RunSnapshot> {
     for _ in 0..n {
         journal_lines.push(d.str()?);
     }
+    let n = d.len(16)?;
+    let mut op_store = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = d.vec_i64()?;
+        let m = d.len(8)?;
+        let mut slots = Vec::with_capacity(m);
+        for _ in 0..m {
+            slots.push(d.vec_f64()?);
+        }
+        op_store.push((k, slots));
+    }
     d.done()?;
     Ok(RunSnapshot {
         label,
@@ -488,6 +513,7 @@ fn decode(payload: &[u8]) -> DecResult<RunSnapshot> {
         counters,
         timings,
         journal_lines,
+        op_store,
     })
 }
 
@@ -754,6 +780,13 @@ mod tests {
             counters: [35, 3, 32, 2, 1, 0, 1, 0],
             timings: [1.5, 0.75, 0.5, 0.125],
             journal_lines: vec!["{\"kind\":\"manifest\"}".into(), "{\"round\":1}".into()],
+            op_store: vec![
+                (
+                    vec![500_000_000_000, 250_000_000_000],
+                    vec![vec![0.9, 1.8, -1e-5], vec![0.45]],
+                ),
+                (vec![0, i64::MAX], vec![]),
+            ],
         }
     }
 

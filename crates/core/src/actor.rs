@@ -8,7 +8,7 @@ use maopt_nn::{Activation, Adam, Mlp, Workspace};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::critic::Critic;
+use crate::critic::{Critic, PredictScratch, Surrogate};
 use crate::elite::boundary_violation_into;
 use crate::fom::FomConfig;
 use crate::population::Population;
@@ -76,7 +76,10 @@ impl Actor {
     /// Line 8 of Algorithm 1: among the elite designs, picks the one whose
     /// actor-proposed successor has the best critic-predicted FoM, and
     /// returns that successor (clipped to the design box) with its
-    /// predicted FoM.
+    /// predicted FoM and the index of the winning parent in
+    /// `elite_designs` — the parent identifies whose operating point can
+    /// warm-start the proposal's simulation. Ties keep the first winner,
+    /// so the parent choice is deterministic.
     ///
     /// # Panics
     ///
@@ -87,24 +90,25 @@ impl Actor {
         elite_designs: &[Vec<f64>],
         specs: &[Spec],
         fom_cfg: FomConfig,
-    ) -> (Vec<f64>, f64) {
-        let mut best: Option<(f64, Vec<f64>)> = None;
-        for x in elite_designs {
+    ) -> (Vec<f64>, f64, usize) {
+        let mut scratch = PredictScratch::default();
+        let mut best: Option<(f64, Vec<f64>, usize)> = None;
+        for (i, x) in elite_designs.iter().enumerate() {
             let a = self.act(x);
-            let pred = critic.predict_raw(x, &a);
-            let g = crate::fom::fom(&pred, specs, fom_cfg);
+            let pred = Surrogate::predict_raw_with(critic, x, &a, &mut scratch);
+            let g = crate::fom::fom(pred, specs, fom_cfg);
             let cand: Vec<f64> = x
                 .iter()
                 .zip(&a)
                 .map(|(xi, ai)| (xi + ai).clamp(0.0, 1.0))
                 .collect();
             match &best {
-                Some((bg, _)) if *bg <= g => {}
-                _ => best = Some((g, cand)),
+                Some((bg, _, _)) if *bg <= g => {}
+                _ => best = Some((g, cand, i)),
             }
         }
-        let (g, cand) = best.expect("elite set is non-empty");
-        (cand, g)
+        let (g, cand, parent) = best.expect("elite set is non-empty");
+        (cand, g, parent)
     }
 
     /// Trains the actor through the *frozen* critic for `steps` batches of

@@ -13,6 +13,17 @@ use rand::rngs::StdRng;
 
 use crate::population::{pseudo_batch_into, Population};
 
+/// Reusable buffers for repeated single-row [`Surrogate::predict_raw_with`]
+/// calls: the `1 × 2d` input matrix, the output row and the MLP workspace.
+/// Warm after the first call; every subsequent same-shaped call allocates
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct PredictScratch {
+    input: Mat,
+    out: Mat,
+    ws: Workspace,
+}
+
 /// Anything that predicts raw metric vectors from `(x, Δx)` inputs — the
 /// single [`Critic`] and the [`CriticEnsemble`] both qualify, so the
 /// near-sampling method and proposal ranking work with either.
@@ -38,6 +49,20 @@ pub trait Surrogate {
         input.extend_from_slice(dx);
         let out = self.predict_batch_raw(&Mat::from_rows(&[&input]));
         out.into_vec()
+    }
+    /// [`Surrogate::predict_raw`] through caller-owned [`PredictScratch`]
+    /// buffers — allocation-free once warm, for tight loops that predict
+    /// one `(x, Δx)` pair at a time. The returned slice borrows the
+    /// scratch and is valid until the next call.
+    fn predict_raw_with<'s>(&self, x: &[f64], dx: &[f64], scratch: &'s mut PredictScratch) -> &'s [f64] {
+        let d = self.dim();
+        assert_eq!(x.len(), d, "state length mismatch");
+        assert_eq!(dx.len(), d, "action length mismatch");
+        scratch.input.resize_reset(1, 2 * d);
+        scratch.input.row_mut(0)[..d].copy_from_slice(x);
+        scratch.input.row_mut(0)[d..].copy_from_slice(dx);
+        self.predict_batch_raw_into(&scratch.input, &mut scratch.ws, &mut scratch.out);
+        scratch.out.row(0)
     }
 }
 
@@ -487,6 +512,30 @@ mod tests {
         let out = c.predict_batch_raw(&batch);
         assert!((single[0] - out[(0, 0)]).abs() < 1e-12);
         assert!((single[1] - out[(0, 1)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_prediction_matches_allocating_path() {
+        let pop = make_population(40);
+        let mut c = Critic::new(2, 2, &[16], 1e-3, 5);
+        c.refit_scaler(&pop);
+        let mut rng = StdRng::seed_from_u64(6);
+        c.train(&pop, 50, 16, &mut rng);
+        let mut scratch = PredictScratch::default();
+        for (x, dx) in [([0.1, 0.9], [0.3, -0.2]), ([0.7, 0.2], [0.0, 0.05])] {
+            let alloc = Surrogate::predict_raw(&c, &x, &dx);
+            assert_eq!(alloc, c.predict_raw_with(&x, &dx, &mut scratch).to_vec());
+        }
+        // The ensemble relies on the default batch-into path — identical too.
+        let mut ens = CriticEnsemble::new(2, 2, 2, &[16], 1e-3, 7);
+        ens.refit_scaler(&pop);
+        ens.train(&pop, 20, 16, &mut rng);
+        let alloc = Surrogate::predict_raw(&ens, &[0.4, 0.5], &[0.1, 0.1]);
+        assert_eq!(
+            alloc,
+            ens.predict_raw_with(&[0.4, 0.5], &[0.1, 0.1], &mut scratch)
+                .to_vec()
+        );
     }
 
     #[test]

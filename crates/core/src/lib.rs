@@ -43,6 +43,7 @@ pub mod export;
 mod fom;
 mod maopt;
 mod near_sampling;
+mod opstore;
 mod population;
 pub mod problem;
 pub mod problems;
@@ -51,10 +52,12 @@ pub mod trace;
 
 pub use actor::Actor;
 pub use checkpoint::RunCheckpointer;
-pub use critic::{Critic, CriticEnsemble, Surrogate};
+pub use critic::{Critic, CriticEnsemble, PredictScratch, Surrogate};
 pub use elite::EliteSet;
 pub use fom::{fom, is_feasible, spec_violations, FomConfig};
 pub use maopt::{MaOpt, MaOptConfig, RunResult, RunTimings};
+pub use maopt_exec::OpState;
 pub use near_sampling::NearSampler;
+pub use opstore::OpStore;
 pub use population::{pseudo_batch, pseudo_batch_into, Population};
 pub use problem::{EngineProblem, ParamScale, ParamSpec, SizingProblem, Spec, SpecKind};

@@ -14,7 +14,7 @@
 use std::time::{Duration, Instant};
 
 use maopt_ckpt::RunSnapshot;
-use maopt_exec::{CounterSnapshot, EvalEngine};
+use maopt_exec::{quantize, CounterSnapshot, EvalEngine, OpState};
 use maopt_obs::json::Json;
 use maopt_obs::{
     ActorRound, EliteStats, Journal, Manifest, NearSamplingRecord, Record, RoundRecord, RunEnd,
@@ -24,10 +24,11 @@ use rand::{Rng, SeedableRng};
 
 use crate::actor::Actor;
 use crate::checkpoint::RunCheckpointer;
-use crate::critic::{CriticEnsemble, Surrogate};
+use crate::critic::{CriticEnsemble, PredictScratch, Surrogate};
 use crate::elite::EliteSet;
 use crate::fom::FomConfig;
 use crate::near_sampling::NearSampler;
+use crate::opstore::OpStore;
 use crate::population::Population;
 use crate::problem::{EngineProblem, SizingProblem};
 use crate::trace::{SimKind, Trace};
@@ -290,9 +291,9 @@ impl MaOpt {
     /// [`RunCheckpointer`], the full optimizer state — RNG stream
     /// position, simulated population with trace provenance, per-actor
     /// and critic weights plus Adam moments, the fitted output scaler,
-    /// elite bookkeeping, the simulation cache and the journal lines
-    /// written so far — is atomically persisted after every completed
-    /// round. With resume enabled, a run killed at any instant continues
+    /// elite bookkeeping, the simulation cache, the operating-point store
+    /// (so warm runs resume warm) and the journal lines written so far —
+    /// is atomically persisted after every completed round. With resume enabled, a run killed at any instant continues
     /// from its last durable round and produces a journal byte-identical
     /// to an uninterrupted run on every non-timing field.
     ///
@@ -361,6 +362,12 @@ impl MaOpt {
         // round's representative elite designs (for the refresh rate).
         let run_counters = engine.telemetry().snapshot();
         let mut prev_elite: Vec<Vec<f64>> = Vec::new();
+
+        // Operating-point store for cross-design Newton warm-starting.
+        // Lives on this thread; seeds are selected here and travel inside
+        // each evaluation request, so worker scheduling cannot influence
+        // which seed a design sees (journal byte-identity at any --jobs).
+        let mut op_store = OpStore::new();
 
         // Checkpoint bookkeeping: every journal line written so far (the
         // snapshot carries them; resume replays them verbatim so the
@@ -446,6 +453,7 @@ impl MaOpt {
             timings.simulation = Duration::from_secs_f64(snap.timings[2]);
             timings.near_sampling = Duration::from_secs_f64(snap.timings[3]);
             prev_elite = snap.prev_elite;
+            op_store = OpStore::restore(op_store.capacity(), snap.op_store);
             for line in &snap.journal_lines {
                 journal.write_raw(line);
             }
@@ -500,12 +508,18 @@ impl MaOpt {
                 timings.near_sampling += t0.elapsed();
 
                 let t0 = Instant::now();
-                let metrics = {
+                // Near-sampling candidates live within δ of the incumbent, so
+                // the incumbent's stored operating point is the natural seed.
+                let ns_seed = op_store.get(&x_opt).cloned();
+                let (metrics, op_state) = {
                     let _span = engine.telemetry().span("simulation");
-                    engine.evaluate_one(&sim_target, &cand)
+                    engine.evaluate_one_seeded(&sim_target, &cand, ns_seed.as_ref())
                 };
                 timings.simulation += t0.elapsed();
 
+                if let Some(state) = op_state {
+                    op_store.insert(&cand, state);
+                }
                 let idx = pop.push(cand, metrics, &specs, cfg.fom);
                 let simulated_fom = pop.fom(idx);
                 trace.record(
@@ -588,8 +602,9 @@ impl MaOpt {
                 let shared_elite_ref = &shared_elite;
                 let individual_elites_ref = &individual_elites;
                 let actor_lanes: Vec<&mut Actor> = actors.iter_mut().collect();
-                // Each lane returns (candidate, actor loss, predicted FoM).
-                let lane_results: Vec<(Vec<f64>, f64, f64)> = {
+                // Each lane returns (candidate, actor loss, predicted FoM,
+                // the parent elite design the candidate stepped from).
+                let lane_results: Vec<(Vec<f64>, f64, f64, Vec<f64>)> = {
                     let _span = engine.telemetry().span("actor_training");
                     engine.map(actor_lanes, |i, actor| {
                         let elite = if cfg.shared_elite {
@@ -619,13 +634,13 @@ impl MaOpt {
                         // Line 8 of Algorithm 1: among elite states, pick
                         // the one whose actor-proposed successor has the
                         // best predicted FoM; simulate that successor.
-                        let (cand, pred) = actor.best_elite_proposal(
+                        let (cand, pred, parent) = actor.best_elite_proposal(
                             &local_critic,
                             elite.designs(),
                             specs_ref,
                             fom_cfg,
                         );
-                        (cand, loss, pred)
+                        (cand, loss, pred, elite.designs()[parent].clone())
                     })
                 };
                 timings.training += t0.elapsed();
@@ -634,16 +649,38 @@ impl MaOpt {
                 let t0 = Instant::now();
                 let to_run: Vec<Vec<f64>> = lane_results[..n_props]
                     .iter()
-                    .map(|(cand, _, _)| cand.clone())
+                    .map(|(cand, _, _, _)| cand.clone())
                     .collect();
-                let results: Vec<Vec<f64>> = {
+                // Seed each proposal from its parent elite design's stored
+                // operating point, chosen here on the main thread. Duplicate
+                // designs within the batch share the first occurrence's seed:
+                // the simulation cache is first-write-wins, and identical
+                // inputs must compute identical results no matter which copy
+                // races into the cache first (serial/parallel byte-identity).
+                let mut seeds: Vec<Option<OpState>> = Vec::with_capacity(to_run.len());
+                let mut seen: Vec<(Vec<i64>, usize)> = Vec::with_capacity(to_run.len());
+                for (i, cand) in to_run.iter().enumerate() {
+                    let key = quantize(cand);
+                    if let Some(&(_, first)) = seen.iter().find(|(k, _)| *k == key) {
+                        seeds.push(seeds[first].clone());
+                    } else {
+                        seen.push((key, i));
+                        seeds.push(op_store.get(&lane_results[i].3).cloned());
+                    }
+                }
+                let seed_refs: Vec<Option<&OpState>> = seeds.iter().map(Option::as_ref).collect();
+                let results: Vec<(Vec<f64>, Option<OpState>)> = {
                     let _span = engine.telemetry().span("simulation");
-                    engine.evaluate_batch(&sim_target, &to_run)
+                    engine.evaluate_batch_seeded(&sim_target, &to_run, &seed_refs)
                 };
                 timings.simulation += t0.elapsed();
 
                 let mut pushed = Vec::with_capacity(n_props);
-                for (i, (cand, metrics)) in to_run.into_iter().zip(results).enumerate() {
+                for (i, (cand, (metrics, op_state))) in to_run.into_iter().zip(results).enumerate()
+                {
+                    if let Some(state) = op_state {
+                        op_store.insert(&cand, state);
+                    }
                     let idx = pop.push(cand, metrics, &specs, cfg.fom);
                     trace.record(
                         SimKind::Actor,
@@ -661,7 +698,7 @@ impl MaOpt {
                 let tm = engine.telemetry();
                 tm.metrics.inc("opt.rounds", 1);
                 tm.metrics.observe("opt.critic_loss", critic_loss);
-                for (_, loss, _) in &lane_results {
+                for (_, loss, _, _) in &lane_results {
                     tm.metrics.observe("opt.actor_loss", *loss);
                 }
                 if journal.enabled() {
@@ -679,7 +716,7 @@ impl MaOpt {
                     let actors_obs = lane_results
                         .iter()
                         .enumerate()
-                        .map(|(i, (_, loss, pred))| ActorRound {
+                        .map(|(i, (_, loss, pred, _))| ActorRound {
                             id: i,
                             loss: *loss,
                             predicted_fom: *pred,
@@ -764,6 +801,10 @@ impl MaOpt {
                         timings.near_sampling.as_secs_f64(),
                     ],
                     journal_lines: journal_lines.clone(),
+                    op_store: op_store
+                        .entries()
+                        .map(|(k, s)| (k.to_vec(), s.slots.clone()))
+                        .collect(),
                 };
                 // Journal durability before snapshot durability: a crash
                 // between the two leaves a snapshot no newer than the file.
@@ -866,11 +907,12 @@ fn critic_fidelity(
     let n = pop.len().min(FIDELITY_WINDOW);
     let start = pop.len() - n;
     let zeros = vec![0.0; critic.dim()];
+    let mut scratch = PredictScratch::default();
     let mut predicted = Vec::with_capacity(n);
     let mut simulated = Vec::with_capacity(n);
     for i in start..pop.len() {
-        let pred = Surrogate::predict_raw(critic, pop.design(i), &zeros);
-        predicted.push(crate::fom::fom(&pred, specs, fom_cfg));
+        let pred = critic.predict_raw_with(pop.design(i), &zeros, &mut scratch);
+        predicted.push(crate::fom::fom(pred, specs, fom_cfg));
         simulated.push(pop.fom(i));
     }
     let rho = maopt_obs::stats::spearman(&predicted, &simulated).unwrap_or(f64::NAN);

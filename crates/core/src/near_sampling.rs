@@ -94,10 +94,13 @@ impl NearSampler {
         engine: &EvalEngine,
     ) -> (Vec<f64>, f64) {
         let d = x_opt.len();
-        // Build the critic input batch (x_opt, x_ns − x_opt) for all samples.
+        // Draw the candidates from the serial RNG stream. The critic input
+        // rows (x_opt, x_ns − x_opt) are NOT materialized here: each worker
+        // builds its chunk's rows directly into its thread-local scratch
+        // below, skipping the full n_samples × 2d intermediate matrix and
+        // the per-chunk row copies out of it.
         let mut candidates = Vec::with_capacity(self.n_samples);
-        let mut inputs = Mat::zeros(self.n_samples, 2 * d);
-        for k in 0..self.n_samples {
+        for _ in 0..self.n_samples {
             let mut x_ns = Vec::with_capacity(d);
             for &xo in x_opt {
                 let lo = (xo - self.delta).max(0.0);
@@ -108,10 +111,6 @@ impl NearSampler {
                     lo
                 });
             }
-            for t in 0..d {
-                inputs[(k, t)] = x_opt[t];
-                inputs[(k, d + t)] = x_ns[t] - x_opt[t];
-            }
             candidates.push(x_ns);
         }
 
@@ -121,13 +120,17 @@ impl NearSampler {
             .step_by(chunk)
             .map(|s| (s, (s + chunk).min(n)))
             .collect();
-        let inputs_ref = &inputs;
+        let cands_ref = &candidates;
         let scored: Vec<Vec<f64>> = engine.map(ranges, |_, (start, end)| {
             SCORE_SCRATCH.with(|cell| {
                 let (sub, ws, predictions) = &mut *cell.borrow_mut();
                 sub.resize_reset(end - start, 2 * d);
                 for r in 0..end - start {
-                    sub.row_mut(r).copy_from_slice(inputs_ref.row(start + r));
+                    let row = sub.row_mut(r);
+                    row[..d].copy_from_slice(x_opt);
+                    for t in 0..d {
+                        row[d + t] = cands_ref[start + r][t] - x_opt[t];
+                    }
                 }
                 critic.predict_batch_raw_into(sub, ws, predictions);
                 (0..end - start)

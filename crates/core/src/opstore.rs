@@ -1,0 +1,209 @@
+//! Operating-point store for cross-design Newton warm-starting.
+//!
+//! Maps a quantized design vector to the converged operating points
+//! ([`OpState`]) its evaluation produced, so later evaluations of *nearby*
+//! designs can seed Newton from a known-good solution instead of the cold
+//! gmin/source-stepping ladder.
+//!
+//! Determinism contract: the store lives on the optimizer's main thread and
+//! is only read/written between evaluation batches. Seeds are selected here
+//! — by the algorithm, deterministically — and travel *inside* each
+//! evaluation request; worker threads never consult shared state. That keeps
+//! journals byte-identical at any `--jobs` count (PR 4's invariance
+//! contract). Eviction is FIFO and [`OpStore::entries`] yields insertion
+//! order, so a checkpoint/resume round-trip reproduces the exact eviction
+//! sequence of an uninterrupted run.
+
+use std::collections::VecDeque;
+
+use maopt_exec::{quantize, OpState};
+
+/// Default maximum number of retained operating points.
+///
+/// The optimizer only ever seeds from the incumbent and the elite set
+/// (a handful of designs), but retaining a few hundred entries lets
+/// resumed runs and multi-actor configs keep every parent they might
+/// reference without the store growing with the simulation budget.
+const DEFAULT_CAPACITY: usize = 256;
+
+/// Bounded FIFO store of converged operating points keyed by quantized
+/// design vector.
+///
+/// Lookups are linear scans — the store is small (≤ a few hundred entries)
+/// and hit on the optimizer's main thread only, so a hash map would buy
+/// nothing and cost iteration-order determinism.
+#[derive(Debug, Clone)]
+pub struct OpStore {
+    cap: usize,
+    entries: VecDeque<(Vec<i64>, OpState)>,
+}
+
+impl Default for OpStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OpStore {
+    /// Store with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Store retaining at most `cap` entries (oldest evicted first).
+    /// A capacity of zero stores nothing and returns no seeds.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            cap,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Number of stored operating points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no operating point is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up the operating point stored for design `x`, if any.
+    pub fn get(&self, x: &[f64]) -> Option<&OpState> {
+        let key = quantize(x);
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, state)| state)
+    }
+
+    /// Insert the operating point for design `x`.
+    ///
+    /// First write wins: re-inserting an existing key is a no-op, mirroring
+    /// `SimCache` semantics so a design's stored OP never changes under it
+    /// mid-run. Evicts the oldest entry when at capacity.
+    pub fn insert(&mut self, x: &[f64], state: OpState) {
+        if self.cap == 0 {
+            return;
+        }
+        let key = quantize(x);
+        if self.entries.iter().any(|(k, _)| *k == key) {
+            return;
+        }
+        if self.entries.len() == self.cap {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((key, state));
+    }
+
+    /// All entries in insertion (= eviction) order, for checkpointing.
+    pub fn entries(&self) -> impl Iterator<Item = (&[i64], &OpState)> {
+        self.entries.iter().map(|(k, s)| (k.as_slice(), s))
+    }
+
+    /// Rebuild a store from checkpointed `(key, slots)` pairs, preserving
+    /// insertion order. Entries beyond `cap` evict from the front exactly as
+    /// live inserts would.
+    pub fn restore(cap: usize, entries: Vec<(Vec<i64>, Vec<Vec<f64>>)>) -> Self {
+        let mut store = Self::with_capacity(cap);
+        for (key, slots) in entries {
+            if store.cap == 0 {
+                break;
+            }
+            if store.entries.iter().any(|(k, _)| *k == key) {
+                continue;
+            }
+            if store.entries.len() == store.cap {
+                store.entries.pop_front();
+            }
+            store.entries.push_back((key, OpState { slots }));
+        }
+        store
+    }
+
+    /// Capacity this store was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(v: f64) -> OpState {
+        OpState {
+            slots: vec![vec![v, v + 1.0]],
+        }
+    }
+
+    #[test]
+    fn get_hits_on_quantized_key() {
+        let mut s = OpStore::new();
+        s.insert(&[1.0, 2.0], state(9.0));
+        // Perturbation below the 1e-12 quantization step maps to the same key.
+        assert_eq!(s.get(&[1.0 + 1e-14, 2.0]), Some(&state(9.0)));
+        assert_eq!(s.get(&[1.0 + 1e-9, 2.0]), None);
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let mut s = OpStore::new();
+        s.insert(&[1.0], state(1.0));
+        s.insert(&[1.0], state(2.0));
+        assert_eq!(s.get(&[1.0]), Some(&state(1.0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn evicts_oldest_at_capacity() {
+        let mut s = OpStore::with_capacity(2);
+        s.insert(&[1.0], state(1.0));
+        s.insert(&[2.0], state(2.0));
+        s.insert(&[3.0], state(3.0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(&[1.0]), None);
+        assert_eq!(s.get(&[2.0]), Some(&state(2.0)));
+        assert_eq!(s.get(&[3.0]), Some(&state(3.0)));
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut s = OpStore::with_capacity(0);
+        s.insert(&[1.0], state(1.0));
+        assert!(s.is_empty());
+        assert_eq!(s.get(&[1.0]), None);
+    }
+
+    #[test]
+    fn restore_round_trips_entries_in_order() {
+        let mut s = OpStore::with_capacity(8);
+        s.insert(&[1.0], state(1.0));
+        s.insert(&[2.0], state(2.0));
+        let dumped: Vec<(Vec<i64>, Vec<Vec<f64>>)> = s
+            .entries()
+            .map(|(k, st)| (k.to_vec(), st.slots.clone()))
+            .collect();
+        let restored = OpStore::restore(8, dumped);
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.get(&[1.0]), Some(&state(1.0)));
+        assert_eq!(restored.get(&[2.0]), Some(&state(2.0)));
+        let orig: Vec<_> = s.entries().map(|(k, _)| k.to_vec()).collect();
+        let back: Vec<_> = restored.entries().map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn restore_respects_capacity_via_fifo() {
+        let entries = vec![
+            (quantize(&[1.0]), vec![vec![1.0]]),
+            (quantize(&[2.0]), vec![vec![2.0]]),
+            (quantize(&[3.0]), vec![vec![3.0]]),
+        ];
+        let s = OpStore::restore(2, entries);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(&[1.0]), None);
+        assert!(s.get(&[3.0]).is_some());
+    }
+}

@@ -212,6 +212,23 @@ pub trait SizingProblem: Send + Sync {
     /// sizing flows treat non-convergent corners.
     fn evaluate(&self, x: &[f64]) -> Vec<f64>;
 
+    /// [`SizingProblem::evaluate`] with an optional operating-point seed
+    /// from a reference design of the same topology, returning this
+    /// evaluation's own converged [`maopt_exec::OpState`] for reuse.
+    ///
+    /// The seed is advisory — it warm-starts the simulator's Newton
+    /// solves but must never change which designs converge (the cold
+    /// continuation path remains the automatic rescue). The default
+    /// ignores it, so non-simulator problems need no changes.
+    fn evaluate_seeded(
+        &self,
+        x: &[f64],
+        seed: Option<&maopt_exec::OpState>,
+    ) -> (Vec<f64>, Option<maopt_exec::OpState>) {
+        let _ = seed;
+        (self.evaluate(x), None)
+    }
+
     /// Converts a normalized design to physical units (for reports).
     fn denormalize(&self, x: &[f64]) -> Vec<f64> {
         self.params()
@@ -248,6 +265,14 @@ pub struct EngineProblem<'a>(pub &'a dyn SizingProblem);
 impl maopt_exec::Evaluate for EngineProblem<'_> {
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         self.0.evaluate(x)
+    }
+
+    fn evaluate_seeded(
+        &self,
+        x: &[f64],
+        seed: Option<&maopt_exec::OpState>,
+    ) -> (Vec<f64>, Option<maopt_exec::OpState>) {
+        self.0.evaluate_seeded(x, seed)
     }
 
     fn num_metrics(&self) -> usize {

@@ -33,7 +33,10 @@ pub mod trace;
 
 pub use cache::{design_hash, quantize, SimCache};
 pub use chaos::{ChaosConfig, ChaosProblem, ChaosStats};
-pub use metrics::{HistogramSnapshot, MetricSnapshot, MetricsRegistry};
+pub use metrics::{
+    ambient_metrics, set_ambient_metrics, AmbientMetricsGuard, HistogramSnapshot, MetricSnapshot,
+    MetricsRegistry,
+};
 pub use pool::WorkerPool;
 pub use queue::BoundedQueue;
 pub use telemetry::{CounterSnapshot, SpanStat, Telemetry};
@@ -44,11 +47,43 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Converged simulator state captured from one evaluation, reusable as
+/// the Newton starting point when a *neighbouring* design of the same
+/// topology is evaluated next.
+///
+/// The engine treats the contents as opaque: `slots` is one solution
+/// vector per independent solve inside the evaluator (an OTA evaluation
+/// runs three DC solves on three circuit variants, so it has three
+/// slots), in evaluation order. Seeds travel *inside* the evaluation
+/// request — chosen by the optimizer on its deterministic main thread,
+/// never read from a shared cache on a worker — so results stay
+/// byte-identical at any worker count.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OpState {
+    /// One converged solution vector (node voltages + branch currents)
+    /// per solve inside the evaluator, in evaluation order.
+    pub slots: Vec<Vec<f64>>,
+}
+
 /// Anything the engine can run: a deterministic map from a normalized
 /// design vector to a metric vector.
 pub trait Evaluate: Sync {
     /// Simulates one design point.
     fn evaluate(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Simulates one design point, optionally warm-started from the
+    /// converged [`OpState`] of a reference design, and returns this
+    /// evaluation's own converged state for downstream reuse.
+    ///
+    /// The seed is advisory: evaluators must produce the same *converged*
+    /// result with or without it (warm-starting saves Newton iterations,
+    /// not correctness), falling back to their cold path when the seed
+    /// does not help. The default ignores the seed and captures nothing,
+    /// so existing evaluators stay correct unchanged.
+    fn evaluate_seeded(&self, x: &[f64], seed: Option<&OpState>) -> (Vec<f64>, Option<OpState>) {
+        let _ = seed;
+        (self.evaluate(x), None)
+    }
 
     /// Length of the metric vector [`Evaluate::evaluate`] returns.
     fn num_metrics(&self) -> usize;
@@ -414,11 +449,25 @@ impl EvalEngine {
     /// either the (cached) real metrics or the problem's penalty vector.
     /// Faulted attempts are never cached.
     pub fn evaluate_one<P: Evaluate + ?Sized>(&self, problem: &P, x: &[f64]) -> Vec<f64> {
+        self.evaluate_one_seeded(problem, x, None).0
+    }
+
+    /// [`EvalEngine::evaluate_one`] with an optional operating-point seed
+    /// travelling inside the request; additionally returns the
+    /// evaluation's converged [`OpState`] when the evaluator captured
+    /// one. A cache hit, a faulted attempt chain, or an evaluator without
+    /// a seeded override all return `None` state.
+    pub fn evaluate_one_seeded<P: Evaluate + ?Sized>(
+        &self,
+        problem: &P,
+        x: &[f64],
+        seed: Option<&OpState>,
+    ) -> (Vec<f64>, Option<OpState>) {
         let t = &self.telemetry;
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.get(x) {
                 t.bump(&t.counters.cache_hits);
-                return hit;
+                return (hit, None);
             }
             t.bump(&t.counters.cache_misses);
         }
@@ -435,19 +484,22 @@ impl EvalEngine {
             let start = Instant::now();
             let trace_t0 = tracer.map(|tr| tr.now_ns());
             let outcome = {
-                // Expose the recorder to the layers below (the simulator
-                // emits sim.assemble/factor/solve sub-phase spans through
-                // it); the guard restores the previous value even when
-                // the evaluation panics.
+                // Expose the recorder and metrics registry to the layers
+                // below (the simulator emits sim.assemble/factor/solve
+                // sub-phase spans and warm-start counters through them);
+                // the guards restore the previous values even when the
+                // evaluation panics.
                 let _ambient = trace::set_ambient(tracer.cloned());
-                std::panic::catch_unwind(AssertUnwindSafe(|| problem.evaluate(x)))
+                let _ambient_metrics =
+                    metrics::set_ambient_metrics(Some(Arc::clone(&t.metrics)));
+                std::panic::catch_unwind(AssertUnwindSafe(|| problem.evaluate_seeded(x, seed)))
             };
             let fault = match outcome {
                 Err(_) => {
                     t.bump(&t.counters.panics);
                     Some(FaultKind::Panic)
                 }
-                Ok(metrics) => {
+                Ok((metrics, state)) => {
                     let late = self
                         .policy
                         .deadline
@@ -476,7 +528,7 @@ impl EvalEngine {
                             );
                         }
                         t.metrics.observe("exec.sim_seconds", elapsed.as_secs_f64());
-                        return metrics;
+                        return (metrics, state);
                     }
                 }
             };
@@ -505,7 +557,7 @@ impl EvalEngine {
                 }
             } else {
                 t.bump(&t.counters.failures);
-                return problem.failure_metrics();
+                return (problem.failure_metrics(), None);
             }
         }
     }
@@ -518,6 +570,30 @@ impl EvalEngine {
     ) -> Vec<Vec<f64>> {
         self.map((0..xs.len()).collect(), |_, i: usize| {
             self.evaluate_one(problem, &xs[i])
+        })
+    }
+
+    /// Evaluates a batch with one pre-chosen operating-point seed per
+    /// design (`seeds[i]` warms `xs[i]`), preserving input order. Seeds
+    /// must be selected by the caller *before* the fan-out — that is what
+    /// keeps results independent of worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `seeds` is not the same length as `xs`.
+    pub fn evaluate_batch_seeded<P: Evaluate + ?Sized>(
+        &self,
+        problem: &P,
+        xs: &[Vec<f64>],
+        seeds: &[Option<&OpState>],
+    ) -> Vec<(Vec<f64>, Option<OpState>)> {
+        assert_eq!(
+            xs.len(),
+            seeds.len(),
+            "evaluate_batch_seeded needs one seed slot per design"
+        );
+        self.map((0..xs.len()).collect(), |_, i: usize| {
+            self.evaluate_one_seeded(problem, &xs[i], seeds[i])
         })
     }
 }
@@ -995,5 +1071,63 @@ mod tests {
         let serial = EvalEngine::serial().evaluate_batch(&Quadratic, &xs);
         let parallel = EvalEngine::new(4).evaluate_batch(&Quadratic, &xs);
         assert_eq!(serial, parallel);
+    }
+
+    /// Metrics shifted by the seed's first slot entry (deterministically),
+    /// state = the design itself — a stand-in for a warm-startable sim.
+    struct SeedAware;
+
+    impl Evaluate for SeedAware {
+        fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+            vec![x.iter().sum()]
+        }
+        fn evaluate_seeded(&self, x: &[f64], seed: Option<&OpState>) -> (Vec<f64>, Option<OpState>) {
+            let bias = seed.map_or(0.0, |s| s.slots[0][0] * 1e-3);
+            (
+                vec![x.iter().sum::<f64>() + bias],
+                Some(OpState {
+                    slots: vec![x.to_vec()],
+                }),
+            )
+        }
+        fn num_metrics(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn seeded_evaluation_threads_state_and_respects_cache() {
+        let cache = Arc::new(SimCache::new());
+        let engine = EvalEngine::new(1).with_cache(Arc::clone(&cache));
+        let seed = OpState {
+            slots: vec![vec![2.0]],
+        };
+        let (m, state) = engine.evaluate_one_seeded(&SeedAware, &[0.5], Some(&seed));
+        assert_eq!(m, vec![0.5 + 2e-3], "seed reached the evaluator");
+        assert_eq!(state.unwrap().slots, vec![vec![0.5]], "state captured");
+        // Cache hit: metrics come back, state does not (nothing ran).
+        let (m2, state2) = engine.evaluate_one_seeded(&SeedAware, &[0.5], Some(&seed));
+        assert_eq!(m2, m);
+        assert!(state2.is_none());
+        // Unseeded entry point goes through the same path with no seed.
+        assert_eq!(engine.evaluate_one(&SeedAware, &[0.25]), vec![0.25]);
+    }
+
+    #[test]
+    fn seeded_batch_is_order_preserving_and_jobs_invariant() {
+        let xs: Vec<Vec<f64>> = (0..24).map(|i| vec![f64::from(i) * 0.017]).collect();
+        let seed = OpState {
+            slots: vec![vec![1.0]],
+        };
+        let seeds: Vec<Option<&OpState>> = (0..24)
+            .map(|i| if i % 3 == 0 { Some(&seed) } else { None })
+            .collect();
+        let serial = EvalEngine::serial().evaluate_batch_seeded(&SeedAware, &xs, &seeds);
+        let parallel = EvalEngine::new(4).evaluate_batch_seeded(&SeedAware, &xs, &seeds);
+        assert_eq!(serial, parallel, "bitwise identical, not approximately");
+        for (i, (m, _)) in serial.iter().enumerate() {
+            let bias = if i % 3 == 0 { 1e-3 } else { 0.0 };
+            assert_eq!(m, &vec![xs[i][0] + bias]);
+        }
     }
 }

@@ -287,6 +287,42 @@ impl MetricsRegistry {
     }
 }
 
+/// The metrics registry of the evaluation currently running on this
+/// thread, if any. Mirrors [`crate::trace::ambient`]: the engine installs
+/// its registry around each `Evaluate::evaluate` call so layers below
+/// (the simulator's Newton loop) can emit counters and histogram
+/// observations without threading a handle through every signature.
+pub fn ambient_metrics() -> Option<std::sync::Arc<MetricsRegistry>> {
+    AMBIENT_METRICS.with(|slot| slot.borrow().clone())
+}
+
+/// Installs `reg` as this thread's ambient metrics registry, returning a
+/// guard that restores the previous value on drop (panic-safe).
+pub fn set_ambient_metrics(
+    reg: Option<std::sync::Arc<MetricsRegistry>>,
+) -> AmbientMetricsGuard {
+    let prev = AMBIENT_METRICS.with(|slot| std::mem::replace(&mut *slot.borrow_mut(), reg));
+    AmbientMetricsGuard { prev }
+}
+
+thread_local! {
+    static AMBIENT_METRICS: std::cell::RefCell<Option<std::sync::Arc<MetricsRegistry>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Restores the previously-ambient metrics registry when dropped.
+#[must_use = "dropping the guard immediately uninstalls the registry"]
+pub struct AmbientMetricsGuard {
+    prev: Option<std::sync::Arc<MetricsRegistry>>,
+}
+
+impl Drop for AmbientMetricsGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        AMBIENT_METRICS.with(|slot| *slot.borrow_mut() = prev);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +449,30 @@ mod tests {
         match snap.iter().find(|m| m.name() == "obs").unwrap() {
             MetricSnapshot::Counter { value, .. } => assert_eq!(*value, total),
             other => panic!("obs should be a counter: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ambient_metrics_guard_nests_and_restores() {
+        use std::sync::Arc;
+        assert!(ambient_metrics().is_none());
+        let outer = Arc::new(MetricsRegistry::new());
+        {
+            let _g1 = set_ambient_metrics(Some(Arc::clone(&outer)));
+            ambient_metrics().unwrap().inc("hits", 1);
+            {
+                let inner = Arc::new(MetricsRegistry::new());
+                let _g2 = set_ambient_metrics(Some(Arc::clone(&inner)));
+                ambient_metrics().unwrap().inc("hits", 5);
+                assert!(Arc::ptr_eq(&ambient_metrics().unwrap(), &inner));
+            }
+            // Inner guard dropped: outer registry is ambient again.
+            ambient_metrics().unwrap().inc("hits", 2);
+        }
+        assert!(ambient_metrics().is_none(), "guard restores None");
+        match outer.snapshot().first() {
+            Some(MetricSnapshot::Counter { value, .. }) => assert_eq!(*value, 3),
+            other => panic!("expected outer counter: {other:?}"),
         }
     }
 

@@ -138,8 +138,10 @@ pub struct Telemetry {
     pub counters: Counters,
     /// Named metrics (counters / gauges / log-bucket histograms) shared by
     /// the engine and anything running on it, so exec-level and
-    /// optimizer-level metrics land in one sink.
-    pub metrics: crate::metrics::MetricsRegistry,
+    /// optimizer-level metrics land in one sink. Behind an `Arc` so the
+    /// engine can install it as the thread-ambient registry
+    /// ([`crate::metrics::set_ambient_metrics`]) around each evaluation.
+    pub metrics: Arc<crate::metrics::MetricsRegistry>,
     spans: Mutex<BTreeMap<String, SpanTotal>>,
     events: Option<Mutex<BufWriter<File>>>,
     tracer: Option<Arc<crate::trace::TraceRecorder>>,
@@ -159,7 +161,7 @@ impl Default for Telemetry {
     fn default() -> Self {
         Telemetry {
             counters: Counters::default(),
-            metrics: crate::metrics::MetricsRegistry::new(),
+            metrics: Arc::new(crate::metrics::MetricsRegistry::new()),
             spans: Mutex::new(BTreeMap::new()),
             events: None,
             tracer: None,
@@ -189,7 +191,7 @@ impl Telemetry {
         let file = File::create(path)?;
         Ok(Telemetry {
             counters: Counters::default(),
-            metrics: crate::metrics::MetricsRegistry::new(),
+            metrics: Arc::new(crate::metrics::MetricsRegistry::new()),
             spans: Mutex::new(BTreeMap::new()),
             events: Some(Mutex::new(BufWriter::new(file))),
             tracer: None,

@@ -7,8 +7,21 @@ use crate::mna::{
 };
 use crate::mosfet::MosOp;
 use crate::probe::Probe;
-use crate::solver::{solve_newton_system, JacView, SolverKind, SolverWs};
+use crate::solver::{solve_newton_system, JacView, SolverKind, SolverWs, WarmstartKind};
 use crate::SimError;
+
+/// Histogram of total Newton iterations per DC solve.
+pub(crate) const METRIC_NEWTON_ITERS: &str = "sim.newton_iters";
+/// Counter: seeded solves where the warm attempt converged.
+const METRIC_WARM_HIT: &str = "sim.warmstart.hit";
+/// Counter: seeded solves rescued by the cold continuation ladder.
+const METRIC_WARM_FALLBACK: &str = "sim.warmstart.fallback";
+/// Counter: solves that ran the cold path (no usable seed or disabled).
+const METRIC_WARM_COLD: &str = "sim.warmstart.cold";
+/// Whole-solve trace span names, one per warm-start outcome.
+const SPAN_DC_WARM: &str = "sim.dc.warm";
+const SPAN_DC_FALLBACK: &str = "sim.dc.fallback";
+const SPAN_DC_COLD: &str = "sim.dc.cold";
 
 /// Configuration for the DC solve.
 ///
@@ -26,6 +39,14 @@ pub struct DcAnalysis {
     pub final_gmin: f64,
     /// Linear-solver backend for the Newton systems.
     pub solver: SolverKind,
+    /// Whether [`DcAnalysis::run_seeded`] may start Newton from a
+    /// reference design's operating point.
+    pub warmstart: WarmstartKind,
+    /// Newton iteration budget of the warm attempt before the cold
+    /// continuation ladder takes over. Deliberately much smaller than
+    /// `max_iter`: a warm start either converges in a handful of
+    /// iterations or is not worth pursuing.
+    pub warm_budget: usize,
 }
 
 impl Default for DcAnalysis {
@@ -36,6 +57,8 @@ impl Default for DcAnalysis {
             step_limit: 0.6,
             final_gmin: 1e-12,
             solver: SolverKind::Auto,
+            warmstart: WarmstartKind::Auto,
+            warm_budget: 40,
         }
     }
 }
@@ -158,29 +181,125 @@ impl DcAnalysis {
         };
 
         let probe = Probe::current();
-        let mut ws = DcScratch {
+        let mut ws = self.scratch(ckt, &layout);
+        let mut iters = 0usize;
+        let x = self.solve_staged(ckt, &layout, &mut ws, &probe, x0, time, &mut iters)?;
+        probe.observe(METRIC_NEWTON_ITERS, iters as f64);
+        Ok(self.finish(ckt, &layout, &mut ws, x, iters))
+    }
+
+    /// Solves the operating point, warm-starting Newton from a *reference
+    /// design's* converged solution vector when one is provided and
+    /// warm-starting is enabled (see [`WarmstartKind`]).
+    ///
+    /// The seed is advisory: when the warm attempt diverges, exceeds the
+    /// `warm_budget`, or the seed has the wrong length for this circuit,
+    /// the full cold continuation ladder reruns **from the flat-band
+    /// guess** (never from the hostile seed), so a bad seed can cost
+    /// iterations but never change which circuits converge or to what.
+    /// Outcomes land in the ambient metrics as `sim.warmstart.hit` /
+    /// `.fallback` / `.cold` counters plus the `sim.newton_iters`
+    /// histogram (iterations of a rescued solve include the wasted warm
+    /// attempt — honest accounting).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DcAnalysis::run`].
+    pub fn run_seeded(
+        &self,
+        ckt: &Circuit,
+        time: Option<f64>,
+        seed: Option<&[f64]>,
+    ) -> Result<DcOp, SimError> {
+        ckt.validate()?;
+        let layout = Layout::new(ckt);
+        let n = layout.n_unknowns;
+        let warm_seed = match seed {
+            Some(s) if self.warmstart.enabled() && s.len() == n => Some(s),
+            _ => None,
+        };
+
+        let probe = Probe::current();
+        let mut ws = self.scratch(ckt, &layout);
+        let mut iters = 0usize;
+        let t0 = probe.start();
+
+        let mut warm_failed = false;
+        if let Some(s) = warm_seed {
+            let budget = self.warm_budget.min(self.max_iter).max(1);
+            if let Ok(x) = self.newton(
+                ckt,
+                &layout,
+                &mut ws,
+                &probe,
+                s.to_vec(),
+                self.final_gmin,
+                1.0,
+                time,
+                budget,
+                &mut iters,
+            ) {
+                probe.inc(METRIC_WARM_HIT);
+                probe.observe(METRIC_NEWTON_ITERS, iters as f64);
+                probe.span(SPAN_DC_WARM, t0);
+                return Ok(self.finish(ckt, &layout, &mut ws, x, iters));
+            }
+            warm_failed = true;
+        }
+
+        let x = self.solve_staged(ckt, &layout, &mut ws, &probe, vec![0.0; n], time, &mut iters)?;
+        if warm_failed {
+            probe.inc(METRIC_WARM_FALLBACK);
+            probe.span(SPAN_DC_FALLBACK, t0);
+        } else {
+            probe.inc(METRIC_WARM_COLD);
+            probe.span(SPAN_DC_COLD, t0);
+        }
+        probe.observe(METRIC_NEWTON_ITERS, iters as f64);
+        Ok(self.finish(ckt, &layout, &mut ws, x, iters))
+    }
+
+    /// Fresh per-solve buffers for one run.
+    fn scratch(&self, ckt: &Circuit, layout: &Layout) -> DcScratch {
+        let n = layout.n_unknowns;
+        DcScratch {
             f: vec![0.0; n],
             neg_f: Vec::with_capacity(n),
             delta: Vec::with_capacity(n),
             mos: MosEvalScratch::default(),
             mos_ops: Vec::with_capacity(layout.mos_elems.len()),
-            solver: SolverWs::new(self.solver, ckt, &layout),
-        };
-        let mut iters = 0usize;
+            solver: SolverWs::new(self.solver, ckt, layout),
+        }
+    }
 
+    /// The three-stage cold continuation: direct Newton from `x0`, then
+    /// gmin stepping, then source stepping. Byte-for-byte the solve
+    /// sequence [`DcAnalysis::run_at_time`] has always run.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_staged(
+        &self,
+        ckt: &Circuit,
+        layout: &Layout,
+        ws: &mut DcScratch,
+        probe: &Probe,
+        x0: Vec<f64>,
+        time: Option<f64>,
+        iters: &mut usize,
+    ) -> Result<Vec<f64>, SimError> {
         // Stage 1: direct Newton from the guess.
         if let Ok(x) = self.newton(
             ckt,
-            &layout,
-            &mut ws,
-            &probe,
+            layout,
+            ws,
+            probe,
             x0.clone(),
             self.final_gmin,
             1.0,
             time,
-            &mut iters,
+            self.max_iter,
+            iters,
         ) {
-            return Ok(self.finish(ckt, &layout, &mut ws, x, iters));
+            return Ok(x);
         }
 
         // Stage 2: gmin stepping.
@@ -189,14 +308,15 @@ impl DcAnalysis {
         for gmin in [1e-2, 1e-4, 1e-6, 1e-8, 1e-10, self.final_gmin.max(1e-12)] {
             match self.newton(
                 ckt,
-                &layout,
-                &mut ws,
-                &probe,
+                layout,
+                ws,
+                probe,
                 x.clone(),
                 gmin,
                 1.0,
                 time,
-                &mut iters,
+                self.max_iter,
+                iters,
             ) {
                 Ok(next) => x = next,
                 Err(_) => {
@@ -206,7 +326,7 @@ impl DcAnalysis {
             }
         }
         if ok {
-            return Ok(self.finish(ckt, &layout, &mut ws, x, iters));
+            return Ok(x);
         }
 
         // Stage 3: source stepping at a safe gmin, then relax gmin.
@@ -215,33 +335,43 @@ impl DcAnalysis {
             let scale = k as f64 / 10.0;
             x = self
                 .newton(
-                    ckt, &layout, &mut ws, &probe, x, 1e-9, scale, time, &mut iters,
+                    ckt,
+                    layout,
+                    ws,
+                    probe,
+                    x,
+                    1e-9,
+                    scale,
+                    time,
+                    self.max_iter,
+                    iters,
                 )
                 .map_err(|_| SimError::NoConvergence {
                     analysis: format!("dc (source stepping at scale {scale})"),
                     iterations: self.max_iter,
                 })?;
         }
-        let x = self
-            .newton(
-                ckt,
-                &layout,
-                &mut ws,
-                &probe,
-                x,
-                self.final_gmin.max(1e-12),
-                1.0,
-                time,
-                &mut iters,
-            )
-            .map_err(|_| SimError::NoConvergence {
-                analysis: "dc".into(),
-                iterations: self.max_iter,
-            })?;
-        Ok(self.finish(ckt, &layout, &mut ws, x, iters))
+        self.newton(
+            ckt,
+            layout,
+            ws,
+            probe,
+            x,
+            self.final_gmin.max(1e-12),
+            1.0,
+            time,
+            self.max_iter,
+            iters,
+        )
+        .map_err(|_| SimError::NoConvergence {
+            analysis: "dc".into(),
+            iterations: self.max_iter,
+        })
     }
 
-    /// One Newton solve at fixed gmin / source scale.
+    /// One Newton solve at fixed gmin / source scale, allowed at most
+    /// `budget` iterations (`max_iter` on the cold path, `warm_budget`
+    /// for a warm attempt).
     #[allow(clippy::too_many_arguments)]
     fn newton(
         &self,
@@ -253,9 +383,10 @@ impl DcAnalysis {
         gmin: f64,
         source_scale: f64,
         time: Option<f64>,
+        budget: usize,
         iters: &mut usize,
     ) -> Result<Vec<f64>, SimError> {
-        for _ in 0..self.max_iter {
+        for _ in 0..budget {
             *iters += 1;
             let DcScratch {
                 f,
@@ -302,7 +433,7 @@ impl DcAnalysis {
             if !max_step.is_finite() {
                 return Err(SimError::NoConvergence {
                     analysis: "dc (non-finite step)".into(),
-                    iterations: self.max_iter,
+                    iterations: budget,
                 });
             }
             let alpha = if max_step > self.step_limit {
@@ -319,7 +450,7 @@ impl DcAnalysis {
         }
         Err(SimError::NoConvergence {
             analysis: "dc".into(),
-            iterations: self.max_iter,
+            iterations: budget,
         })
     }
 

@@ -10,7 +10,7 @@ use crate::mna::{
 };
 use crate::mosfet::MosOp;
 use crate::probe::Probe;
-use crate::solver::{solve_newton_system, JacView, SolverKind, SolverWs};
+use crate::solver::{solve_newton_system, JacView, SolverKind, SolverWs, WarmstartKind};
 use crate::SimError;
 
 /// Integration method for the capacitor companion models.
@@ -39,6 +39,11 @@ pub struct TranAnalysis {
     pub max_halvings: usize,
     /// Linear-solver backend for the per-timestep Newton systems.
     pub solver: SolverKind,
+    /// Whether each timestep's Newton start is linearly extrapolated from
+    /// the previous two accepted solutions instead of copied from the
+    /// last one. Converged solutions still satisfy the same tolerance;
+    /// `Off` restores the historical start exactly.
+    pub warmstart: WarmstartKind,
 }
 
 /// Reusable per-run buffers shared by every Newton iteration of every
@@ -67,6 +72,7 @@ impl TranAnalysis {
             max_newton: 60,
             max_halvings: 14,
             solver: SolverKind::Auto,
+            warmstart: WarmstartKind::Auto,
         }
     }
 
@@ -143,13 +149,33 @@ impl TranAnalysis {
             solver: SolverWs::new(self.solver, ckt, &layout),
         };
 
+        let predict = self.warmstart.enabled();
         while t < self.t_stop - 1e-18 {
             let h_eff = h.min(self.t_stop - t);
             let t_next = t + h_eff;
 
+            // Predictor: linear extrapolation of the Newton start from
+            // the previous two accepted solutions. Recomputed on every
+            // attempt because `h_eff` changes when a step is halved. The
+            // corrector (the Newton solve below) still converges to the
+            // same tolerance, so this only trades iterations, never
+            // accuracy; with warm-starting off the start is the previous
+            // solution, exactly as before.
+            let k = sols.len();
+            let x_start: Vec<f64> = if predict && k >= 2 && times[k - 1] > times[k - 2] {
+                let r = h_eff / (times[k - 1] - times[k - 2]);
+                sols[k - 1]
+                    .iter()
+                    .zip(&sols[k - 2])
+                    .map(|(a, b)| a + r * (a - b))
+                    .collect()
+            } else {
+                x.clone()
+            };
+
             match self.newton_step(
-                ckt, &layout, &caps, &inds, &mut ws, &probe, &x, &cap_v, &cap_i, &ind_i, &ind_v,
-                t_next, h_eff,
+                ckt, &layout, &caps, &inds, &mut ws, &probe, &x_start, &cap_v, &cap_i, &ind_i,
+                &ind_v, t_next, h_eff,
             ) {
                 Ok(x_next) => {
                     // Update capacitor companion state.
@@ -198,7 +224,10 @@ impl TranAnalysis {
         Ok(TranResult { times, sols })
     }
 
-    /// One Newton solve for the state at `t_next`.
+    /// One Newton solve for the state at `t_next`, started from
+    /// `x_start` (the previous solution, or the predictor's
+    /// extrapolation). The companion-model state is carried separately in
+    /// `cap_*`/`ind_*`, so the start vector is purely an initial guess.
     #[allow(clippy::too_many_arguments)]
     fn newton_step(
         &self,
@@ -208,7 +237,7 @@ impl TranAnalysis {
         inds: &[IndSpec],
         ws: &mut TranScratch,
         probe: &Probe,
-        x_prev: &[f64],
+        x_start: &[f64],
         cap_v: &[f64],
         cap_i: &[f64],
         ind_i: &[f64],
@@ -216,7 +245,7 @@ impl TranAnalysis {
         t_next: f64,
         h: f64,
     ) -> Result<Vec<f64>, SimError> {
-        let mut x = x_prev.to_vec();
+        let mut x = x_start.to_vec();
         for _ in 0..self.max_newton {
             let TranScratch {
                 f,

@@ -59,7 +59,7 @@ pub use error::SimError;
 pub use mosfet::{nmos_180nm, pmos_180nm, MosModel, MosOp, MosPolarity, MosRegion};
 pub use mosfet_batch::{DesignPoint, MosBatch};
 pub use netlist::{parse_netlist, parse_value};
-pub use solver::SolverKind;
+pub use solver::{SolverKind, WarmstartKind};
 pub use waveform::Waveform;
 
 /// Boltzmann constant × 300 K, in joules (used by noise analysis).

@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use maopt_exec::metrics::MetricsRegistry;
 use maopt_exec::trace::TraceRecorder;
 
 /// Span name for system assembly (device eval + stamping).
@@ -19,19 +20,21 @@ pub(crate) const SPAN_FACTOR: &str = "sim.factor";
 /// Span name for the triangular solves.
 pub(crate) const SPAN_SOLVE: &str = "sim.solve";
 
-/// Handle to the ambient trace recorder; all methods are no-ops when
-/// tracing is off.
+/// Handle to the ambient trace recorder and metrics registry; all
+/// methods are no-ops when the respective sink is absent.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Probe {
     rec: Option<Arc<TraceRecorder>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Probe {
-    /// Captures the recorder of the evaluation currently running on this
-    /// thread (if any).
+    /// Captures the recorder and metrics registry of the evaluation
+    /// currently running on this thread (if any).
     pub fn current() -> Probe {
         Probe {
             rec: maopt_exec::trace::ambient(),
+            metrics: maopt_exec::metrics::ambient_metrics(),
         }
     }
 
@@ -45,6 +48,20 @@ impl Probe {
         if let Some(r) = &self.rec {
             let now = r.now_ns();
             r.span(name, t0, now.saturating_sub(t0), None);
+        }
+    }
+
+    /// Bumps a named counter in the ambient metrics registry.
+    pub fn inc(&self, name: &str) {
+        if let Some(m) = &self.metrics {
+            m.inc(name, 1);
+        }
+    }
+
+    /// Records one observation into a named ambient histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(m) = &self.metrics {
+            m.observe(name, value);
         }
     }
 }

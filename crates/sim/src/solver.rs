@@ -68,6 +68,51 @@ impl SolverKind {
     }
 }
 
+/// Whether an analysis may start Newton from caller-provided state (a
+/// reference design's operating point) or extrapolated state (the
+/// transient predictor) instead of the cold flat-band guess.
+///
+/// Warm-starting only changes the Newton *starting point*; a converged
+/// solution still satisfies the same tolerance, and the full cold
+/// continuation ladder remains the automatic rescue when a warm attempt
+/// diverges. `Off` is bitwise identical to the pre-warm-start solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmstartKind {
+    /// Honor the `MAOPT_SIM_WARMSTART` environment variable (`on` when
+    /// unset). The default.
+    #[default]
+    Auto,
+    /// Warm-starting active regardless of the environment.
+    On,
+    /// Cold path only.
+    Off,
+}
+
+impl WarmstartKind {
+    /// Resolves to a concrete choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `MAOPT_SIM_WARMSTART` is set to anything other than
+    /// `on` or `off` (misconfiguration must not silently change
+    /// performance characteristics).
+    pub(crate) fn enabled(self) -> bool {
+        match self {
+            WarmstartKind::On => true,
+            WarmstartKind::Off => false,
+            WarmstartKind::Auto => {
+                static CHOICE: OnceLock<bool> = OnceLock::new();
+                *CHOICE.get_or_init(|| match std::env::var("MAOPT_SIM_WARMSTART") {
+                    Err(_) => true,
+                    Ok(v) if v.eq_ignore_ascii_case("on") => true,
+                    Ok(v) if v.eq_ignore_ascii_case("off") => false,
+                    Ok(v) => panic!("MAOPT_SIM_WARMSTART must be `on` or `off`, got `{v}`"),
+                })
+            }
+        }
+    }
+}
+
 /// Dense matrix + factor buffers, reused across iterations.
 #[derive(Debug)]
 pub(crate) struct DenseWs {

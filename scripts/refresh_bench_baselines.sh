@@ -8,10 +8,12 @@
 # enabled, then splits the reports into the baseline files CI diffs
 # against:
 #
-#   results/BENCH_kernels_baseline.json   — kernels / mlp / critic groups
-#   results/BENCH_parallel_baseline.json  — gemm_tiled / pool groups
-#   results/BENCH_sim_baseline.json       — sim group (sparse vs dense MNA,
-#                                           batched MOSFET eval)
+#   results/BENCH_kernels_baseline.json    — kernels / mlp / critic groups
+#   results/BENCH_parallel_baseline.json   — gemm_tiled / pool groups
+#   results/BENCH_sim_baseline.json        — sim group (sparse vs dense MNA,
+#                                            batched MOSFET eval)
+#   results/BENCH_warmstart_baseline.json  — warmstart group (seeded vs
+#                                            cold DC solves)
 #
 # Baselines are machine-dependent; refresh them on the machine class CI
 # runs on (or rely on the wide --time-tol the CI jobs pass).
@@ -25,10 +27,12 @@ fi
 
 tmp=$(mktemp /tmp/bench_kernels.XXXXXX.json)
 tmp_sim=$(mktemp /tmp/bench_sim.XXXXXX.json)
-trap 'rm -f "$tmp" "$tmp_sim"' EXIT
+tmp_warm=$(mktemp /tmp/bench_warmstart.XXXXXX.json)
+trap 'rm -f "$tmp" "$tmp_sim" "$tmp_warm"' EXIT
 
 MAOPT_BENCH_QUICK=${quick} CRITERION_JSON="$tmp" cargo bench -p maopt-bench --bench kernels
 MAOPT_BENCH_QUICK=${quick} CRITERION_JSON="$tmp_sim" cargo bench -p maopt-bench --bench sim
+MAOPT_BENCH_QUICK=${quick} CRITERION_JSON="$tmp_warm" cargo bench -p maopt-bench --bench warmstart
 
 # The criterion stub writes one benchmark record per line, so a report
 # can be split into per-group baselines with grep.
@@ -53,7 +57,9 @@ split_groups() {
 split_groups "$tmp" results/BENCH_kernels_baseline.json kernels mlp critic
 split_groups "$tmp" results/BENCH_parallel_baseline.json gemm_tiled pool
 split_groups "$tmp_sim" results/BENCH_sim_baseline.json sim
+split_groups "$tmp_warm" results/BENCH_warmstart_baseline.json warmstart
 
 echo "wrote results/BENCH_kernels_baseline.json"
 echo "wrote results/BENCH_parallel_baseline.json"
 echo "wrote results/BENCH_sim_baseline.json"
+echo "wrote results/BENCH_warmstart_baseline.json"
