@@ -55,13 +55,27 @@ fn ota_like(scale: f64) -> Circuit {
     ckt.vsource("VINN", inn, gnd, 0.9);
     ckt.isource("IB", vdd, bias, 10e-6);
     ckt.mosfet("MB", bias, bias, gnd, gnd, mos(&nmos, 2.0, 1.0, 1.0));
-    ckt.mosfet("M5", tail, bias, gnd, gnd, mos(&nmos, 4.0 * scale, 1.0, 1.0));
+    ckt.mosfet(
+        "M5",
+        tail,
+        bias,
+        gnd,
+        gnd,
+        mos(&nmos, 4.0 * scale, 1.0, 1.0),
+    );
     ckt.mosfet("M1", d1, inn, tail, gnd, mos(&nmos, 20.0 * scale, 0.5, 2.0));
     ckt.mosfet("M2", d2, inp, tail, gnd, mos(&nmos, 20.0 * scale, 0.5, 2.0));
     ckt.mosfet("M3", d1, d1, vdd, vdd, mos(&pmos, 10.0 * scale, 0.5, 2.0));
     ckt.mosfet("M4", d2, d1, vdd, vdd, mos(&pmos, 10.0 * scale, 0.5, 2.0));
     ckt.mosfet("M6", out, d2, vdd, vdd, mos(&pmos, 60.0 * scale, 0.5, 4.0));
-    ckt.mosfet("M7", out, bias, gnd, gnd, mos(&nmos, 12.0 * scale, 1.0, 2.0));
+    ckt.mosfet(
+        "M7",
+        out,
+        bias,
+        gnd,
+        gnd,
+        mos(&nmos, 12.0 * scale, 1.0, 2.0),
+    );
     ckt.resistor("RZ", d2, zn, 2e3);
     ckt.capacitor("CC", zn, out, 1e-12);
     ckt.capacitor("CL", out, gnd, 20e-12);

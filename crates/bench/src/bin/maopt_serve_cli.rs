@@ -76,17 +76,19 @@ fn job_line(job: &Json) -> String {
             .to_string()
     };
     let sims = job.get("sims").and_then(Json::as_u64).unwrap_or(0);
+    let attempts = job.get("attempts").and_then(Json::as_u64).unwrap_or(0);
     let fom = job
         .get("best_fom")
         .and_then(Json::as_f64)
         .map_or("-".into(), |v| format!("{v:.4}"));
     format!(
-        "{:<8} {:<10} {:<9} {:<14} {:<8} sims {:<6} best_fom {}",
+        "{:<8} {:<10} {:<11} {:<14} {:<8} attempts {:<3} sims {:<6} best_fom {}",
         s("id"),
         spec("tenant"),
         s("status"),
         spec("problem"),
         spec("method"),
+        attempts,
         sims,
         fom
     )
@@ -132,6 +134,52 @@ fn submit_cmd(client: &mut Client, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders the daemon's queue manifest (when the report target is a
+/// state directory that has one) as a markdown job table, so the report
+/// surfaces quarantined / crash-looping jobs that never produced a
+/// complete journal.
+fn render_job_table(state_dir: &std::path::Path) -> Option<String> {
+    let (queue, rollbacks) =
+        maopt_serve::JobQueue::load_or_default(&state_dir.join("queue.maopt")).ok()?;
+    let jobs: Vec<_> = queue.jobs().collect();
+    if jobs.is_empty() {
+        return None;
+    }
+    let mut md = String::from(
+        "\n## Jobs\n\n\
+         | job | tenant | status | attempts | rollbacks | sims | error |\n\
+         |---|---|---|---:|---:|---:|---|\n",
+    );
+    for job in &jobs {
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            job.name(),
+            job.spec.tenant,
+            job.status,
+            job.attempts,
+            job.rollbacks,
+            job.sims,
+            job.error.as_deref().unwrap_or("-"),
+        ));
+    }
+    let quarantined = jobs
+        .iter()
+        .filter(|j| j.status == maopt_serve::JobStatus::Quarantined)
+        .count();
+    if quarantined > 0 {
+        md.push_str(&format!(
+            "\n**{quarantined} job(s) quarantined** — exhausted their attempt \
+             budget crashing or stalling; resubmit after fixing the spec.\n"
+        ));
+    }
+    if rollbacks > 0 {
+        md.push_str(&format!(
+            "\n{rollbacks} corrupt manifest generation(s) rolled past while loading.\n"
+        ));
+    }
+    Some(md)
+}
+
 fn report_cmd(args: &[String]) -> Result<(), String> {
     let mut state_dir: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
@@ -157,7 +205,10 @@ fn report_cmd(args: &[String]) -> Result<(), String> {
         return Err(format!("no .jsonl journals under {}", root.display()));
     }
     let journals = load_journals(&paths)?;
-    let md = render_markdown(&journals);
+    let mut md = render_markdown(&journals);
+    if let Some(table) = render_job_table(&state_dir) {
+        md.push_str(&table);
+    }
     match &out {
         Some(path) => {
             std::fs::write(path, &md)

@@ -97,7 +97,12 @@ fn any_checkpoint(dir: &Path) -> bool {
             let path = entry.unwrap().path();
             if path.is_dir() {
                 stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "ckpt") {
+            } else if path.file_name().is_some_and(|n| {
+                // Generation-rotated snapshots (`run0.ckpt.0001.bin`) or a
+                // legacy bare `run0.ckpt`; never a `.tmp` still in flight.
+                let n = n.to_string_lossy();
+                n.ends_with(".ckpt") || (n.contains(".ckpt.") && n.ends_with(".bin"))
+            }) {
                 return true;
             }
         }

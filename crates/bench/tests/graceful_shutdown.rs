@@ -92,7 +92,15 @@ fn run_journals(dir: &Path) -> Vec<PathBuf> {
 }
 
 fn any_checkpoint(dir: &Path) -> bool {
-    !files_under(dir, |p| p.extension().is_some_and(|e| e == "ckpt")).is_empty()
+    !files_under(dir, |p| {
+        p.file_name().is_some_and(|n| {
+            // Generation-rotated snapshots (`run0.ckpt.0001.bin`) or a
+            // legacy bare `run0.ckpt`; never a `.tmp` still in flight.
+            let n = n.to_string_lossy();
+            n.ends_with(".ckpt") || (n.contains(".ckpt.") && n.ends_with(".bin"))
+        })
+    })
+    .is_empty()
 }
 
 #[test]

@@ -335,7 +335,9 @@ impl LdoRegulator {
             slots: vec![op.unknowns().to_vec()],
         };
         Ok((
-            vec![iq, vout, load_reg, line_reg, tl_up, tl_dn, tv_up, tv_dn, psrr],
+            vec![
+                iq, vout, load_reg, line_reg, tl_up, tl_dn, tv_up, tv_dn, psrr,
+            ],
             state,
         ))
     }

@@ -39,6 +39,12 @@ use std::path::Path;
 
 use maopt_nn::{AdamState, LayerState, MlpState, ScalerState};
 
+mod faults;
+mod gens;
+
+pub use faults::{active_faults, install_faults, FaultConfig, FaultFs, WriteFault, FAULTS_ENV};
+pub use gens::{GenLoad, GenStore, DEFAULT_KEEP};
+
 /// Current snapshot format version; bumped on any payload layout change.
 /// Version 2 appended the operating-point store (warm-start seeds).
 pub const FORMAT_VERSION: u32 = 2;
@@ -574,12 +580,47 @@ pub fn save_tagged(
     version: u32,
     payload: &[u8],
 ) -> Result<(), CkptError> {
+    save_tagged_with(path, magic, version, payload, active_faults().as_deref())
+}
+
+/// [`save_tagged`] with an explicit fault injector, the single seam every
+/// checkpoint byte passes through. With `faults: None` (or a quiet
+/// injector) this *is* the production write path; with an injector it
+/// deterministically exercises the four storage failure modes:
+///
+/// - **ENOSPC** — a partial temp file is written then removed, the
+///   destination is left as a zero-length file when it did not already
+///   exist (what an interrupted `create` leaves behind), and the error
+///   surfaces to the caller.
+/// - **Torn write** — the file is silently truncated at a seeded byte
+///   and the rename *succeeds*: the checksum must catch it at load.
+/// - **Fsync failure** — the temp file is discarded before rename and
+///   the error surfaces; the previous destination stays intact.
+/// - **Bit flip** — one seeded bit is flipped post-checksum and the
+///   write reports success: again the checksum's job at load.
+///
+/// # Errors
+///
+/// As [`save_tagged`], plus injected ENOSPC / fsync failures.
+pub fn save_tagged_with(
+    path: &Path,
+    magic: &[u8; 8],
+    version: u32,
+    payload: &[u8],
+    faults: Option<&FaultFs>,
+) -> Result<(), CkptError> {
     let mut bytes = Vec::with_capacity(28 + payload.len());
     bytes.extend_from_slice(magic);
     bytes.extend_from_slice(&version.to_le_bytes());
     bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     bytes.extend_from_slice(payload);
     bytes.extend_from_slice(&fnv1a(payload).to_le_bytes());
+
+    let fault = faults.and_then(|f| f.draw(path));
+    if let (Some(WriteFault::BitFlip), Some(f)) = (fault, faults) {
+        let bit = f.flip_bit(path, bytes.len());
+        bytes[bit / 8] ^= 1 << (bit % 8);
+    }
 
     let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
     if let Some(dir) = parent {
@@ -591,6 +632,43 @@ pub fn save_tagged(
     let mut tmp_name = file_name.to_os_string();
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);
+
+    match fault {
+        Some(WriteFault::Enospc) => {
+            // Disk filled mid-write: a partial temp file, then the
+            // zero-length destination an interrupted `create` leaves.
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes[..bytes.len() / 2])?;
+            drop(f);
+            let _ = fs::remove_file(&tmp);
+            if !path.exists() {
+                drop(File::create(path)?);
+            }
+            return Err(CkptError::Io(std::io::Error::other(
+                "injected fault: ENOSPC during write",
+            )));
+        }
+        Some(WriteFault::FsyncFail) => {
+            // The data may never have reached the platter; discard the
+            // temp file so the previous destination stays authoritative.
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            drop(f);
+            let _ = fs::remove_file(&tmp);
+            return Err(CkptError::Io(std::io::Error::other(
+                "injected fault: fsync failed",
+            )));
+        }
+        Some(WriteFault::Torn) => {
+            // Silent: the truncated file completes the rename and the
+            // caller sees success — only the load-time checksum objects.
+            let cut = faults
+                .expect("fault implies injector")
+                .cut_point(path, bytes.len());
+            bytes.truncate(cut);
+        }
+        Some(WriteFault::BitFlip) | None => {}
+    }
 
     let mut f = File::create(&tmp)?;
     f.write_all(&bytes)?;
@@ -655,11 +733,21 @@ pub fn load_tagged(path: &Path, magic: &[u8; 8], version: u32) -> Result<Vec<u8>
     Ok(bytes)
 }
 
-/// [`load_tagged`] that maps a missing file to `Ok(None)`.
+/// Whether `path` is a zero-length file — the state an ENOSPC- or
+/// kill-interrupted `create` leaves behind. Such a file never held data,
+/// so the `*_if_exists` loaders treat it as missing rather than corrupt.
+fn is_zero_length(path: &Path) -> bool {
+    fs::metadata(path).map(|m| m.len() == 0).unwrap_or(false)
+}
+
+/// [`load_tagged`] that maps a missing file to `Ok(None)`. A zero-length
+/// file — what an interrupted `create` leaves behind — also reads as
+/// missing: it never contained a payload to lose.
 ///
 /// # Errors
 ///
-/// As [`load_tagged`], except `NotFound` which becomes `Ok(None)`.
+/// As [`load_tagged`], except `NotFound` and zero-length files which
+/// become `Ok(None)`.
 pub fn load_tagged_if_exists(
     path: &Path,
     magic: &[u8; 8],
@@ -668,6 +756,7 @@ pub fn load_tagged_if_exists(
     match load_tagged(path, magic, version) {
         Ok(b) => Ok(Some(b)),
         Err(CkptError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(CkptError::Corrupt(_)) if is_zero_length(path) => Ok(None),
         Err(e) => Err(e),
     }
 }
@@ -696,17 +785,50 @@ pub fn load_snapshot(path: &Path) -> Result<RunSnapshot, CkptError> {
 }
 
 /// [`load_snapshot`] that maps a missing file to `Ok(None)` — the normal
-/// "first run, nothing to resume" case.
+/// "first run, nothing to resume" case. A zero-length file (an
+/// interrupted `create`) also reads as missing.
 ///
 /// # Errors
 ///
-/// As [`load_snapshot`], except `NotFound` which becomes `Ok(None)`.
+/// As [`load_snapshot`], except `NotFound` and zero-length files which
+/// become `Ok(None)`.
 pub fn load_if_exists(path: &Path) -> Result<Option<RunSnapshot>, CkptError> {
     match load_snapshot(path) {
         Ok(s) => Ok(Some(s)),
         Err(CkptError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(CkptError::Corrupt(_)) if is_zero_length(path) => Ok(None),
         Err(e) => Err(e),
     }
+}
+
+// ------------------------------------------------- rotated snapshots
+
+/// A [`GenStore`] rotating snapshot generations (`<base>.0001.bin`, …)
+/// under the standard snapshot magic and format version, keeping
+/// [`DEFAULT_KEEP`] generations.
+pub fn snapshot_store(base: &Path) -> GenStore {
+    GenStore::new(base, MAGIC, FORMAT_VERSION)
+}
+
+/// Writes `snap` as the next snapshot generation of `store`, returning
+/// the generation number.
+///
+/// # Errors
+///
+/// As [`GenStore::save_next`].
+pub fn save_snapshot_gen(store: &GenStore, snap: &RunSnapshot) -> Result<u64, CkptError> {
+    store.save_next(&encode(snap))
+}
+
+/// Loads the newest good snapshot generation of `store` (legacy
+/// un-rotated base file included), reporting how many corrupt newer
+/// generations were rolled past.
+///
+/// # Errors
+///
+/// As [`GenStore::load_latest_good_with`].
+pub fn load_snapshot_gen(store: &GenStore) -> Result<Option<GenLoad<RunSnapshot>>, CkptError> {
+    store.load_latest_good_with(decode)
 }
 
 #[cfg(test)]

@@ -54,7 +54,12 @@ pub trait Surrogate {
     /// buffers — allocation-free once warm, for tight loops that predict
     /// one `(x, Δx)` pair at a time. The returned slice borrows the
     /// scratch and is valid until the next call.
-    fn predict_raw_with<'s>(&self, x: &[f64], dx: &[f64], scratch: &'s mut PredictScratch) -> &'s [f64] {
+    fn predict_raw_with<'s>(
+        &self,
+        x: &[f64],
+        dx: &[f64],
+        scratch: &'s mut PredictScratch,
+    ) -> &'s [f64] {
         let d = self.dim();
         assert_eq!(x.len(), d, "state length mismatch");
         assert_eq!(dx.len(), d, "action length mismatch");

@@ -105,7 +105,11 @@ fn reference_and_resumed(
         halted.trace.num_sims() < budget,
         "halt at round {k} must interrupt the run mid-flight"
     );
-    assert!(ckpt_path.exists(), "halted run must leave a checkpoint");
+    let store = maopt_ckpt::snapshot_store(&ckpt_path);
+    assert!(
+        !store.generations().unwrap().is_empty(),
+        "halted run must leave a checkpoint generation"
+    );
 
     // "Restart the process": fresh journal (truncating the torn one), fresh
     // engine, fresh problem instance, resume from the snapshot.
@@ -150,6 +154,75 @@ fn resumed_run_is_byte_identical_to_uninterrupted() {
         resumed.trace.best_fom_series(40)
     );
     assert_eq!(reference.population.len(), resumed.population.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_newest_generation_rolls_back_and_stays_byte_identical() {
+    // Corrupt the newest snapshot generation after a mid-run kill: resume
+    // must fall back to the previous good generation (one round earlier),
+    // count the rollback, and still converge on a journal byte-identical
+    // to the uninterrupted run — an earlier round is just an earlier
+    // point on the same deterministic trajectory.
+    let dir = tmp_dir("torn");
+    let problem = ConstrainedToy::new(3);
+    let cfg = small(MaOptConfig::ma_opt(9));
+    let init = sample_initial_set(&problem, 30, 9);
+    let budget = 40;
+    let ckpt_path = dir.join("run.ckpt");
+
+    let ref_path = dir.join("reference.jsonl");
+    let journal = Journal::create(&ref_path).unwrap();
+    let reference = MaOpt::new(cfg.clone()).run_observed(
+        &problem,
+        init.clone(),
+        budget,
+        &EvalEngine::serial(),
+        &journal,
+    );
+    drop(journal);
+
+    let res_path = dir.join("resumed.jsonl");
+    let ckpt = RunCheckpointer::new(&ckpt_path).with_halt_after_round(4);
+    let journal = Journal::create(&res_path).unwrap();
+    MaOpt::new(cfg.clone()).run_resumable(
+        &problem,
+        init.clone(),
+        budget,
+        &EvalEngine::serial(),
+        &journal,
+        Some(&ckpt),
+    );
+    drop(journal);
+
+    // Tear the newest generation mid-payload, as an interrupted write on
+    // less well-behaved storage would.
+    let store = maopt_ckpt::snapshot_store(&ckpt_path);
+    let gens = store.generations().unwrap();
+    assert!(gens.len() >= 2, "need an older generation to roll back to");
+    let (_, newest) = gens.last().unwrap();
+    let bytes = std::fs::read(newest).unwrap();
+    std::fs::write(newest, &bytes[..bytes.len() / 2]).unwrap();
+
+    let ckpt = RunCheckpointer::new(&ckpt_path).with_resume(true);
+    let journal = Journal::create(&res_path).unwrap();
+    let resumed = MaOpt::new(cfg).run_resumable(
+        &problem,
+        init,
+        budget,
+        &EvalEngine::serial(),
+        &journal,
+        Some(&ckpt),
+    );
+    drop(journal);
+
+    assert_eq!(ckpt.rollbacks(), 1, "the torn generation must be counted");
+    assert_eq!(
+        normalized_lines(&ref_path),
+        normalized_lines(&res_path),
+        "rollback resume must stay byte-identical on non-timing fields"
+    );
+    assert_eq!(reference.best_fom(), resumed.best_fom());
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -223,8 +223,7 @@ fn warm_started_journals_match_serial_bitwise() {
 
     let serial_problem = SeedSensitiveToy::new(2);
     let par_problem = SeedSensitiveToy::new(2);
-    let (serial_stats, mut serial_journals) =
-        run_protocol_on(&serial_problem, 1, 1, "warm-serial");
+    let (serial_stats, mut serial_journals) = run_protocol_on(&serial_problem, 1, 1, "warm-serial");
     let (par_stats, mut par_journals) = run_protocol_on(
         &par_problem,
         run_jobs,

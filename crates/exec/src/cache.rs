@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Quantization steps per unit of normalized parameter space.
 const SCALE: f64 = 1e12;
@@ -69,7 +69,7 @@ impl SimCache {
     /// Looks up a design vector, counting the hit or miss.
     pub fn get(&self, x: &[f64]) -> Option<Vec<f64>> {
         let key = quantize(x);
-        let map = self.map.lock().expect("cache mutex poisoned");
+        let map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
         match map.get(&key) {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -87,13 +87,16 @@ impl SimCache {
     /// results are identical for a deterministic simulator anyway).
     pub fn insert(&self, x: &[f64], metrics: Vec<f64>) {
         let key = quantize(x);
-        let mut map = self.map.lock().expect("cache mutex poisoned");
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
         map.entry(key).or_insert(metrics);
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache mutex poisoned").len()
+        self.map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// True when nothing is cached.
@@ -111,13 +114,16 @@ impl SimCache {
 
     /// Drops all entries; counters are preserved.
     pub fn clear(&self) {
-        self.map.lock().expect("cache mutex poisoned").clear();
+        self.map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 
     /// Every `(quantized key, metrics)` entry, sorted by key — a
     /// deterministic dump for checkpointing.
     pub fn entries(&self) -> Vec<(Vec<i64>, Vec<f64>)> {
-        let map = self.map.lock().expect("cache mutex poisoned");
+        let map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
         let mut out: Vec<_> = map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
@@ -127,7 +133,7 @@ impl SimCache {
     /// restore). Existing entries win, matching the first-insert-wins
     /// policy of [`SimCache::insert`]; hit/miss counters are untouched.
     pub fn restore(&self, entries: Vec<(Vec<i64>, Vec<f64>)>) {
-        let mut map = self.map.lock().expect("cache mutex poisoned");
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
         for (k, v) in entries {
             map.entry(k).or_insert(v);
         }

@@ -490,8 +490,7 @@ impl EvalEngine {
                 // the guards restore the previous values even when the
                 // evaluation panics.
                 let _ambient = trace::set_ambient(tracer.cloned());
-                let _ambient_metrics =
-                    metrics::set_ambient_metrics(Some(Arc::clone(&t.metrics)));
+                let _ambient_metrics = metrics::set_ambient_metrics(Some(Arc::clone(&t.metrics)));
                 std::panic::catch_unwind(AssertUnwindSafe(|| problem.evaluate_seeded(x, seed)))
             };
             let fault = match outcome {
@@ -1081,7 +1080,11 @@ mod tests {
         fn evaluate(&self, x: &[f64]) -> Vec<f64> {
             vec![x.iter().sum()]
         }
-        fn evaluate_seeded(&self, x: &[f64], seed: Option<&OpState>) -> (Vec<f64>, Option<OpState>) {
+        fn evaluate_seeded(
+            &self,
+            x: &[f64],
+            seed: Option<&OpState>,
+        ) -> (Vec<f64>, Option<OpState>) {
             let bias = seed.map_or(0.0, |s| s.slots[0][0] * 1e-3);
             (
                 vec![x.iter().sum::<f64>() + bias],

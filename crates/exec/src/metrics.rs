@@ -10,7 +10,7 @@
 //! orders of magnitude.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Buckets per decade.
 const PER_DECADE: i32 = 4;
@@ -180,7 +180,7 @@ impl MetricsRegistry {
 
     /// Adds `by` to the named counter (creating it at zero).
     pub fn inc(&self, name: &str, by: u64) {
-        let mut m = self.metrics.lock().expect("metrics mutex poisoned");
+        let mut m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         if let Metric::Counter(v) = m
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(0))
@@ -191,7 +191,7 @@ impl MetricsRegistry {
 
     /// Sets the named gauge (creating it).
     pub fn set_gauge(&self, name: &str, value: f64) {
-        let mut m = self.metrics.lock().expect("metrics mutex poisoned");
+        let mut m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         if let Metric::Gauge(v) = m
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(value))
@@ -202,7 +202,7 @@ impl MetricsRegistry {
 
     /// Records one observation into the named histogram (creating it).
     pub fn observe(&self, name: &str, value: f64) {
-        let mut m = self.metrics.lock().expect("metrics mutex poisoned");
+        let mut m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         if let Metric::Histogram(h) = m
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Hist::new()))
@@ -222,8 +222,8 @@ impl MetricsRegistry {
     /// target are fine, but two registries must not merge *each other*
     /// concurrently (lock-order deadlock).
     pub fn merge_from(&self, other: &MetricsRegistry) {
-        let theirs = other.metrics.lock().expect("metrics mutex poisoned");
-        let mut ours = self.metrics.lock().expect("metrics mutex poisoned");
+        let theirs = other.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut ours = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         for (name, metric) in theirs.iter() {
             match metric {
                 Metric::Counter(v) => {
@@ -256,7 +256,7 @@ impl MetricsRegistry {
 
     /// A point-in-time copy of every metric, sorted by name.
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
-        let m = self.metrics.lock().expect("metrics mutex poisoned");
+        let m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         m.iter()
             .map(|(name, metric)| match metric {
                 Metric::Counter(v) => MetricSnapshot::Counter {
@@ -298,9 +298,7 @@ pub fn ambient_metrics() -> Option<std::sync::Arc<MetricsRegistry>> {
 
 /// Installs `reg` as this thread's ambient metrics registry, returning a
 /// guard that restores the previous value on drop (panic-safe).
-pub fn set_ambient_metrics(
-    reg: Option<std::sync::Arc<MetricsRegistry>>,
-) -> AmbientMetricsGuard {
+pub fn set_ambient_metrics(reg: Option<std::sync::Arc<MetricsRegistry>>) -> AmbientMetricsGuard {
     let prev = AMBIENT_METRICS.with(|slot| std::mem::replace(&mut *slot.borrow_mut(), reg));
     AmbientMetricsGuard { prev }
 }

@@ -7,7 +7,7 @@
 //! unbounded fan-out), consumers block until work or close.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 struct State<T> {
     items: VecDeque<T>,
@@ -47,9 +47,12 @@ impl<T> BoundedQueue<T> {
     /// closing is how a panicked consumer unblocks its producer instead
     /// of deadlocking it.
     pub fn push(&self, item: T) -> bool {
-        let mut st = self.state.lock().expect("queue mutex poisoned");
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         while st.items.len() >= self.capacity && !st.closed {
-            st = self.not_full.wait(st).expect("queue mutex poisoned");
+            st = self
+                .not_full
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         if st.closed {
             return false;
@@ -63,7 +66,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until an item is available; `None` once the queue is closed
     /// and drained.
     pub fn pop(&self) -> Option<T> {
-        let mut st = self.state.lock().expect("queue mutex poisoned");
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(item) = st.items.pop_front() {
                 drop(st);
@@ -73,14 +76,21 @@ impl<T> BoundedQueue<T> {
             if st.closed {
                 return None;
             }
-            st = self.not_empty.wait(st).expect("queue mutex poisoned");
+            st = self
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Items currently enqueued (a racy sample by nature — fine for the
     /// queue-depth gauge, useless for synchronization).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue mutex poisoned").items.len()
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .items
+            .len()
     }
 
     /// Whether the queue currently holds no items (same caveat as
@@ -92,7 +102,7 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: pending pops drain the remainder, new pushes are
     /// rejected, blocked parties wake up.
     pub fn close(&self) {
-        let mut st = self.state.lock().expect("queue mutex poisoned");
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         st.closed = true;
         drop(st);
         self.not_empty.notify_all();

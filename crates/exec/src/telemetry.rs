@@ -370,7 +370,7 @@ impl Telemetry {
             line.push_str(&format!(",{}:{}", json_string(key), value));
         }
         line.push_str("}\n");
-        let mut w = events.lock().expect("event log mutex poisoned");
+        let mut w = events.lock().unwrap_or_else(PoisonError::into_inner);
         let _ = w.write_all(line.as_bytes());
     }
 

@@ -3,6 +3,7 @@
 //! ```text
 //! maopt-serve --state-dir DIR [--addr HOST:PORT] [--slots N]
 //!             [--max-pending N] [--tenant-quota N] [--jobs N]
+//!             [--max-attempts N] [--stall-budget-ms MS]
 //! ```
 //!
 //! The listen address defaults to `127.0.0.1:0` (ephemeral; the bound
@@ -12,6 +13,12 @@
 //! fallback. SIGTERM/SIGINT drain gracefully: running jobs checkpoint
 //! at their next round boundary, the queue manifest is persisted, and
 //! the process exits 0.
+//!
+//! `--max-attempts N` bounds how often one job may crash or stall the
+//! runner before it is quarantined instead of retried (default 3;
+//! 0 = retry forever). `--stall-budget-ms MS` arms the watchdog: a job
+//! whose checkpoint round has not advanced within MS is cancelled, and
+//! after another MS without progress demoted off its slot.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,13 +32,16 @@ struct Args {
     slots: usize,
     max_pending: usize,
     tenant_quota: usize,
+    max_attempts: usize,
+    stall_budget_ms: Option<u64>,
     jobs: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: maopt-serve --state-dir DIR [--addr HOST:PORT] [--slots N] \
-         [--max-pending N] [--tenant-quota N] [--jobs N]"
+         [--max-pending N] [--tenant-quota N] [--jobs N] \
+         [--max-attempts N] [--stall-budget-ms MS]"
     );
     std::process::exit(2);
 }
@@ -43,6 +53,8 @@ fn parse_args() -> Args {
         slots: 2,
         max_pending: 64,
         tenant_quota: 2,
+        max_attempts: 3,
+        stall_budget_ms: None,
         jobs: None,
     };
     let mut it = std::env::args().skip(1);
@@ -66,6 +78,13 @@ fn parse_args() -> Args {
             }
             "--tenant-quota" => {
                 args.tenant_quota = parse_num(&value("--tenant-quota"), "--tenant-quota");
+            }
+            "--max-attempts" => {
+                args.max_attempts = parse_num(&value("--max-attempts"), "--max-attempts");
+            }
+            "--stall-budget-ms" => {
+                args.stall_budget_ms =
+                    Some(parse_num(&value("--stall-budget-ms"), "--stall-budget-ms") as u64);
             }
             "--jobs" => args.jobs = Some(parse_num(&value("--jobs"), "--jobs")),
             "--help" | "-h" => usage(),
@@ -120,8 +139,10 @@ fn main() -> ExitCode {
         limits: QueueLimits {
             max_pending: args.max_pending,
             tenant_quota: args.tenant_quota,
+            max_attempts: args.max_attempts,
         },
         poll_ms: 20,
+        stall_budget_ms: args.stall_budget_ms,
     };
     let server = match Server::bind(cfg, engine, stop) {
         Ok(s) => s,

@@ -82,8 +82,10 @@ impl JobSpec {
 ///
 /// ```text
 /// Pending ──▶ Running ──▶ Done
-///    ▲           │  └───▶ Failed
-///    │(shutdown) │
+///    ▲           │  ├───▶ Failed
+///    │(shutdown, │  └───▶ Quarantined (after --max-attempts crashes
+///    │  crash,   │                     or watchdog demotions)
+///    │  stall)   │
 ///    └───────────┤
 ///    Canceled ◀──┴── (cancel, from Pending or Running)
 /// ```
@@ -99,6 +101,10 @@ pub enum JobStatus {
     Failed,
     /// Cancelled by a client.
     Canceled,
+    /// Exhausted its attempt budget crashing or stalling the runner;
+    /// parked so it cannot crash-loop the daemon. Terminal until an
+    /// operator resubmits it.
+    Quarantined,
 }
 
 impl JobStatus {
@@ -110,6 +116,7 @@ impl JobStatus {
             JobStatus::Done => "done",
             JobStatus::Failed => "failed",
             JobStatus::Canceled => "canceled",
+            JobStatus::Quarantined => "quarantined",
         }
     }
 
@@ -125,6 +132,7 @@ impl JobStatus {
             "done" => Ok(JobStatus::Done),
             "failed" => Ok(JobStatus::Failed),
             "canceled" => Ok(JobStatus::Canceled),
+            "quarantined" => Ok(JobStatus::Quarantined),
             other => Err(format!("unknown job status {other:?}")),
         }
     }
@@ -133,7 +141,7 @@ impl JobStatus {
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
-            JobStatus::Done | JobStatus::Failed | JobStatus::Canceled
+            JobStatus::Done | JobStatus::Failed | JobStatus::Canceled | JobStatus::Quarantined
         )
     }
 }
@@ -160,7 +168,15 @@ pub struct JobRecord {
     pub success: Option<bool>,
     /// Simulations consumed so far.
     pub sims: u64,
-    /// Failure reason, when [`JobStatus::Failed`].
+    /// Dispatch attempts charged so far. Incremented *before* each
+    /// dispatch, so a job that kills the daemon mid-run is still
+    /// charged for the attempt on restart.
+    pub attempts: u64,
+    /// Corrupt snapshot generations rolled past while (re)running this
+    /// job.
+    pub rollbacks: u64,
+    /// Failure reason, when [`JobStatus::Failed`] or
+    /// [`JobStatus::Quarantined`].
     pub error: Option<String>,
 }
 
@@ -189,6 +205,8 @@ impl JobRecord {
             ("spec", self.spec.to_json()),
             ("status", Json::Str(self.status.as_str().into())),
             ("sims", Json::num_u(self.sims)),
+            ("attempts", Json::num_u(self.attempts)),
+            ("rollbacks", Json::num_u(self.rollbacks)),
         ];
         if let Some(f) = self.best_fom {
             pairs.push(("best_fom", Json::Num(f)));
@@ -226,6 +244,8 @@ impl JobRecord {
             best_fom: v.get("best_fom").and_then(Json::as_f64),
             success: v.get("success").and_then(Json::as_bool),
             sims: v.get("sims").and_then(Json::as_u64).unwrap_or(0),
+            attempts: v.get("attempts").and_then(Json::as_u64).unwrap_or(0),
+            rollbacks: v.get("rollbacks").and_then(Json::as_u64).unwrap_or(0),
             error: v.get("error").and_then(Json::as_str).map(String::from),
         })
     }

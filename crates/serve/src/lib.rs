@@ -9,10 +9,13 @@
 //!   `TcpListener` ([`protocol`]) — offline-friendly, zero new
 //!   dependencies, reusing `maopt-obs`'s hermetic JSON parser;
 //! * a **durable job queue** ([`queue`]) persisted through the
-//!   `maopt-ckpt` atomic-write path (`MAOPTJBQ` manifests next to
-//!   `MAOPTCKP` snapshots), with admission control (bounded pending
-//!   queue → 429-style reject), per-tenant concurrency quotas, and fair
-//!   round-robin scheduling;
+//!   `maopt-ckpt` generation-rotated atomic-write path (`MAOPTJBQ`
+//!   manifests next to `MAOPTCKP` snapshots, last-good fallback on
+//!   corruption), with admission control (bounded pending queue →
+//!   429-style reject), per-tenant concurrency quotas, fair
+//!   round-robin scheduling, per-job attempt accounting with
+//!   quarantine after `--max-attempts` crashes or stalls, and an
+//!   optional stall watchdog;
 //! * a **scheduler + accept loop** ([`server`]) multiplexing jobs onto
 //!   the run-level [`maopt_exec::WorkerPool`] fan-out; a SIGKILLed
 //!   daemon restarts with its queue intact and resumes every in-flight

@@ -1,13 +1,17 @@
 //! Name → problem / method resolution for submitted jobs.
 //!
 //! Problems: `sphere:<d>`, `toy:<d>`, `rosenbrock:<d>` (synthetic, for
-//! smoke jobs and tests) and the paper's circuits `ota`, `tia`, `ldo`.
-//! Methods: `ma-opt`, `ma-opt1`, `ma-opt2`, `dnn-opt`; the `quick` flag
-//! shrinks networks and training loops for sub-second smoke jobs.
+//! smoke jobs and tests), the paper's circuits `ota`, `tia`, `ldo`, and
+//! two supervision-test probes: `slow:<ms>` (a 2-D sphere sleeping
+//! `<ms>` per evaluation, for watchdog/stall coverage) and `poison` (a
+//! problem that panics the runner thread on every attempt, for
+//! quarantine coverage). Methods: `ma-opt`, `ma-opt1`, `ma-opt2`,
+//! `dnn-opt`; the `quick` flag shrinks networks and training loops for
+//! sub-second smoke jobs.
 
 use maopt_circuits::{LdoRegulator, ThreeStageTia, TwoStageOta};
 use maopt_core::problems::{ConstrainedToy, RosenbrockDisk, Sphere};
-use maopt_core::{MaOptConfig, SizingProblem};
+use maopt_core::{MaOptConfig, ParamSpec, SizingProblem, Spec};
 
 /// Resolves a problem name.
 ///
@@ -35,9 +39,88 @@ pub fn build_problem(name: &str) -> Result<Box<dyn SizingProblem>, String> {
         ("ota", None) => Ok(Box::new(TwoStageOta::new())),
         ("tia", None) => Ok(Box::new(ThreeStageTia::new())),
         ("ldo", None) => Ok(Box::new(LdoRegulator::new())),
+        ("slow", Some(ms)) => Ok(Box::new(SlowSphere::new(ms as u64))),
+        ("poison", None) => Ok(Box::new(PoisonProblem::new())),
         _ => Err(format!(
-            "unknown problem {name:?} (expected sphere:<d>, toy:<d>, rosenbrock:<d>, ota, tia, or ldo)"
+            "unknown problem {name:?} (expected sphere:<d>, toy:<d>, rosenbrock:<d>, ota, tia, ldo, slow:<ms>, or poison)"
         )),
+    }
+}
+
+/// A 2-D sphere that sleeps a fixed number of milliseconds per
+/// evaluation: a deterministic stand-in for a simulator stuck in a slow
+/// corner, used to exercise the serve watchdog's cancel → demote
+/// escalation without wall-clock flakiness from real workloads.
+struct SlowSphere {
+    inner: Sphere,
+    delay: std::time::Duration,
+}
+
+impl SlowSphere {
+    fn new(ms: u64) -> Self {
+        SlowSphere {
+            inner: Sphere::new(2),
+            delay: std::time::Duration::from_millis(ms),
+        }
+    }
+}
+
+impl SizingProblem for SlowSphere {
+    fn name(&self) -> &str {
+        "slow-sphere"
+    }
+    fn params(&self) -> &[ParamSpec] {
+        self.inner.params()
+    }
+    fn metric_names(&self) -> Vec<String> {
+        self.inner.metric_names()
+    }
+    fn specs(&self) -> &[Spec] {
+        self.inner.specs()
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        std::thread::sleep(self.delay);
+        self.inner.evaluate(x)
+    }
+}
+
+/// A problem whose spec references a metric index the evaluation vector
+/// does not have, so scoring — *outside* the engine's per-evaluation
+/// fault isolation — panics the runner thread on every attempt. This is
+/// the deterministic daemon-killer the quarantine path exists for:
+/// admission-time validation passes (the spec is well-formed), every
+/// dispatch crashes, and only the attempt budget stops the loop.
+struct PoisonProblem {
+    inner: Sphere,
+    specs: Vec<Spec>,
+}
+
+impl PoisonProblem {
+    fn new() -> Self {
+        PoisonProblem {
+            inner: Sphere::new(2),
+            // Sphere's metric vector has 1 entry; index 9 is out of
+            // bounds at scoring time.
+            specs: vec![Spec::at_most("poison", 9, 0.0)],
+        }
+    }
+}
+
+impl SizingProblem for PoisonProblem {
+    fn name(&self) -> &str {
+        "poison"
+    }
+    fn params(&self) -> &[ParamSpec] {
+        self.inner.params()
+    }
+    fn metric_names(&self) -> Vec<String> {
+        self.inner.metric_names()
+    }
+    fn specs(&self) -> &[Spec] {
+        &self.specs
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        self.inner.evaluate(x)
     }
 }
 
@@ -83,6 +166,26 @@ mod tests {
         assert!(build_problem("ota").is_ok());
         assert!(build_problem("tia").is_ok());
         assert!(build_problem("ldo").is_ok());
+    }
+
+    #[test]
+    fn supervision_probes_resolve() {
+        let slow = build_problem("slow:5").unwrap();
+        assert_eq!(slow.dim(), 2);
+        let t0 = std::time::Instant::now();
+        let m = slow.evaluate(&[0.5, 0.5]);
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
+        assert_eq!(m, Sphere::new(2).evaluate(&[0.5, 0.5]));
+
+        let poison = build_problem("poison").unwrap();
+        assert_eq!(poison.dim(), 2);
+        let m = poison.evaluate(&[0.5, 0.5]);
+        assert!(
+            poison.specs().iter().any(|s| s.metric_index >= m.len()),
+            "the poison spec must reference a metric the vector lacks"
+        );
+        assert!(build_problem("slow").is_err(), "slow needs a delay suffix");
+        assert!(build_problem("poison:2").is_err());
     }
 
     #[test]

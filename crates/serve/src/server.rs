@@ -13,10 +13,15 @@
 //!   bounded queue cannot block the scheduling tick. With a serial
 //!   engine it degenerates to running one job at a time inline.
 //! * Every queue mutation persists the manifest through the
-//!   `maopt-ckpt` atomic path before it is acknowledged to clients, so
-//!   a SIGKILL at any point restarts with a consistent queue; jobs that
-//!   were running are demoted to pending and resume from their round
-//!   checkpoints.
+//!   `maopt-ckpt` generation-rotated atomic path before it is
+//!   acknowledged to clients, so a SIGKILL at any point restarts with
+//!   a consistent queue (a corrupt newest generation rolls back to the
+//!   previous one); jobs that were running are requeued below their
+//!   attempt budget — each dispatch charges the attempt *before* the
+//!   runner starts — and quarantined at it, so a daemon-killing job
+//!   cannot crash-loop the service. An optional watchdog
+//!   ([`ServeConfig::stall_budget_ms`]) cancels and then demotes jobs
+//!   whose checkpoint round counter stops advancing.
 //!
 //! ## Durability + determinism
 //!
@@ -36,14 +41,14 @@
 //! [`maopt_exec::prom::Exposition`]. Scrapes read shared state under
 //! the same lock as every other command; they never touch job journals.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use maopt_core::runner::{sample_initial_set_with, Optimizer};
 use maopt_core::{RunCheckpointer, RunResult};
@@ -71,6 +76,12 @@ pub struct ServeConfig {
     pub limits: QueueLimits,
     /// Scheduler tick and subscribe poll interval.
     pub poll_ms: u64,
+    /// Watchdog stall budget: a running job whose checkpoint round
+    /// counter has not advanced for this long is cancelled, and after a
+    /// second budget without progress is demoted off its slot (its
+    /// already-charged attempt standing — enough demotions quarantine
+    /// it). `None` disables the watchdog.
+    pub stall_budget_ms: Option<u64>,
 }
 
 impl ServeConfig {
@@ -83,6 +94,7 @@ impl ServeConfig {
             slots: 2,
             limits: QueueLimits::default(),
             poll_ms: 20,
+            stall_budget_ms: None,
         }
     }
 }
@@ -114,11 +126,32 @@ pub fn addr_from_env() -> Result<Option<String>, String> {
         })
 }
 
+/// Scheduler-side bookkeeping for one dispatched job.
+struct RunningJob {
+    /// Stop flag (raised by cancel, shutdown, and the watchdog).
+    flag: Arc<AtomicBool>,
+    /// The job's checkpoint-round liveness beacon
+    /// ([`RunCheckpointer::with_progress`]).
+    progress: Arc<AtomicU64>,
+    /// Last beacon value observed by the watchdog.
+    last_progress: u64,
+    /// When the beacon last advanced (dispatch time initially).
+    last_advance: Instant,
+    /// When the watchdog raised the stop flag, if it has — stage one of
+    /// the cancel → demote escalation.
+    canceled_at: Option<Instant>,
+}
+
 /// Mutable server state, shared by connections and the scheduler.
 struct State {
     queue: JobQueue,
-    /// Per-running-job stop flags (raised by cancel and by shutdown).
-    flags: BTreeMap<u64, Arc<AtomicBool>>,
+    /// Scheduler bookkeeping per dispatched job (slot accounting, stop
+    /// flags, watchdog progress).
+    running: BTreeMap<u64, RunningJob>,
+    /// Watchdog-demoted jobs whose runner thread has not returned yet:
+    /// their working directories are still owned by a hung thread, so
+    /// the scheduler must not re-dispatch them until it exits.
+    zombies: BTreeSet<u64>,
     /// High-water mark of concurrently running jobs.
     peak_running: usize,
     /// High-water mark of concurrently running jobs per tenant — the
@@ -176,6 +209,10 @@ impl Shared {
             "serve.queue.running",
             st.queue.count_status(JobStatus::Running) as f64,
         );
+        metrics.set_gauge(
+            "serve.quarantined",
+            st.queue.count_status(JobStatus::Quarantined) as f64,
+        );
     }
 }
 
@@ -187,23 +224,41 @@ pub struct Server {
 }
 
 impl Server {
-    /// Loads (or initializes) the durable queue under
-    /// `cfg.state_dir`, demoting previously running jobs to pending,
-    /// binds the listener, and writes the bound address to
-    /// `<state_dir>/addr`.
+    /// Loads (or initializes) the durable queue under `cfg.state_dir` —
+    /// rolling back past corrupt manifest generations, requeueing
+    /// previously running jobs within their attempt budget and
+    /// quarantining the rest — binds the listener, and writes the bound
+    /// address to `<state_dir>/addr`.
     ///
     /// # Errors
     ///
-    /// Propagates bind/IO failures; a corrupt queue manifest is an
-    /// `InvalidData` error (refusing to silently drop jobs).
+    /// Propagates bind/IO failures; a queue manifest with *no* good
+    /// generation is an `InvalidData` error (refusing to silently drop
+    /// jobs).
     pub fn bind(cfg: ServeConfig, engine: EvalEngine, stop: Arc<AtomicBool>) -> io::Result<Server> {
         let mut cfg = cfg;
         // The pool's bounded queue holds 2×workers tasks; more slots
         // than that could block the scheduling tick on spawn.
         cfg.slots = cfg.slots.clamp(1, engine.jobs().max(1) * 2);
         std::fs::create_dir_all(&cfg.state_dir)?;
-        let queue = JobQueue::load_or_default(&cfg.state_dir.join("queue.maopt"))
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let (mut queue, manifest_rollbacks) =
+            JobQueue::load_or_default(&cfg.state_dir.join("queue.maopt"))
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if manifest_rollbacks > 0 {
+            engine
+                .telemetry()
+                .metrics
+                .inc("serve.manifest.rollback", manifest_rollbacks);
+            eprintln!(
+                "maopt-serve: rolled back {manifest_rollbacks} corrupt queue manifest generation(s)"
+            );
+        }
+        let (requeued, quarantined) = queue.recover(cfg.limits.max_attempts);
+        if requeued + quarantined > 0 {
+            eprintln!(
+                "maopt-serve: recovered {requeued} interrupted job(s), quarantined {quarantined} at the attempt budget"
+            );
+        }
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         std::fs::write(
@@ -215,7 +270,8 @@ impl Server {
             engine,
             state: Mutex::new(State {
                 queue,
-                flags: BTreeMap::new(),
+                running: BTreeMap::new(),
+                zombies: BTreeSet::new(),
                 peak_running: 0,
                 peak_tenant_running: BTreeMap::new(),
             }),
@@ -287,9 +343,9 @@ fn scheduler(shared: &Arc<Shared>) {
         Some(pool) => pool.scope(|scope| {
             let poll = Duration::from_millis(shared.cfg.poll_ms.max(1));
             loop {
-                if tick(shared, |id, flag| {
+                if tick(shared, |id, flag, progress| {
                     let shared = Arc::clone(shared);
-                    scope.spawn(move |_w| run_job(&shared, id, &flag));
+                    scope.spawn(move |_w| run_job(&shared, id, &flag, &progress));
                 }) {
                     break;
                 }
@@ -299,7 +355,9 @@ fn scheduler(shared: &Arc<Shared>) {
         None => {
             let poll = Duration::from_millis(shared.cfg.poll_ms.max(1));
             loop {
-                if tick(shared, |id, flag| run_job(shared, id, &flag)) {
+                if tick(shared, |id, flag, progress| {
+                    run_job(shared, id, &flag, &progress);
+                }) {
                     break;
                 }
                 std::thread::sleep(poll);
@@ -308,28 +366,100 @@ fn scheduler(shared: &Arc<Shared>) {
     }
 }
 
-/// One scheduling tick: dispatch runnable jobs into free slots via
-/// `dispatch`, propagate a shutdown to running jobs, and report whether
-/// the scheduler should exit (stopped and fully drained).
-fn tick(shared: &Arc<Shared>, mut dispatch: impl FnMut(u64, Arc<AtomicBool>)) -> bool {
+/// Watchdog pass over running jobs, escalating per stall budget: a job
+/// whose checkpoint-round beacon has not advanced for one budget gets
+/// its stop flag raised (a cooperative cancel a live-but-slow run honors
+/// at its next round boundary); one more budget without progress and it
+/// is demoted off its slot — requeued within its attempt budget,
+/// quarantined beyond it — and parked in `zombies` until its hung
+/// thread actually returns. Returns whether the queue changed.
+fn watchdog(shared: &Shared, st: &mut State, budget: Duration) -> bool {
+    let metrics = &shared.engine.telemetry().metrics;
+    let now = Instant::now();
+    let mut demoted = Vec::new();
+    for (id, rj) in &mut st.running {
+        let beacon = rj.progress.load(Ordering::SeqCst);
+        if beacon > rj.last_progress {
+            rj.last_progress = beacon;
+            rj.last_advance = now;
+            continue;
+        }
+        if now.duration_since(rj.last_advance) < budget {
+            continue;
+        }
+        match rj.canceled_at {
+            None => {
+                rj.flag.store(true, Ordering::SeqCst);
+                rj.canceled_at = Some(now);
+                metrics.inc("serve.watchdog.cancel", 1);
+            }
+            Some(at) if now.duration_since(at) >= budget => demoted.push(*id),
+            Some(_) => {}
+        }
+    }
+    let changed = !demoted.is_empty();
+    for id in demoted {
+        st.running.remove(&id);
+        st.zombies.insert(id);
+        metrics.inc("serve.watchdog.demote", 1);
+        let max_attempts = shared.cfg.limits.max_attempts;
+        if let Some(job) = st.queue.get_mut(id) {
+            if job.status == JobStatus::Running {
+                if max_attempts > 0 && job.attempts >= max_attempts as u64 {
+                    job.status = JobStatus::Quarantined;
+                    job.error = Some(format!(
+                        "quarantined after {} attempt(s): stalled past the watchdog budget",
+                        job.attempts
+                    ));
+                } else {
+                    job.status = JobStatus::Pending;
+                    job.error = Some("watchdog: stalled past budget; requeued".into());
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// One scheduling tick: run the watchdog, dispatch runnable jobs into
+/// free slots via `dispatch`, propagate a shutdown to running jobs, and
+/// report whether the scheduler should exit (stopped and fully drained).
+fn tick(
+    shared: &Arc<Shared>,
+    mut dispatch: impl FnMut(u64, Arc<AtomicBool>, Arc<AtomicU64>),
+) -> bool {
     let stopping = shared.stop.load(Ordering::SeqCst);
     let mut to_run = Vec::new();
     {
         let mut st = shared.state.lock().expect("state lock");
+        let st = &mut *st;
         if stopping {
-            for flag in st.flags.values() {
-                flag.store(true, Ordering::SeqCst);
+            for rj in st.running.values() {
+                rj.flag.store(true, Ordering::SeqCst);
             }
-            return st.flags.is_empty();
+            return st.running.is_empty();
         }
+        let mut changed = match shared.cfg.stall_budget_ms {
+            Some(ms) => watchdog(shared, st, Duration::from_millis(ms.max(1))),
+            None => false,
+        };
         let slots = shared.cfg.slots.max(1);
-        let mut changed = false;
-        while st.flags.len() < slots {
-            let Some(id) = st.queue.next_runnable(&shared.cfg.limits) else {
+        while st.running.len() < slots {
+            let Some(id) = st.queue.next_runnable(&shared.cfg.limits, &st.zombies) else {
                 break;
             };
             let flag = Arc::new(AtomicBool::new(false));
-            st.flags.insert(id, Arc::clone(&flag));
+            let progress = Arc::new(AtomicU64::new(0));
+            st.running.insert(
+                id,
+                RunningJob {
+                    flag: Arc::clone(&flag),
+                    progress: Arc::clone(&progress),
+                    last_progress: 0,
+                    last_advance: Instant::now(),
+                    canceled_at: None,
+                },
+            );
             let tenant = st
                 .queue
                 .get(id)
@@ -342,23 +472,23 @@ fn tick(shared: &Arc<Shared>, mut dispatch: impl FnMut(u64, Arc<AtomicBool>)) ->
             let tenant_now = st.queue.tenant_count(&tenant, JobStatus::Running);
             let peak = st.peak_tenant_running.entry(tenant).or_insert(0);
             *peak = (*peak).max(tenant_now);
-            to_run.push((id, flag));
+            to_run.push((id, flag, progress));
             changed = true;
         }
         if changed {
-            shared.commit(&st);
+            shared.commit(st);
         }
     }
-    for (id, flag) in to_run {
-        dispatch(id, flag);
+    for (id, flag, progress) in to_run {
+        dispatch(id, flag, progress);
     }
     false
 }
 
 /// Executes one job end-to-end and records its terminal (or demoted)
-/// state. Never panics: build errors and run panics become
-/// [`JobStatus::Failed`].
-fn run_job(shared: &Arc<Shared>, id: u64, flag: &Arc<AtomicBool>) {
+/// state. Never panics: build errors and run panics are charged against
+/// the job's attempt budget — requeued below it, quarantined at it.
+fn run_job(shared: &Arc<Shared>, id: u64, flag: &Arc<AtomicBool>, progress: &Arc<AtomicU64>) {
     let spec = {
         let st = shared.state.lock().expect("state lock");
         match st.queue.get(id) {
@@ -366,8 +496,12 @@ fn run_job(shared: &Arc<Shared>, id: u64, flag: &Arc<AtomicBool>) {
             None => return,
         }
     };
+    let ckpt = RunCheckpointer::new(shared.job_dir(id).join("run.ckpt"))
+        .with_resume(true)
+        .with_stop_flag(Arc::clone(flag))
+        .with_progress(Arc::clone(progress));
     let t0 = std::time::Instant::now();
-    let outcome = execute(shared, id, &spec, flag);
+    let outcome = execute(shared, id, &spec, &ckpt);
     // Wall-clock job latency, per daemon and per tenant. These land in
     // the daemon engine's registry (scraped by `metrics`), never in job
     // journals — journals embed counter deltas only, so timing stays
@@ -379,44 +513,74 @@ fn run_job(shared: &Arc<Shared>, id: u64, flag: &Arc<AtomicBool>) {
         &format!("serve.tenant.{}.job_seconds", spec.tenant),
         elapsed,
     );
+    // Storage-fault health, surfaced per job and in the daemon registry.
+    let rollbacks = ckpt.rollbacks();
+    if rollbacks > 0 {
+        metrics.inc("ckpt.rollback", rollbacks);
+    }
+    if ckpt.write_failures() > 0 {
+        metrics.inc("ckpt.write_failure", ckpt.write_failures());
+    }
 
     let mut st = shared.state.lock().expect("state lock");
-    st.flags.remove(&id);
+    st.running.remove(&id);
+    // A watchdog-demoted job whose hung thread finally returned: its
+    // working directory is free again, so it may be re-dispatched.
+    st.zombies.remove(&id);
     let Some(job) = st.queue.get_mut(id) else {
         return;
     };
+    job.rollbacks += rollbacks;
     match outcome {
         Ok(result) => {
             job.sims = result.trace.num_sims() as u64;
-            if result.trace.num_sims() >= spec.budget {
-                job.status = JobStatus::Done;
-                job.best_fom = Some(result.best_fom());
-                job.success = Some(result.success());
-            } else if job.status == JobStatus::Canceled {
-                // Client cancel: keep the terminal state the cancel
-                // request already recorded; the checkpoint stays on disk
-                // but will never be scheduled again.
-            } else {
-                // Graceful shutdown: checkpointed mid-run, resumable on
-                // the next boot.
-                job.status = JobStatus::Pending;
+            // A non-Running status here means a client cancel or a
+            // watchdog demotion raced the thread's return: keep the
+            // state already recorded (a checkpoint stays on disk for
+            // any future re-dispatch).
+            if job.status == JobStatus::Running {
+                if result.trace.num_sims() >= spec.budget {
+                    job.status = JobStatus::Done;
+                    job.best_fom = Some(result.best_fom());
+                    job.success = Some(result.success());
+                    job.error = None;
+                } else {
+                    // Graceful shutdown: checkpointed mid-run,
+                    // resumable on the next boot.
+                    job.status = JobStatus::Pending;
+                }
             }
         }
         Err(msg) => {
-            job.status = JobStatus::Failed;
-            job.error = Some(msg);
+            if job.status == JobStatus::Running {
+                let max_attempts = shared.cfg.limits.max_attempts;
+                if max_attempts > 0 && job.attempts >= max_attempts as u64 {
+                    job.status = JobStatus::Quarantined;
+                    job.error = Some(format!(
+                        "quarantined after {} attempt(s): {msg}",
+                        job.attempts
+                    ));
+                } else {
+                    // Within the attempt budget: requeue. A transient
+                    // fault (injected or real) retries from the last
+                    // good checkpoint; a deterministic crasher burns
+                    // its remaining attempts and quarantines.
+                    job.status = JobStatus::Pending;
+                    job.error = Some(msg);
+                }
+            }
         }
     }
     shared.commit(&st);
 }
 
-/// Builds and runs one job's optimization, resuming from its checkpoint
-/// when one exists.
+/// Builds and runs one job's optimization, resuming from its newest
+/// good checkpoint generation when one exists.
 fn execute(
     shared: &Arc<Shared>,
     id: u64,
     spec: &JobSpec,
-    flag: &Arc<AtomicBool>,
+    ckpt: &RunCheckpointer,
 ) -> Result<RunResult, String> {
     let problem = build_problem(&spec.problem)?;
     let method = build_method(&spec.method, spec.seed, spec.quick)?;
@@ -435,9 +599,6 @@ fn execute(
     let init = sample_initial_set_with(problem.as_ref(), spec.init_size, spec.seed, &engine);
     let journal = Journal::create(dir.join("journal.jsonl"))
         .map_err(|e| format!("cannot create journal: {e}"))?;
-    let ckpt = RunCheckpointer::new(dir.join("run.ckpt"))
-        .with_resume(true)
-        .with_stop_flag(Arc::clone(flag));
 
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
         method.optimize_resumable(
@@ -447,7 +608,7 @@ fn execute(
             spec.seed,
             &engine,
             &journal,
-            Some(&ckpt),
+            Some(ckpt),
         )
     }))
     .map_err(|p| {
@@ -574,8 +735,8 @@ fn handle_cancel(shared: &Arc<Shared>, request: &Json) -> Json {
     let mut st = shared.state.lock().expect("state lock");
     match st.queue.cancel(id) {
         Ok(was) => {
-            if let Some(flag) = st.flags.get(&id) {
-                flag.store(true, Ordering::SeqCst);
+            if let Some(rj) = st.running.get(&id) {
+                rj.flag.store(true, Ordering::SeqCst);
             }
             shared.commit(&st);
             ok(vec![("was", Json::Str(was.to_string()))])
@@ -608,6 +769,10 @@ fn handle_stats(shared: &Arc<Shared>) -> Json {
                     "running",
                     Json::num_u(st.queue.tenant_count(tenant, JobStatus::Running) as u64),
                 ),
+                (
+                    "quarantined",
+                    Json::num_u(st.queue.tenant_count(tenant, JobStatus::Quarantined) as u64),
+                ),
                 ("peak_running", Json::num_u(*peak as u64)),
             ])
         })
@@ -621,6 +786,10 @@ fn handle_stats(shared: &Arc<Shared>) -> Json {
         (
             "running",
             Json::num_u(st.queue.count_status(JobStatus::Running) as u64),
+        ),
+        (
+            "quarantined",
+            Json::num_u(st.queue.count_status(JobStatus::Quarantined) as u64),
         ),
         ("peak_running", Json::num_u(st.peak_running as u64)),
         ("tenants", Json::Arr(tenants)),
@@ -651,6 +820,7 @@ fn render_metrics(shared: &Arc<Shared>) -> String {
             JobStatus::Done,
             JobStatus::Failed,
             JobStatus::Canceled,
+            JobStatus::Quarantined,
         ] {
             e.gauge(
                 "maopt_serve_jobs",

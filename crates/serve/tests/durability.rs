@@ -100,6 +100,19 @@ fn journal_path(state_dir: &Path, id: &str) -> PathBuf {
     state_dir.join("jobs").join(id).join("journal.jsonl")
 }
 
+/// Generation files of a job's snapshot store, sorted ascending.
+fn ckpt_generations(state_dir: &Path, id: &str) -> Vec<(u64, PathBuf)> {
+    let base = state_dir.join("jobs").join(id).join("run.ckpt");
+    maopt_ckpt::snapshot_store(&base)
+        .generations()
+        .unwrap_or_default()
+}
+
+/// Whether a job has at least one round checkpoint on disk.
+fn has_checkpoint(state_dir: &Path, id: &str) -> bool {
+    !ckpt_generations(state_dir, id).is_empty()
+}
+
 const JOBS: &[(&str, u64, usize)] = &[("alice", 11, 40), ("bob", 22, 40)];
 
 /// Runs both jobs on a fresh daemon to completion and returns their ids.
@@ -141,9 +154,7 @@ fn sigkilled_daemon_restarts_and_finishes_byte_identical_jobs() {
 
     let deadline = Instant::now() + Duration::from_secs(300);
     let interrupted = loop {
-        let both_checkpointed = ids
-            .iter()
-            .all(|id| crash_dir.join("jobs").join(id).join("run.ckpt").exists());
+        let both_checkpointed = ids.iter().all(|id| has_checkpoint(&crash_dir, id));
         let both_done = ids.iter().all(|id| {
             client
                 .status(id)
@@ -158,7 +169,10 @@ fn sigkilled_daemon_restarts_and_finishes_byte_identical_jobs() {
         }
         if both_done {
             // Outran the poll loop: weaker, but restart must still be a
-            // no-op that preserves the journals below.
+            // no-op that preserves the journals below. Drain this
+            // daemon first so the restart below owns the state dir.
+            client.shutdown().expect("shutdown");
+            child.wait().expect("wait");
             break false;
         }
         assert!(
@@ -192,6 +206,75 @@ fn sigkilled_daemon_restarts_and_finishes_byte_identical_jobs() {
 }
 
 #[test]
+fn torn_newest_snapshot_rolls_back_and_finishes_byte_identical() {
+    let dir = tmp_dir("torn");
+    let _ = std::fs::remove_dir_all(&dir);
+    let ref_dir = dir.join("reference");
+    let crash_dir = dir.join("crashed");
+
+    let ref_ids = run_reference(&ref_dir);
+
+    // SIGKILL once both jobs have at least two snapshot generations,
+    // then deliberately tear the newest one — the worst case a real
+    // power cut can leave behind is a corrupt newest snapshot, and the
+    // restart must fall back to the previous generation and still land
+    // on the reference trajectory.
+    let mut child = spawn_daemon(&crash_dir);
+    let mut client = connect(&crash_dir, &mut child);
+    let ids: Vec<String> = JOBS
+        .iter()
+        .map(|(t, s, b)| client.submit(&spec(t, *s, *b)).expect("submit"))
+        .collect();
+    assert_eq!(ids, ref_ids, "same submission order, same ids");
+
+    let deadline = Instant::now() + Duration::from_secs(300);
+    while !ids
+        .iter()
+        .all(|id| ckpt_generations(&crash_dir, id).len() >= 2)
+    {
+        assert!(
+            Instant::now() < deadline,
+            "jobs never reached two checkpoint generations"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL");
+    child.wait().expect("wait");
+    drop(client);
+
+    for id in &ids {
+        let gens = ckpt_generations(&crash_dir, id);
+        let (_, path) = gens.last().expect("at least one generation");
+        let bytes = std::fs::read(path).expect("read newest generation");
+        std::fs::write(path, &bytes[..bytes.len() / 2]).expect("tear newest generation");
+    }
+
+    let mut child2 = spawn_daemon(&crash_dir);
+    let mut client2 = connect(&crash_dir, &mut child2);
+    for id in &ids {
+        wait_done(&mut client2, id, Duration::from_secs(300));
+        let job = client2.status(id).expect("status");
+        let rollbacks = job.get("rollbacks").and_then(Json::as_u64).unwrap_or(0);
+        assert!(
+            rollbacks >= 1,
+            "{id} resumed past a torn snapshot, must report a rollback: {job}"
+        );
+    }
+    client2.shutdown().expect("shutdown");
+    assert!(child2.wait().expect("wait").success());
+
+    for id in &ids {
+        assert_eq!(
+            normalized_lines(&journal_path(&ref_dir, id)),
+            normalized_lines(&journal_path(&crash_dir, id)),
+            "journal of {id} must be byte-identical (non-timing fields) \
+             after a torn-snapshot rollback"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn sigterm_drains_gracefully_without_torn_journal_lines() {
     let dir = tmp_dir("sigterm");
     let _ = std::fs::remove_dir_all(&dir);
@@ -206,10 +289,7 @@ fn sigterm_drains_gracefully_without_torn_journal_lines() {
 
     // Wait until both are checkpointing (first round boundary reached).
     let deadline = Instant::now() + Duration::from_secs(300);
-    while !ids
-        .iter()
-        .all(|id| dir.join("jobs").join(id).join("run.ckpt").exists())
-    {
+    while !ids.iter().all(|id| has_checkpoint(&dir, id)) {
         assert!(Instant::now() < deadline, "jobs never checkpointed");
         std::thread::sleep(Duration::from_millis(10));
     }

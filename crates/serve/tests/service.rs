@@ -41,6 +41,7 @@ fn start(state_dir: &Path, slots: usize, limits: QueueLimits) -> Daemon {
         slots,
         limits,
         poll_ms: 5,
+        stall_budget_ms: None,
     };
     let server = Server::bind(cfg, EvalEngine::new(2), Arc::clone(&stop)).expect("bind");
     let addr = server.local_addr().expect("local addr").to_string();
@@ -150,6 +151,7 @@ fn admission_control_rejects_with_429() {
         QueueLimits {
             max_pending: 1,
             tenant_quota: 1,
+            ..QueueLimits::default()
         },
     );
     let mut client = Client::connect(&daemon.addr).expect("connect");
@@ -194,6 +196,7 @@ fn tenant_quota_caps_concurrency() {
         QueueLimits {
             max_pending: 16,
             tenant_quota: 1,
+            ..QueueLimits::default()
         },
     );
     let mut client = Client::connect(&daemon.addr).expect("connect");

@@ -1,0 +1,212 @@
+//! Supervision tests: a job that crashes the runner on every attempt is
+//! quarantined after the attempt budget while other tenants keep being
+//! served, and a job whose checkpoint round counter stops advancing is
+//! cancelled and then demoted by the watchdog.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use maopt_exec::EvalEngine;
+use maopt_obs::json::Json;
+use maopt_serve::{Client, JobSpec, QueueLimits, ServeConfig, Server};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("maopt-serve-sup-{}-{name}", std::process::id()))
+}
+
+struct Daemon {
+    addr: String,
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start(
+    state_dir: &Path,
+    slots: usize,
+    limits: QueueLimits,
+    stall_budget_ms: Option<u64>,
+) -> Daemon {
+    let stop = Arc::new(AtomicBool::new(false));
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        state_dir: state_dir.to_path_buf(),
+        slots,
+        limits,
+        poll_ms: 5,
+        stall_budget_ms,
+    };
+    let server = Server::bind(cfg, EvalEngine::new(2), Arc::clone(&stop)).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    Daemon { addr, stop, handle }
+}
+
+fn spec(tenant: &str, problem: &str, seed: u64, budget: usize) -> JobSpec {
+    JobSpec {
+        tenant: tenant.into(),
+        problem: problem.into(),
+        method: "ma-opt2".into(),
+        budget,
+        init_size: 6,
+        seed,
+        quick: true,
+    }
+}
+
+fn wait_status(client: &mut Client, id: &str, want: &str, timeout: Duration) -> Json {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let job = client.status(id).expect("status");
+        let status = job.get("status").and_then(Json::as_str).unwrap_or("?");
+        if status == want {
+            return job;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {id} stuck in {status:?}, wanted {want:?}: {job}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn poison_job_quarantines_while_other_tenants_are_served() {
+    let dir = tmp_dir("poison");
+    let _ = std::fs::remove_dir_all(&dir);
+    let limits = QueueLimits {
+        max_attempts: 2,
+        ..QueueLimits::default()
+    };
+    let daemon = start(&dir, 2, limits, None);
+    let mut client = Client::connect(&daemon.addr).expect("connect");
+
+    // Alice's job panics the runner thread on every attempt; bob's is
+    // an ordinary job that must be unaffected by the crash loop.
+    let poison = client
+        .submit(&spec("alice", "poison", 1, 8))
+        .expect("submit");
+    let healthy = client
+        .submit(&spec("bob", "sphere:2", 2, 8))
+        .expect("submit");
+
+    wait_status(&mut client, &healthy, "done", Duration::from_secs(60));
+    let job = wait_status(&mut client, &poison, "quarantined", Duration::from_secs(60));
+    assert_eq!(
+        job.get("attempts").and_then(Json::as_u64),
+        Some(2),
+        "quarantine charges exactly the attempt budget: {job}"
+    );
+    let err = job.get("error").and_then(Json::as_str).unwrap_or("");
+    assert!(
+        err.contains("quarantined after 2 attempt(s)"),
+        "error names the budget: {err:?}"
+    );
+
+    // The quarantined job is parked: no further attempts even though a
+    // slot is free.
+    std::thread::sleep(Duration::from_millis(100));
+    let job = client.status(&poison).expect("status");
+    assert_eq!(job.get("attempts").and_then(Json::as_u64), Some(2));
+
+    // Surfaced in stats and the Prometheus exposition.
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.get("quarantined").and_then(Json::as_u64),
+        Some(1),
+        "stats count quarantined jobs: {stats}"
+    );
+    let metrics = client.metrics().expect("metrics");
+    assert!(
+        metrics.contains("maopt_serve_quarantined 1"),
+        "gauge missing from exposition:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("maopt_serve_jobs{status=\"quarantined\"} 1"),
+        "status family missing from exposition:\n{metrics}"
+    );
+
+    client.shutdown().expect("shutdown");
+    daemon.handle.join().expect("join").expect("clean drain");
+
+    // Quarantine is durable: a restart must not retry the crasher.
+    let daemon2 = start(
+        &dir,
+        2,
+        QueueLimits {
+            max_attempts: 2,
+            ..QueueLimits::default()
+        },
+        None,
+    );
+    let mut client2 = Client::connect(&daemon2.addr).expect("reconnect");
+    let job = client2.status(&poison).expect("status after restart");
+    assert_eq!(
+        job.get("status").and_then(Json::as_str),
+        Some("quarantined")
+    );
+    assert_eq!(job.get("attempts").and_then(Json::as_u64), Some(2));
+    daemon2
+        .stop
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    daemon2.handle.join().expect("join").expect("clean");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watchdog_demotes_a_stalled_job_and_frees_its_slot() {
+    let dir = tmp_dir("watchdog");
+    let _ = std::fs::remove_dir_all(&dir);
+    // One attempt, tight stall budget: the watchdog's cancel → demote
+    // escalation should quarantine the stalled job directly.
+    let limits = QueueLimits {
+        max_attempts: 1,
+        ..QueueLimits::default()
+    };
+    let daemon = start(&dir, 1, limits, Some(100));
+    let mut client = Client::connect(&daemon.addr).expect("connect");
+
+    // Each evaluation sleeps 1 s, so the checkpoint round counter
+    // cannot advance within the 100 ms budget and cancellation (checked
+    // at round boundaries) does not land before escalation either.
+    let stalled = client
+        .submit(&JobSpec {
+            init_size: 2,
+            ..spec("alice", "slow:1000", 3, 4)
+        })
+        .expect("submit");
+    let job = wait_status(
+        &mut client,
+        &stalled,
+        "quarantined",
+        Duration::from_secs(60),
+    );
+    let err = job.get("error").and_then(Json::as_str).unwrap_or("");
+    assert!(
+        err.contains("stalled past the watchdog budget"),
+        "error names the stall: {err:?}"
+    );
+
+    // The demoted job released its scheduler slot even though its
+    // runner thread is still sleeping: another tenant's job completes
+    // on the single slot.
+    let healthy = client
+        .submit(&spec("bob", "sphere:2", 4, 8))
+        .expect("submit");
+    wait_status(&mut client, &healthy, "done", Duration::from_secs(60));
+
+    let metrics = client.metrics().expect("metrics");
+    assert!(
+        metrics.contains("maopt_serve_watchdog_cancel_total"),
+        "cancel counter missing from exposition:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("maopt_serve_watchdog_demote_total"),
+        "demote counter missing from exposition:\n{metrics}"
+    );
+
+    client.shutdown().expect("shutdown");
+    daemon.handle.join().expect("join").expect("clean drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -247,7 +247,15 @@ impl DcAnalysis {
             warm_failed = true;
         }
 
-        let x = self.solve_staged(ckt, &layout, &mut ws, &probe, vec![0.0; n], time, &mut iters)?;
+        let x = self.solve_staged(
+            ckt,
+            &layout,
+            &mut ws,
+            &probe,
+            vec![0.0; n],
+            time,
+            &mut iters,
+        )?;
         if warm_failed {
             probe.inc(METRIC_WARM_FALLBACK);
             probe.span(SPAN_DC_FALLBACK, t0);

@@ -155,7 +155,9 @@ fn seeded_and_cold_fail_with_identical_error_variants() {
     };
     let hostile = vec![40.0; cold().run(&ckt).unwrap().unknowns().len()];
     let a = strangled_cold.run(&ckt).unwrap_err();
-    let b = strangled_warm.run_seeded(&ckt, None, Some(&hostile)).unwrap_err();
+    let b = strangled_warm
+        .run_seeded(&ckt, None, Some(&hostile))
+        .unwrap_err();
     match (&a, &b) {
         (
             SimError::NoConvergence { analysis: aa, .. },
